@@ -1,0 +1,62 @@
+"""Related-work ablation — event-driven engines vs the paper's dataflow.
+
+The paper's related-work section notes that event-driven FPGA designs
+(Minitaur family, refs [9][10]) are energy-efficient but "applied to
+linear layers only".  This benchmark quantifies why: pricing LeNet-5's
+measured spike activity on an event-driven cost model shows the conv
+layers' kernel-sized fan-out per event, and rate coding (which those
+engines rely on) multiplies the event count further.  The timed kernel is
+the spike-statistics collection powering the estimate.
+"""
+
+from repro.baselines import estimate_event_driven
+from repro.core import AcceleratorConfig, LatencyModel
+from repro.harness import Table
+
+from benchmarks.conftest import print_table
+
+
+def test_event_driven_report(runner, benchmark):
+    snn, _ = runner.lenet_snn(3)
+    _, test = runner.mnist()
+    images = test.images[:1]
+
+    _, stats = snn.forward_spikes(images, collect_stats=True)
+    event_est = estimate_event_driven(snn.network, stats.spikes_per_layer)
+
+    config = AcceleratorConfig()
+    ours_us = LatencyModel(config).latency_us(snn.network)
+
+    # Rate coding at the T the encoding ablation found necessary (~16)
+    # multiplies events by roughly T_rate / T_radix x density growth; use
+    # the measured radix spike count scaled by train-length ratio as a
+    # conservative lower bound.
+    rate_scale = 16 / snn.num_steps
+    rate_events = [int(s * rate_scale) for s in stats.spikes_per_layer]
+    rate_est = estimate_event_driven(snn.network, rate_events)
+
+    table = Table(
+        "Event-driven engine vs this work - LeNet-5 inference",
+        ["engine", "events", "state updates", "latency us"])
+    table.add_row("event-driven, radix spikes (NOT functional: order lost)",
+                  f"{event_est.total_events:,}",
+                  f"{event_est.total_updates:,}", event_est.latency_us)
+    table.add_row("event-driven, rate spikes (T=16, its real mode)",
+                  f"{rate_est.total_events:,}",
+                  f"{rate_est.total_updates:,}", rate_est.latency_us)
+    table.add_row("this work (row dataflow, radix)", "-", "-", ours_us)
+    print_table(table)
+    print("note: an event-driven engine integrates spikes order-blind, so "
+          "it cannot execute radix\ntrains at all (the paper's motivation); "
+          "the first row is a hypothetical lower bound.")
+
+    # The structural claims: in its actual operating mode (rate coding at
+    # the T the encoding ablation found necessary) the event-driven engine
+    # is far slower than the row dataflow, and the rate event count dwarfs
+    # the radix one — order-awareness is what buys the short trains.
+    assert rate_est.latency_us > ours_us
+    assert rate_est.total_events > 3 * event_est.total_events
+
+    benchmark.pedantic(
+        lambda: snn.forward_spikes(images, collect_stats=True),
+        rounds=2, iterations=1)

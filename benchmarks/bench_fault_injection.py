@@ -1,0 +1,43 @@
+"""Robustness ablation — weight-memory fault injection.
+
+Flips random bits in the deployed 3-bit weight memories (the BRAM-upset
+failure mode of FPGA accelerators) and measures the accuracy degradation
+curve.  Checks that accuracy degrades gracefully at small fault rates and
+collapses toward chance at large ones — i.e. the quantized network has no
+single point of catastrophic failure.  The timed kernel is one
+fault-injection + evaluation round.
+"""
+
+from repro.analysis import sensitivity_curve
+from repro.harness import Table
+
+from benchmarks.conftest import print_table
+
+
+def test_fault_injection_report(runner, benchmark):
+    snn, baseline_acc = runner.lenet_snn(4)
+    _, test = runner.mnist()
+
+    curve = sensitivity_curve(
+        snn, test, flip_fractions=(0.0, 0.001, 0.01, 0.05, 0.2),
+        seed=3, max_samples=300)
+
+    table = Table(
+        "Fault injection - accuracy vs weight-bit flip rate (LeNet-5, T=4)",
+        ["flip rate", "bits flipped", "accuracy %"])
+    for point in curve:
+        table.add_row(f"{point.flip_fraction:.3f}",
+                      f"{point.num_flips:,}", point.accuracy * 100)
+    print_table(table)
+
+    accs = [p.accuracy for p in curve]
+    assert accs[0] > 0.9, "baseline must be intact"
+    assert accs[1] > accs[0] - 0.10, \
+        "0.1% flips must not collapse accuracy"
+    assert accs[-1] < accs[0] - 0.2, \
+        "20% flips must visibly damage the network"
+
+    benchmark.pedantic(
+        lambda: sensitivity_curve(snn, test, flip_fractions=(0.01,),
+                                  seed=0, max_samples=100),
+        rounds=2, iterations=1)

@@ -1,0 +1,39 @@
+"""Figures 1 & 2 — architecture overview and convolution-unit datapath.
+
+The paper's figures are structural; this benchmark renders both diagrams
+from the live configuration of the Table I deployment and validates the
+datapath they describe by running the bit-exact functional model of one
+full inference (the timed kernel), confirming it matches the SNN
+reference.
+"""
+
+import numpy as np
+
+from repro.core import Accelerator, AcceleratorConfig
+from repro.harness import render_conv_unit, render_overview
+
+
+def test_figures_report(runner, benchmark):
+    snn, _ = runner.lenet_snn(3)
+    config = AcceleratorConfig()
+    accelerator = Accelerator(config)
+    compiled = accelerator.deploy(snn, name="LeNet-5")
+
+    print("\n\nFig. 1 — accelerator overview")
+    print(render_overview(config, compiled))
+    print("\nFig. 2 — convolution unit (5x5 kernels, stride 1)")
+    print(render_conv_unit(config, kernel_rows=5, stride=1))
+
+    _, test = runner.mnist()
+    image = test.images[0]
+    expected = snn.forward_ints(image[np.newaxis])[0]
+
+    def run_functional():
+        logits, trace = accelerator.run_image(image)
+        np.testing.assert_array_equal(logits, expected)
+        return trace.total_cycles
+
+    cycles = benchmark.pedantic(run_functional, rounds=2, iterations=1)
+    print(f"\nfunctional model: {cycles:,} cycles "
+          f"({cycles / config.clock_mhz:.0f} us at "
+          f"{config.clock_mhz:.0f} MHz), bit-exact to the SNN reference")

@@ -1,0 +1,49 @@
+"""Extension ablation — what overlap optimizations would buy.
+
+The paper's DRAM option stalls compute while each layer's weights stream
+in, and frames run strictly sequentially.  This benchmark prices the two
+natural extensions on the paper's own VGG-11 deployment: prefetching the
+next layer's weights during compute, and pipelining frames through the
+layer sequence.  (These are what-if estimates on top of the calibrated
+model — clearly separated from the reproduction numbers.)
+"""
+
+from repro.core import AcceleratorConfig
+from repro.core.pipeline import pipelined_throughput, prefetch_latency
+from repro.harness import Table
+from repro.models import vgg11_performance_network
+
+from benchmarks.conftest import print_table
+
+
+def test_overlap_extension_report(runner, benchmark):
+    net = vgg11_performance_network(num_steps=6)
+    config = AcceleratorConfig.for_network(net, num_conv_units=8,
+                                           clock_mhz=115.0)
+
+    prefetch = prefetch_latency(net, config)
+    pipeline = pipelined_throughput(net, config, weights_on_chip=False)
+
+    to_ms = 1.0 / config.clock_mhz / 1000.0
+    table = Table(
+        "Overlap extensions - VGG-11, 8 units, 115 MHz (what-if)",
+        ["configuration", "cycles/frame", "ms/frame", "fps"])
+    table.add_row("paper baseline (stall on DRAM)",
+                  f"{prefetch.baseline_cycles:,}",
+                  prefetch.baseline_cycles * to_ms,
+                  1000.0 / (prefetch.baseline_cycles * to_ms))
+    table.add_row("+ weight prefetch",
+                  f"{prefetch.optimized_cycles:,}",
+                  prefetch.optimized_cycles * to_ms,
+                  1000.0 / (prefetch.optimized_cycles * to_ms))
+    table.add_row("+ frame pipelining (steady state)",
+                  f"{pipeline.optimized_cycles:,}",
+                  pipeline.optimized_cycles * to_ms,
+                  1000.0 / (pipeline.optimized_cycles * to_ms))
+    print_table(table)
+
+    assert prefetch.optimized_cycles < prefetch.baseline_cycles
+    assert pipeline.optimized_cycles < prefetch.optimized_cycles
+
+    benchmark(lambda: (prefetch_latency(net, config),
+                       pipelined_throughput(net, config, False)))

@@ -1,0 +1,31 @@
+"""Table I — accuracy & latency versus spike-train length.
+
+Regenerates the paper's Table I (LeNet-5 on MNIST-class data, two
+convolution units, 100 MHz): accuracy rises and saturates with T while
+latency grows linearly.  The timed kernel is the quantized integer
+inference that produces the accuracy column.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+
+
+def test_table1_report(runner, benchmark):
+    result = runner.run_table1()
+    print_table(result["table"])
+
+    rows = result["rows"]
+    accs = [r["accuracy_pct"] for r in rows]
+    lats = [r["latency_us"] for r in rows]
+    # Shape assertions mirroring the paper's observations:
+    assert accs[-1] >= accs[0] - 0.2, "accuracy must not degrade with T"
+    assert max(accs) > 95.0, "peak accuracy must be in the paper's regime"
+    diffs = np.diff(lats)
+    assert np.all(diffs > 0) and diffs.std() / diffs.mean() < 0.05, \
+        "latency must scale linearly with T"
+
+    snn, _ = runner.lenet_snn(4)
+    _, test = runner.mnist()
+    images = test.images[:64]
+    benchmark(lambda: snn.forward_ints(images))

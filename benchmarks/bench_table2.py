@@ -1,0 +1,55 @@
+"""Table II — latency, power and resources versus convolution units.
+
+Regenerates the paper's unit-scaling sweep (LeNet-5, T=3, 100 MHz):
+latency improves sub-linearly (pool/linear units are memory-bound and not
+duplicated) while LUT/FF grow ~linearly and power only slightly.  The
+timed kernel is the full analytic estimation stack across the sweep.
+"""
+
+from repro.core import (
+    AcceleratorConfig,
+    LatencyModel,
+    PowerModel,
+    ResourceModel,
+)
+
+from benchmarks.conftest import print_table
+
+
+def test_table2_report(runner, benchmark):
+    result = runner.run_table2()
+    print_table(result["table"])
+
+    rows = {r["units"]: r for r in result["rows"]}
+    # Sub-linear latency scaling (doubling units never halves latency):
+    assert rows[2]["latency_us"] > rows[1]["latency_us"] / 2
+    assert rows[8]["latency_us"] > rows[4]["latency_us"] / 2
+    # Monotone improvements and costs:
+    assert rows[8]["latency_us"] < rows[1]["latency_us"]
+    assert rows[8]["luts"] > rows[1]["luts"]
+    assert rows[8]["power_w"] > rows[1]["power_w"]
+    # Within-tolerance reproduction of every published cell:
+    for units, row in rows.items():
+        assert abs(row["latency_us"] - row["paper_latency_us"]) \
+            / row["paper_latency_us"] < 0.10
+        assert abs(row["power_w"] - row["paper_power_w"]) \
+            / row["paper_power_w"] < 0.03
+        assert abs(row["luts"] - row["paper_luts"]) \
+            / row["paper_luts"] < 0.12
+        assert abs(row["ffs"] - row["paper_ffs"]) \
+            / row["paper_ffs"] < 0.12
+
+    snn, _ = runner.lenet_snn(3)
+
+    def estimate_sweep():
+        out = []
+        for units in (1, 2, 4, 8):
+            config = AcceleratorConfig().with_units(units)
+            out.append((
+                LatencyModel(config).latency_us(snn.network),
+                PowerModel(config).average_power_w(),
+                ResourceModel(config).estimate().luts,
+            ))
+        return out
+
+    benchmark(estimate_sweep)

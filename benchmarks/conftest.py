@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark suite.
+
+The session-scoped runner trains each workload model once (results are
+cached in ``<repo>/artifacts``, so later sessions skip training) and every
+benchmark prints its paper-table next to the timing numbers.
+"""
+
+import pytest
+
+from repro.harness import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner()
+
+
+def print_table(table) -> None:
+    print("\n\n" + table.render() + "\n")

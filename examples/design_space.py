@@ -1,0 +1,59 @@
+"""Design-space exploration: generalizing the paper's Table II sweep.
+
+The paper picks 4 convolution units for its 200 MHz deployments because
+they "yielded one of the best latency-power-resource ratio".  This example
+sweeps units × clock frequency for LeNet-5, prints the grid and computes
+the same figure of merit (energy per frame × LUTs) to show where the
+paper's choice sits.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.core import (
+    AcceleratorConfig,
+    LatencyModel,
+    PowerModel,
+    ResourceModel,
+    plan_bram,
+)
+from repro.harness import Table
+from repro.models import performance_network
+
+
+def lenet_network(num_steps=4):
+    return performance_network(
+        [("conv", 6, 5, 1, 0), ("pool", 2), ("conv", 16, 5, 1, 0),
+         ("pool", 2), ("conv", 120, 5, 1, 0), ("flatten",),
+         ("linear", 120), ("linear", 84), ("linear", 10)],
+        input_shape=(1, 32, 32), num_steps=num_steps)
+
+
+def main() -> None:
+    network = lenet_network(num_steps=4)
+    table = Table(
+        "Design space - LeNet-5, T=4 (figure of merit: energy/frame x "
+        "LUTs, lower is better)",
+        ["units", "clock MHz", "latency us", "power W", "LUTs",
+         "energy mJ", "FoM"])
+    best = None
+    for units in (1, 2, 4, 8, 16):
+        for clock in (100.0, 150.0, 200.0):
+            config = AcceleratorConfig().with_units(units).with_clock(clock)
+            latency_us = LatencyModel(config).latency_us(network)
+            bram = plan_bram(network, config.memory, True)
+            power_w = PowerModel(config).average_power_w(
+                bram_mbit=bram.total_mbit)
+            luts = ResourceModel(config).estimate().luts
+            energy_mj = power_w * latency_us * 1e-3
+            fom = energy_mj * luts
+            table.add_row(units, clock, latency_us, power_w,
+                          f"{luts:,}", energy_mj, fom)
+            if best is None or fom < best[0]:
+                best = (fom, units, clock)
+    print(table.render())
+    print(f"\nBest figure of merit: {best[1]} units at {best[2]:.0f} MHz "
+          "(the paper chose 4 units at 200 MHz for its MNIST rows)")
+
+
+if __name__ == "__main__":
+    main()

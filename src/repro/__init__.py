@@ -1,0 +1,29 @@
+"""repro — reproduction of "A Resource-efficient Spiking Neural Network
+Accelerator Supporting Emerging Neural Encoding" (DATE 2022).
+
+Subpackages
+-----------
+``repro.encoding``
+    Radix (MSB-first binary) and rate spike-train encodings, quantization.
+``repro.nn``
+    Numpy ANN substrate with hand-written backprop (training side).
+``repro.data``
+    Synthetic MNIST / CIFAR-100 generators (offline dataset stand-ins).
+``repro.models``
+    LeNet-5, VGG-11, and the Fang/Ju comparison topologies.
+``repro.snn``
+    ANN-to-SNN conversion and functional radix / rate simulation.
+``repro.core``
+    The accelerator itself: functional hardware model, compiler, and
+    latency / power / resource estimation.
+``repro.baselines``
+    Published comparison numbers and ablation cost models.
+``repro.harness``
+    Experiment runners regenerating every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,25 @@
+"""Analysis extensions: fault injection, spike sparsity, design space."""
+
+from repro.analysis.pareto import DesignPoint, pareto_front, sweep_design_space
+from repro.analysis.sensitivity import (
+    FaultInjectionResult,
+    flip_weight_bits,
+    sensitivity_curve,
+)
+from repro.analysis.sparsity import (
+    LayerSparsity,
+    SparsityReport,
+    measure_sparsity,
+)
+
+__all__ = [
+    "DesignPoint",
+    "FaultInjectionResult",
+    "LayerSparsity",
+    "SparsityReport",
+    "flip_weight_bits",
+    "measure_sparsity",
+    "pareto_front",
+    "sensitivity_curve",
+    "sweep_design_space",
+]

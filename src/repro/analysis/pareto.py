@@ -1,0 +1,77 @@
+"""Design-space exploration with Pareto-front extraction.
+
+Generalizes the paper's Table II reasoning ("four convolution units ...
+yielded one of the best latency-power-resource ratio") into a tool: sweep
+unit count × clock × spike-train length, evaluate latency / power / LUTs
+with the calibrated models, and extract the Pareto-optimal
+configurations under those three objectives (all minimized; accuracy is
+held fixed by the choice of T upstream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import AcceleratorConfig
+from repro.core.latency import LatencyModel
+from repro.core.power import PowerModel
+from repro.core.resources import ResourceModel
+from repro.snn.spec import QuantizedNetwork
+
+__all__ = ["DesignPoint", "sweep_design_space", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    num_units: int
+    clock_mhz: float
+    latency_us: float
+    power_w: float
+    luts: int
+
+    @property
+    def energy_mj(self) -> float:
+        return self.power_w * self.latency_us * 1e-3
+
+    def objectives(self) -> tuple[float, float, float]:
+        """(latency, power, LUTs) — all minimized."""
+        return (self.latency_us, self.power_w, float(self.luts))
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance: no worse anywhere, better somewhere."""
+        mine, theirs = self.objectives(), other.objectives()
+        return (all(m <= t for m, t in zip(mine, theirs))
+                and any(m < t for m, t in zip(mine, theirs)))
+
+
+def sweep_design_space(
+    network: QuantizedNetwork,
+    unit_counts: tuple = (1, 2, 4, 8, 16),
+    clocks_mhz: tuple = (100.0, 150.0, 200.0),
+    weights_on_chip: bool = True,
+    base_config: AcceleratorConfig | None = None,
+) -> list[DesignPoint]:
+    """Evaluate every (units, clock) combination for a network."""
+    base = base_config or AcceleratorConfig.for_network(network)
+    points = []
+    for units in unit_counts:
+        for clock in clocks_mhz:
+            config = base.with_units(units).with_clock(clock)
+            latency = LatencyModel(config).latency_us(
+                network, weights_on_chip)
+            power = PowerModel(config).average_power_w(
+                dram_active=not weights_on_chip)
+            luts = ResourceModel(config).estimate(weights_on_chip).luts
+            points.append(DesignPoint(
+                num_units=units, clock_mhz=clock, latency_us=latency,
+                power_w=power, luts=luts))
+    return points
+
+
+def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
+    """The non-dominated subset, sorted by latency."""
+    front = [p for p in points
+             if not any(q.dominates(p) for q in points if q is not p)]
+    return sorted(front, key=lambda p: p.latency_us)

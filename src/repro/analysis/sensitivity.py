@@ -1,0 +1,105 @@
+"""Fault-injection sensitivity analysis.
+
+Hardware accelerators care how gracefully accuracy degrades when bits go
+wrong — configuration upsets in BRAM weight memories are the classic FPGA
+failure mode.  This module flips random bits in the quantized weight
+tensors of a converted SNN and measures the accuracy drop, producing the
+robustness curve for the failure-injection benchmark.
+
+The injector operates on the *deployed* representation (signed
+``weight_bits``-bit integers), so a single flip changes a weight by a
+power of two — exactly what a BRAM upset would do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dataclass_replace
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import SimulationError
+from repro.snn.model import SNNModel
+from repro.snn.spec import QuantizedNetwork
+
+__all__ = ["FaultInjectionResult", "flip_weight_bits", "sensitivity_curve"]
+
+
+@dataclass(frozen=True)
+class FaultInjectionResult:
+    """Accuracy under one fault rate."""
+
+    flip_fraction: float
+    num_flips: int
+    accuracy: float
+
+
+def _flip_in_tensor(weights: np.ndarray, positions: np.ndarray,
+                    bits: np.ndarray, weight_bits: int) -> np.ndarray:
+    """Flip ``bits[i]`` of the two's-complement value at ``positions[i]``."""
+    flat = weights.reshape(-1).copy()
+    mask = (1 << weight_bits) - 1
+    encoded = flat[positions] & mask          # two's complement view
+    encoded ^= (1 << bits).astype(flat.dtype)
+    # Sign-extend back to int64.
+    sign_bit = 1 << (weight_bits - 1)
+    decoded = (encoded ^ sign_bit) - sign_bit
+    flat[positions] = decoded
+    return flat.reshape(weights.shape)
+
+
+def flip_weight_bits(
+    network: QuantizedNetwork,
+    flip_fraction: float,
+    seed: int = 0,
+) -> tuple[QuantizedNetwork, int]:
+    """Return a copy of ``network`` with random weight bits flipped.
+
+    ``flip_fraction`` is the fraction of all weight *bits* that flip.
+    """
+    if not 0.0 <= flip_fraction <= 1.0:
+        raise SimulationError(
+            f"flip fraction must be in [0, 1], got {flip_fraction}")
+    rng = np.random.default_rng(seed)
+    wb = network.weight_bits
+    total_flips = 0
+    new_layers = []
+    for spec in network.layers:
+        if spec.kind not in ("conv", "linear"):
+            new_layers.append(spec)
+            continue
+        total_bits = spec.weights.size * wb
+        n_flips = int(round(total_bits * flip_fraction))
+        if n_flips == 0:
+            new_layers.append(spec)
+            continue
+        slots = rng.integers(0, total_bits, size=n_flips)
+        positions = slots // wb
+        bits = slots % wb
+        flipped = _flip_in_tensor(
+            spec.weights.astype(np.int64), positions, bits, wb)
+        new_layers.append(dataclass_replace(spec, weights=flipped))
+        total_flips += n_flips
+    mutated = QuantizedNetwork(
+        layers=tuple(new_layers), num_steps=network.num_steps,
+        weight_bits=wb, input_shape=network.input_shape,
+        num_classes=network.num_classes)
+    return mutated, total_flips
+
+
+def sensitivity_curve(
+    snn: SNNModel,
+    dataset: Dataset,
+    flip_fractions: tuple = (0.0, 0.001, 0.005, 0.01, 0.05, 0.1),
+    seed: int = 0,
+    max_samples: int = 500,
+) -> list[FaultInjectionResult]:
+    """Accuracy vs weight-bit flip rate."""
+    subset = dataset.subset(max_samples)
+    results = []
+    for fraction in flip_fractions:
+        mutated, n_flips = flip_weight_bits(snn.network, fraction, seed)
+        accuracy = SNNModel(mutated).accuracy(subset)
+        results.append(FaultInjectionResult(
+            flip_fraction=fraction, num_flips=n_flips, accuracy=accuracy))
+    return results

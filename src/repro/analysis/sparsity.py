@@ -1,0 +1,85 @@
+"""Spike-sparsity analysis.
+
+The accelerator's adders only fire on incoming spikes (the multiplexer in
+Fig. 2 feeds zero otherwise), so dynamic compute energy tracks the spike
+density of the network.  This module measures per-layer spike rates of a
+converted SNN over a dataset and relates them to the adder activity the
+functional simulator would see — the quantitative side of the paper's
+"low-power multiplication-free computing" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.snn.model import SNNModel
+
+__all__ = ["LayerSparsity", "SparsityReport", "measure_sparsity"]
+
+
+@dataclass(frozen=True)
+class LayerSparsity:
+    """Spike statistics of one layer's output train."""
+
+    layer_index: int
+    num_neurons: int
+    mean_spikes_per_sample: float
+    spike_rate: float  # spikes / (neurons * T), in [0, 1]
+
+
+@dataclass(frozen=True)
+class SparsityReport:
+    """Network-wide spike statistics."""
+
+    num_steps: int
+    num_samples: int
+    layers: tuple
+
+    @property
+    def overall_rate(self) -> float:
+        """Network-wide fraction of (neuron, step) slots carrying a spike."""
+        slots = sum(l.num_neurons for l in self.layers) * self.num_steps
+        spikes = sum(l.mean_spikes_per_sample for l in self.layers)
+        return spikes / slots if slots else 0.0
+
+    def densest_layer(self) -> LayerSparsity:
+        return max(self.layers, key=lambda l: l.spike_rate)
+
+
+def measure_sparsity(
+    snn: SNNModel,
+    dataset: Dataset,
+    max_samples: int = 64,
+    batch_size: int = 16,
+) -> SparsityReport:
+    """Average per-layer spike rates over (a subset of) a dataset."""
+    subset = dataset.subset(max_samples)
+    totals: list[float] = []
+    neurons: list[int] = []
+    count = 0
+    for images, _ in subset.batches(batch_size):
+        _, stats = snn.forward_spikes(images, collect_stats=True)
+        per_layer = np.array(stats.spikes_per_layer, dtype=np.float64)
+        per_layer /= images.shape[0]
+        if not totals:
+            totals = per_layer.tolist()
+            neurons = [n // images.shape[0]
+                       for n in stats.neurons_per_layer]
+        else:
+            totals = [a + b for a, b in zip(totals, per_layer)]
+        count += 1
+    means = [t / max(count, 1) for t in totals]
+    layers = tuple(
+        LayerSparsity(
+            layer_index=i,
+            num_neurons=neurons[i],
+            mean_spikes_per_sample=means[i],
+            spike_rate=means[i] / (neurons[i] * snn.num_steps),
+        )
+        for i in range(len(means))
+    )
+    return SparsityReport(num_steps=snn.num_steps,
+                          num_samples=len(subset), layers=layers)

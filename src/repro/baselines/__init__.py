@@ -1,0 +1,41 @@
+"""Baselines: published comparison rows and ablation cost models."""
+
+from repro.baselines.event_driven import (
+    EventDrivenConfig,
+    EventDrivenEstimate,
+    estimate_event_driven,
+)
+from repro.baselines.naive_dataflow import (
+    DataflowSummary,
+    naive_conv_traffic,
+    naive_network_traffic,
+)
+from repro.baselines.published import (
+    FANG_2020,
+    JU_2020,
+    PAPER_ROWS,
+    PublishedResult,
+    TABLE_III,
+)
+from repro.baselines.rate_cost import (
+    AccuracyCurve,
+    EncodingComparison,
+    encoding_advantage,
+)
+
+__all__ = [
+    "AccuracyCurve",
+    "DataflowSummary",
+    "EncodingComparison",
+    "EventDrivenConfig",
+    "EventDrivenEstimate",
+    "FANG_2020",
+    "estimate_event_driven",
+    "JU_2020",
+    "PAPER_ROWS",
+    "PublishedResult",
+    "TABLE_III",
+    "encoding_advantage",
+    "naive_conv_traffic",
+    "naive_network_traffic",
+]

@@ -1,0 +1,101 @@
+"""Command-line interface: regenerate any experiment from the terminal.
+
+Usage::
+
+    python -m repro table1            # accuracy & latency vs T
+    python -m repro table2            # units sweep
+    python -m repro table3 [--no-vgg] # cross-accelerator comparison
+    python -m repro encoding          # radix vs rate ablation
+    python -m repro dataflow          # memory-traffic ablation
+    python -m repro figures           # Fig. 1 / Fig. 2 diagrams
+    python -m repro all               # everything above
+
+Models are trained on first use and cached under ``artifacts/``; set
+``REPRO_FAST=1`` for a smoke-scale run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import Accelerator, AcceleratorConfig
+from repro.harness import (
+    ExperimentRunner,
+    render_conv_unit,
+    render_overview,
+)
+
+__all__ = ["main"]
+
+
+def _print_table1(runner: ExperimentRunner) -> None:
+    print(runner.run_table1()["table"].render())
+
+
+def _print_table2(runner: ExperimentRunner) -> None:
+    print(runner.run_table2()["table"].render())
+
+
+def _print_table3(runner: ExperimentRunner, include_vgg: bool) -> None:
+    print(runner.run_table3(include_vgg=include_vgg)["table"].render())
+
+
+def _print_encoding(runner: ExperimentRunner) -> None:
+    result = runner.run_encoding_ablation()
+    print(result["table"].render())
+    comparison = result["comparison"]
+    print(f"\nradix reaches the target at T={comparison.radix_steps}, "
+          f"rate at T={comparison.rate_steps}")
+    if comparison.efficiency_gain is not None:
+        print(f"efficiency gain: {comparison.efficiency_gain * 100:.0f}% "
+              "(paper: ~40%)")
+
+
+def _print_dataflow(runner: ExperimentRunner) -> None:
+    print(runner.run_dataflow_ablation()["table"].render())
+
+
+def _print_figures(runner: ExperimentRunner) -> None:
+    snn, _ = runner.lenet_snn(3)
+    accelerator = Accelerator(AcceleratorConfig())
+    compiled = accelerator.deploy(snn, name="LeNet-5")
+    print("Fig. 1 - accelerator overview\n")
+    print(render_overview(accelerator.config, compiled))
+    print("\nFig. 2 - convolution unit\n")
+    print(render_conv_unit(accelerator.config, kernel_rows=5))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "table2", "table3", "encoding", "dataflow",
+                 "figures", "all"],
+        help="which experiment to run")
+    parser.add_argument("--no-vgg", action="store_true",
+                        help="skip the VGG-11 row of table3")
+    args = parser.parse_args(argv)
+
+    runner = ExperimentRunner()
+    dispatch = {
+        "table1": lambda: _print_table1(runner),
+        "table2": lambda: _print_table2(runner),
+        "table3": lambda: _print_table3(runner, not args.no_vgg),
+        "encoding": lambda: _print_encoding(runner),
+        "dataflow": lambda: _print_dataflow(runner),
+        "figures": lambda: _print_figures(runner),
+    }
+    if args.experiment == "all":
+        for name, fn in dispatch.items():
+            print(f"\n===== {name} =====")
+            fn()
+    else:
+        dispatch[args.experiment]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""The paper's core contribution: the accelerator model.
+
+Functional side (bit-exact): ``ConvUnit`` / ``PoolUnit`` / ``LinearUnit``
+driven by ``Controller`` over ping-pong buffers.  Analytic side:
+``LatencyModel`` / ``PowerModel`` / ``ResourceModel`` calibrated against
+the paper's published numbers.  ``Accelerator`` ties both together.
+"""
+
+from repro.core.accelerator import Accelerator
+from repro.core.adder_array import AdderArray
+from repro.core.bram import BramPlan, plan_bram
+from repro.core.calibration import (
+    DEFAULT_LATENCY,
+    DEFAULT_POWER,
+    DEFAULT_RESOURCES,
+    LatencyCalibration,
+    PowerCalibration,
+    ResourceCalibration,
+)
+from repro.core.compiler import (
+    CompiledModel,
+    ConvSchedule,
+    LayerProgram,
+    compile_network,
+)
+from repro.core.config import (
+    AcceleratorConfig,
+    ConvUnitConfig,
+    LinearUnitConfig,
+    MemoryConfig,
+    PoolUnitConfig,
+)
+from repro.core.controller import Controller, ExecutionTrace, LayerTrace
+from repro.core.conv_unit import ConvUnit
+from repro.core.dram import DramModel, DramTransfer
+from repro.core.energy import EnergyBreakdown, EnergyConstants, trace_energy
+from repro.core.isa import (
+    Instruction,
+    Opcode,
+    assemble,
+    decode,
+    disassemble,
+    encode,
+)
+from repro.core.latency import (
+    LatencyModel,
+    LayerLatency,
+    channels_per_pass,
+    conv_group_count,
+    conv_layer_cycles,
+    linear_layer_cycles,
+    pool_layer_cycles,
+)
+from repro.core.linear_unit import LinearUnit
+from repro.core.output_logic import OutputAccumulator
+from repro.core.pingpong import BufferPair, PingPongBuffer
+from repro.core.pool_unit import PoolUnit
+from repro.core.power import PowerModel
+from repro.core.report import PerformanceReport
+from repro.core.resources import ResourceEstimate, ResourceModel
+from repro.core.shift_register import InputShiftRegister
+from repro.core.stats import MemoryTraffic, UnitStats
+
+__all__ = [
+    "Accelerator",
+    "AcceleratorConfig",
+    "AdderArray",
+    "BramPlan",
+    "BufferPair",
+    "CompiledModel",
+    "Controller",
+    "ConvSchedule",
+    "ConvUnit",
+    "ConvUnitConfig",
+    "DEFAULT_LATENCY",
+    "DEFAULT_POWER",
+    "DEFAULT_RESOURCES",
+    "DramModel",
+    "DramTransfer",
+    "EnergyBreakdown",
+    "EnergyConstants",
+    "ExecutionTrace",
+    "Instruction",
+    "Opcode",
+    "InputShiftRegister",
+    "LatencyCalibration",
+    "LatencyModel",
+    "LayerLatency",
+    "LayerProgram",
+    "LayerTrace",
+    "LinearUnit",
+    "LinearUnitConfig",
+    "MemoryConfig",
+    "MemoryTraffic",
+    "OutputAccumulator",
+    "PerformanceReport",
+    "PingPongBuffer",
+    "PoolUnit",
+    "PoolUnitConfig",
+    "PowerCalibration",
+    "PowerModel",
+    "ResourceCalibration",
+    "ResourceEstimate",
+    "ResourceModel",
+    "UnitStats",
+    "assemble",
+    "channels_per_pass",
+    "compile_network",
+    "conv_group_count",
+    "conv_layer_cycles",
+    "decode",
+    "disassemble",
+    "encode",
+    "linear_layer_cycles",
+    "plan_bram",
+    "pool_layer_cycles",
+    "trace_energy",
+]

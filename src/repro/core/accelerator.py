@@ -1,0 +1,130 @@
+"""The accelerator facade: deploy a converted SNN and run or estimate it.
+
+Typical flow (mirrors the paper's):
+
+    >>> snn = ann_to_snn(trained_ann, calibration_set, num_steps=4)
+    >>> acc = Accelerator(AcceleratorConfig.for_network(snn.network,
+    ...                                                 num_conv_units=4,
+    ...                                                 clock_mhz=200.0))
+    >>> acc.deploy(snn)
+    >>> predictions, trace = acc.run(images)        # functional simulation
+    >>> report = acc.report(accuracy=0.991)         # Table III row
+
+``run`` executes the bit-exact functional hardware model (slow, per-image);
+``report``/``estimate_*`` use the analytic models and need no data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compiler import CompiledModel, compile_network
+from repro.core.config import AcceleratorConfig
+from repro.core.controller import Controller, ExecutionTrace
+from repro.core.latency import LatencyModel
+from repro.core.power import PowerModel
+from repro.core.report import PerformanceReport
+from repro.core.resources import ResourceModel
+from repro.errors import CompilationError, ShapeError
+from repro.snn.model import SNNModel
+
+__all__ = ["Accelerator"]
+
+
+class Accelerator:
+    """A configured instance of the paper's architecture."""
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+        self.compiled: CompiledModel | None = None
+        self._controller: Controller | None = None
+        self._model_name = "unnamed"
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def deploy(self, snn: SNNModel, name: str = "network") -> CompiledModel:
+        """Compile and load a converted SNN onto this accelerator."""
+        self.compiled = compile_network(snn.network, self.config)
+        self._controller = Controller(self.compiled)
+        self._model_name = name
+        return self.compiled
+
+    def _require_deployed(self) -> CompiledModel:
+        if self.compiled is None or self._controller is None:
+            raise CompilationError(
+                "no network deployed; call deploy() first")
+        return self.compiled
+
+    # ------------------------------------------------------------------
+    # Functional execution (bit-exact hardware model)
+    # ------------------------------------------------------------------
+    def run_image(self, image: np.ndarray) -> tuple[np.ndarray,
+                                                    ExecutionTrace]:
+        """Infer one ``(C, H, W)`` image through the functional model."""
+        self._require_deployed()
+        return self._controller.run_image(image)
+
+    def run(self, images: np.ndarray) -> tuple[np.ndarray,
+                                               list[ExecutionTrace]]:
+        """Infer a batch; returns (predictions, per-image traces)."""
+        self._require_deployed()
+        if images.ndim != 4:
+            raise ShapeError(
+                f"expected a batch of NCHW images, got {images.shape}")
+        predictions = np.zeros(images.shape[0], dtype=np.int64)
+        traces: list[ExecutionTrace] = []
+        for i in range(images.shape[0]):
+            logits, trace = self._controller.run_image(images[i])
+            predictions[i] = int(logits.argmax())
+            traces.append(trace)
+        return predictions, traces
+
+    # ------------------------------------------------------------------
+    # Analytic estimation (no data required)
+    # ------------------------------------------------------------------
+    def estimate_cycles(self) -> int:
+        compiled = self._require_deployed()
+        model = LatencyModel(self.config)
+        return model.total_cycles(compiled.network,
+                                  compiled.weights_on_chip)
+
+    def estimate_latency_us(self) -> float:
+        return self.estimate_cycles() * self.config.cycle_time_us
+
+    def estimate_power_w(self) -> float:
+        compiled = self._require_deployed()
+        power = PowerModel(self.config)
+        return power.average_power_w(
+            bram_mbit=compiled.bram.total_mbit,
+            dram_active=not compiled.weights_on_chip)
+
+    def estimate_resources(self):
+        compiled = self._require_deployed()
+        return ResourceModel(self.config).estimate(
+            compiled.weights_on_chip)
+
+    def report(self, accuracy: float | None = None) -> PerformanceReport:
+        """The Table III row for this deployment."""
+        compiled = self._require_deployed()
+        cycles = self.estimate_cycles()
+        latency_us = cycles * self.config.cycle_time_us
+        power_w = self.estimate_power_w()
+        resources = self.estimate_resources()
+        return PerformanceReport(
+            model_name=self._model_name,
+            num_steps=compiled.network.num_steps,
+            num_conv_units=self.config.num_conv_units,
+            clock_mhz=self.config.clock_mhz,
+            cycles=cycles,
+            latency_us=latency_us,
+            throughput_fps=1e6 / latency_us,
+            power_w=power_w,
+            energy_per_frame_mj=power_w * latency_us * 1e-3,
+            luts=resources.luts,
+            ffs=resources.ffs,
+            bram_blocks=compiled.bram.total_blocks,
+            bram_mbit=compiled.bram.total_mbit,
+            weights_on_chip=compiled.weights_on_chip,
+            accuracy=accuracy,
+        )

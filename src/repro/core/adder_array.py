@@ -1,0 +1,91 @@
+"""The two-dimensional adder array at the heart of a convolution unit
+(Fig. 2, green/yellow).
+
+Geometry: ``Y`` rows of ``X`` adders.  Row ``y`` applies kernel row ``y``;
+all rows read the *same* input shift register, because when the register
+holds input row ``r``, adder row ``y`` is accumulating output row ``r - y``
+— one fetched input row therefore serves all ``Y`` kernel rows at once,
+which is the activation reuse the paper credits for its reduced memory
+traffic.
+
+Per shift cycle, every adder either adds its current kernel value (input
+spike present) or zero (the gray multiplexer in Fig. 2).  After the ``Kc``
+shifts of a row pass, partial sums propagate one row down; sums leaving the
+bottom row have seen all ``Kr × Kc`` kernel values and are complete
+convolution outputs for one feature-map row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, SimulationError
+
+__all__ = ["AdderArray"]
+
+
+class AdderArray:
+    """Functional model of the ``Y × X`` pipelined adder array."""
+
+    def __init__(self, columns: int, rows: int) -> None:
+        if columns < 1 or rows < 1:
+            raise ShapeError(
+                f"array geometry must be positive, got ({columns}, {rows})"
+            )
+        self.columns = columns
+        self.rows = rows
+        self._partials = np.zeros((rows, columns), dtype=np.int64)
+        self.adder_ops = 0  # additions actually performed (spikes present)
+        self.cycles = 0     # shift cycles executed
+
+    def reset(self) -> None:
+        """Clear pipeline state between passes."""
+        self._partials.fill(0)
+
+    def step(self, spikes: np.ndarray, kernel_column: np.ndarray) -> None:
+        """One shift cycle: conditionally add a kernel value per adder.
+
+        Parameters
+        ----------
+        spikes:
+            Binary vector of length ``X`` — the shift-register taps, shared
+            by all adder rows.
+        kernel_column:
+            ``(Y, X)`` kernel values currently presented to the adders
+            (row ``y`` holds values from kernel row ``y``; with channel
+            packing, different column slots carry different channels'
+            kernels).
+        """
+        spikes = np.asarray(spikes)
+        if spikes.shape != (self.columns,):
+            raise ShapeError(
+                f"expected {self.columns} spike taps, got {spikes.shape}"
+            )
+        kernel_column = np.asarray(kernel_column)
+        if kernel_column.shape != (self.rows, self.columns):
+            raise ShapeError(
+                f"expected kernel values of shape ({self.rows}, "
+                f"{self.columns}), got {kernel_column.shape}"
+            )
+        if spikes.size and int(spikes.max(initial=0)) > 1:
+            raise SimulationError("adder array input must be binary spikes")
+        active = spikes.astype(bool)
+        self._partials[:, active] += kernel_column[:, active]
+        self.adder_ops += int(active.sum()) * self.rows
+        self.cycles += 1
+
+    def advance(self) -> np.ndarray:
+        """End of a row pass: emit the bottom row, shift partials down.
+
+        Returns the completed partial sums (length ``X``); the top row is
+        cleared for the next output row entering the pipeline.
+        """
+        completed = self._partials[-1].copy()
+        self._partials[1:] = self._partials[:-1]
+        self._partials[0] = 0
+        return completed
+
+    @property
+    def partials(self) -> np.ndarray:
+        """Current pipeline contents (for tests and diagrams)."""
+        return self._partials.copy()

@@ -1,0 +1,89 @@
+"""On-chip block RAM sizing model.
+
+Xilinx UltraScale+ BRAM36 blocks hold 36 kbit each.  The model answers two
+questions the paper's memory management section poses: how many blocks the
+activation ping-pong buffers and the on-chip weight memories need, and
+whether a network's parameters fit on chip at all (else the DRAM path is
+compiled in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MemoryConfig
+from repro.snn.spec import QuantizedNetwork
+
+__all__ = ["BramPlan", "plan_bram"]
+
+
+def _blocks_for_bits(bits: int, block_bits: int) -> int:
+    return -(-bits // block_bits) if bits > 0 else 0
+
+
+@dataclass(frozen=True)
+class BramPlan:
+    """BRAM block counts for one deployment."""
+
+    activation_2d_bits: int
+    activation_1d_bits: int
+    weight_bits: int            # 0 when weights stream from DRAM
+    block_bits: int
+
+    @property
+    def activation_blocks(self) -> int:
+        # Two banks per pair (ping + pong).
+        return 2 * (_blocks_for_bits(self.activation_2d_bits,
+                                     self.block_bits)
+                    + _blocks_for_bits(self.activation_1d_bits,
+                                       self.block_bits))
+
+    @property
+    def weight_blocks(self) -> int:
+        return _blocks_for_bits(self.weight_bits, self.block_bits)
+
+    @property
+    def total_blocks(self) -> int:
+        return self.activation_blocks + self.weight_blocks
+
+    @property
+    def total_bits(self) -> int:
+        return self.total_blocks * self.block_bits
+
+    @property
+    def total_mbit(self) -> float:
+        return self.total_bits / 1e6
+
+
+def plan_bram(
+    network: QuantizedNetwork,
+    memory: MemoryConfig,
+    weights_on_chip: bool,
+) -> BramPlan:
+    """Size the buffers for a network, minimizing while fitting every layer.
+
+    Bank capacity is the largest activation tensor that crosses it (input
+    or output of any conv/pool layer for the 2-D pair, any linear layer
+    for the 1-D pair), stored as ``T``-bit spike trains.
+    """
+    t = network.num_steps
+    bits_2d = t * max(
+        [int(s.in_shape[0] * s.in_shape[1] * s.in_shape[2])
+         for s in network.layers if s.kind in ("conv", "pool")]
+        + [int(s.out_shape[0] * s.out_shape[1] * s.out_shape[2])
+           for s in network.layers if s.kind in ("conv", "pool")]
+        + [0]
+    )
+    bits_1d = t * max(
+        [s.in_features for s in network.linear_layers()]
+        + [s.out_features for s in network.linear_layers()]
+        + [0]
+    )
+    weight_bits = (network.num_parameters * network.weight_bits
+                   if weights_on_chip else 0)
+    return BramPlan(
+        activation_2d_bits=bits_2d,
+        activation_1d_bits=bits_1d,
+        weight_bits=weight_bits,
+        block_bits=memory.bram_block_bits,
+    )

@@ -1,0 +1,189 @@
+"""Accelerator configuration.
+
+The paper's accelerator is parameterized by a handful of architectural
+knobs, all captured here:
+
+* number of convolution units and their adder-array geometry ``(X, Y)``
+  (Fig. 2: ``Y`` = kernel rows computed in parallel, ``X`` = output columns
+  processed in parallel, chosen ≥ the widest output row to avoid tiling),
+* the pooling unit geometry,
+* the linear unit's output parallelism (set by weight-memory bandwidth),
+* clock frequency, spike-train length, weight resolution,
+* memory parameters (on-chip weight capacity threshold, DRAM bandwidth).
+
+``for_network`` derives a sensible configuration from a compiled network's
+geometry, mirroring how the paper sizes ``(X, Y)`` "according to the
+network configuration".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.snn.spec import QuantizedNetwork
+
+__all__ = [
+    "ConvUnitConfig",
+    "PoolUnitConfig",
+    "LinearUnitConfig",
+    "MemoryConfig",
+    "AcceleratorConfig",
+]
+
+
+@dataclass(frozen=True)
+class ConvUnitConfig:
+    """Geometry of one convolution unit's adder array (Fig. 2)."""
+
+    columns: int  # X — parallel output positions
+    rows: int     # Y — kernel rows, pipelined top-to-bottom
+
+    def __post_init__(self) -> None:
+        if self.columns < 1 or self.rows < 1:
+            raise ConfigurationError(
+                f"conv unit geometry must be positive, got "
+                f"(X={self.columns}, Y={self.rows})"
+            )
+
+    @property
+    def num_adders(self) -> int:
+        return self.columns * self.rows
+
+    def channels_per_unit(self, out_width: int) -> int:
+        """How many output channels share the unit (channel packing).
+
+        The paper: "multiple output channels can share a single convolution
+        unit, if their size permits" — i.e. ``floor(X / W_out)``, at least
+        one (a too-narrow X would force feature-map tiling, which the
+        design explicitly avoids by construction).
+        """
+        if out_width > self.columns:
+            raise ConfigurationError(
+                f"output row of width {out_width} exceeds the unit's "
+                f"{self.columns} columns; the design does not tile feature "
+                "maps — configure a wider unit"
+            )
+        return max(self.columns // out_width, 1)
+
+
+@dataclass(frozen=True)
+class PoolUnitConfig:
+    """Geometry of the pooling unit (same row-based structure, no kernels)."""
+
+    columns: int
+    rows: int
+
+    def __post_init__(self) -> None:
+        if self.columns < 1 or self.rows < 1:
+            raise ConfigurationError(
+                f"pool unit geometry must be positive, got "
+                f"(X={self.columns}, Y={self.rows})"
+            )
+
+
+@dataclass(frozen=True)
+class LinearUnitConfig:
+    """The linear unit: one adder row fed by streamed weights.
+
+    ``parallel_outputs`` is "proportional to the available memory
+    bandwidth": with a 64-bit weight port and 3-bit weights, 21 weights
+    arrive per cycle, hence the default.
+    """
+
+    parallel_outputs: int = 21
+
+    def __post_init__(self) -> None:
+        if self.parallel_outputs < 1:
+            raise ConfigurationError(
+                "linear unit needs at least one parallel output"
+            )
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Memory-system parameters.
+
+    ``onchip_weight_capacity`` implements the paper's two weight-storage
+    options: models whose parameters fit stay fully on-chip, larger ones
+    (VGG-11) stream each layer's weights from DRAM before computing it.
+    """
+
+    onchip_weight_capacity: int = 8 * 1024 * 1024   # bytes of BRAM weights
+    activation_capacity: int = 8 * 1024 * 1024      # bytes for ping-pong
+    dram_bandwidth_bits: int = 64                   # bits per cycle
+    dram_burst_setup_cycles: int = 32               # per-transfer setup
+    bram_width_bits: int = 36                       # one BRAM36 port
+    bram_block_bits: int = 36 * 1024                # BRAM36 capacity
+
+    def __post_init__(self) -> None:
+        if self.onchip_weight_capacity < 0:
+            raise ConfigurationError("weight capacity cannot be negative")
+        if self.dram_bandwidth_bits < 1:
+            raise ConfigurationError("DRAM bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Top-level accelerator instance description."""
+
+    num_conv_units: int = 2
+    conv_unit: ConvUnitConfig = field(
+        default_factory=lambda: ConvUnitConfig(columns=30, rows=5))
+    pool_unit: PoolUnitConfig = field(
+        default_factory=lambda: PoolUnitConfig(columns=14, rows=2))
+    linear_unit: LinearUnitConfig = field(default_factory=LinearUnitConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    clock_mhz: float = 100.0
+    weight_bits: int = 3
+    accumulator_bits: int = 18
+
+    def __post_init__(self) -> None:
+        if self.num_conv_units < 1:
+            raise ConfigurationError("need at least one convolution unit")
+        if self.clock_mhz <= 0:
+            raise ConfigurationError(
+                f"clock must be positive, got {self.clock_mhz} MHz"
+            )
+        if self.weight_bits < 2:
+            raise ConfigurationError("weights need at least 2 bits")
+
+    @property
+    def cycle_time_us(self) -> float:
+        """Duration of one clock cycle in microseconds."""
+        return 1.0 / self.clock_mhz
+
+    def with_units(self, num_conv_units: int) -> "AcceleratorConfig":
+        """Copy with a different convolution-unit count (Table II sweeps)."""
+        return replace(self, num_conv_units=num_conv_units)
+
+    def with_clock(self, clock_mhz: float) -> "AcceleratorConfig":
+        """Copy with a different clock frequency."""
+        return replace(self, clock_mhz=clock_mhz)
+
+    @classmethod
+    def for_network(
+        cls,
+        network: QuantizedNetwork,
+        num_conv_units: int = 2,
+        clock_mhz: float = 100.0,
+    ) -> "AcceleratorConfig":
+        """Size units from the network, as the paper does.
+
+        ``X`` becomes the widest convolution output row (so no feature map
+        is ever tiled), ``Y`` the largest kernel-row count; the pooling
+        unit likewise covers the widest pooled row.
+        """
+        convs = network.conv_layers()
+        pools = network.pool_layers()
+        conv_x = max((c.out_shape[2] for c in convs), default=30)
+        conv_y = max((c.kernel_size[0] for c in convs), default=5)
+        pool_x = max((p.out_shape[2] for p in pools), default=14)
+        pool_y = max((p.size for p in pools), default=2)
+        return cls(
+            num_conv_units=num_conv_units,
+            conv_unit=ConvUnitConfig(columns=conv_x, rows=conv_y),
+            pool_unit=PoolUnitConfig(columns=pool_x, rows=pool_y),
+            clock_mhz=clock_mhz,
+            weight_bits=network.weight_bits,
+        )

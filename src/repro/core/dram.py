@@ -1,0 +1,57 @@
+"""Off-chip DRAM model.
+
+Used only when a network's parameters exceed the on-chip weight capacity
+(VGG-11 in the paper): each layer's weights are streamed in *before* that
+layer computes, so transfer cycles add directly to latency.  The model
+tracks transfer cycles and total traffic for the power/energy accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import MemoryConfig
+from repro.errors import ShapeError
+
+__all__ = ["DramModel", "DramTransfer"]
+
+
+@dataclass(frozen=True)
+class DramTransfer:
+    """One completed weight-stream transfer."""
+
+    label: str
+    bits: int
+    cycles: int
+
+
+@dataclass
+class DramModel:
+    """Bandwidth/burst accounting for the weight-streaming path."""
+
+    memory: MemoryConfig
+    transfers: list[DramTransfer] = field(default_factory=list)
+
+    def stream(self, label: str, bits: int) -> int:
+        """Stream ``bits`` of parameters; returns the cycles it took."""
+        if bits < 0:
+            raise ShapeError(f"cannot stream a negative bit count: {bits}")
+        if bits == 0:
+            return 0
+        cycles = (-(-bits // self.memory.dram_bandwidth_bits)
+                  + self.memory.dram_burst_setup_cycles)
+        self.transfers.append(DramTransfer(label=label, bits=bits,
+                                           cycles=cycles))
+        return cycles
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(t.cycles for t in self.transfers)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(t.bits for t in self.transfers)
+
+    @property
+    def was_used(self) -> bool:
+        return bool(self.transfers)

@@ -1,0 +1,159 @@
+"""Configuration-word ISA for the accelerator controller.
+
+The paper's execution "is managed by a controller" configured per layer;
+its companion framework (E3NE, ref. [14]) drives the same hardware
+generation through an instruction stream.  This module gives the compiled
+model a concrete deployment artifact: each layer program is lowered to a
+64-bit configuration word (opcode + packed operand fields) that a
+hardware controller could latch directly.
+
+The encoding is round-trip tested (encode → decode → identical fields),
+and ``assemble``/``disassemble`` convert whole compiled models, so a
+deployment can be stored, diffed and inspected as hex words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.core.compiler import CompiledModel
+from repro.errors import CompilationError
+
+__all__ = ["Opcode", "Instruction", "encode", "decode", "assemble",
+           "disassemble"]
+
+
+class Opcode(IntEnum):
+    """Layer-level operations the controller sequences."""
+
+    CONV = 0x1
+    POOL = 0x2
+    LINEAR = 0x3
+    FLATTEN = 0x4
+    LOAD_INPUT = 0x5
+    DRAM_FETCH = 0x6
+    HALT = 0x7
+
+
+# Field widths (LSB-first) for the packed operands.  Every field must fit
+# the quantity it carries for all supported networks (checked on encode).
+_FIELDS = {
+    Opcode.CONV: (("in_channels", 12), ("out_channels", 12),
+                  ("height", 8), ("width", 8), ("kernel", 4),
+                  ("stride", 3), ("padding", 3), ("groups", 10)),
+    Opcode.POOL: (("channels", 12), ("height", 8), ("width", 8),
+                  ("size", 4), ("stride", 3)),
+    Opcode.LINEAR: (("in_features", 16), ("out_features", 16),
+                    ("is_output", 1)),
+    Opcode.FLATTEN: (("features", 20),),
+    Opcode.LOAD_INPUT: (("channels", 12), ("height", 8), ("width", 8),
+                        ("num_steps", 5)),
+    Opcode.DRAM_FETCH: (("kilobits", 20),),
+    Opcode.HALT: (),
+}
+
+_OPCODE_BITS = 4
+_WORD_BITS = 64
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded controller instruction."""
+
+    opcode: Opcode
+    operands: dict
+
+    def __str__(self) -> str:
+        args = ", ".join(f"{k}={v}" for k, v in self.operands.items())
+        return f"{self.opcode.name.lower()} {args}".strip()
+
+
+def encode(instruction: Instruction) -> int:
+    """Pack an instruction into a 64-bit configuration word."""
+    fields = _FIELDS[instruction.opcode]
+    expected = {name for name, _ in fields}
+    if set(instruction.operands) != expected:
+        raise CompilationError(
+            f"{instruction.opcode.name} expects operands {sorted(expected)},"
+            f" got {sorted(instruction.operands)}"
+        )
+    word = int(instruction.opcode)
+    shift = _OPCODE_BITS
+    for name, width in fields:
+        value = int(instruction.operands[name])
+        if not 0 <= value < (1 << width):
+            raise CompilationError(
+                f"operand {name}={value} does not fit {width} bits in "
+                f"{instruction.opcode.name}"
+            )
+        word |= value << shift
+        shift += width
+    if shift > _WORD_BITS:
+        raise CompilationError(
+            f"{instruction.opcode.name} fields exceed {_WORD_BITS} bits")
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Unpack a configuration word back into an instruction."""
+    opcode_value = word & ((1 << _OPCODE_BITS) - 1)
+    try:
+        opcode = Opcode(opcode_value)
+    except ValueError as exc:
+        raise CompilationError(f"unknown opcode {opcode_value:#x}") from exc
+    operands = {}
+    shift = _OPCODE_BITS
+    for name, width in _FIELDS[opcode]:
+        operands[name] = (word >> shift) & ((1 << width) - 1)
+        shift += width
+    if word >> shift:
+        raise CompilationError(
+            f"word {word:#018x} has stray bits beyond {opcode.name}'s "
+            "fields"
+        )
+    return Instruction(opcode=opcode, operands=operands)
+
+
+def assemble(compiled: CompiledModel) -> list[int]:
+    """Lower a compiled model to its configuration-word stream."""
+    network = compiled.network
+    c, h, w = network.input_shape
+    words = [encode(Instruction(Opcode.LOAD_INPUT, {
+        "channels": c, "height": h, "width": w,
+        "num_steps": network.num_steps}))]
+    for program in compiled.programs:
+        spec = program.spec
+        if (program.kind in ("conv", "linear")
+                and not program.weights_on_chip):
+            kilobits = -(-spec.num_weights * network.weight_bits // 1024)
+            words.append(encode(Instruction(Opcode.DRAM_FETCH, {
+                "kilobits": kilobits})))
+        if program.kind == "conv":
+            words.append(encode(Instruction(Opcode.CONV, {
+                "in_channels": spec.in_shape[0],
+                "out_channels": spec.out_shape[0],
+                "height": spec.in_shape[1], "width": spec.in_shape[2],
+                "kernel": spec.kernel_size[0], "stride": spec.stride,
+                "padding": spec.padding,
+                "groups": program.conv_schedule.num_rounds})))
+        elif program.kind == "pool":
+            words.append(encode(Instruction(Opcode.POOL, {
+                "channels": spec.in_shape[0], "height": spec.in_shape[1],
+                "width": spec.in_shape[2], "size": spec.size,
+                "stride": spec.stride})))
+        elif program.kind == "flatten":
+            words.append(encode(Instruction(Opcode.FLATTEN, {
+                "features": spec.out_features})))
+        else:
+            words.append(encode(Instruction(Opcode.LINEAR, {
+                "in_features": spec.in_features,
+                "out_features": spec.out_features,
+                "is_output": int(spec.is_output)})))
+    words.append(encode(Instruction(Opcode.HALT, {})))
+    return words
+
+
+def disassemble(words: list[int]) -> list[Instruction]:
+    """Decode a configuration-word stream (listing-style inverse)."""
+    return [decode(word) for word in words]

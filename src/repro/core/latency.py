@@ -1,0 +1,262 @@
+"""Analytic latency model: per-layer cycle counts from Alg. 1's loop
+hierarchy.
+
+The loop structure fixes the cycle count almost completely:
+
+* convolution — ``G`` output-channel groups (see :func:`channels_per_pass`)
+  × ``T`` time steps × ``C_in`` input channels × one pass of the padded
+  input rows through the adder array, each row costing its ``Kc`` shifts
+  plus a calibrated overhead (``repro.core.calibration``);
+* pooling — channel-serial on the single pooling unit, one pass of the
+  input rows per (step, channel);
+* linear — weight-fetch bound: one weight word per cycle, ``T × blocks ×
+  N_in`` with ``blocks = ceil(N_out / parallel_outputs)``;
+* flatten — a buffer-to-buffer burst of the spike bits;
+* DRAM layers — weights stream *before* the layer computes (the paper's
+  second memory option), adding non-overlapped transfer cycles.
+
+Channel packing: several output channels share one unit when whole input
+rows fit the shift register side by side (``p = floor(R / W_in)`` with
+``R = X + Kc − 1``), capped so the packed output rows fit the adder
+columns.  This reproduces the paper's "multiple output channels can share
+a single convolution unit, if their size permits" and is what lets the
+120-channel 1×1-output LeNet layer and VGG-11's narrow deep layers run in
+reasonable time.
+
+The functional simulator (``repro.core.controller``) charges cycles using
+these same functions, so analytic estimates and functional runs agree
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
+from repro.core.config import AcceleratorConfig
+from repro.errors import CompilationError
+from repro.snn.spec import (
+    FlattenSpec,
+    QuantConvSpec,
+    QuantLinearSpec,
+    QuantPoolSpec,
+    QuantizedNetwork,
+)
+
+__all__ = [
+    "channels_per_pass",
+    "conv_group_count",
+    "conv_pass_cycles",
+    "conv_layer_cycles",
+    "pool_layer_cycles",
+    "linear_layer_cycles",
+    "flatten_cycles",
+    "input_load_cycles",
+    "dram_stream_cycles",
+    "LatencyModel",
+    "LayerLatency",
+]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def channels_per_pass(spec: QuantConvSpec,
+                      config: AcceleratorConfig) -> int:
+    """Output channels one unit computes simultaneously (channel packing).
+
+    The shift register spans ``R = X + Kc − 1`` positions; ``p`` whole
+    padded input rows fit side by side, each feeding a slot of ``W_out``
+    adder columns.  The packed slots must also fit the ``X`` columns.
+    """
+    kr, kc = spec.kernel_size
+    _, h_out, w_out = spec.out_shape
+    _, _, w_in = spec.in_shape
+    w_padded = w_in + 2 * spec.padding
+    register_length = config.conv_unit.columns + kc - 1
+    if w_out > config.conv_unit.columns:
+        raise CompilationError(
+            f"conv output rows of width {w_out} exceed the unit's "
+            f"{config.conv_unit.columns} columns; the design does not tile "
+            "feature maps — configure a wider unit"
+        )
+    by_register = max(register_length // w_padded, 1)
+    by_columns = max(config.conv_unit.columns // w_out, 1)
+    return min(by_register, by_columns, spec.out_shape[0])
+
+
+def conv_group_count(spec: QuantConvSpec, config: AcceleratorConfig) -> int:
+    """Sequential output-channel groups ``G = ceil(C_out / (U · p))``."""
+    p = channels_per_pass(spec, config)
+    return _ceil_div(spec.out_shape[0], config.num_conv_units * p)
+
+
+def conv_pass_cycles(
+    spec: QuantConvSpec,
+    cal: LatencyCalibration = DEFAULT_LATENCY,
+) -> int:
+    """Cycles for one (group, time-step, input-channel) row sweep."""
+    kr, kc = spec.kernel_size
+    _, h_in, _ = spec.in_shape
+    h_padded = h_in + 2 * spec.padding
+    return h_padded * (kc + cal.conv_row_overhead) + cal.conv_channel_fill
+
+
+def conv_layer_cycles(
+    spec: QuantConvSpec,
+    config: AcceleratorConfig,
+    cal: LatencyCalibration = DEFAULT_LATENCY,
+    num_steps: int | None = None,
+) -> int:
+    """Total cycles of a convolution layer on ``U`` parallel units."""
+    t = num_steps if num_steps is not None else 1
+    groups = conv_group_count(spec, config)
+    c_in = spec.in_shape[0]
+    per_cin = conv_pass_cycles(spec, cal)
+    per_group_step = c_in * per_cin + cal.conv_pass_setup
+    return groups * t * per_group_step + cal.layer_setup
+
+
+def pool_layer_cycles(
+    spec: QuantPoolSpec,
+    config: AcceleratorConfig,
+    cal: LatencyCalibration = DEFAULT_LATENCY,
+    num_steps: int | None = None,
+) -> int:
+    """Total cycles of a pooling layer (single unit, channel-serial)."""
+    t = num_steps if num_steps is not None else 1
+    c, h_in, w_in = spec.in_shape
+    if spec.out_shape[2] > config.pool_unit.columns:
+        raise CompilationError(
+            f"pooled rows of width {spec.out_shape[2]} exceed the pool "
+            f"unit's {config.pool_unit.columns} columns"
+        )
+    per_channel = h_in * (spec.size + cal.pool_row_overhead)
+    return (c * t * (per_channel + cal.pool_pass_setup)
+            + cal.layer_setup)
+
+
+def linear_layer_cycles(
+    spec: QuantLinearSpec,
+    config: AcceleratorConfig,
+    cal: LatencyCalibration = DEFAULT_LATENCY,
+    num_steps: int | None = None,
+) -> int:
+    """Total cycles of a fully-connected layer (weight-fetch bound)."""
+    t = num_steps if num_steps is not None else 1
+    blocks = _ceil_div(spec.out_features,
+                       config.linear_unit.parallel_outputs)
+    per_step = blocks * (spec.in_features + cal.linear_block_flush)
+    return t * (per_step + cal.linear_pass_setup) + cal.layer_setup
+
+
+def flatten_cycles(
+    spec: FlattenSpec,
+    config: AcceleratorConfig,
+    num_steps: int,
+) -> int:
+    """2-D → 1-D buffer transfer: a burst of the spike-train bits."""
+    bits = spec.out_features * num_steps
+    return _ceil_div(bits, config.memory.bram_width_bits)
+
+
+def input_load_cycles(
+    input_shape: tuple[int, int, int],
+    cal: LatencyCalibration,
+    num_steps: int,
+) -> int:
+    """Loading the encoded input image into the ping-pong buffer."""
+    c, h, w = input_shape
+    return c * h * num_steps * cal.input_row_load
+
+
+def dram_stream_cycles(param_bits: int, config: AcceleratorConfig) -> int:
+    """Streaming one layer's parameters from DRAM before computing it."""
+    transfer = _ceil_div(param_bits, config.memory.dram_bandwidth_bits)
+    return transfer + config.memory.dram_burst_setup_cycles
+
+
+@dataclass(frozen=True)
+class LayerLatency:
+    """Cycle breakdown for one layer."""
+
+    name: str
+    kind: str
+    compute_cycles: int
+    dram_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.dram_cycles
+
+
+class LatencyModel:
+    """Whole-network latency estimation for a given configuration."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        calibration: LatencyCalibration = DEFAULT_LATENCY,
+    ) -> None:
+        self.config = config
+        self.calibration = calibration
+
+    def layer_latencies(
+        self,
+        network: QuantizedNetwork,
+        weights_on_chip: bool = True,
+    ) -> list[LayerLatency]:
+        """Per-layer cycle breakdown for one inference."""
+        t = network.num_steps
+        cal = self.calibration
+        out: list[LayerLatency] = []
+        out.append(LayerLatency(
+            name="input", kind="input",
+            compute_cycles=input_load_cycles(network.input_shape, cal, t),
+            dram_cycles=0,
+        ))
+        conv_idx = pool_idx = linear_idx = 0
+        for spec in network.layers:
+            dram = 0
+            if spec.kind == "conv":
+                conv_idx += 1
+                name = f"conv{conv_idx}"
+                cycles = conv_layer_cycles(spec, self.config, cal, t)
+                if not weights_on_chip:
+                    dram = dram_stream_cycles(
+                        spec.num_weights * network.weight_bits, self.config)
+            elif spec.kind == "pool":
+                pool_idx += 1
+                name = f"pool{pool_idx}"
+                cycles = pool_layer_cycles(spec, self.config, cal, t)
+            elif spec.kind == "flatten":
+                name = "flatten"
+                cycles = flatten_cycles(spec, self.config, t)
+            else:
+                linear_idx += 1
+                name = f"fc{linear_idx}"
+                cycles = linear_layer_cycles(spec, self.config, cal, t)
+                if not weights_on_chip:
+                    dram = dram_stream_cycles(
+                        spec.num_weights * network.weight_bits, self.config)
+            out.append(LayerLatency(name=name, kind=spec.kind,
+                                    compute_cycles=cycles, dram_cycles=dram))
+        return out
+
+    def total_cycles(self, network: QuantizedNetwork,
+                     weights_on_chip: bool = True) -> int:
+        """Cycles for one full inference."""
+        return sum(l.total_cycles
+                   for l in self.layer_latencies(network, weights_on_chip))
+
+    def latency_us(self, network: QuantizedNetwork,
+                   weights_on_chip: bool = True) -> float:
+        """End-to-end latency in microseconds at the configured clock."""
+        return (self.total_cycles(network, weights_on_chip)
+                * self.config.cycle_time_us)
+
+    def throughput_fps(self, network: QuantizedNetwork,
+                       weights_on_chip: bool = True) -> float:
+        """Frames per second (single-frame, non-pipelined, as the paper)."""
+        return 1e6 / self.latency_us(network, weights_on_chip)

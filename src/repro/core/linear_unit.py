@@ -1,0 +1,82 @@
+"""Functional model of the linear (fully-connected) unit.
+
+A single row of adders, ``parallel_outputs`` wide.  Weights stream from
+memory at one word per cycle (the unit is deliberately bandwidth-bound —
+duplicating it would not help, as Table II's discussion notes); each
+incoming weight word covers all parallel outputs for one input neuron.
+Accumulation runs over input neurons and, via the radix left shift, over
+time steps.  The classifier head skips requantization: its raw
+accumulators are the logits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
+from repro.core.config import AcceleratorConfig
+from repro.core.stats import UnitStats
+from repro.errors import ShapeError
+from repro.snn.spec import QuantLinearSpec, requantize
+
+__all__ = ["LinearUnit"]
+
+
+class LinearUnit:
+    """The (single) fully-connected unit."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        calibration: LatencyCalibration = DEFAULT_LATENCY,
+    ) -> None:
+        self.config = config
+        self.calibration = calibration
+
+    def run_layer(
+        self,
+        spec: QuantLinearSpec,
+        input_bits: np.ndarray,
+        num_steps: int,
+    ) -> tuple[np.ndarray, UnitStats]:
+        """Run one FC layer on a ``(T, N_in)`` spike train.
+
+        Returns ``(N_out,)`` integers: requantized activations for hidden
+        layers, raw logit accumulators for the output layer.
+        """
+        if input_bits.shape != (num_steps, spec.in_features):
+            raise ShapeError(
+                f"input bits {input_bits.shape} do not match "
+                f"(T={num_steps}, N_in={spec.in_features})"
+            )
+        stats = UnitStats()
+        cal = self.calibration
+        p = self.config.linear_unit.parallel_outputs
+        blocks = -(-spec.out_features // p)
+        acc = np.zeros(spec.out_features, dtype=np.int64)
+        for step in range(num_steps):
+            if step > 0:
+                acc <<= 1
+            spikes = input_bits[step].astype(bool)
+            for block in range(blocks):
+                lo = block * p
+                hi = min(lo + p, spec.out_features)
+                # One weight word per cycle: weights[lo:hi, n] arrives
+                # while input neuron n's spike gates the adder row.
+                block_weights = spec.weights[lo:hi, :]
+                acc[lo:hi] += block_weights[:, spikes].sum(axis=1)
+                stats.cycles += spec.in_features + cal.linear_block_flush
+                stats.adder_ops += int(spikes.sum()) * (hi - lo)
+                stats.traffic.kernel_read_values += (
+                    spec.in_features * (hi - lo))
+            stats.traffic.activation_read_bits += spec.in_features
+            stats.cycles += cal.linear_pass_setup
+        acc += spec.bias
+        stats.accumulator_writes = blocks * num_steps
+        if spec.is_output:
+            out = acc
+        else:
+            out = requantize(acc[np.newaxis, :], spec.scales, num_steps,
+                             channel_axis=1)[0]
+        stats.traffic.activation_write_bits = int(out.size * num_steps)
+        return out, stats

@@ -1,0 +1,88 @@
+"""Output logic: accumulation across input channels and time steps
+(Fig. 2, bottom).
+
+The adder array produces one output row's partial sums per pass, covering
+one (input channel, time step) combination.  The output logic owns the
+full-precision accumulator that folds these together:
+
+* within a time step, partial sums of successive input channels add up;
+* between time steps the whole accumulator left-shifts once — this is the
+  radix weighting (a spike at step ``t`` ends up scaled ``2**(T-1-t)``);
+* after the last step, bias is added and the result passes through
+  ReLU + requantization back to a ``T``-bit activation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, SimulationError
+from repro.snn.spec import requantize
+
+__all__ = ["OutputAccumulator"]
+
+
+class OutputAccumulator:
+    """Full-precision accumulator for one processing-unit pass."""
+
+    def __init__(self, num_channels: int, height: int, width: int) -> None:
+        if min(num_channels, height, width) < 1:
+            raise ShapeError(
+                "accumulator dimensions must be positive, got "
+                f"({num_channels}, {height}, {width})"
+            )
+        self.shape = (num_channels, height, width)
+        self._acc = np.zeros(self.shape, dtype=np.int64)
+        self._steps_seen = 0
+        self.writes = 0  # accumulator write operations (traffic proxy)
+
+    def begin_time_step(self) -> None:
+        """Left-shift the accumulator before integrating a new time step.
+
+        Called at the start of every step; the shift is skipped for the
+        first one (shifting zero is a no-op, mirroring Alg. 1 line 12
+        placed between step iterations).
+        """
+        if self._steps_seen > 0:
+            self._acc <<= 1
+        self._steps_seen += 1
+
+    def add_row(self, channel: int, row: int, values: np.ndarray) -> None:
+        """Accumulate one completed output row from the adder array."""
+        if not 0 <= channel < self.shape[0]:
+            raise ShapeError(f"channel {channel} out of range {self.shape}")
+        if not 0 <= row < self.shape[1]:
+            raise ShapeError(f"row {row} out of range {self.shape}")
+        values = np.asarray(values)
+        if values.shape != (self.shape[2],):
+            raise ShapeError(
+                f"expected row of width {self.shape[2]}, got {values.shape}"
+            )
+        if self._steps_seen == 0:
+            raise SimulationError("add_row before begin_time_step")
+        self._acc[channel, row] += values
+        self.writes += 1
+
+    def finalize(
+        self,
+        bias: np.ndarray,
+        scales: np.ndarray,
+        num_steps: int,
+    ) -> np.ndarray:
+        """Bias add + ReLU + requantize; returns ``T``-bit activations."""
+        if self._steps_seen != num_steps:
+            raise SimulationError(
+                f"finalize after {self._steps_seen} steps, expected "
+                f"{num_steps}"
+            )
+        bias = np.asarray(bias)
+        if bias.shape != (self.shape[0],):
+            raise ShapeError(
+                f"expected one bias per channel, got {bias.shape}"
+            )
+        acc = self._acc + bias.reshape(-1, 1, 1)
+        return requantize(acc, scales, num_steps, channel_axis=0)
+
+    def raw(self) -> np.ndarray:
+        """The raw full-precision accumulator (classifier head output)."""
+        return self._acc.copy()

@@ -1,0 +1,99 @@
+"""Ping-pong activation buffers (Fig. 1, blue).
+
+Activations live entirely on-chip: each layer reads its input from one
+bank and writes its output to the other, then the banks swap.  There are
+two independent pairs — a 2-D pair for feature maps (conv/pool layers) and
+a 1-D pair for flattened vectors (fully-connected layers) — with a one-way
+handoff at the flatten point.
+
+The model tracks occupancy in bits (activations are stored as ``T``-bit
+radix trains), enforces capacity, and records the high-water marks the
+BRAM sizing uses: "the width and height of the buffers are determined in a
+way that minimizes their size while allowing the activations of all
+relevant layers to fit".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CapacityError, SimulationError
+
+__all__ = ["PingPongBuffer", "BufferPair"]
+
+
+class PingPongBuffer:
+    """One bank pair with alternating read/write roles."""
+
+    def __init__(self, name: str, capacity_bits: int) -> None:
+        if capacity_bits < 1:
+            raise CapacityError(
+                f"buffer {name!r} needs positive capacity"
+            )
+        self.name = name
+        self.capacity_bits = capacity_bits
+        self._banks: list[np.ndarray | None] = [None, None]
+        self._bits: list[int] = [0, 0]
+        self._write_bank = 0
+        self.peak_bits = 0
+        self.swaps = 0
+
+    @property
+    def write_bank(self) -> int:
+        return self._write_bank
+
+    @property
+    def read_bank(self) -> int:
+        return 1 - self._write_bank
+
+    def write(self, data: np.ndarray, bits_per_element: int) -> None:
+        """Store a layer's output tensor into the current write bank."""
+        bits = int(data.size) * bits_per_element
+        if bits > self.capacity_bits:
+            raise CapacityError(
+                f"{self.name}: tensor of {bits} bits exceeds bank capacity "
+                f"{self.capacity_bits}"
+            )
+        self._banks[self._write_bank] = data
+        self._bits[self._write_bank] = bits
+        self.peak_bits = max(self.peak_bits, bits)
+
+    def read(self) -> np.ndarray:
+        """Read the previous layer's output from the read bank."""
+        data = self._banks[self.read_bank]
+        if data is None:
+            raise SimulationError(
+                f"{self.name}: read bank is empty (no layer has written yet)"
+            )
+        return data
+
+    def swap(self) -> None:
+        """Alternate the banks after a layer completes."""
+        self._write_bank = 1 - self._write_bank
+        self.swaps += 1
+
+    def prime(self, data: np.ndarray, bits_per_element: int) -> None:
+        """Load initial data (the encoded input image) and swap once so it
+        becomes readable."""
+        self.write(data, bits_per_element)
+        self.swap()
+
+
+class BufferPair:
+    """The accelerator's two buffer pairs plus the flatten handoff."""
+
+    def __init__(self, capacity_2d_bits: int, capacity_1d_bits: int) -> None:
+        self.planar = PingPongBuffer("activations-2d", capacity_2d_bits)
+        self.flat = PingPongBuffer("activations-1d", capacity_1d_bits)
+
+    def flatten_handoff(self, bits_per_element: int) -> np.ndarray:
+        """Move the current 2-D output into the 1-D pair, flattened."""
+        maps = self.planar.read()
+        vector = maps.reshape(maps.shape[0], -1) if maps.ndim > 1 else maps
+        self.flat.prime(vector, bits_per_element)
+        return vector
+
+    @property
+    def total_peak_bits(self) -> int:
+        """Worst-case occupancy over both pairs (×2 banks each)."""
+        return 2 * (self.planar.peak_bits + self.flat.peak_bits)

@@ -1,0 +1,79 @@
+"""Functional model of the pooling unit.
+
+Same row-based structure as a convolution unit but without kernel values
+(the adders sum window inputs directly) and without cross-channel output
+logic — pooling touches each channel independently.  The divide by the
+window size is an exact right shift, applied to the radix accumulator
+after all time steps, which the tests show is bit-exact to the reference
+integer pooling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
+from repro.core.config import AcceleratorConfig
+from repro.core.stats import UnitStats
+from repro.errors import ShapeError
+from repro.snn.spec import QuantPoolSpec
+
+__all__ = ["PoolUnit"]
+
+
+class PoolUnit:
+    """The (single) pooling unit."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        calibration: LatencyCalibration = DEFAULT_LATENCY,
+    ) -> None:
+        self.config = config
+        self.calibration = calibration
+
+    def run_layer(
+        self,
+        spec: QuantPoolSpec,
+        input_bits: np.ndarray,
+        num_steps: int,
+    ) -> tuple[np.ndarray, UnitStats]:
+        """Pool a whole layer; returns ``(C, H_out, W_out)`` activations."""
+        c, h_in, w_in = spec.in_shape
+        _, h_out, w_out = spec.out_shape
+        if input_bits.shape != (num_steps, c, h_in, w_in):
+            raise ShapeError(
+                f"input bits {input_bits.shape} do not match layer input "
+                f"(T={num_steps}, {spec.in_shape})"
+            )
+        if w_out > self.config.pool_unit.columns:
+            raise ShapeError(
+                f"pooled rows of width {w_out} exceed the pool unit's "
+                f"{self.config.pool_unit.columns} columns"
+            )
+        stats = UnitStats()
+        cal = self.calibration
+        size, stride = spec.size, spec.stride
+        acc = np.zeros((c, h_out, w_out), dtype=np.int64)
+        for step in range(num_steps):
+            if step > 0:
+                acc <<= 1
+            for ch in range(c):
+                plane = input_bits[step, ch].astype(np.int64)
+                # Row-based window sums: adder row y accumulates input row
+                # y of each window; X columns cover the output row.
+                for oy in range(h_out):
+                    rows = plane[oy * stride:oy * stride + size]
+                    col_sum = rows.sum(axis=0)
+                    window = np.zeros(w_out, dtype=np.int64)
+                    for dx in range(size):
+                        window += col_sum[dx:dx + stride * w_out:stride]
+                    acc[ch, oy] += window
+                    stats.adder_ops += int(rows.sum())
+                stats.traffic.activation_read_bits += h_in * w_in
+                stats.cycles += (h_in * (size + cal.pool_row_overhead)
+                                 + cal.pool_pass_setup)
+        out = acc >> spec.shift
+        stats.traffic.activation_write_bits = int(out.size * num_steps)
+        stats.accumulator_writes = int(c * h_out * num_steps)
+        return out, stats

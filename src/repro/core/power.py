@@ -1,0 +1,60 @@
+"""Power model.
+
+``P = P_static + (f / f_ref) · (P_base + P_unit·U + P_bram·Mbit) +
+P_dram_if`` — static device power plus frequency-scaled dynamic power of
+the processing units, buffers and clock tree, plus the DRAM interface when
+weight streaming is compiled in.  Constants are fitted to Table II and
+cross-checked against the three "this work" rows of Table III (see
+``repro.core.calibration``).
+
+Energy per inference follows as ``P · latency``, which is what the
+Section IV-B efficiency argument (shorter spike trains → proportionally
+less energy) is about.
+"""
+
+from __future__ import annotations
+
+from repro.core.calibration import DEFAULT_POWER, PowerCalibration
+from repro.core.config import AcceleratorConfig
+
+__all__ = ["PowerModel"]
+
+
+class PowerModel:
+    """Average-power and energy estimation for one deployment."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        calibration: PowerCalibration = DEFAULT_POWER,
+    ) -> None:
+        self.config = config
+        self.calibration = calibration
+
+    def average_power_w(
+        self,
+        bram_mbit: float = 0.0,
+        dram_active: bool = False,
+    ) -> float:
+        """Average board power in watts during inference."""
+        cal = self.calibration
+        scale = self.config.clock_mhz / cal.reference_clock_mhz
+        dynamic = (
+            cal.base_dynamic_w
+            + cal.conv_unit_dynamic_w * self.config.num_conv_units
+            + cal.bram_dynamic_w_per_mbit * max(bram_mbit, 0.0)
+        )
+        power = cal.static_w + scale * dynamic
+        if dram_active:
+            power += cal.dram_interface_w
+        return power
+
+    def energy_per_inference_mj(
+        self,
+        latency_us: float,
+        bram_mbit: float = 0.0,
+        dram_active: bool = False,
+    ) -> float:
+        """Energy per frame in millijoules."""
+        power = self.average_power_w(bram_mbit, dram_active)
+        return power * latency_us * 1e-3

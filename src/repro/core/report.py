@@ -1,0 +1,50 @@
+"""Performance report: the metrics the paper's tables quote, in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PerformanceReport"]
+
+
+@dataclass(frozen=True)
+class PerformanceReport:
+    """One deployment's headline numbers (a row of Table III)."""
+
+    model_name: str
+    num_steps: int
+    num_conv_units: int
+    clock_mhz: float
+    cycles: int
+    latency_us: float
+    throughput_fps: float
+    power_w: float
+    energy_per_frame_mj: float
+    luts: int
+    ffs: int
+    bram_blocks: int
+    bram_mbit: float
+    weights_on_chip: bool
+    accuracy: float | None = None
+
+    def summary(self) -> str:
+        """Human-readable one-deployment summary."""
+        acc = (f"{self.accuracy * 100:.2f}%" if self.accuracy is not None
+               else "n/a")
+        storage = "on-chip" if self.weights_on_chip else "DRAM"
+        lines = [
+            f"model        : {self.model_name}",
+            f"time steps   : {self.num_steps}",
+            f"conv units   : {self.num_conv_units}",
+            f"clock        : {self.clock_mhz:.0f} MHz",
+            f"accuracy     : {acc}",
+            f"latency      : {self.latency_us:,.0f} us "
+            f"({self.cycles:,} cycles)",
+            f"throughput   : {self.throughput_fps:,.1f} fps",
+            f"power        : {self.power_w:.2f} W",
+            f"energy/frame : {self.energy_per_frame_mj:.3f} mJ",
+            f"resources    : {self.luts:,} LUTs / {self.ffs:,} FFs / "
+            f"{self.bram_blocks} BRAM blocks ({self.bram_mbit:.1f} Mbit)",
+            f"weights      : {storage}",
+        ]
+        return "\n".join(lines)

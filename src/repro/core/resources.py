@@ -1,0 +1,108 @@
+"""FPGA resource model (LUTs / FFs / BRAM blocks).
+
+Bottom-up: each convolution unit's cost follows from its geometry — an
+``X × Y`` array of accumulator-width adders built in carry logic (no DSPs,
+as the paper stresses), per-adder kernel registers and spike multiplexers,
+the row-wide shift register, and per-column output accumulators — plus a
+fixed base for the controller, the pooling and linear units and buffer
+addressing, a small superlinear interconnect term, and the DRAM controller
+when weight streaming is compiled in.  Constants are calibrated so the
+Table II sweep (11k/15k/24k/42k LUTs, 10k/14k/23k/39k FFs for U=1/2/4/8)
+is reproduced in shape; see ``repro.core.calibration``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.calibration import DEFAULT_RESOURCES, ResourceCalibration
+from repro.core.config import AcceleratorConfig
+
+__all__ = ["ResourceEstimate", "ResourceModel"]
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """LUT/FF totals with the per-component breakdown kept for reports."""
+
+    luts: int
+    ffs: int
+    conv_unit_luts: int
+    conv_unit_ffs: int
+    base_luts: int
+    base_ffs: int
+    dram_luts: int
+    dram_ffs: int
+
+
+class ResourceModel:
+    """Estimates LUT/FF usage of a configured accelerator."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        calibration: ResourceCalibration = DEFAULT_RESOURCES,
+    ) -> None:
+        self.config = config
+        self.calibration = calibration
+
+    def conv_unit_luts(self) -> int:
+        """LUTs of one convolution unit, from its geometry."""
+        cal = self.calibration
+        unit = self.config.conv_unit
+        acc_bits = self.config.accumulator_bits
+        adders = unit.num_adders * acc_bits * cal.luts_per_adder_bit
+        muxes = unit.num_adders * cal.luts_per_mux
+        output = unit.columns * acc_bits * cal.luts_per_output_bit
+        return int(adders + muxes + output + cal.unit_control_luts)
+
+    def conv_unit_ffs(self) -> int:
+        """FFs of one convolution unit, from its geometry."""
+        cal = self.calibration
+        unit = self.config.conv_unit
+        acc_bits = self.config.accumulator_bits
+        pipeline = unit.num_adders * acc_bits * cal.ffs_per_adder_bit
+        kernels = (unit.num_adders * self.config.weight_bits
+                   * cal.ffs_per_kernel_bit)
+        shift_reg = unit.columns + 16  # row register + handshake
+        output = unit.columns * acc_bits * cal.ffs_per_output_bit
+        return int(pipeline + kernels + shift_reg + output
+                   + cal.unit_control_ffs)
+
+    def pool_unit_luts(self) -> int:
+        cal = self.calibration
+        unit = self.config.pool_unit
+        acc_bits = self.config.accumulator_bits
+        return int(unit.columns * unit.rows * acc_bits
+                   * cal.luts_per_adder_bit * 0.5 + 150)
+
+    def linear_unit_luts(self) -> int:
+        cal = self.calibration
+        acc_bits = self.config.accumulator_bits
+        return int(self.config.linear_unit.parallel_outputs * acc_bits
+                   * cal.luts_per_adder_bit + 200)
+
+    def estimate(self, weights_on_chip: bool = True) -> ResourceEstimate:
+        """Full-device LUT/FF estimate."""
+        cal = self.calibration
+        u = self.config.num_conv_units
+        unit_luts = self.conv_unit_luts()
+        unit_ffs = self.conv_unit_ffs()
+        base_luts = (cal.base_luts + self.pool_unit_luts()
+                     + self.linear_unit_luts())
+        base_ffs = cal.base_ffs + int(0.8 * (self.pool_unit_luts()
+                                             + self.linear_unit_luts()))
+        interconnect_luts = int(cal.interconnect_luts_per_unit_sq * u * u)
+        interconnect_ffs = int(cal.interconnect_ffs_per_unit_sq * u * u)
+        dram_luts = 0 if weights_on_chip else cal.dram_controller_luts
+        dram_ffs = 0 if weights_on_chip else cal.dram_controller_ffs
+        return ResourceEstimate(
+            luts=u * unit_luts + base_luts + interconnect_luts + dram_luts,
+            ffs=u * unit_ffs + base_ffs + interconnect_ffs + dram_ffs,
+            conv_unit_luts=unit_luts,
+            conv_unit_ffs=unit_ffs,
+            base_luts=base_luts + interconnect_luts,
+            base_ffs=base_ffs + interconnect_ffs,
+            dram_luts=dram_luts,
+            dram_ffs=dram_ffs,
+        )

@@ -1,0 +1,73 @@
+"""Input shift register of a convolution/pooling unit (Fig. 2, blue).
+
+The input logic fetches one row of a binary feature map into a register
+spanning the whole row.  Adder columns tap every ``stride``-th position;
+shifting the register left by one exposes the next kernel column to every
+tap simultaneously — that single shift is what makes the activation-column
+loop fully parallel (Alg. 1 line 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, SimulationError
+
+__all__ = ["InputShiftRegister"]
+
+
+class InputShiftRegister:
+    """Functional model of the row-wide binary shift register."""
+
+    def __init__(self, length: int) -> None:
+        if length < 1:
+            raise ShapeError(f"register length must be positive: {length}")
+        self.length = length
+        self._bits = np.zeros(length, dtype=np.uint8)
+        self._loaded = False
+
+    def load_row(self, row: np.ndarray) -> None:
+        """Latch one binary feature-map row (left-aligned, zero-filled)."""
+        row = np.asarray(row)
+        if row.ndim != 1:
+            raise ShapeError(f"row must be 1-D, got shape {row.shape}")
+        if row.size > self.length:
+            raise ShapeError(
+                f"row of width {row.size} exceeds register length "
+                f"{self.length}"
+            )
+        if row.size and int(row.max(initial=0)) > 1:
+            raise SimulationError("shift register carries binary spikes only")
+        self._bits.fill(0)
+        self._bits[:row.size] = row.astype(np.uint8)
+        self._loaded = True
+
+    def shift(self) -> None:
+        """Shift left by one position, filling with zero on the right."""
+        if not self._loaded:
+            raise SimulationError("shift before any row was loaded")
+        self._bits[:-1] = self._bits[1:]
+        self._bits[-1] = 0
+
+    def taps(self, num_taps: int, stride: int) -> np.ndarray:
+        """Values visible to the adder columns: every ``stride``-th bit.
+
+        Tap ``x`` reads position ``x * stride`` — the wiring established
+        "according to stride" in Fig. 2.
+        """
+        if not self._loaded:
+            raise SimulationError("taps read before any row was loaded")
+        if num_taps < 1 or stride < 1:
+            raise ShapeError("taps and stride must be positive")
+        last = (num_taps - 1) * stride
+        if last >= self.length:
+            raise ShapeError(
+                f"tap {num_taps - 1} at stride {stride} reads position "
+                f"{last}, beyond register length {self.length}"
+            )
+        return self._bits[0:last + 1:stride].copy()
+
+    @property
+    def bits(self) -> np.ndarray:
+        """Current register contents (for tests and diagrams)."""
+        return self._bits.copy()

@@ -1,0 +1,43 @@
+"""Execution statistics collected by the functional hardware model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["UnitStats", "MemoryTraffic"]
+
+
+@dataclass
+class MemoryTraffic:
+    """Bit/value-level memory access counters (the dataflow-ablation data)."""
+
+    activation_read_bits: int = 0
+    activation_write_bits: int = 0
+    kernel_read_values: int = 0
+    weight_stream_bits: int = 0   # DRAM traffic, when weights are off-chip
+
+    def merge(self, other: "MemoryTraffic") -> None:
+        self.activation_read_bits += other.activation_read_bits
+        self.activation_write_bits += other.activation_write_bits
+        self.kernel_read_values += other.kernel_read_values
+        self.weight_stream_bits += other.weight_stream_bits
+
+    @property
+    def total_activation_bits(self) -> int:
+        return self.activation_read_bits + self.activation_write_bits
+
+
+@dataclass
+class UnitStats:
+    """Per-pass cost accounting from a processing unit."""
+
+    cycles: int = 0
+    adder_ops: int = 0
+    accumulator_writes: int = 0
+    traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
+
+    def merge(self, other: "UnitStats") -> None:
+        self.cycles += other.cycles
+        self.adder_ops += other.adder_ops
+        self.accumulator_writes += other.accumulator_writes
+        self.traffic.merge(other.traffic)

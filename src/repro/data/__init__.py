@@ -1,0 +1,24 @@
+"""Synthetic dataset generators (offline stand-ins for MNIST / CIFAR-100)."""
+
+from repro.data.cifar_synth import (
+    NUM_PALETTES,
+    NUM_SHAPES,
+    SyntheticCIFAR100,
+    generate_cifar100,
+)
+from repro.data.dataset import Dataset
+from repro.data.mnist_synth import SyntheticMNIST, generate_mnist
+from repro.data.strokes import DIGIT_STROKES, rasterize_strokes, render_digit
+
+__all__ = [
+    "DIGIT_STROKES",
+    "Dataset",
+    "NUM_PALETTES",
+    "NUM_SHAPES",
+    "SyntheticCIFAR100",
+    "SyntheticMNIST",
+    "generate_cifar100",
+    "generate_mnist",
+    "rasterize_strokes",
+    "render_digit",
+]

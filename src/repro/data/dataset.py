@@ -1,0 +1,83 @@
+"""In-memory dataset container shared by all generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """Images (NCHW, float, in ``[0, 1]``) with integer class labels.
+
+    The ``[0, 1]`` range matters: radix encoding quantizes exactly this
+    interval, so dataset outputs can feed the input layer directly.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.images.ndim != 4:
+            raise ShapeError(
+                f"images must be NCHW, got shape {self.images.shape}"
+            )
+        if self.labels.shape != (self.images.shape[0],):
+            raise ShapeError(
+                f"labels shape {self.labels.shape} does not match "
+                f"{self.images.shape[0]} images"
+            )
+        if self.labels.size and not (
+            0 <= int(self.labels.min()) and int(self.labels.max()) < self.num_classes
+        ):
+            raise ShapeError("labels out of range for declared class count")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        """(channels, height, width) of a single image."""
+        return tuple(self.images.shape[1:])
+
+    def shuffled(self, seed: int = 0) -> "Dataset":
+        """A shuffled copy (images and labels permuted together)."""
+        order = np.random.default_rng(seed).permutation(len(self))
+        return Dataset(self.images[order], self.labels[order],
+                       self.num_classes)
+
+    def split(self, first_count: int) -> tuple["Dataset", "Dataset"]:
+        """Split into (first ``first_count`` samples, the rest)."""
+        if not 0 < first_count < len(self):
+            raise ShapeError(
+                f"cannot split {len(self)} samples at {first_count}"
+            )
+        head = Dataset(self.images[:first_count], self.labels[:first_count],
+                       self.num_classes)
+        tail = Dataset(self.images[first_count:], self.labels[first_count:],
+                       self.num_classes)
+        return head, tail
+
+    def subset(self, count: int) -> "Dataset":
+        """The first ``count`` samples (useful for calibration sets)."""
+        count = min(count, len(self))
+        return Dataset(self.images[:count], self.labels[:count],
+                       self.num_classes)
+
+    def batches(self, batch_size: int):
+        """Iterate ``(images, labels)`` mini-batches in order."""
+        for start in range(0, len(self), batch_size):
+            yield (self.images[start:start + batch_size],
+                   self.labels[start:start + batch_size])
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples per class (balance check for generators)."""
+        return np.bincount(self.labels, minlength=self.num_classes)

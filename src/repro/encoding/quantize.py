@@ -1,0 +1,139 @@
+"""Quantization primitives used by the ANN-to-SNN conversion.
+
+The accelerator stores network parameters at very low resolution (3 bits in
+the paper's experiments) and activations as ``T``-bit radix spike trains.
+This module provides:
+
+* :func:`quantize_weights` — symmetric signed quantization with per-output-
+  channel scales (scales fold into the requantization stage, so per-channel
+  granularity is free in hardware).
+* :class:`ActivationCalibrator` — collects activation statistics on a
+  calibration set and produces the per-layer normalization scale ``λ``
+  (a high percentile of the observed activations, the standard
+  threshold-balancing recipe for ANN-to-SNN conversion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+__all__ = [
+    "QuantizedWeights",
+    "quantize_weights",
+    "weight_int_range",
+    "ActivationCalibrator",
+]
+
+
+def weight_int_range(num_bits: int) -> tuple[int, int]:
+    """Symmetric integer range for ``num_bits``-bit signed weights.
+
+    3 bits gives ``[-3, 3]``: symmetric ranges avoid a bias toward negative
+    values and keep the zero point exactly at integer 0.
+    """
+    if num_bits < 2:
+        raise QuantizationError(
+            f"weights need at least 2 bits (sign + magnitude), got {num_bits}"
+        )
+    top = (1 << (num_bits - 1)) - 1
+    return -top, top
+
+
+@dataclass(frozen=True)
+class QuantizedWeights:
+    """Integer weights plus the per-output-channel scales that undo them.
+
+    ``values`` has the original weight shape with ``int64`` entries;
+    ``scales`` has one entry per output channel (axis 0) such that
+    ``values * scales`` approximates the original real weights.
+    """
+
+    values: np.ndarray
+    scales: np.ndarray
+    num_bits: int
+
+    @property
+    def num_output_channels(self) -> int:
+        return int(self.values.shape[0])
+
+    def dequantize(self) -> np.ndarray:
+        shape = (-1,) + (1,) * (self.values.ndim - 1)
+        return self.values.astype(np.float64) * self.scales.reshape(shape)
+
+
+def quantize_weights(
+    weights: np.ndarray, num_bits: int, per_channel: bool = True
+) -> QuantizedWeights:
+    """Symmetric quantization of real weights to ``num_bits``-bit integers.
+
+    Axis 0 of ``weights`` is the output-channel axis (matching both
+    ``Conv2d`` kernels ``(C_out, C_in, Kr, Kc)`` and ``Linear`` matrices
+    ``(N_out, N_in)``).
+
+    With ``per_channel=True`` each output channel gets its own scale, chosen
+    so the channel's largest-magnitude weight maps to the largest integer.
+    All-zero channels get a scale of 1 to keep dequantization well defined.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim < 2:
+        raise QuantizationError(
+            f"weights must have an output-channel axis, got shape {weights.shape}"
+        )
+    lo, hi = weight_int_range(num_bits)
+    if per_channel:
+        flat = np.abs(weights).reshape(weights.shape[0], -1)
+        max_abs = flat.max(axis=1)
+    else:
+        max_abs = np.full(weights.shape[0], float(np.abs(weights).max()))
+    scales = np.where(max_abs > 0, max_abs / hi, 1.0)
+    shape = (-1,) + (1,) * (weights.ndim - 1)
+    ints = np.rint(weights / scales.reshape(shape)).astype(np.int64)
+    ints = np.clip(ints, lo, hi)
+    return QuantizedWeights(values=ints, scales=scales, num_bits=int(num_bits))
+
+
+class ActivationCalibrator:
+    """Accumulates activation samples and yields the layer scale ``λ``.
+
+    ``λ`` is a high percentile (not the max) of observed post-ReLU
+    activations: clipping a tiny tail of outliers costs little accuracy but
+    greatly improves the resolution of the surviving range — the standard
+    robust variant of threshold balancing used by ANN-to-SNN pipelines.
+    """
+
+    def __init__(self, percentile: float = 99.9) -> None:
+        if not 0.0 < percentile <= 100.0:
+            raise QuantizationError(
+                f"percentile must be in (0, 100], got {percentile}"
+            )
+        self.percentile = float(percentile)
+        self._samples: list[np.ndarray] = []
+
+    def observe(self, activations: np.ndarray) -> None:
+        """Record one batch of (post-ReLU) activations."""
+        data = np.asarray(activations, dtype=np.float64).reshape(-1)
+        if data.size == 0:
+            return
+        # Keep a bounded reservoir per batch so calibration memory stays flat.
+        if data.size > 65536:
+            stride = data.size // 65536 + 1
+            data = data[::stride]
+        self._samples.append(data)
+
+    @property
+    def num_observed(self) -> int:
+        return sum(s.size for s in self._samples)
+
+    def scale(self) -> float:
+        """Percentile-based normalization scale; at least a tiny epsilon."""
+        if not self._samples:
+            raise QuantizationError(
+                "calibrator has seen no activations; call observe() first"
+            )
+        merged = np.concatenate(self._samples)
+        lam = float(np.percentile(merged, self.percentile))
+        return max(lam, 1e-9)

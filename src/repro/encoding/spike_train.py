@@ -1,0 +1,100 @@
+"""Spike-train container shared by encoders, the SNN simulator and the
+hardware model.
+
+A spike train is a binary tensor with a leading time axis: ``bits[t]`` holds
+the spikes emitted at time step ``t`` for every element of the encoded
+tensor.  Time step 0 is the *first* step transmitted; under radix encoding it
+carries the most significant bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EncodingError, ShapeError
+
+__all__ = ["SpikeTrain"]
+
+
+@dataclass(frozen=True)
+class SpikeTrain:
+    """An immutable binary spike train.
+
+    Attributes
+    ----------
+    bits:
+        ``uint8`` array of shape ``(T, *payload_shape)`` containing only
+        0/1 values.  ``bits[t]`` is the spike plane for time step ``t``.
+    """
+
+    bits: np.ndarray
+
+    def __post_init__(self) -> None:
+        bits = np.asarray(self.bits)
+        if bits.ndim < 2:
+            raise ShapeError(
+                "spike train needs a time axis plus at least one payload "
+                f"axis, got shape {bits.shape}"
+            )
+        if bits.dtype != np.uint8:
+            bits = bits.astype(np.uint8)
+        if bits.size and int(bits.max(initial=0)) > 1:
+            raise EncodingError("spike train bits must be 0 or 1")
+        object.__setattr__(self, "bits", bits)
+
+    @property
+    def num_steps(self) -> int:
+        """Length ``T`` of the spike train."""
+        return int(self.bits.shape[0])
+
+    @property
+    def payload_shape(self) -> tuple[int, ...]:
+        """Shape of the encoded tensor (time axis removed)."""
+        return tuple(self.bits.shape[1:])
+
+    @property
+    def num_spikes(self) -> int:
+        """Total number of spikes across all time steps."""
+        return int(self.bits.sum())
+
+    def spike_rate(self) -> float:
+        """Fraction of (element, step) slots that carry a spike."""
+        if self.bits.size == 0:
+            return 0.0
+        return float(self.bits.mean())
+
+    def step(self, t: int) -> np.ndarray:
+        """Return the spike plane for time step ``t``."""
+        if not 0 <= t < self.num_steps:
+            raise EncodingError(
+                f"time step {t} out of range for train of length "
+                f"{self.num_steps}"
+            )
+        return self.bits[t]
+
+    def __iter__(self):
+        return iter(self.bits)
+
+    def __len__(self) -> int:
+        return self.num_steps
+
+    def concatenate_channels(self, other: "SpikeTrain") -> "SpikeTrain":
+        """Concatenate two trains along the first payload axis.
+
+        Both trains must have the same length and agree on the remaining
+        payload axes.  Used to merge feature maps produced by different
+        processing units.
+        """
+        if self.num_steps != other.num_steps:
+            raise ShapeError(
+                "cannot concatenate spike trains of different lengths "
+                f"({self.num_steps} vs {other.num_steps})"
+            )
+        if self.payload_shape[1:] != other.payload_shape[1:]:
+            raise ShapeError(
+                "payload shapes beyond the channel axis must match, got "
+                f"{self.payload_shape} vs {other.payload_shape}"
+            )
+        return SpikeTrain(np.concatenate([self.bits, other.bits], axis=1))

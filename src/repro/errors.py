@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class EncodingError(ReproError):
+    """Raised when a spike-train encoding or decoding request is invalid."""
+
+
+class QuantizationError(ReproError):
+    """Raised for invalid quantization parameters or unfitted quantizers."""
+
+
+class ShapeError(ReproError):
+    """Raised when tensor shapes are incompatible with an operation."""
+
+
+class ConversionError(ReproError):
+    """Raised when an ANN cannot be converted to an SNN."""
+
+
+class CompilationError(ReproError):
+    """Raised when a model cannot be mapped onto the accelerator."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid accelerator or unit configurations."""
+
+
+class CapacityError(ReproError):
+    """Raised when a model exceeds a hardware memory capacity constraint."""
+
+
+class SimulationError(ReproError):
+    """Raised when the functional hardware simulation reaches a bad state."""

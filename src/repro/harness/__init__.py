@@ -1,0 +1,19 @@
+"""Experiment harness: table runners, figure renderers, artifact cache."""
+
+from repro.harness.artifacts import ArtifactStore, default_store
+from repro.harness.diagrams import render_conv_unit, render_overview
+from repro.harness.experiments import ExperimentRunner, ExperimentSettings
+from repro.harness.report_md import build_report, write_report
+from repro.harness.tables import Table
+
+__all__ = [
+    "ArtifactStore",
+    "ExperimentRunner",
+    "ExperimentSettings",
+    "Table",
+    "build_report",
+    "default_store",
+    "render_conv_unit",
+    "render_overview",
+    "write_report",
+]

@@ -1,0 +1,80 @@
+"""ASCII renderings of the paper's two figures, generated from live
+configuration objects.
+
+Fig. 1 (architecture overview) and Fig. 2 (convolution unit datapath) are
+structural diagrams, not data plots; this module reproduces them from the
+actual ``AcceleratorConfig`` / ``CompiledModel``, so the rendered structure
+always reflects what the simulator would execute.
+"""
+
+from __future__ import annotations
+
+from repro.core.compiler import CompiledModel
+from repro.core.config import AcceleratorConfig
+
+__all__ = ["render_overview", "render_conv_unit"]
+
+
+def render_overview(config: AcceleratorConfig,
+                    compiled: CompiledModel | None = None) -> str:
+    """Fig. 1: processing units, weight memory and ping-pong buffers."""
+    u = config.num_conv_units
+    conv_boxes = "\n".join(
+        f"  | conv unit {i}  ({config.conv_unit.columns}x"
+        f"{config.conv_unit.rows} adders) |" for i in range(u)
+    )
+    if compiled is not None:
+        n_conv = len([p for p in compiled.programs if p.kind == "conv"])
+        n_lin = len([p for p in compiled.programs if p.kind == "linear"])
+        storage = ("internal BRAM" if compiled.weights_on_chip
+                   else "external DRAM (streamed per layer)")
+        weights = (f"  weights: {n_conv} conv + {n_lin} linear layers "
+                   f"in {storage}")
+    else:
+        weights = "  weights: no network deployed"
+    lines = [
+        "+--------------------- accelerator ----------------------+",
+        "|                      controller                         |",
+        "+---------------------------------------------------------+",
+        conv_boxes,
+        f"  | pool unit    ({config.pool_unit.columns}x"
+        f"{config.pool_unit.rows} adders) |",
+        f"  | linear unit  ({config.linear_unit.parallel_outputs}"
+        " parallel outputs) |",
+        "+---------------------------------------------------------+",
+        weights,
+        "  activations: 2-D ping/pong buffers  <->  1-D ping/pong buffers",
+        f"  clock: {config.clock_mhz:.0f} MHz   spike weighting: radix "
+        "(MSB first, accumulator << 1 per step)",
+    ]
+    return "\n".join(lines)
+
+
+def render_conv_unit(config: AcceleratorConfig, kernel_rows: int = 0,
+                     stride: int = 1) -> str:
+    """Fig. 2: shift register, stride taps and the adder array."""
+    x = config.conv_unit.columns
+    y = kernel_rows or config.conv_unit.rows
+    shown = min(x, 6)
+    ellipsis = " ..." if x > shown else ""
+    register = "[" + "|".join("b" for _ in range(shown)) + ellipsis + "]"
+    taps = " ".join(f"^x{i}" for i in range(min(3, shown)))
+    rows = []
+    for row in range(y):
+        adders = " ".join(f"+K({row},j)" for _ in range(min(3, shown)))
+        rows.append(f"  adder row {row}:  {adders} ...   (kernel row {row})")
+        if row < y - 1:
+            rows.append("        | partial sums stream down |")
+    lines = [
+        f"input row shift register ({x + 0} wide, shifts left once per "
+        "kernel column):",
+        f"  {register}   taps every stride={stride} position: {taps} ...",
+        "",
+        f"adder array  X={x} columns x Y={y} rows "
+        "(mux feeds 0 when no spike):",
+        *rows,
+        "",
+        "output logic: acc = (acc << 1 per time step) + partial sums;",
+        "              bias add -> ReLU -> requantize to T-bit activations",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""ASCII table rendering for experiment reports.
+
+Every benchmark prints its results in the same row/column layout as the
+paper's tables, with a paper-reported column next to each measured one so
+the reproduction quality is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table"]
+
+
+@dataclass
+class Table:
+    """A simple monospace table with a title and aligned columns."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are stringified, floats get sane formatting."""
+        formatted = []
+        for cell in cells:
+            if isinstance(cell, float):
+                if cell == 0:
+                    formatted.append("0")
+                elif abs(cell) >= 1000:
+                    formatted.append(f"{cell:,.0f}")
+                elif abs(cell) >= 10:
+                    formatted.append(f"{cell:.1f}")
+                else:
+                    formatted.append(f"{cell:.3f}")
+            else:
+                formatted.append(str(cell))
+        if len(formatted) != len(self.columns):
+            raise ValueError(
+                f"row has {len(formatted)} cells for {len(self.columns)} "
+                "columns"
+            )
+        self.rows.append(formatted)
+
+    def render(self) -> str:
+        """The table as a string, ready to print."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: list[str]) -> str:
+            return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        sep = "-+-".join("-" * w for w in widths)
+        out = [self.title, "=" * len(self.title), line(self.columns), sep]
+        out.extend(line(row) for row in self.rows)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,32 @@
+"""Model zoo: every network topology the paper evaluates."""
+
+from repro.models.fang_cnn import (
+    FANG_ARCH_STRING,
+    JU_ARCH_STRING,
+    build_fang_cnn,
+    build_ju_cnn,
+)
+from repro.models.geometry import (
+    performance_network,
+    vgg11_performance_network,
+)
+from repro.models.lenet import LENET5_ARCH_STRING, build_lenet5
+from repro.models.vgg import (
+    VGG11_CONV_PLAN,
+    build_vgg11,
+    vgg11_channel_widths,
+)
+
+__all__ = [
+    "FANG_ARCH_STRING",
+    "JU_ARCH_STRING",
+    "LENET5_ARCH_STRING",
+    "VGG11_CONV_PLAN",
+    "build_fang_cnn",
+    "build_ju_cnn",
+    "build_lenet5",
+    "build_vgg11",
+    "performance_network",
+    "vgg11_channel_widths",
+    "vgg11_performance_network",
+]

@@ -1,0 +1,59 @@
+"""Network topologies of the two prior works compared in Table III.
+
+The paper deploys Fang et al.'s convolutional SNN on its own accelerator
+for a like-for-like comparison (Table III, row 3), so both topologies are
+reproduced here exactly as quoted in the table footnotes:
+
+* Fang et al. [11] ("CNN 2"): ``28x28 – 32C3 – P2 – 32C3 – P2 – 256 – 10``
+* Ju et al. [12] ("CNN 1"):   ``28x28 – 64C5 – P2 – 64C5 – P2 – 128 – 10``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import AvgPool2d, Conv2d, Flatten, Linear, ReLU, Sequential
+
+__all__ = [
+    "build_fang_cnn",
+    "build_ju_cnn",
+    "FANG_ARCH_STRING",
+    "JU_ARCH_STRING",
+]
+
+FANG_ARCH_STRING = "28x28 - 32C3 - P2 - 32C3 - P2 - 256 - 10"
+JU_ARCH_STRING = "28x28 - 64C5 - P2 - 64C5 - P2 - 128 - 10"
+
+
+def build_fang_cnn(seed: int = 0) -> Sequential:
+    """Fang et al.'s CNN 2 for 28×28 single-channel inputs."""
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        Conv2d(1, 32, kernel_size=3, rng=rng),      # 28 -> 26
+        ReLU(),
+        AvgPool2d(2),                               # 26 -> 13
+        Conv2d(32, 32, kernel_size=3, rng=rng),     # 13 -> 11
+        ReLU(),
+        AvgPool2d(2),                               # 11 -> 5
+        Flatten(),                                  # 32*5*5 = 800
+        Linear(800, 256, rng=rng),
+        ReLU(),
+        Linear(256, 10, rng=rng),
+    ])
+
+
+def build_ju_cnn(seed: int = 0) -> Sequential:
+    """Ju et al.'s CNN 1 for 28×28 single-channel inputs."""
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        Conv2d(1, 64, kernel_size=5, rng=rng),      # 28 -> 24
+        ReLU(),
+        AvgPool2d(2),                               # 24 -> 12
+        Conv2d(64, 64, kernel_size=5, rng=rng),     # 12 -> 8
+        ReLU(),
+        AvgPool2d(2),                               # 8 -> 4
+        Flatten(),                                  # 64*4*4 = 1024
+        Linear(1024, 128, rng=rng),
+        ReLU(),
+        Linear(128, 10, rng=rng),
+    ])

@@ -1,0 +1,117 @@
+"""Spec-level network builders for performance experiments.
+
+Latency, power and resource estimates depend only on layer *geometry*
+(shapes, kernel sizes, channel counts) — never on trained weight values.
+For the full-size VGG-11 row of Table III it would be wasteful to allocate
+and train 28.5M float parameters just to read shapes off them, so these
+builders construct the :class:`~repro.snn.spec.QuantizedNetwork` directly
+from an architecture description, with compact random integer weights
+(int8) that keep the network executable by the functional simulator if
+ever needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.models.vgg import VGG11_CONV_PLAN
+from repro.snn.spec import (
+    FlattenSpec,
+    QuantConvSpec,
+    QuantLinearSpec,
+    QuantPoolSpec,
+    QuantizedNetwork,
+)
+
+__all__ = ["performance_network", "vgg11_performance_network"]
+
+
+def performance_network(
+    layers: list[tuple],
+    input_shape: tuple[int, int, int],
+    num_steps: int,
+    weight_bits: int = 3,
+    seed: int = 0,
+) -> QuantizedNetwork:
+    """Build a quantized network from layer descriptors.
+
+    Descriptors: ``("conv", out_channels, kernel, stride, padding)``,
+    ``("pool", size)``, ``("flatten",)``, ``("linear", out_features)``.
+    The final linear layer becomes the (un-requantized) classifier head.
+    """
+    rng = np.random.default_rng(seed)
+    top = (1 << (weight_bits - 1)) - 1
+    specs: list = []
+    shape = input_shape
+    flat: int | None = None
+    linear_indices = [i for i, d in enumerate(layers) if d[0] == "linear"]
+    if not linear_indices or linear_indices[-1] != len(layers) - 1:
+        raise ShapeError("a performance network must end in a linear layer")
+
+    for i, desc in enumerate(layers):
+        kind = desc[0]
+        if kind == "conv":
+            _, out_c, k, stride, padding = desc
+            c, h, w = shape
+            h_out = (h + 2 * padding - k) // stride + 1
+            w_out = (w + 2 * padding - k) // stride + 1
+            weights = rng.integers(-top, top + 1, size=(out_c, c, k, k),
+                                   dtype=np.int8)
+            specs.append(QuantConvSpec(
+                weights=weights,
+                bias=np.zeros(out_c, dtype=np.int64),
+                scales=np.full(out_c, 1.0 / max(c * k * k * top, 1)),
+                stride=stride, padding=padding,
+                in_shape=shape, out_shape=(out_c, h_out, w_out),
+            ))
+            shape = (out_c, h_out, w_out)
+        elif kind == "pool":
+            _, size = desc
+            c, h, w = shape
+            out_shape = (c, (h - size) // size + 1, (w - size) // size + 1)
+            specs.append(QuantPoolSpec(size=size, stride=size,
+                                       in_shape=shape, out_shape=out_shape))
+            shape = out_shape
+        elif kind == "flatten":
+            flat = int(np.prod(shape))
+            specs.append(FlattenSpec(in_shape=shape, out_features=flat))
+        elif kind == "linear":
+            _, out_f = desc
+            if flat is None:
+                flat = int(np.prod(shape))
+            weights = rng.integers(-top, top + 1, size=(out_f, flat),
+                                   dtype=np.int8)
+            specs.append(QuantLinearSpec(
+                weights=weights,
+                bias=np.zeros(out_f, dtype=np.int64),
+                scales=np.full(out_f, 1.0 / max(flat * top, 1)),
+                is_output=(i == len(layers) - 1),
+                in_features=flat, out_features=out_f,
+            ))
+            flat = out_f
+        else:
+            raise ShapeError(f"unknown layer descriptor {desc!r}")
+    return QuantizedNetwork(
+        layers=tuple(specs), num_steps=num_steps, weight_bits=weight_bits,
+        input_shape=input_shape, num_classes=specs[-1].out_features,
+    )
+
+
+def vgg11_performance_network(
+    num_steps: int = 6,
+    weight_bits: int = 3,
+    num_classes: int = 100,
+) -> QuantizedNetwork:
+    """Full-geometry VGG-11 (28.5M parameters) for hardware estimation."""
+    layers: list[tuple] = []
+    for entry in VGG11_CONV_PLAN:
+        if entry == "P":
+            layers.append(("pool", 2))
+        else:
+            layers.append(("conv", int(entry), 3, 1, 1))
+    layers.append(("flatten",))
+    layers.append(("linear", 4096))
+    layers.append(("linear", 4096))
+    layers.append(("linear", num_classes))
+    return performance_network(layers, (3, 32, 32), num_steps, weight_bits)

@@ -1,0 +1,39 @@
+"""LeNet-5, in the exact variant the paper evaluates.
+
+The paper's architecture string is ``32x32x1 – 6C5 – P2 – 16C5 – P2 – 120C5
+– 120 – 84 – 10``: three 5×5 convolutions (the last collapsing the 5×5 maps
+to 1×1×120), 2×2 pooling after the first two, then three fully-connected
+layers (120, 84, 10).  Pooling is average pooling, matching the adder-only
+pooling unit of the accelerator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import AvgPool2d, Conv2d, Flatten, Linear, ReLU, Sequential
+
+__all__ = ["build_lenet5", "LENET5_ARCH_STRING"]
+
+LENET5_ARCH_STRING = "32x32x1 - 6C5 - P2 - 16C5 - P2 - 120C5 - 120 - 84 - 10"
+
+
+def build_lenet5(seed: int = 0) -> Sequential:
+    """LeNet-5 for 32×32 single-channel inputs, 10 classes."""
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        Conv2d(1, 6, kernel_size=5, rng=rng),       # 32 -> 28
+        ReLU(),
+        AvgPool2d(2),                               # 28 -> 14
+        Conv2d(6, 16, kernel_size=5, rng=rng),      # 14 -> 10
+        ReLU(),
+        AvgPool2d(2),                               # 10 -> 5
+        Conv2d(16, 120, kernel_size=5, rng=rng),    # 5 -> 1
+        ReLU(),
+        Flatten(),                                  # 120
+        Linear(120, 120, rng=rng),
+        ReLU(),
+        Linear(120, 84, rng=rng),
+        ReLU(),
+        Linear(84, 10, rng=rng),
+    ])

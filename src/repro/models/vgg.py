@@ -1,0 +1,96 @@
+"""VGG-11 — the large model the paper is the first to deploy on FPGA
+neuromorphic hardware.
+
+``build_vgg11(width_multiplier=1.0)`` reproduces the exact geometry the
+paper quotes (28.5M parameters: eight 3×3 convolutions of widths
+64/128/256/256/512/512/512/512 with five 2×2 poolings, then a
+512→4096→4096→100 classifier for CIFAR-100).  The full-width network is
+used for all hardware experiments (latency/power/resources are
+weight-independent); a width-reduced variant keeps training tractable in
+pure numpy for the accuracy measurement — see DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+
+__all__ = ["build_vgg11", "VGG11_CONV_PLAN", "vgg11_channel_widths"]
+
+# Channel width per conv layer; "P" marks a 2x2 pooling.  This is the
+# standard VGG-11 configuration ("A" column of the VGG paper).
+VGG11_CONV_PLAN: tuple = (64, "P", 128, "P", 256, 256, "P",
+                          512, 512, "P", 512, 512, "P")
+
+_CLASSIFIER_HIDDEN = 4096
+
+
+def _scaled(width: int, multiplier: float) -> int:
+    scaled = int(round(width * multiplier))
+    return max(scaled, 1)
+
+
+def vgg11_channel_widths(width_multiplier: float = 1.0) -> list[int]:
+    """Conv channel widths after applying the multiplier (for tests/docs)."""
+    return [_scaled(w, width_multiplier)
+            for w in VGG11_CONV_PLAN if w != "P"]
+
+
+def build_vgg11(
+    num_classes: int = 100,
+    in_channels: int = 3,
+    width_multiplier: float = 1.0,
+    pool: str = "avg",
+    dropout: float = 0.0,
+    seed: int = 0,
+) -> Sequential:
+    """VGG-11 for 32×32 inputs.
+
+    ``pool='avg'`` (default) keeps the network convertible to the
+    accelerator's adder-only pooling unit; ``pool='max'`` gives the classic
+    ANN baseline.
+    """
+    if width_multiplier <= 0:
+        raise ShapeError(
+            f"width multiplier must be positive, got {width_multiplier}"
+        )
+    if pool not in ("avg", "max"):
+        raise ShapeError(f"pool must be 'avg' or 'max', got {pool!r}")
+    rng = np.random.default_rng(seed)
+    pool_cls = AvgPool2d if pool == "avg" else MaxPool2d
+
+    layers = []
+    channels = in_channels
+    for entry in VGG11_CONV_PLAN:
+        if entry == "P":
+            layers.append(pool_cls(2))
+            continue
+        width = _scaled(entry, width_multiplier)
+        layers.append(Conv2d(channels, width, kernel_size=3, padding=1,
+                             rng=rng))
+        layers.append(ReLU())
+        channels = width
+
+    hidden = _scaled(_CLASSIFIER_HIDDEN, width_multiplier)
+    layers.append(Flatten())  # 32 -> 1 spatial after five poolings
+    layers.append(Linear(channels, hidden, rng=rng))
+    layers.append(ReLU())
+    if dropout > 0:
+        layers.append(Dropout(dropout))
+    layers.append(Linear(hidden, hidden, rng=rng))
+    layers.append(ReLU())
+    if dropout > 0:
+        layers.append(Dropout(dropout))
+    layers.append(Linear(hidden, num_classes, rng=rng))
+    return Sequential(layers)

@@ -1,0 +1,44 @@
+"""Numpy ANN substrate: layers, losses, optimizers and a training loop.
+
+This package exists because the paper's flow starts from a trained ANN
+(ANN-to-SNN conversion); no deep-learning framework is available offline,
+so backpropagation is implemented from scratch on numpy.
+"""
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Layer,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.loss import CrossEntropyLoss, softmax
+from repro.nn.network import Sequential
+from repro.nn.optim import Adam, CosineSchedule, SGD, StepSchedule
+from repro.nn.trainer import TrainLog, Trainer, evaluate_accuracy
+
+__all__ = [
+    "Adam",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "CosineSchedule",
+    "CrossEntropyLoss",
+    "Dropout",
+    "Flatten",
+    "Layer",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "StepSchedule",
+    "TrainLog",
+    "Trainer",
+    "evaluate_accuracy",
+    "softmax",
+]

@@ -1,0 +1,228 @@
+"""Low-level numpy kernels for the ANN substrate.
+
+Convolutions are implemented with im2col + GEMM so training runs at BLAS
+speed; the column layout ``(C_in * Kr * Kc)`` matches the kernel layout
+``(C_out, C_in, Kr, Kc)`` flattened per output channel, which keeps the
+forward/backward passes simple to reason about.
+
+All image tensors use the ``(N, C, H, W)`` layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "conv_output_size",
+    "pad2d",
+    "im2col",
+    "col2im",
+    "conv2d",
+    "conv2d_backward",
+    "avg_pool2d",
+    "avg_pool2d_backward",
+    "max_pool2d",
+    "max_pool2d_backward",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial extent of a convolution/pooling window sweep."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ShapeError(
+            f"window of size {kernel} (stride {stride}, padding {padding}) "
+            f"does not fit input of size {size}"
+        )
+    return out
+
+
+def pad2d(images: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two trailing (spatial) axes symmetrically."""
+    if padding == 0:
+        return images
+    return np.pad(
+        images, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    )
+
+
+def im2col(
+    images: np.ndarray, kernel: tuple[int, int], stride: int, padding: int
+) -> np.ndarray:
+    """Unfold sliding windows into a matrix.
+
+    Returns an array of shape ``(N, H_out * W_out, C * Kr * Kc)``; each row
+    is one receptive field, flattened channel-major to match flattened
+    ``(C_out, C*Kr*Kc)`` kernels.
+    """
+    if images.ndim != 4:
+        raise ShapeError(f"expected NCHW input, got shape {images.shape}")
+    kr, kc = kernel
+    n, c, h, w = images.shape
+    h_out = conv_output_size(h, kr, stride, padding)
+    w_out = conv_output_size(w, kc, stride, padding)
+    padded = pad2d(images, padding)
+    sn, sc, sh, sw = padded.strides
+    windows = as_strided(
+        padded,
+        shape=(n, c, h_out, w_out, kr, kc),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n, h_out * w_out, c * kr * kc
+    )
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    image_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold a column matrix back into images, summing overlapping windows.
+
+    This is the adjoint of :func:`im2col` and is what backpropagation
+    through a convolution needs.
+    """
+    n, c, h, w = image_shape
+    kr, kc = kernel
+    h_out = conv_output_size(h, kr, stride, padding)
+    w_out = conv_output_size(w, kc, stride, padding)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding))
+    reshaped = cols.reshape(n, h_out, w_out, c, kr, kc)
+    for dy in range(kr):
+        y_end = dy + stride * h_out
+        for dx in range(kc):
+            x_end = dx + stride * w_out
+            padded[:, :, dy:y_end:stride, dx:x_end:stride] += reshaped[
+                :, :, :, :, dy, dx
+            ].transpose(0, 3, 1, 2)
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+def conv2d(
+    images: np.ndarray,
+    kernels: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Forward convolution.
+
+    Returns ``(output, cols)`` where ``cols`` is the im2col matrix cached
+    for the backward pass.
+    """
+    c_out, c_in, kr, kc = kernels.shape
+    if images.shape[1] != c_in:
+        raise ShapeError(
+            f"input has {images.shape[1]} channels but kernels expect {c_in}"
+        )
+    n = images.shape[0]
+    h_out = conv_output_size(images.shape[2], kr, stride, padding)
+    w_out = conv_output_size(images.shape[3], kc, stride, padding)
+    cols = im2col(images, (kr, kc), stride, padding)
+    flat_k = kernels.reshape(c_out, -1)
+    out = cols @ flat_k.T
+    if bias is not None:
+        out = out + bias
+    out = out.transpose(0, 2, 1).reshape(n, c_out, h_out, w_out)
+    return out, cols
+
+
+def conv2d_backward(
+    grad_out: np.ndarray,
+    cols: np.ndarray,
+    kernels: np.ndarray,
+    image_shape: tuple[int, int, int, int],
+    stride: int,
+    padding: int,
+    with_bias: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Gradients of a convolution w.r.t. input, kernels and bias."""
+    c_out, c_in, kr, kc = kernels.shape
+    n = grad_out.shape[0]
+    grad_flat = grad_out.reshape(n, c_out, -1).transpose(0, 2, 1)
+    grad_kernels = np.einsum("npk,npo->ok", cols, grad_flat).reshape(
+        kernels.shape
+    )
+    grad_bias = grad_flat.sum(axis=(0, 1)) if with_bias else None
+    grad_cols = grad_flat @ kernels.reshape(c_out, -1)
+    grad_images = col2im(grad_cols, image_shape, (kr, kc), stride, padding)
+    return grad_images, grad_kernels, grad_bias
+
+
+def _pool_windows(images: np.ndarray, size: int, stride: int) -> np.ndarray:
+    n, c, h, w = images.shape
+    h_out = conv_output_size(h, size, stride, 0)
+    w_out = conv_output_size(w, size, stride, 0)
+    sn, sc, sh, sw = images.strides
+    return as_strided(
+        images,
+        shape=(n, c, h_out, w_out, size, size),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+
+
+def avg_pool2d(images: np.ndarray, size: int, stride: int) -> np.ndarray:
+    """Average pooling (the paper's adder-only pooling unit computes this)."""
+    return _pool_windows(images, size, stride).mean(axis=(4, 5))
+
+
+def avg_pool2d_backward(
+    grad_out: np.ndarray,
+    image_shape: tuple[int, int, int, int],
+    size: int,
+    stride: int,
+) -> np.ndarray:
+    """Gradient of average pooling: spread each gradient over its window."""
+    n, c, h, w = image_shape
+    grad = np.zeros(image_shape)
+    share = grad_out / (size * size)
+    h_out, w_out = grad_out.shape[2], grad_out.shape[3]
+    for dy in range(size):
+        for dx in range(size):
+            grad[:, :, dy:dy + stride * h_out:stride,
+                 dx:dx + stride * w_out:stride] += share
+    return grad
+
+
+def max_pool2d(
+    images: np.ndarray, size: int, stride: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Max pooling; returns ``(output, argmax)`` with argmax cached for
+    backward (flat index within each window)."""
+    windows = _pool_windows(images, size, stride)
+    n, c, h_out, w_out = windows.shape[:4]
+    flat = windows.reshape(n, c, h_out, w_out, size * size)
+    arg = flat.argmax(axis=4)
+    out = np.take_along_axis(flat, arg[..., np.newaxis], axis=4)[..., 0]
+    return out, arg
+
+
+def max_pool2d_backward(
+    grad_out: np.ndarray,
+    argmax: np.ndarray,
+    image_shape: tuple[int, int, int, int],
+    size: int,
+    stride: int,
+) -> np.ndarray:
+    """Gradient of max pooling: route each gradient to its argmax cell."""
+    grad = np.zeros(image_shape)
+    n, c, h_out, w_out = grad_out.shape
+    dy = (argmax // size).astype(np.int64)
+    dx = (argmax % size).astype(np.int64)
+    ys = (np.arange(h_out) * stride).reshape(1, 1, -1, 1) + dy
+    xs = (np.arange(w_out) * stride).reshape(1, 1, 1, -1) + dx
+    ns = np.arange(n).reshape(-1, 1, 1, 1)
+    cs = np.arange(c).reshape(1, -1, 1, 1)
+    np.add.at(grad, (ns, cs, ys, xs), grad_out)
+    return grad

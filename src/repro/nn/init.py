@@ -1,0 +1,37 @@
+"""Weight initialization schemes for the ANN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["he_normal", "xavier_uniform", "fan_in_out"]
+
+
+def fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Fan-in / fan-out of a weight tensor.
+
+    For convolution kernels ``(C_out, C_in, Kr, Kc)`` the receptive-field
+    size multiplies the channel counts; for linear matrices ``(N_out, N_in)``
+    it is just the two dimensions.
+    """
+    if len(shape) < 2:
+        raise ValueError(f"weight tensor needs >= 2 dims, got shape {shape}")
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) normal init — the right default for ReLU networks."""
+    fan_in, _ = fan_in_out(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator
+) -> np.ndarray:
+    """Xavier/Glorot uniform init, for layers feeding non-ReLU activations."""
+    fan_in, fan_out = fan_in_out(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)

@@ -1,0 +1,336 @@
+"""Trainable layers with explicit forward/backward passes.
+
+Each layer caches what its backward pass needs during ``forward`` and
+exposes ``params()`` / ``grads()`` in matching order so optimizers can walk
+them generically.  The layer set is exactly what the paper's workloads need
+(LeNet-5, VGG-11, the Fang/Ju CNNs): convolution, linear, ReLU, average and
+max pooling, flatten, dropout and batch norm (batch norm folds into the
+preceding convolution before conversion to an SNN).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+from repro.nn.init import he_normal
+
+__all__ = [
+    "Layer",
+    "Conv2d",
+    "Linear",
+    "ReLU",
+    "AvgPool2d",
+    "MaxPool2d",
+    "Flatten",
+    "Dropout",
+    "BatchNorm2d",
+]
+
+
+class Layer:
+    """Base class: stateless layers only override forward/backward."""
+
+    training: bool = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def params(self) -> list[np.ndarray]:
+        """Trainable tensors, in a fixed order matching :meth:`grads`."""
+        return []
+
+    def grads(self) -> list[np.ndarray]:
+        """Gradients for :meth:`params`, valid after ``backward``."""
+        return []
+
+    def train(self) -> None:
+        self.training = True
+
+    def eval(self) -> None:
+        self.training = False
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Conv2d(Layer):
+    """2-D convolution over NCHW tensors."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if in_channels < 1 or out_channels < 1 or kernel_size < 1:
+            raise ShapeError("conv dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = he_normal(
+            (out_channels, in_channels, kernel_size, kernel_size), rng
+        )
+        self.bias = np.zeros(out_channels) if bias else None
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros(out_channels) if bias else None
+        self._cols: np.ndarray | None = None
+        self._input_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, cols = F.conv2d(x, self.weight, self.bias, self.stride,
+                             self.padding)
+        if self.training:
+            self._cols = cols
+            self._input_shape = x.shape
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._input_shape is None:
+            raise ShapeError("backward called before forward")
+        grad_in, gw, gb = F.conv2d_backward(
+            grad_out, self._cols, self.weight, self._input_shape,
+            self.stride, self.padding, self.bias is not None,
+        )
+        self.grad_weight = gw
+        if gb is not None:
+            self.grad_bias = gb
+        return grad_in
+
+    def params(self) -> list[np.ndarray]:
+        return [self.weight] if self.bias is None else [self.weight, self.bias]
+
+    def grads(self) -> list[np.ndarray]:
+        if self.bias is None:
+            return [self.grad_weight]
+        return [self.grad_weight, self.grad_bias]
+
+
+class Linear(Layer):
+    """Fully-connected layer on ``(N, features)`` tensors."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ShapeError("linear dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = he_normal((out_features, in_features), rng)
+        self.bias = np.zeros(out_features) if bias else None
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros(out_features) if bias else None
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"linear layer expects (N, {self.in_features}), got {x.shape}"
+            )
+        if self.training:
+            self._input = x
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise ShapeError("backward called before forward")
+        self.grad_weight = grad_out.T @ self._input
+        if self.bias is not None:
+            self.grad_bias = grad_out.sum(axis=0)
+        return grad_out @ self.weight
+
+    def params(self) -> list[np.ndarray]:
+        return [self.weight] if self.bias is None else [self.weight, self.bias]
+
+    def grads(self) -> list[np.ndarray]:
+        if self.bias is None:
+            return [self.grad_weight]
+        return [self.grad_weight, self.grad_bias]
+
+
+class ReLU(Layer):
+    """Rectified linear unit; the only nonlinearity SNN conversion supports."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError("backward called before forward")
+        return grad_out * self._mask
+
+
+class AvgPool2d(Layer):
+    """Average pooling; maps to the accelerator's adder-only pooling unit."""
+
+    def __init__(self, size: int, stride: int | None = None) -> None:
+        self.size = size
+        self.stride = stride if stride is not None else size
+        self._input_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            self._input_shape = x.shape
+        return F.avg_pool2d(x, self.size, self.stride)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise ShapeError("backward called before forward")
+        return F.avg_pool2d_backward(
+            grad_out, self._input_shape, self.size, self.stride
+        )
+
+
+class MaxPool2d(Layer):
+    """Max pooling (kept for ANN baselines; conversion prefers AvgPool2d)."""
+
+    def __init__(self, size: int, stride: int | None = None) -> None:
+        self.size = size
+        self.stride = stride if stride is not None else size
+        self._argmax: np.ndarray | None = None
+        self._input_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, arg = F.max_pool2d(x, self.size, self.stride)
+        if self.training:
+            self._argmax = arg
+            self._input_shape = x.shape
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._input_shape is None:
+            raise ShapeError("backward called before forward")
+        return F.max_pool2d_backward(
+            grad_out, self._argmax, self._input_shape, self.size, self.stride
+        )
+
+
+class Flatten(Layer):
+    """Collapse all non-batch axes; the 2-D → 1-D buffer handoff point."""
+
+    def __init__(self) -> None:
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise ShapeError("backward called before forward")
+        return grad_out.reshape(self._input_shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at eval time (and after conversion)."""
+
+    def __init__(self, rate: float = 0.5, seed: int = 0) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ShapeError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class BatchNorm2d(Layer):
+    """Batch normalization over NCHW tensors.
+
+    Used only during ANN training; :func:`repro.snn.convert.fold_batch_norm`
+    folds the learned affine into the preceding convolution so the deployed
+    network contains only conv/pool/linear/ReLU.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1,
+                 eps: float = 1e-5) -> None:
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = np.ones(num_features)
+        self.beta = np.zeros(num_features)
+        self.grad_gamma = np.zeros(num_features)
+        self.grad_beta = np.zeros(num_features)
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ShapeError(
+                f"batch norm expects (N, {self.num_features}, H, W), "
+                f"got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        shape = (1, -1, 1, 1)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean.reshape(shape)) * inv_std.reshape(shape)
+        if self.training:
+            self._cache = (x_hat, inv_std)
+        return self.gamma.reshape(shape) * x_hat + self.beta.reshape(shape)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward called before forward")
+        x_hat, inv_std = self._cache
+        shape = (1, -1, 1, 1)
+        m = grad_out.shape[0] * grad_out.shape[2] * grad_out.shape[3]
+        self.grad_gamma = (grad_out * x_hat).sum(axis=(0, 2, 3))
+        self.grad_beta = grad_out.sum(axis=(0, 2, 3))
+        g = grad_out * self.gamma.reshape(shape)
+        term = (
+            g
+            - g.mean(axis=(0, 2, 3)).reshape(shape)
+            - x_hat * (g * x_hat).sum(axis=(0, 2, 3)).reshape(shape) / m
+        )
+        return term * inv_std.reshape(shape)
+
+    def params(self) -> list[np.ndarray]:
+        return [self.gamma, self.beta]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_gamma, self.grad_beta]

@@ -1,0 +1,66 @@
+"""Loss functions for ANN training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["CrossEntropyLoss", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy with optional label smoothing.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient
+    w.r.t. the logits, already divided by the batch size so it can be fed
+    straight into ``Sequential.backward``.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ShapeError(
+                f"label smoothing must be in [0, 1), got {label_smoothing}"
+            )
+        self.label_smoothing = label_smoothing
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ShapeError(f"logits must be (N, classes), got {logits.shape}")
+        targets = np.asarray(targets)
+        if targets.shape != (logits.shape[0],):
+            raise ShapeError(
+                f"targets must be (N,) class indices, got {targets.shape}"
+            )
+        n, k = logits.shape
+        probs = softmax(logits)
+        self._probs = probs
+        self._targets = targets
+        eps = self.label_smoothing
+        true_prob = probs[np.arange(n), targets]
+        nll = -np.log(np.clip(true_prob, 1e-12, None))
+        if eps == 0.0:
+            return float(nll.mean())
+        uniform = -np.log(np.clip(probs, 1e-12, None)).mean(axis=1)
+        return float(((1 - eps) * nll + eps * uniform).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise ShapeError("backward called before forward")
+        n, k = self._probs.shape
+        eps = self.label_smoothing
+        target_dist = np.full_like(self._probs, eps / k)
+        target_dist[np.arange(n), self._targets] += 1.0 - eps
+        return (self._probs - target_dist) / n
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)

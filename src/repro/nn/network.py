@@ -1,0 +1,99 @@
+"""Sequential network container with save/load support."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers import Layer
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A plain feed-forward stack of layers.
+
+    Every network in this reproduction (LeNet-5, VGG-11, the Fang and Ju
+    CNNs) is a straight pipeline, so a list of layers is the right level of
+    generality — no graph machinery required.
+    """
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ShapeError("a network needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def train(self) -> None:
+        for layer in self.layers:
+            layer.train()
+
+    def eval(self) -> None:
+        for layer in self.layers:
+            layer.eval()
+
+    def params(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.params()]
+
+    def grads(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.grads()]
+
+    def num_parameters(self) -> int:
+        """Total trainable parameter count (the paper quotes 28.5M for VGG-11)."""
+        return sum(p.size for p in self.params())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of parameter arrays, keyed by layer index and slot."""
+        state: dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for j, param in enumerate(layer.params()):
+                state[f"layer{i}.param{j}"] = param
+            if hasattr(layer, "running_mean"):
+                state[f"layer{i}.running_mean"] = layer.running_mean
+                state[f"layer{i}.running_var"] = layer.running_var
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for i, layer in enumerate(self.layers):
+            for j, param in enumerate(layer.params()):
+                key = f"layer{i}.param{j}"
+                if key not in state:
+                    raise ShapeError(f"missing parameter {key} in state dict")
+                if state[key].shape != param.shape:
+                    raise ShapeError(
+                        f"shape mismatch for {key}: saved "
+                        f"{state[key].shape}, model {param.shape}"
+                    )
+                param[...] = state[key]
+            if hasattr(layer, "running_mean"):
+                layer.running_mean[...] = state[f"layer{i}.running_mean"]
+                layer.running_var[...] = state[f"layer{i}.running_var"]
+
+    def save(self, path: str | Path) -> None:
+        """Serialize parameters to a ``.npz`` archive."""
+        np.savez_compressed(Path(path), **self.state_dict())
+
+    def load(self, path: str | Path) -> None:
+        """Restore parameters saved by :meth:`save`."""
+        with np.load(Path(path)) as archive:
+            self.load_state_dict({k: archive[k] for k in archive.files})

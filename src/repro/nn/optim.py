@@ -1,0 +1,126 @@
+"""Optimizers and learning-rate schedules for the ANN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["SGD", "Adam", "CosineSchedule", "StepSchedule"]
+
+
+class Optimizer:
+    """Base optimizer: walks (param, grad) pairs supplied by the network."""
+
+    def __init__(self, params: list[np.ndarray], lr: float) -> None:
+        if lr <= 0:
+            raise ShapeError(f"learning rate must be positive, got {lr}")
+        self.params = params
+        self.lr = lr
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        raise NotImplementedError
+
+    def _check(self, grads: list[np.ndarray]) -> None:
+        if len(grads) != len(self.params):
+            raise ShapeError(
+                f"got {len(grads)} gradients for {len(self.params)} parameters"
+            )
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        lr: float,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p) for p in params]
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        self._check(grads)
+        for param, grad, vel in zip(self.params, grads, self._velocity):
+            g = grad + self.weight_decay * param
+            vel *= self.momentum
+            vel += g
+            param -= self.lr * vel
+
+
+class Adam(Optimizer):
+    """Adam with bias correction; the workhorse for the synthetic datasets."""
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        self._check(grads)
+        self._t += 1
+        b1, b2 = self.betas
+        corr1 = 1.0 - b1**self._t
+        corr2 = 1.0 - b2**self._t
+        for param, grad, m, v in zip(self.params, grads, self._m, self._v):
+            g = grad + self.weight_decay * param
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            m_hat = m / corr1
+            v_hat = v / corr2
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class CosineSchedule:
+    """Cosine annealing from the base LR to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, base_lr: float, total_steps: int,
+                 min_lr: float = 0.0) -> None:
+        if total_steps < 1:
+            raise ShapeError("schedule needs at least one step")
+        self.base_lr = base_lr
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        frac = min(max(step, 0), self.total_steps) / self.total_steps
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + np.cos(np.pi * frac)
+        )
+
+    def apply(self, optimizer: Optimizer, step: int) -> None:
+        optimizer.lr = self.lr_at(step)
+
+
+class StepSchedule:
+    """Multiply the LR by ``gamma`` at each listed milestone step."""
+
+    def __init__(self, base_lr: float, milestones: list[int],
+                 gamma: float = 0.1) -> None:
+        self.base_lr = base_lr
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def lr_at(self, step: int) -> float:
+        passed = sum(1 for m in self.milestones if step >= m)
+        return self.base_lr * self.gamma**passed
+
+    def apply(self, optimizer: Optimizer, step: int) -> None:
+        optimizer.lr = self.lr_at(step)

@@ -1,0 +1,188 @@
+"""Quantization-aware training (QAT).
+
+The paper's models come from an ANN-to-SNN toolchain (E3NE [14]) that
+trains with the deployment quantization in the loop: 3-bit weights and
+``T``-bit radix-encoded activations.  Plain post-training quantization to
+3 bits collapses accuracy (we measure ~77% on LeNet-5 where QAT reaches
+~99%), so this module provides the training-side counterpart:
+
+* :class:`FakeQuantActivation` — a layer inserted after each hidden ReLU
+  that clamps to a running-percentile scale ``λ`` and snaps to the
+  ``2**T``-level grid, with a straight-through gradient estimator.  At
+  conversion time its ``λ`` becomes the layer's requantization scale, so
+  training and deployment see the *same* arithmetic.
+* :class:`QATTrainer` — swaps per-channel fake-quantized weights in before
+  each forward/backward pass and applies the (straight-through) gradients
+  to the float master weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.quantize import quantize_weights
+from repro.errors import QuantizationError
+from repro.nn.layers import Conv2d, Layer, Linear, ReLU
+from repro.nn.network import Sequential
+from repro.nn.trainer import Trainer
+
+__all__ = [
+    "FakeQuantActivation",
+    "QATTrainer",
+    "add_activation_quantization",
+    "fake_quantized_weights",
+]
+
+
+class FakeQuantActivation(Layer):
+    """Simulates the hardware requantization grid during training.
+
+    Forward: ``y = clip(floor(x / λ · 2^T + 1/2), 0, 2^T - 1) · λ / 2^T``
+    (round to nearest, matching the ``+1/2`` the deployment requantization
+    folds into its bias — see :func:`repro.snn.spec.requantize`).
+    Backward: straight-through inside ``[0, λ)``, zero outside (clipped
+    STE).  ``λ`` tracks a running percentile of the observed activations
+    with momentum, so it converges to the same statistic the post-training
+    calibrator would compute.
+    """
+
+    def __init__(
+        self,
+        num_steps: int,
+        percentile: float = 99.9,
+        momentum: float = 0.1,
+    ) -> None:
+        if num_steps < 1:
+            raise QuantizationError("need at least one time step")
+        self.num_steps = int(num_steps)
+        self.percentile = float(percentile)
+        self.momentum = float(momentum)
+        self.scale = 0.0  # running λ; 0 means "not yet observed"
+        self._mask: np.ndarray | None = None
+
+    def _update_scale(self, x: np.ndarray) -> None:
+        observed = float(np.percentile(x, self.percentile))
+        observed = max(observed, 1e-9)
+        if self.scale == 0.0:
+            self.scale = observed
+        else:
+            self.scale = ((1.0 - self.momentum) * self.scale
+                          + self.momentum * observed)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            self._update_scale(x)
+        if self.scale == 0.0:
+            raise QuantizationError(
+                "activation quantizer used in eval mode before any "
+                "training batch set its scale"
+            )
+        levels = 1 << self.num_steps
+        if self.training:
+            self._mask = (x >= 0) & (x < self.scale)
+        q = np.floor(x / self.scale * levels + 0.5)
+        q = np.clip(q, 0, levels - 1)
+        return q * (self.scale / levels)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise QuantizationError("backward called before forward")
+        return grad_out * self._mask
+
+
+def add_activation_quantization(
+    model: Sequential, num_steps: int, percentile: float = 99.9
+) -> Sequential:
+    """Insert a :class:`FakeQuantActivation` after every hidden ReLU.
+
+    The returned network shares parameter arrays with ``model`` (layers
+    are reused, not copied), so training the result trains the original
+    layers.
+    """
+    layers: list[Layer] = []
+    for layer in model.layers:
+        layers.append(layer)
+        if isinstance(layer, ReLU):
+            layers.append(FakeQuantActivation(num_steps, percentile))
+    return Sequential(layers)
+
+
+class fake_quantized_weights:
+    """Context manager: swap per-channel fake-quantized weights in/out.
+
+    Inside the context every conv/linear layer computes with
+    ``dequantize(quantize(w))`` while the float master weights are kept
+    aside; on exit the masters are restored.  Gradients computed inside
+    are straight-through estimates for the masters.
+
+    The final linear layer (classifier head) uses a per-tensor scale, as
+    the deployment conversion does.
+    """
+
+    def __init__(self, model: Sequential, weight_bits: int) -> None:
+        self.model = model
+        self.weight_bits = weight_bits
+        self._saved: list[tuple[Layer, np.ndarray]] = []
+
+    def __enter__(self) -> "fake_quantized_weights":
+        quantizable = [l for l in self.model.layers
+                       if isinstance(l, (Conv2d, Linear))]
+        for layer in quantizable:
+            is_head = layer is quantizable[-1]
+            master = layer.weight
+            quantized = quantize_weights(
+                master, self.weight_bits, per_channel=not is_head
+            ).dequantize()
+            self._saved.append((layer, master))
+            layer.weight = quantized
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for layer, master in self._saved:
+            layer.weight = master
+        self._saved.clear()
+
+
+class QATTrainer(Trainer):
+    """Trainer that sees deployment quantization during every batch.
+
+    Besides the weight and activation fake-quantization, inputs are
+    snapped to the ``T``-bit radix input grid (``input_steps``) — the
+    deployed network never sees more input resolution than the encoder
+    provides, so training should not either.
+
+    The optimizer must hold references to the *master* parameter arrays
+    (build it from ``model.params()`` before training, as usual); weight
+    fake-quantization happens around each forward/backward only.
+    """
+
+    def __init__(self, model: Sequential, optimizer, weight_bits: int = 3,
+                 input_steps: int | None = None, **kwargs) -> None:
+        super().__init__(model, optimizer, **kwargs)
+        self.weight_bits = weight_bits
+        self.input_steps = input_steps
+
+    def _quantize_inputs(self, images: np.ndarray) -> np.ndarray:
+        if self.input_steps is None:
+            return images
+        levels = 1 << self.input_steps
+        return np.clip(np.floor(images * levels), 0, levels - 1) / levels
+
+    def train_epoch(self, images: np.ndarray, labels: np.ndarray) -> float:
+        self.model.train()
+        order = self._rng.permutation(len(images))
+        total, batches = 0.0, 0
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.schedule is not None:
+                self.schedule.apply(self.optimizer, self._global_step)
+            batch = self._quantize_inputs(images[idx])
+            with fake_quantized_weights(self.model, self.weight_bits):
+                logits = self.model.forward(batch)
+                total += self.loss.forward(logits, labels[idx])
+                self.model.backward(self.loss.backward())
+                grads = [g.copy() for g in self.model.grads()]
+            self.optimizer.step(grads)
+            self._global_step += 1
+            batches += 1
+        return total / max(batches, 1)

@@ -1,0 +1,120 @@
+"""Mini-batch training loop for the ANN substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.network import Sequential
+from repro.nn.optim import Optimizer
+
+__all__ = ["Trainer", "TrainLog", "evaluate_accuracy"]
+
+
+def evaluate_accuracy(
+    model: Sequential,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int = 256,
+) -> float:
+    """Top-1 accuracy of ``model`` on a dataset, evaluated in eval mode."""
+    model.eval()
+    correct = 0
+    for start in range(0, len(images), batch_size):
+        batch = images[start:start + batch_size]
+        logits = model.forward(batch)
+        correct += int((logits.argmax(axis=1)
+                        == labels[start:start + batch_size]).sum())
+    return correct / max(len(images), 1)
+
+
+@dataclass
+class TrainLog:
+    """Per-epoch history produced by :class:`Trainer`."""
+
+    losses: list[float] = field(default_factory=list)
+    train_accuracies: list[float] = field(default_factory=list)
+    test_accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def best_test_accuracy(self) -> float:
+        return max(self.test_accuracies, default=0.0)
+
+
+class Trainer:
+    """Runs epochs of shuffled mini-batch SGD over a fixed dataset.
+
+    The loop is deliberately simple: all datasets in this reproduction are
+    synthetic and fit in memory, so there is no streaming or augmentation
+    pipeline here — augmentation happens inside the dataset generators.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        optimizer: Optimizer,
+        loss: CrossEntropyLoss | None = None,
+        batch_size: int = 64,
+        seed: int = 0,
+        schedule=None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss = loss or CrossEntropyLoss()
+        self.batch_size = batch_size
+        self.schedule = schedule
+        self._rng = np.random.default_rng(seed)
+        self._global_step = 0
+
+    def train_epoch(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """One pass over the data; returns the mean per-batch loss."""
+        self.model.train()
+        order = self._rng.permutation(len(images))
+        total, batches = 0.0, 0
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.schedule is not None:
+                self.schedule.apply(self.optimizer, self._global_step)
+            logits = self.model.forward(images[idx])
+            total += self.loss.forward(logits, labels[idx])
+            self.model.backward(self.loss.backward())
+            self.optimizer.step(self.model.grads())
+            self._global_step += 1
+            batches += 1
+        return total / max(batches, 1)
+
+    def fit(
+        self,
+        train_images: np.ndarray,
+        train_labels: np.ndarray,
+        test_images: np.ndarray | None = None,
+        test_labels: np.ndarray | None = None,
+        epochs: int = 5,
+        verbose: bool = False,
+    ) -> TrainLog:
+        """Train for ``epochs`` passes, tracking accuracy after each one."""
+        log = TrainLog()
+        for epoch in range(epochs):
+            loss = self.train_epoch(train_images, train_labels)
+            log.losses.append(loss)
+            train_acc = evaluate_accuracy(
+                self.model, train_images[:2048], train_labels[:2048]
+            )
+            log.train_accuracies.append(train_acc)
+            if test_images is not None and test_labels is not None:
+                test_acc = evaluate_accuracy(
+                    self.model, test_images, test_labels
+                )
+                log.test_accuracies.append(test_acc)
+            if verbose:
+                test_str = (
+                    f" test={log.test_accuracies[-1]:.4f}"
+                    if log.test_accuracies else ""
+                )
+                print(
+                    f"epoch {epoch + 1}/{epochs} loss={loss:.4f} "
+                    f"train={train_acc:.4f}{test_str}"
+                )
+        return log

@@ -1,0 +1,32 @@
+"""SNN functional simulation: radix conversion/executors and the rate baseline."""
+
+from repro.snn.convert import ann_to_snn, fold_batch_norm, group_layers
+from repro.snn.model import SNNModel, SpikeStats
+from repro.snn.neuron import RadixIFNeuron, RateIFNeuron
+from repro.snn.rate_model import RateSNN, ann_to_rate_snn
+from repro.snn.spec import (
+    FlattenSpec,
+    QuantConvSpec,
+    QuantLinearSpec,
+    QuantPoolSpec,
+    QuantizedNetwork,
+    requantize,
+)
+
+__all__ = [
+    "FlattenSpec",
+    "QuantConvSpec",
+    "QuantLinearSpec",
+    "QuantPoolSpec",
+    "QuantizedNetwork",
+    "RadixIFNeuron",
+    "RateIFNeuron",
+    "RateSNN",
+    "SNNModel",
+    "SpikeStats",
+    "ann_to_rate_snn",
+    "ann_to_snn",
+    "fold_batch_norm",
+    "group_layers",
+    "requantize",
+]

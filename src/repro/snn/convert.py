@@ -1,0 +1,306 @@
+"""ANN-to-SNN conversion for radix-encoded networks.
+
+This reproduces the conversion contract of the paper's toolchain (E3NE,
+ref. [14]): train a float ANN, calibrate per-layer activation scales on a
+small calibration set, quantize weights to ``weight_bits`` (3 in the
+paper), fold everything into integer layers, and obtain an SNN whose radix
+simulation is bit-exact to the quantized ANN.
+
+The scale algebra (DESIGN.md §4): with input activations ``a ≈ λ_in·q/2^T``
+and weights ``w ≈ s_w·w_int``, the integer accumulator ``acc = Σ w_int·q``
+represents ``z = λ_in·s_w/2^T · acc``.  Bias enters as
+``round(b·2^T/(λ_in·s_w))`` and the requantization scale to the next
+layer's grid is ``M = λ_in·s_w/λ_out``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.encoding.quantize import ActivationCalibrator, quantize_weights
+from repro.errors import ConversionError
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.network import Sequential
+from repro.snn.model import SNNModel
+from repro.snn.spec import (
+    FlattenSpec,
+    QuantConvSpec,
+    QuantLinearSpec,
+    QuantPoolSpec,
+    QuantizedNetwork,
+)
+
+__all__ = ["ann_to_snn", "fold_batch_norm", "group_layers"]
+
+
+def fold_batch_norm(model: Sequential) -> Sequential:
+    """Fold each ``Conv2d → BatchNorm2d`` pair into a single convolution.
+
+    Standard inference-time folding: the BN affine (using running
+    statistics) is absorbed into the conv's weights and bias, leaving a
+    network of only conv/pool/linear/ReLU that conversion can handle.
+    """
+    folded: list = []
+    layers = list(model.layers)
+    i = 0
+    while i < len(layers):
+        layer = layers[i]
+        nxt = layers[i + 1] if i + 1 < len(layers) else None
+        if isinstance(layer, Conv2d) and isinstance(nxt, BatchNorm2d):
+            conv = Conv2d(
+                layer.in_channels, layer.out_channels, layer.kernel_size,
+                stride=layer.stride, padding=layer.padding, bias=True,
+            )
+            gamma, beta = nxt.gamma, nxt.beta
+            mean, var = nxt.running_mean, nxt.running_var
+            factor = gamma / np.sqrt(var + nxt.eps)
+            conv.weight = layer.weight * factor.reshape(-1, 1, 1, 1)
+            old_bias = layer.bias if layer.bias is not None else 0.0
+            conv.bias = (old_bias - mean) * factor + beta
+            folded.append(conv)
+            i += 2
+            continue
+        folded.append(layer)
+        i += 1
+    return Sequential(folded)
+
+
+def group_layers(model: Sequential) -> list[tuple]:
+    """Group a Sequential into conversion units.
+
+    Returns tuples ``('conv', conv, fq)``, ``('linear', linear, has_relu,
+    fq)``, ``('pool', pool)``, ``('flatten',)`` where ``fq`` is the
+    :class:`~repro.nn.qat.FakeQuantActivation` attached after the group's
+    ReLU during quantization-aware training, or ``None``.  Every hidden
+    conv/linear must be followed by a ReLU (possibly with Dropout in
+    between); the final linear is the classifier head and must not be.
+    """
+    from repro.nn.qat import FakeQuantActivation
+
+    layers = [l for l in model.layers if not isinstance(l, Dropout)]
+    if any(isinstance(l, BatchNorm2d) for l in layers):
+        raise ConversionError(
+            "fold batch norm before conversion (fold_batch_norm)"
+        )
+    if any(isinstance(l, MaxPool2d) for l in layers):
+        raise ConversionError(
+            "max pooling is not supported by the adder-based pooling unit; "
+            "train with AvgPool2d"
+        )
+
+    def fq_at(index: int):
+        if index < len(layers) and isinstance(layers[index],
+                                              FakeQuantActivation):
+            return layers[index]
+        return None
+
+    groups: list[tuple] = []
+    i = 0
+    while i < len(layers):
+        layer = layers[i]
+        if isinstance(layer, Conv2d):
+            if i + 1 >= len(layers) or not isinstance(layers[i + 1], ReLU):
+                raise ConversionError(
+                    "every convolution must be followed by ReLU"
+                )
+            fq = fq_at(i + 2)
+            groups.append(("conv", layer, fq))
+            i += 3 if fq is not None else 2
+        elif isinstance(layer, Linear):
+            has_relu = i + 1 < len(layers) and isinstance(layers[i + 1], ReLU)
+            fq = fq_at(i + 2) if has_relu else None
+            groups.append(("linear", layer, has_relu, fq))
+            i += 1 + (1 if has_relu else 0) + (1 if fq is not None else 0)
+        elif isinstance(layer, AvgPool2d):
+            groups.append(("pool", layer))
+            i += 1
+        elif isinstance(layer, Flatten):
+            groups.append(("flatten",))
+            i += 1
+        elif isinstance(layer, ReLU):
+            raise ConversionError("unexpected ReLU without preceding layer")
+        else:
+            raise ConversionError(
+                f"layer {type(layer).__name__} is not convertible"
+            )
+    if not groups or groups[-1][0] != "linear" or groups[-1][2]:
+        raise ConversionError(
+            "network must end in a linear classifier head without ReLU"
+        )
+    return groups
+
+
+def _calibrate_scales(
+    model: Sequential,
+    groups: list[tuple],
+    images: np.ndarray,
+    percentile: float,
+    batch_size: int = 128,
+) -> list[float]:
+    """Per-group output activation scale λ via a forward calibration pass.
+
+    The input scale is fixed at 1.0 (images live in ``[0, 1]``); pooling
+    and flatten preserve scale; the classifier head needs none.  Groups
+    trained with quantization-aware training carry a
+    ``FakeQuantActivation`` whose learned scale is used directly (and its
+    quantization is applied while propagating, so downstream statistics
+    match training exactly).
+    """
+    model.eval()
+    calibrators = [
+        ActivationCalibrator(percentile) for _ in groups
+    ]
+
+    def group_fq(group):
+        if group[0] == "conv":
+            return group[2]
+        if group[0] == "linear":
+            return group[3]
+        return None
+
+    for start in range(0, len(images), batch_size):
+        x = images[start:start + batch_size]
+        for gi, group in enumerate(groups):
+            fq = group_fq(group)
+            if group[0] == "conv":
+                x = np.maximum(group[1].forward(x), 0.0)
+                if fq is None:
+                    calibrators[gi].observe(x)
+                else:
+                    x = fq.forward(x)
+            elif group[0] == "linear":
+                x = group[1].forward(x)
+                if group[2]:
+                    x = np.maximum(x, 0.0)
+                    if fq is None:
+                        calibrators[gi].observe(x)
+                    else:
+                        x = fq.forward(x)
+            elif group[0] == "pool":
+                x = group[1].forward(x)
+            else:
+                x = x.reshape(x.shape[0], -1)
+    scales: list[float] = []
+    for gi, group in enumerate(groups):
+        fq = group_fq(group)
+        if fq is not None:
+            scales.append(fq.scale)
+        elif group[0] == "conv" or (group[0] == "linear" and group[2]):
+            scales.append(calibrators[gi].scale())
+        else:
+            scales.append(1.0)
+    return scales
+
+
+def ann_to_snn(
+    model: Sequential,
+    calibration: Dataset | np.ndarray,
+    num_steps: int,
+    weight_bits: int = 3,
+    percentile: float = 99.9,
+) -> SNNModel:
+    """Convert a trained float ANN into a radix-encoded SNN.
+
+    Parameters
+    ----------
+    model:
+        Trained ``Sequential`` of conv/avg-pool/linear/ReLU layers (fold
+        batch norm first if present).
+    calibration:
+        A small dataset (or raw image tensor) for activation-scale
+        calibration; a few hundred samples suffice.
+    num_steps:
+        Radix spike-train length ``T`` (the paper sweeps 3–6).
+    weight_bits:
+        Parameter resolution (3 in all paper experiments).
+    """
+    images = (calibration.images if isinstance(calibration, Dataset)
+              else np.asarray(calibration))
+    if images.ndim != 4:
+        raise ConversionError(
+            f"calibration images must be NCHW, got shape {images.shape}"
+        )
+    groups = group_layers(model)
+    lambdas = _calibrate_scales(model, groups, images, percentile)
+
+    input_shape = tuple(images.shape[1:])
+    specs: list = []
+    lam_in = 1.0
+    shape = input_shape  # (C, H, W) tracked through the network
+    flat_features: int | None = None
+    two_pow_t = float(1 << num_steps)
+
+    for gi, group in enumerate(groups):
+        if group[0] == "conv":
+            conv = group[1]
+            lam_out = lambdas[gi]
+            qw = quantize_weights(conv.weight, weight_bits, per_channel=True)
+            bias = conv.bias if conv.bias is not None else np.zeros(
+                conv.out_channels)
+            bias_int = np.rint(
+                bias * two_pow_t / (lam_in * qw.scales)).astype(np.int64)
+            m_scales = lam_in * qw.scales / lam_out
+            c, h, w = shape
+            h_out = (h + 2 * conv.padding - conv.kernel_size) // conv.stride + 1
+            w_out = (w + 2 * conv.padding - conv.kernel_size) // conv.stride + 1
+            out_shape = (conv.out_channels, h_out, w_out)
+            specs.append(QuantConvSpec(
+                weights=qw.values, bias=bias_int, scales=m_scales,
+                stride=conv.stride, padding=conv.padding,
+                in_shape=shape, out_shape=out_shape,
+            ))
+            shape = out_shape
+            lam_in = lam_out
+        elif group[0] == "pool":
+            pool = group[1]
+            c, h, w = shape
+            h_out = (h - pool.size) // pool.stride + 1
+            w_out = (w - pool.size) // pool.stride + 1
+            out_shape = (c, h_out, w_out)
+            specs.append(QuantPoolSpec(
+                size=pool.size, stride=pool.stride,
+                in_shape=shape, out_shape=out_shape,
+            ))
+            shape = out_shape
+        elif group[0] == "flatten":
+            flat_features = int(np.prod(shape))
+            specs.append(FlattenSpec(in_shape=shape,
+                                     out_features=flat_features))
+        else:  # linear
+            linear, has_relu = group[1], group[2]
+            if flat_features is None:
+                flat_features = int(np.prod(shape))
+            is_output = gi == len(groups) - 1
+            lam_out = lambdas[gi]
+            qw = quantize_weights(
+                linear.weight, weight_bits, per_channel=not is_output
+            )
+            bias = (linear.bias if linear.bias is not None
+                    else np.zeros(linear.out_features))
+            bias_int = np.rint(
+                bias * two_pow_t / (lam_in * qw.scales)).astype(np.int64)
+            m_scales = lam_in * qw.scales / lam_out
+            specs.append(QuantLinearSpec(
+                weights=qw.values, bias=bias_int, scales=m_scales,
+                is_output=is_output,
+                in_features=flat_features, out_features=linear.out_features,
+            ))
+            flat_features = linear.out_features
+            lam_in = lam_out
+
+    num_classes = specs[-1].out_features
+    network = QuantizedNetwork(
+        layers=tuple(specs), num_steps=num_steps, weight_bits=weight_bits,
+        input_shape=input_shape, num_classes=num_classes,
+    )
+    return SNNModel(network)

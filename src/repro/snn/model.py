@@ -1,0 +1,210 @@
+"""Functional simulation of a radix-encoded SNN.
+
+:class:`SNNModel` executes a :class:`~repro.snn.spec.QuantizedNetwork` in
+two equivalent ways:
+
+* :meth:`forward_ints` — the integer *reference semantics*: whole-tensor
+  integer convolutions/matmuls with the requantization contract of
+  DESIGN.md §4.  Fast; used for accuracy sweeps.
+* :meth:`forward_spikes` — the true step-by-step spike-train simulation:
+  each layer integrates ``T`` binary spike planes with a left-shifting
+  accumulator (``RadixIFNeuron``) and emits a new radix train.  Slower, but
+  demonstrates the temporal behaviour the hardware implements and is
+  asserted bit-exact to :meth:`forward_ints`.
+
+Integer arithmetic note: intermediate products are far below ``2**53``, so
+matmuls run in float64 (exact for these magnitudes, and BLAS-fast) and are
+cast back to int64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.encoding import radix
+from repro.encoding.spike_train import SpikeTrain
+from repro.errors import ShapeError
+from repro.nn import functional as F
+from repro.snn.neuron import RadixIFNeuron
+from repro.snn.spec import (
+    QuantConvSpec,
+    QuantLinearSpec,
+    QuantPoolSpec,
+    QuantizedNetwork,
+    requantize,
+)
+
+__all__ = ["SNNModel", "SpikeStats"]
+
+
+@dataclass
+class SpikeStats:
+    """Per-layer spike counts from a temporal simulation (energy proxy)."""
+
+    spikes_per_layer: list[int] = field(default_factory=list)
+    neurons_per_layer: list[int] = field(default_factory=list)
+
+    @property
+    def total_spikes(self) -> int:
+        return sum(self.spikes_per_layer)
+
+    def mean_rate(self, num_steps: int) -> float:
+        """Average spikes per neuron per time step across the network."""
+        slots = sum(self.neurons_per_layer) * num_steps
+        return self.total_spikes / slots if slots else 0.0
+
+
+def _int_conv(x: np.ndarray, spec: QuantConvSpec) -> np.ndarray:
+    """Exact integer convolution via float64 im2col GEMM."""
+    out, _ = F.conv2d(
+        x.astype(np.float64),
+        spec.weights.astype(np.float64),
+        None,
+        spec.stride,
+        spec.padding,
+    )
+    return np.rint(out).astype(np.int64)
+
+
+def _int_pool(x: np.ndarray, spec: QuantPoolSpec) -> np.ndarray:
+    """Sum pooling followed by the exact right-shift divide."""
+    window_sum = F.avg_pool2d(x.astype(np.float64), spec.size, spec.stride)
+    window_sum = np.rint(window_sum * spec.size * spec.size).astype(np.int64)
+    return window_sum >> spec.shift
+
+
+def _int_linear(x: np.ndarray, spec: QuantLinearSpec) -> np.ndarray:
+    out = x.astype(np.float64) @ spec.weights.T.astype(np.float64)
+    return np.rint(out).astype(np.int64)
+
+
+class SNNModel:
+    """A lowered, radix-encoded spiking network ready for simulation."""
+
+    def __init__(self, network: QuantizedNetwork) -> None:
+        self.network = network
+
+    @property
+    def num_steps(self) -> int:
+        return self.network.num_steps
+
+    def quantize_input(self, images: np.ndarray) -> np.ndarray:
+        """Map ``[0, 1]`` images to the input integer grid."""
+        if images.ndim != 4 or images.shape[1:] != self.network.input_shape:
+            raise ShapeError(
+                f"expected images of shape (N, "
+                f"{', '.join(map(str, self.network.input_shape))}), "
+                f"got {images.shape}"
+            )
+        return radix.quantize_real(images, self.num_steps)
+
+    # ------------------------------------------------------------------
+    # Reference integer semantics
+    # ------------------------------------------------------------------
+    def forward_ints(self, images: np.ndarray) -> np.ndarray:
+        """Integer forward pass; returns the logit accumulators (N, classes)."""
+        x = self.quantize_input(images)
+        t = self.num_steps
+        for spec in self.network.layers:
+            if spec.kind == "conv":
+                acc = _int_conv(x, spec) + spec.bias.reshape(1, -1, 1, 1)
+                x = requantize(acc, spec.scales, t, channel_axis=1)
+            elif spec.kind == "pool":
+                x = _int_pool(x, spec)
+            elif spec.kind == "flatten":
+                x = x.reshape(x.shape[0], -1)
+            else:  # linear
+                acc = _int_linear(x, spec) + spec.bias.reshape(1, -1)
+                if spec.is_output:
+                    x = acc
+                else:
+                    x = requantize(acc, spec.scales, t, channel_axis=1)
+        return x
+
+    # ------------------------------------------------------------------
+    # Temporal spike-train simulation
+    # ------------------------------------------------------------------
+    def forward_spikes(
+        self, images: np.ndarray, collect_stats: bool = False
+    ) -> tuple[np.ndarray, SpikeStats | None]:
+        """Step-by-step radix simulation; returns (logits, spike stats).
+
+        Layers execute in sequence (as on the accelerator); within a layer
+        the ``T`` input spike planes are integrated MSB-first with a
+        left-shifting membrane potential.
+        """
+        t = self.num_steps
+        train = radix.encode_ints(self.quantize_input(images), t)
+        stats = SpikeStats() if collect_stats else None
+        if stats is not None:
+            stats.spikes_per_layer.append(train.num_spikes)
+            stats.neurons_per_layer.append(
+                int(np.prod(train.payload_shape)))
+        logits: np.ndarray | None = None
+        for spec in self.network.layers:
+            if spec.kind == "flatten":
+                train = SpikeTrain(train.bits.reshape(t, train.bits.shape[1],
+                                                      -1))
+                continue
+            if spec.kind == "pool":
+                # Pooling is linear, so it commutes with the radix
+                # weighting: pool each spike plane's window sum, keep full
+                # precision across steps, shift-divide at the end.
+                neuron = RadixIFNeuron(
+                    (train.bits.shape[1],) + spec.out_shape, t)
+                for step in range(t):
+                    plane = train.step(step)
+                    window_sum = np.rint(
+                        F.avg_pool2d(plane.astype(np.float64), spec.size,
+                                     spec.stride)
+                        * spec.size * spec.size
+                    ).astype(np.int64)
+                    neuron.integrate(window_sum)
+                out_ints = neuron.potential >> spec.shift
+                out_ints = np.minimum(out_ints, radix.max_int(t))
+                train = radix.encode_ints(out_ints, t)
+            elif spec.kind == "conv":
+                neuron = RadixIFNeuron(
+                    (train.bits.shape[1],) + spec.out_shape, t)
+                for step in range(t):
+                    current = _int_conv(train.step(step), spec)
+                    neuron.integrate(current)
+                acc = neuron.potential + spec.bias.reshape(1, -1, 1, 1)
+                out_ints = requantize(acc, spec.scales, t, channel_axis=1)
+                train = radix.encode_ints(out_ints, t)
+            else:  # linear
+                neuron = RadixIFNeuron(
+                    (train.bits.shape[1], spec.out_features), t)
+                for step in range(t):
+                    current = _int_linear(train.step(step), spec)
+                    neuron.integrate(current)
+                acc = neuron.potential + spec.bias.reshape(1, -1)
+                if spec.is_output:
+                    logits = acc
+                    break
+                out_ints = requantize(acc, spec.scales, t, channel_axis=1)
+                train = radix.encode_ints(out_ints, t)
+            if stats is not None:
+                stats.spikes_per_layer.append(train.num_spikes)
+                stats.neurons_per_layer.append(
+                    int(np.prod(train.payload_shape)))
+        if logits is None:
+            raise ShapeError("network did not end in an output linear layer")
+        return logits, stats
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class predictions via the reference integer semantics."""
+        return self.forward_ints(images).argmax(axis=1)
+
+    def accuracy(self, dataset: Dataset, batch_size: int = 256) -> float:
+        """Top-1 accuracy over a dataset."""
+        correct = 0
+        for images, labels in dataset.batches(batch_size):
+            correct += int((self.predict(images) == labels).sum())
+        return correct / max(len(dataset), 1)

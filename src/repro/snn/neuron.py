@@ -1,0 +1,92 @@
+"""Neuron models for the two encoding schemes.
+
+* :class:`RadixIFNeuron` — the paper's neuron: an integrate unit whose
+  membrane potential doubles (left-shifts) between time steps, so a spike
+  arriving at step ``t`` is implicitly weighted ``2**(T-1-t)``.  After the
+  last step the potential holds the exact integer dot product.
+* :class:`RateIFNeuron` — the classic integrate-and-fire neuron with
+  reset-by-subtraction used by rate-coded baselines (Fang et al. style).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["RadixIFNeuron", "RateIFNeuron"]
+
+
+class RadixIFNeuron:
+    """Vectorized radix integrate unit over an arbitrary tensor shape.
+
+    Usage: call :meth:`integrate` once per time step (steps 0..T-1 in
+    order), then read :attr:`potential`.  The left shift happens *before*
+    adding each step's current, which makes step 0 the most significant —
+    exactly the MSB-first radix convention.
+    """
+
+    def __init__(self, shape: tuple[int, ...], num_steps: int) -> None:
+        self.shape = tuple(shape)
+        self.num_steps = int(num_steps)
+        self.potential = np.zeros(self.shape, dtype=np.int64)
+        self._steps_done = 0
+
+    def integrate(self, current: np.ndarray) -> None:
+        """Fold in one time step's synaptic current (integer tensor)."""
+        if self._steps_done >= self.num_steps:
+            raise SimulationError(
+                f"neuron already integrated {self.num_steps} steps"
+            )
+        current = np.asarray(current)
+        if current.shape != self.shape:
+            raise SimulationError(
+                f"current shape {current.shape} does not match neuron "
+                f"shape {self.shape}"
+            )
+        self.potential = (self.potential << 1) + current.astype(np.int64)
+        self._steps_done += 1
+
+    @property
+    def complete(self) -> bool:
+        return self._steps_done == self.num_steps
+
+    def reset(self) -> None:
+        self.potential = np.zeros(self.shape, dtype=np.int64)
+        self._steps_done = 0
+
+
+class RateIFNeuron:
+    """Vectorized IF neuron with reset-by-subtraction (rate-coded baseline).
+
+    Works in normalized float units: threshold 1.0, weights pre-scaled by
+    the usual ANN-to-SNN layer normalization.  Reset-by-subtraction keeps
+    the residual potential, which is what lets spike counts approximate the
+    underlying activation as T grows.
+    """
+
+    def __init__(self, shape: tuple[int, ...], threshold: float = 1.0) -> None:
+        if threshold <= 0:
+            raise SimulationError(f"threshold must be positive: {threshold}")
+        self.shape = tuple(shape)
+        self.threshold = float(threshold)
+        self.potential = np.zeros(self.shape, dtype=np.float64)
+        self.spike_count = np.zeros(self.shape, dtype=np.int64)
+
+    def step(self, current: np.ndarray) -> np.ndarray:
+        """Integrate one step of current; return the binary spike plane."""
+        current = np.asarray(current, dtype=np.float64)
+        if current.shape != self.shape:
+            raise SimulationError(
+                f"current shape {current.shape} does not match neuron "
+                f"shape {self.shape}"
+            )
+        self.potential += current
+        spikes = self.potential >= self.threshold
+        self.potential -= spikes * self.threshold
+        self.spike_count += spikes
+        return spikes.astype(np.uint8)
+
+    def reset(self) -> None:
+        self.potential.fill(0.0)
+        self.spike_count.fill(0)

@@ -1,0 +1,145 @@
+"""Tests for the analysis extensions (fault injection, sparsity, Pareto)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DesignPoint,
+    flip_weight_bits,
+    measure_sparsity,
+    pareto_front,
+    sensitivity_curve,
+    sweep_design_space,
+)
+from repro.data.dataset import Dataset
+from repro.errors import SimulationError
+from repro.models import performance_network
+from repro.snn import SNNModel
+
+
+def small_net(seed=0):
+    return performance_network(
+        [("conv", 4, 3, 1, 0), ("pool", 2), ("flatten",), ("linear", 8),
+         ("linear", 3)],
+        input_shape=(1, 10, 10), num_steps=3, seed=seed)
+
+
+def small_dataset(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.random((n, 1, 10, 10)), rng.integers(0, 3, n), 3)
+
+
+class TestFaultInjection:
+    def test_zero_fraction_is_identity(self):
+        net = small_net()
+        mutated, flips = flip_weight_bits(net, 0.0)
+        assert flips == 0
+        for a, b in zip(net.conv_layers(), mutated.conv_layers()):
+            np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_flip_count_tracks_fraction(self):
+        net = small_net()
+        _, flips = flip_weight_bits(net, 0.1, seed=1)
+        total_bits = net.num_parameters * net.weight_bits
+        assert flips == pytest.approx(0.1 * total_bits, rel=0.2)
+
+    def test_flipped_weights_stay_in_range(self):
+        """A bit flip in the 3-bit encoding must stay a valid 3-bit
+        two's-complement value."""
+        net = small_net()
+        mutated, _ = flip_weight_bits(net, 0.3, seed=2)
+        for spec in mutated.conv_layers():
+            assert spec.weights.min() >= -4
+            assert spec.weights.max() <= 3
+
+    def test_flip_changes_some_weights(self):
+        net = small_net()
+        mutated, flips = flip_weight_bits(net, 0.05, seed=3)
+        assert flips > 0
+        diffs = sum(
+            int((a.weights != b.weights).sum())
+            for a, b in zip(net.conv_layers(), mutated.conv_layers()))
+        diffs += sum(
+            int((a.weights != b.weights).sum())
+            for a, b in zip(net.linear_layers(), mutated.linear_layers()))
+        assert diffs > 0
+
+    def test_deterministic_given_seed(self):
+        net = small_net()
+        a, _ = flip_weight_bits(net, 0.05, seed=7)
+        b, _ = flip_weight_bits(net, 0.05, seed=7)
+        for sa, sb in zip(a.conv_layers(), b.conv_layers()):
+            np.testing.assert_array_equal(sa.weights, sb.weights)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(SimulationError):
+            flip_weight_bits(small_net(), 1.5)
+
+    def test_sensitivity_curve_starts_at_baseline(self):
+        snn = SNNModel(small_net())
+        data = small_dataset()
+        curve = sensitivity_curve(snn, data,
+                                  flip_fractions=(0.0, 0.2), seed=0)
+        assert curve[0].flip_fraction == 0.0
+        assert curve[0].accuracy == pytest.approx(snn.accuracy(data))
+        assert len(curve) == 2
+
+
+class TestSparsity:
+    def test_rates_bounded(self):
+        snn = SNNModel(small_net())
+        report = measure_sparsity(snn, small_dataset(), max_samples=8)
+        assert 0.0 <= report.overall_rate <= 1.0
+        for layer in report.layers:
+            assert 0.0 <= layer.spike_rate <= 1.0
+            assert layer.num_neurons > 0
+
+    def test_bright_inputs_are_denser(self):
+        snn = SNNModel(small_net())
+        dark = Dataset(np.zeros((8, 1, 10, 10)),
+                       np.zeros(8, dtype=int), 3)
+        bright = Dataset(np.full((8, 1, 10, 10), 0.95),
+                         np.zeros(8, dtype=int), 3)
+        dark_rate = measure_sparsity(snn, dark).overall_rate
+        bright_rate = measure_sparsity(snn, bright).overall_rate
+        assert bright_rate > dark_rate
+
+    def test_densest_layer_lookup(self):
+        snn = SNNModel(small_net())
+        report = measure_sparsity(snn, small_dataset(), max_samples=8)
+        densest = report.densest_layer()
+        assert densest.spike_rate == max(
+            l.spike_rate for l in report.layers)
+
+
+class TestParetoFront:
+    def test_sweep_covers_grid(self):
+        points = sweep_design_space(small_net(), unit_counts=(1, 2),
+                                    clocks_mhz=(100.0, 200.0))
+        assert len(points) == 4
+
+    def test_dominance_semantics(self):
+        a = DesignPoint(1, 100.0, latency_us=100, power_w=3.0, luts=10_000)
+        b = DesignPoint(2, 100.0, latency_us=200, power_w=3.5, luts=20_000)
+        c = DesignPoint(4, 100.0, latency_us=50, power_w=4.0, luts=30_000)
+        assert a.dominates(b)
+        assert not a.dominates(c) and not c.dominates(a)
+
+    def test_front_is_non_dominated(self):
+        points = sweep_design_space(small_net())
+        front = pareto_front(points)
+        assert front
+        for p in front:
+            assert not any(q.dominates(p) for q in points)
+
+    def test_front_contains_fastest_and_leanest(self):
+        points = sweep_design_space(small_net())
+        front = pareto_front(points)
+        fastest = min(points, key=lambda p: p.latency_us)
+        leanest = min(points, key=lambda p: (p.luts, p.latency_us))
+        assert any(p.objectives() == fastest.objectives() for p in front)
+        assert any(p.luts == leanest.luts for p in front)
+
+    def test_energy_derived(self):
+        p = DesignPoint(1, 100.0, latency_us=1000, power_w=3.0, luts=1)
+        assert p.energy_mj == pytest.approx(3.0)

@@ -1,0 +1,200 @@
+"""Tests for the baselines package and the experiment harness scaffolding."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FANG_2020,
+    JU_2020,
+    TABLE_III,
+    AccuracyCurve,
+    DataflowSummary,
+    encoding_advantage,
+    naive_conv_traffic,
+    naive_network_traffic,
+)
+from repro.core import AcceleratorConfig, compile_network
+from repro.core.stats import MemoryTraffic
+from repro.harness import (
+    ArtifactStore,
+    Table,
+    render_conv_unit,
+    render_overview,
+)
+from repro.models import performance_network
+from repro.nn import Linear, ReLU, Sequential
+from repro.snn import SNNModel
+
+
+class TestPublishedNumbers:
+    def test_table3_rows_as_printed(self):
+        assert JU_2020.latency_us == 6110.0
+        assert JU_2020.throughput_fps == 164.0
+        assert FANG_2020.luts == 156_000
+        assert FANG_2020.ffs == 233_000
+        assert len(TABLE_III) == 5
+
+    def test_energy_derived(self):
+        assert JU_2020.energy_per_frame_mj == pytest.approx(
+            4.6 * 6110.0 * 1e-3)
+
+
+class TestNaiveDataflow:
+    def _net(self):
+        return performance_network(
+            [("conv", 4, 3, 1, 0), ("flatten",), ("linear", 4)],
+            input_shape=(2, 8, 8), num_steps=3)
+
+    def test_window_traffic_formula(self):
+        spec = self._net().conv_layers()[0]
+        traffic = naive_conv_traffic(spec, num_steps=3)
+        windows = 4 * 6 * 6 * 2 * 3
+        assert traffic.activation_read_bits == windows * 9
+        assert traffic.kernel_read_values == windows * 9
+
+    def test_network_totals(self):
+        net = self._net()
+        total = naive_network_traffic(net)
+        assert total.activation_read_bits == naive_conv_traffic(
+            net.conv_layers()[0], 3).activation_read_bits
+
+    def test_rowwise_beats_naive_on_real_run(self):
+        """The actual measured traffic of the functional simulator must be
+        well below the naive sliding-window traffic (the paper's claim)."""
+        from repro.core import Controller
+        net = self._net()
+        compiled = compile_network(
+            net, AcceleratorConfig.for_network(net))
+        controller = Controller(compiled)
+        _, trace = controller.run_image(
+            np.random.default_rng(0).random(net.input_shape))
+        conv_traffic = MemoryTraffic()
+        for layer in trace.layers:
+            if layer.kind == "conv":
+                conv_traffic.merge(layer.traffic)
+        summary = DataflowSummary(rowwise=conv_traffic,
+                                  naive=naive_network_traffic(net))
+        assert summary.activation_read_reduction > 3.0
+        assert summary.kernel_read_reduction > 1.0
+
+
+class TestEncodingAdvantage:
+    def test_reproduces_paper_arithmetic(self):
+        """Radix saturating at T=6 vs rate reaching parity at T=10 is the
+        paper's ~40% efficiency improvement."""
+        radix = AccuracyCurve("radix", (3, 4, 5, 6), (0.985, 0.991, 0.992,
+                                                      0.9926))
+        rate = AccuracyCurve("rate", (2, 4, 6, 8, 10, 12),
+                             (0.5, 0.8, 0.95, 0.98, 0.992, 0.993))
+        comparison = encoding_advantage(radix, rate)
+        assert comparison.radix_steps == 4
+        assert comparison.rate_steps == 10
+        assert comparison.efficiency_gain == pytest.approx(0.6)
+
+    def test_unreachable_target(self):
+        radix = AccuracyCurve("radix", (3,), (0.99,))
+        rate = AccuracyCurve("rate", (2, 4), (0.3, 0.4))
+        comparison = encoding_advantage(radix, rate)
+        assert comparison.rate_steps is None
+        assert comparison.efficiency_gain is None
+
+    def test_curve_validation(self):
+        with pytest.raises(ValueError):
+            AccuracyCurve("x", (1, 2), (0.5,))
+
+
+class TestTableRenderer:
+    def test_renders_aligned(self):
+        table = Table("Demo", ["a", "column_b"])
+        table.add_row(1, 2.5)
+        table.add_row("long-cell", 12345.0)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert all(len(l) == len(lines[2]) for l in lines[2:])
+        assert "12,345" in text
+
+    def test_row_width_validation(self):
+        table = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+
+class TestDiagrams:
+    def test_overview_reflects_config(self):
+        config = AcceleratorConfig().with_units(3)
+        text = render_overview(config)
+        assert "conv unit 2" in text
+        assert "30x5 adders" in text
+        assert "100 MHz" in text
+
+    def test_overview_with_compiled_model(self):
+        net = performance_network(
+            [("conv", 2, 3, 1, 0), ("flatten",), ("linear", 2)],
+            (1, 8, 8), num_steps=3)
+        compiled = compile_network(net, AcceleratorConfig.for_network(net))
+        text = render_overview(compiled.config, compiled)
+        assert "1 conv + 1 linear" in text
+        assert "internal BRAM" in text
+
+    def test_conv_unit_diagram(self):
+        text = render_conv_unit(AcceleratorConfig(), kernel_rows=3,
+                                stride=2)
+        assert "kernel row 2" in text
+        assert "stride=2" in text
+        assert "acc << 1" in text
+
+
+class TestArtifactStore:
+    def test_model_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        rng = np.random.default_rng(0)
+        model = Sequential([Linear(4, 3, rng=rng), ReLU(),
+                            Linear(3, 2, rng=rng)])
+        x = rng.normal(size=(2, 4))
+        expected = model.forward(x)
+        store.save_model("m1", model)
+        assert store.has_model("m1")
+        fresh = Sequential([Linear(4, 3), ReLU(), Linear(3, 2)])
+        store.load_model("m1", fresh)
+        np.testing.assert_allclose(fresh.forward(x), expected)
+
+    def test_qat_scales_roundtrip(self, tmp_path):
+        from repro.nn.qat import add_activation_quantization
+        store = ArtifactStore(tmp_path)
+        model = add_activation_quantization(
+            Sequential([Linear(4, 3), ReLU(), Linear(3, 2)]), num_steps=3)
+        model.layers[2].scale = 1.25
+        store.save_model("q1", model)
+        fresh = add_activation_quantization(
+            Sequential([Linear(4, 3), ReLU(), Linear(3, 2)]), num_steps=3)
+        store.load_model("q1", fresh)
+        assert fresh.layers[2].scale == 1.25
+
+    def test_result_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save_result("r1", {"accuracy": np.float64(0.5),
+                                 "counts": np.array([1, 2])})
+        assert store.has_result("r1")
+        loaded = store.load_result("r1")
+        assert loaded["accuracy"] == 0.5
+        assert loaded["counts"] == [1, 2]
+
+    def test_missing_artifacts(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert not store.has_model("nope")
+        assert not store.has_result("nope")
+
+
+class TestSpikeStatsOnRealNetwork:
+    def test_geometry_network_runs_spiking(self):
+        net = performance_network(
+            [("conv", 3, 3, 1, 0), ("pool", 2), ("flatten",),
+             ("linear", 4)],
+            (1, 10, 10), num_steps=3, seed=2)
+        snn = SNNModel(net)
+        images = np.random.default_rng(0).random((2, 1, 10, 10))
+        ref = snn.forward_ints(images)
+        spikes, stats = snn.forward_spikes(images, collect_stats=True)
+        np.testing.assert_array_equal(ref, spikes)
+        assert stats.total_spikes > 0

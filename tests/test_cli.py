@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import cli
+from repro.harness import ArtifactStore, ExperimentRunner, ExperimentSettings
+
+
+@pytest.fixture()
+def tiny_runner(tmp_path, monkeypatch):
+    """Patch the CLI to use a smoke-scale runner with isolated artifacts."""
+    settings = ExperimentSettings(
+        train_count=250, test_count=60, calibration_count=48,
+        base_epochs=1, t3_epochs=1, fast=True)
+    runner = ExperimentRunner(settings=settings,
+                              store=ArtifactStore(tmp_path))
+    monkeypatch.setattr(cli, "ExperimentRunner", lambda: runner)
+    return runner
+
+
+class TestCliDispatch:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["rocket-science"])
+
+    def test_requires_argument(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+    def test_figures_path(self, tiny_runner, capsys):
+        assert cli.main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+        assert "Fig. 2" in out
+        assert "conv unit 0" in out
+
+    def test_table2_path(self, tiny_runner, capsys):
+        assert cli.main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "paper/ours" in out
+
+    def test_table3_without_vgg(self, tiny_runner, capsys):
+        assert cli.main(["table3", "--no-vgg"]) == 0
+        out = capsys.readouterr().out
+        assert "Ju et al." in out
+        assert "VGG-11" not in out
+
+    def test_dataflow_path(self, tiny_runner, capsys):
+        assert cli.main(["dataflow"]) == 0
+        out = capsys.readouterr().out
+        assert "row-based" in out
+        assert "naive sliding window" in out

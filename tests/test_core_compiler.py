@@ -1,0 +1,104 @@
+"""Tests for the compiler: scheduling, memory planning, capacity checks."""
+
+import pytest
+
+from repro.core import AcceleratorConfig, compile_network
+from repro.core.config import ConvUnitConfig, MemoryConfig, PoolUnitConfig
+from repro.errors import CompilationError
+from repro.models import performance_network, vgg11_performance_network
+
+
+def small_net(num_steps=3):
+    return performance_network(
+        [("conv", 6, 3, 1, 0), ("pool", 2), ("conv", 8, 3, 1, 0),
+         ("flatten",), ("linear", 20), ("linear", 4)],
+        input_shape=(1, 12, 12), num_steps=num_steps)
+
+
+class TestCompileNetwork:
+    def test_program_order_matches_layers(self):
+        compiled = compile_network(small_net(), AcceleratorConfig())
+        kinds = [p.kind for p in compiled.programs]
+        assert kinds == ["conv", "pool", "conv", "flatten", "linear",
+                         "linear"]
+        names = [p.name for p in compiled.programs]
+        assert names == ["conv1", "pool1", "conv2", "flatten", "fc1", "fc2"]
+
+    def test_conv_schedule_covers_every_channel_once(self):
+        compiled = compile_network(small_net(), AcceleratorConfig())
+        for program in compiled.programs:
+            if program.kind != "conv":
+                continue
+            seen = [c for rnd in program.conv_schedule.rounds
+                    for grp in rnd for c in grp]
+            assert sorted(seen) == list(range(program.spec.out_shape[0]))
+
+    def test_rounds_respect_unit_count(self):
+        config = AcceleratorConfig().with_units(2)
+        compiled = compile_network(small_net(), config)
+        for program in compiled.programs:
+            if program.kind == "conv":
+                for rnd in program.conv_schedule.rounds:
+                    assert len(rnd) <= 2
+
+    def test_more_units_fewer_rounds(self):
+        net = small_net()
+        r1 = compile_network(net, AcceleratorConfig().with_units(1))
+        r4 = compile_network(net, AcceleratorConfig().with_units(4))
+        rounds1 = r1.programs[0].conv_schedule.num_rounds
+        rounds4 = r4.programs[0].conv_schedule.num_rounds
+        assert rounds4 < rounds1
+
+    def test_weight_bits_mismatch_rejected(self):
+        net = performance_network(
+            [("flatten",), ("linear", 2)], (1, 2, 2), num_steps=3,
+            weight_bits=4)
+        with pytest.raises(CompilationError):
+            compile_network(net, AcceleratorConfig())  # config is 3-bit
+
+    def test_kernel_too_tall_rejected(self):
+        net = performance_network(
+            [("conv", 2, 5, 1, 0), ("flatten",), ("linear", 2)],
+            (1, 8, 8), num_steps=3)
+        config = AcceleratorConfig(conv_unit=ConvUnitConfig(columns=8,
+                                                            rows=3))
+        with pytest.raises(CompilationError):
+            compile_network(net, config)
+
+    def test_pool_too_wide_rejected(self):
+        net = performance_network(
+            [("conv", 2, 3, 1, 0), ("pool", 2), ("flatten",),
+             ("linear", 2)],
+            (1, 20, 20), num_steps=3)
+        config = AcceleratorConfig(
+            conv_unit=ConvUnitConfig(columns=20, rows=3),
+            pool_unit=PoolUnitConfig(columns=4, rows=2))
+        with pytest.raises(CompilationError):
+            compile_network(net, config)
+
+    def test_small_net_weights_stay_on_chip(self):
+        compiled = compile_network(small_net(), AcceleratorConfig())
+        assert compiled.weights_on_chip
+
+    def test_vgg_weights_stream_from_dram(self):
+        """The paper's VGG-11 exceeds on-chip capacity (Section IV-D)."""
+        net = vgg11_performance_network(num_steps=6)
+        config = AcceleratorConfig.for_network(net, 8, 115.0)
+        compiled = compile_network(net, config)
+        assert not compiled.weights_on_chip
+
+    def test_weight_capacity_threshold(self):
+        net = small_net()
+        tiny_memory = MemoryConfig(onchip_weight_capacity=10)
+        config = AcceleratorConfig(
+            conv_unit=ConvUnitConfig(columns=30, rows=5),
+            memory=tiny_memory)
+        compiled = compile_network(net, config)
+        assert not compiled.weights_on_chip
+
+    def test_activation_capacity_enforced(self):
+        net = small_net()
+        config = AcceleratorConfig(
+            memory=MemoryConfig(activation_capacity=1))
+        with pytest.raises(CompilationError):
+            compile_network(net, config)

@@ -1,0 +1,163 @@
+"""Unit tests for the accelerator's datapath components."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdderArray,
+    InputShiftRegister,
+    OutputAccumulator,
+)
+from repro.errors import ShapeError, SimulationError
+
+
+class TestInputShiftRegister:
+    def test_load_and_taps(self):
+        reg = InputShiftRegister(8)
+        reg.load_row(np.array([1, 0, 1, 1, 0, 0, 1, 0]))
+        np.testing.assert_array_equal(reg.taps(4, 2), [1, 1, 0, 1])
+
+    def test_shift_moves_left_and_zero_fills(self):
+        reg = InputShiftRegister(4)
+        reg.load_row(np.array([1, 0, 1, 1]))
+        reg.shift()
+        np.testing.assert_array_equal(reg.bits, [0, 1, 1, 0])
+
+    def test_short_row_left_aligned(self):
+        reg = InputShiftRegister(6)
+        reg.load_row(np.array([1, 1]))
+        np.testing.assert_array_equal(reg.bits, [1, 1, 0, 0, 0, 0])
+
+    def test_shift_exposes_kernel_columns(self):
+        """After j shifts, tap x reads original position x*stride + j —
+        exactly the alignment Alg. 1 needs."""
+        row = np.array([1, 0, 0, 1, 1, 0, 0, 1])
+        reg = InputShiftRegister(8)
+        reg.load_row(row)
+        for shift in range(3):
+            taps = reg.taps(2, 4)
+            np.testing.assert_array_equal(
+                taps, [row[0 + shift], row[4 + shift]])
+            reg.shift()
+
+    def test_row_too_wide_rejected(self):
+        reg = InputShiftRegister(4)
+        with pytest.raises(ShapeError):
+            reg.load_row(np.ones(5))
+
+    def test_non_binary_rejected(self):
+        reg = InputShiftRegister(4)
+        with pytest.raises(SimulationError):
+            reg.load_row(np.array([0, 2]))
+
+    def test_taps_before_load_rejected(self):
+        with pytest.raises(SimulationError):
+            InputShiftRegister(4).taps(2, 1)
+
+    def test_taps_beyond_register_rejected(self):
+        reg = InputShiftRegister(4)
+        reg.load_row(np.ones(4))
+        with pytest.raises(ShapeError):
+            reg.taps(3, 2)  # tap 2 reads position 4
+
+
+class TestAdderArray:
+    def test_conditional_accumulation(self):
+        array = AdderArray(columns=3, rows=2)
+        kernels = np.array([[1, 2, 3], [4, 5, 6]])
+        array.step(np.array([1, 0, 1]), kernels)
+        expected = np.array([[1, 0, 3], [4, 0, 6]])
+        np.testing.assert_array_equal(array.partials, expected)
+
+    def test_adder_ops_counts_spiking_columns_only(self):
+        array = AdderArray(columns=4, rows=3)
+        array.step(np.array([1, 1, 0, 0]), np.ones((3, 4), dtype=np.int64))
+        assert array.adder_ops == 2 * 3
+
+    def test_advance_streams_partials_down(self):
+        array = AdderArray(columns=2, rows=2)
+        array.step(np.array([1, 1]), np.array([[1, 1], [10, 10]]))
+        out1 = array.advance()
+        np.testing.assert_array_equal(out1, [10, 10])  # bottom row exits
+        # The former top row (1, 1) is now at the bottom.
+        array.step(np.array([0, 0]), np.zeros((2, 2), dtype=np.int64))
+        out2 = array.advance()
+        np.testing.assert_array_equal(out2, [1, 1])
+
+    def test_single_row_pipeline(self):
+        """A 1-row array (1xK kernels) must exit sums immediately."""
+        array = AdderArray(columns=2, rows=1)
+        array.step(np.array([1, 0]), np.array([[7, 7]]))
+        np.testing.assert_array_equal(array.advance(), [7, 0])
+
+    def test_full_conv_row_sequence(self):
+        """Drive the array exactly as Alg. 1 does for a 1-D convolution
+        and check it produces the correct sliding-window dot products."""
+        kernel = np.array([2, 3, 5])          # Kc = 3, one kernel row
+        row = np.array([1, 0, 1, 1, 0, 1])    # W = 6 -> W_out = 4
+        array = AdderArray(columns=4, rows=1)
+        reg = InputShiftRegister(6)
+        reg.load_row(row)
+        for j in range(3):
+            taps = reg.taps(4, 1)
+            array.step(taps, np.tile(kernel[j], (1, 4)))
+            reg.shift()
+        result = array.advance()
+        expected = [np.dot(kernel, row[i:i + 3]) for i in range(4)]
+        np.testing.assert_array_equal(result, expected)
+
+    def test_shape_validation(self):
+        array = AdderArray(2, 2)
+        with pytest.raises(ShapeError):
+            array.step(np.ones(3), np.ones((2, 2)))
+        with pytest.raises(ShapeError):
+            array.step(np.ones(2), np.ones((3, 2)))
+        with pytest.raises(SimulationError):
+            array.step(np.array([2, 0]), np.ones((2, 2)))
+
+
+class TestOutputAccumulator:
+    def test_radix_left_shift_between_steps(self):
+        acc = OutputAccumulator(1, 1, 2)
+        acc.begin_time_step()
+        acc.add_row(0, 0, np.array([1, 1]))
+        acc.begin_time_step()            # shift: 1 -> 2
+        acc.add_row(0, 0, np.array([0, 1]))
+        np.testing.assert_array_equal(acc.raw()[0, 0], [2, 3])
+
+    def test_accumulates_input_channels_within_step(self):
+        acc = OutputAccumulator(1, 1, 2)
+        acc.begin_time_step()
+        acc.add_row(0, 0, np.array([1, 2]))
+        acc.add_row(0, 0, np.array([10, 20]))
+        np.testing.assert_array_equal(acc.raw()[0, 0], [11, 22])
+
+    def test_finalize_applies_bias_relu_requant(self):
+        acc = OutputAccumulator(2, 1, 1)
+        acc.begin_time_step()
+        acc.add_row(0, 0, np.array([4]))
+        acc.add_row(1, 0, np.array([-10]))
+        out = acc.finalize(bias=np.array([0, 0]),
+                           scales=np.array([1.0, 1.0]), num_steps=1)
+        np.testing.assert_array_equal(out.ravel(), [1, 0])  # saturate/ReLU
+
+    def test_finalize_step_count_guard(self):
+        acc = OutputAccumulator(1, 1, 1)
+        acc.begin_time_step()
+        with pytest.raises(SimulationError):
+            acc.finalize(np.zeros(1), np.ones(1), num_steps=2)
+
+    def test_add_before_step_guard(self):
+        acc = OutputAccumulator(1, 1, 1)
+        with pytest.raises(SimulationError):
+            acc.add_row(0, 0, np.array([1]))
+
+    def test_bounds_checks(self):
+        acc = OutputAccumulator(1, 2, 2)
+        acc.begin_time_step()
+        with pytest.raises(ShapeError):
+            acc.add_row(1, 0, np.zeros(2))
+        with pytest.raises(ShapeError):
+            acc.add_row(0, 2, np.zeros(2))
+        with pytest.raises(ShapeError):
+            acc.add_row(0, 0, np.zeros(3))

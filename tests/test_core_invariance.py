@@ -1,0 +1,125 @@
+"""Cross-configuration invariance properties of the hardware model.
+
+The paper states that "the classification result is unaffected by the
+number of convolution units as the operations are identical" — and, more
+broadly, none of the deployment knobs (unit count, clock, unit width,
+memory option) may change *what* is computed, only how fast.  These tests
+pin that down on randomized networks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Accelerator, AcceleratorConfig
+from repro.core.config import (
+    ConvUnitConfig,
+    LinearUnitConfig,
+    MemoryConfig,
+    PoolUnitConfig,
+)
+from repro.models import performance_network
+from repro.snn import SNNModel
+
+
+def random_network(seed, num_steps=3):
+    return performance_network(
+        [("conv", 5, 3, 1, 1), ("pool", 2), ("conv", 7, 3, 1, 0),
+         ("flatten",), ("linear", 11), ("linear", 4)],
+        input_shape=(1, 10, 10), num_steps=num_steps, seed=seed)
+
+
+def run_on(net, config, image):
+    accelerator = Accelerator(config)
+    accelerator.deploy(SNNModel(net))
+    logits, trace = accelerator.run_image(image)
+    return logits, trace
+
+
+class TestResultInvariance:
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=6, deadline=None)
+    def test_unit_count_does_not_change_results(self, seed):
+        """Table II's premise, verified functionally."""
+        net = random_network(seed)
+        image = np.random.default_rng(seed + 1).random(net.input_shape)
+        base = AcceleratorConfig.for_network(net, num_conv_units=1)
+        logits1, trace1 = run_on(net, base, image)
+        logits4, trace4 = run_on(net, base.with_units(4), image)
+        np.testing.assert_array_equal(logits1, logits4)
+        assert trace4.total_cycles < trace1.total_cycles
+
+    def test_unit_width_does_not_change_results(self):
+        """Wider adder arrays change packing/latency, never values."""
+        net = random_network(3)
+        image = np.random.default_rng(0).random(net.input_shape)
+        narrow = AcceleratorConfig(
+            conv_unit=ConvUnitConfig(columns=10, rows=3),
+            pool_unit=PoolUnitConfig(columns=5, rows=2))
+        wide = AcceleratorConfig(
+            conv_unit=ConvUnitConfig(columns=40, rows=3),
+            pool_unit=PoolUnitConfig(columns=8, rows=2))
+        logits_n, _ = run_on(net, narrow, image)
+        logits_w, _ = run_on(net, wide, image)
+        np.testing.assert_array_equal(logits_n, logits_w)
+
+    def test_memory_option_does_not_change_results(self):
+        """On-chip vs DRAM weights: identical outputs, extra cycles."""
+        net = random_network(5)
+        image = np.random.default_rng(2).random(net.input_shape)
+        base = AcceleratorConfig.for_network(net)
+        streamed = AcceleratorConfig(
+            num_conv_units=base.num_conv_units,
+            conv_unit=base.conv_unit, pool_unit=base.pool_unit,
+            memory=MemoryConfig(onchip_weight_capacity=1))
+        logits_a, trace_a = run_on(net, base, image)
+        logits_b, trace_b = run_on(net, streamed, image)
+        np.testing.assert_array_equal(logits_a, logits_b)
+        assert trace_b.total_cycles > trace_a.total_cycles
+
+    def test_linear_parallelism_does_not_change_results(self):
+        net = random_network(7)
+        image = np.random.default_rng(3).random(net.input_shape)
+        base = AcceleratorConfig.for_network(net)
+        narrow_fc = AcceleratorConfig(
+            num_conv_units=base.num_conv_units,
+            conv_unit=base.conv_unit, pool_unit=base.pool_unit,
+            linear_unit=LinearUnitConfig(parallel_outputs=2))
+        logits_a, trace_a = run_on(net, base, image)
+        logits_b, trace_b = run_on(net, narrow_fc, image)
+        np.testing.assert_array_equal(logits_a, logits_b)
+        assert trace_b.total_cycles > trace_a.total_cycles
+
+    def test_clock_changes_time_not_cycles(self):
+        net = random_network(9)
+        slow = AcceleratorConfig.for_network(net, clock_mhz=100.0)
+        fast = AcceleratorConfig.for_network(net, clock_mhz=200.0)
+        image = np.random.default_rng(4).random(net.input_shape)
+        _, trace_slow = run_on(net, slow, image)
+        _, trace_fast = run_on(net, fast, image)
+        assert trace_slow.total_cycles == trace_fast.total_cycles
+
+
+class TestTrafficInvariance:
+    def test_activation_reads_independent_of_unit_count(self):
+        """More units do the same total work; per-unit traffic merges to
+        (approximately) a unit-count-independent total for conv layers
+        processed round-robin over identical channel groups."""
+        net = random_network(11)
+        image = np.random.default_rng(5).random(net.input_shape)
+        base = AcceleratorConfig.for_network(net, num_conv_units=1)
+        _, trace1 = run_on(net, base, image)
+        _, trace2 = run_on(net, base.with_units(2), image)
+        t1 = trace1.total_traffic()
+        t2 = trace2.total_traffic()
+        assert t1.activation_read_bits == t2.activation_read_bits
+        assert t1.kernel_read_values == t2.kernel_read_values
+
+    def test_adder_ops_independent_of_unit_count(self):
+        net = random_network(13)
+        image = np.random.default_rng(6).random(net.input_shape)
+        base = AcceleratorConfig.for_network(net, num_conv_units=1)
+        _, trace1 = run_on(net, base, image)
+        _, trace3 = run_on(net, base.with_units(3), image)
+        assert trace1.total_adder_ops == trace3.total_adder_ops

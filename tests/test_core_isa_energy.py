@@ -1,0 +1,201 @@
+"""Tests for the configuration-word ISA, the energy breakdown and the
+event-driven baseline cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    EventDrivenConfig,
+    estimate_event_driven,
+)
+from repro.core import (
+    AcceleratorConfig,
+    Controller,
+    EnergyConstants,
+    Instruction,
+    Opcode,
+    assemble,
+    compile_network,
+    decode,
+    disassemble,
+    encode,
+    trace_energy,
+)
+from repro.core.config import MemoryConfig
+from repro.errors import CompilationError
+from repro.models import performance_network, vgg11_performance_network
+from repro.snn import SNNModel
+
+
+def small_net(num_steps=3):
+    return performance_network(
+        [("conv", 4, 3, 1, 1), ("pool", 2), ("flatten",),
+         ("linear", 12), ("linear", 3)],
+        input_shape=(1, 8, 8), num_steps=num_steps)
+
+
+class TestInstructionEncoding:
+    def test_roundtrip_conv(self):
+        instr = Instruction(Opcode.CONV, {
+            "in_channels": 64, "out_channels": 128, "height": 16,
+            "width": 16, "kernel": 3, "stride": 1, "padding": 1,
+            "groups": 8})
+        assert decode(encode(instr)) == instr
+
+    @given(st.sampled_from(list(Opcode)), st.integers(0, 1 << 30))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_random_operands(self, opcode, seed):
+        from repro.core.isa import _FIELDS
+        rng = np.random.default_rng(seed)
+        operands = {name: int(rng.integers(0, 1 << width))
+                    for name, width in _FIELDS[opcode]}
+        instr = Instruction(opcode, operands)
+        assert decode(encode(instr)) == instr
+
+    def test_word_fits_64_bits(self):
+        instr = Instruction(Opcode.LINEAR, {
+            "in_features": 65535, "out_features": 65535, "is_output": 1})
+        assert encode(instr) < (1 << 64)
+
+    def test_overflowing_operand_rejected(self):
+        instr = Instruction(Opcode.POOL, {
+            "channels": 5000, "height": 8, "width": 8, "size": 2,
+            "stride": 2})
+        with pytest.raises(CompilationError):
+            encode(instr)
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(CompilationError):
+            encode(Instruction(Opcode.FLATTEN, {}))
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(CompilationError):
+            decode(0xF)
+
+    def test_stray_bits_rejected(self):
+        word = encode(Instruction(Opcode.HALT, {}))
+        with pytest.raises(CompilationError):
+            decode(word | (1 << 63))
+
+    def test_str_listing(self):
+        instr = Instruction(Opcode.FLATTEN, {"features": 128})
+        assert "flatten" in str(instr)
+        assert "features=128" in str(instr)
+
+
+class TestAssemble:
+    def test_program_structure(self):
+        net = small_net()
+        compiled = compile_network(net, AcceleratorConfig.for_network(net))
+        words = assemble(compiled)
+        listing = disassemble(words)
+        opcodes = [i.opcode for i in listing]
+        assert opcodes[0] == Opcode.LOAD_INPUT
+        assert opcodes[-1] == Opcode.HALT
+        assert opcodes[1:-1] == [Opcode.CONV, Opcode.POOL, Opcode.FLATTEN,
+                                 Opcode.LINEAR, Opcode.LINEAR]
+
+    def test_operands_carry_layer_geometry(self):
+        net = small_net()
+        compiled = compile_network(net, AcceleratorConfig.for_network(net))
+        listing = disassemble(assemble(compiled))
+        conv = [i for i in listing if i.opcode == Opcode.CONV][0]
+        assert conv.operands["out_channels"] == 4
+        assert conv.operands["kernel"] == 3
+        head = [i for i in listing if i.opcode == Opcode.LINEAR][-1]
+        assert head.operands["is_output"] == 1
+
+    def test_dram_fetches_emitted_for_streaming_models(self):
+        net = vgg11_performance_network(num_steps=6)
+        compiled = compile_network(
+            net, AcceleratorConfig.for_network(net, 8, 115.0))
+        assert not compiled.weights_on_chip
+        listing = disassemble(assemble(compiled))
+        fetches = [i for i in listing if i.opcode == Opcode.DRAM_FETCH]
+        weight_layers = len(net.conv_layers()) + len(net.linear_layers())
+        assert len(fetches) == weight_layers
+        total_kb = sum(i.operands["kilobits"] for i in fetches)
+        assert total_kb == pytest.approx(
+            net.num_parameters * 3 / 1024, rel=0.01)
+
+
+class TestEnergyBreakdown:
+    def _trace(self, streaming=False):
+        net = small_net()
+        config = AcceleratorConfig.for_network(net)
+        if streaming:
+            config = AcceleratorConfig(
+                num_conv_units=config.num_conv_units,
+                conv_unit=config.conv_unit, pool_unit=config.pool_unit,
+                memory=MemoryConfig(onchip_weight_capacity=1))
+        compiled = compile_network(net, config)
+        controller = Controller(compiled)
+        image = np.random.default_rng(0).random(net.input_shape)
+        _, trace = controller.run_image(image)
+        return trace
+
+    def test_breakdown_positive_and_consistent(self):
+        breakdown = trace_energy(self._trace())
+        assert breakdown.compute_pj > 0
+        assert breakdown.onchip_memory_pj > 0
+        assert breakdown.dram_pj == 0.0  # weights on chip
+        assert breakdown.total_pj == pytest.approx(
+            breakdown.compute_pj + breakdown.onchip_memory_pj
+            + breakdown.dram_pj + breakdown.accumulator_pj)
+
+    def test_dram_dominates_when_streaming(self):
+        """Per-bit DRAM energy is ~100x BRAM: streaming must show up."""
+        on_chip = trace_energy(self._trace(streaming=False))
+        streamed = trace_energy(self._trace(streaming=True))
+        assert streamed.dram_pj > 0
+        assert streamed.total_pj > on_chip.total_pj
+        assert streamed.dominant() == "dram"
+
+    def test_adder_vs_multiplier_argument(self):
+        """The paper's adder-based datapath: compute energy with adders
+        must be far below the same op count on DSP multipliers."""
+        constants = EnergyConstants()
+        trace = self._trace()
+        adder_energy = trace.total_adder_ops * constants.adder_op_pj
+        dsp_energy = trace.total_adder_ops * constants.multiplier_op_pj
+        assert dsp_energy / adder_energy > 5.0
+
+
+class TestEventDrivenBaseline:
+    def test_cost_scales_with_spikes(self):
+        net = small_net()
+        snn = SNNModel(net)
+        dark = np.zeros((1,) + net.input_shape)
+        bright = np.full((1,) + net.input_shape, 0.9)
+        _, stats_dark = snn.forward_spikes(dark, collect_stats=True)
+        _, stats_bright = snn.forward_spikes(bright, collect_stats=True)
+        est_dark = estimate_event_driven(net, stats_dark.spikes_per_layer)
+        est_bright = estimate_event_driven(net,
+                                           stats_bright.spikes_per_layer)
+        assert est_bright.total_events >= est_dark.total_events
+        assert est_bright.cycles >= est_dark.cycles
+
+    def test_parallelism_reduces_latency(self):
+        net = small_net()
+        snn = SNNModel(net)
+        images = np.random.default_rng(0).random((1,) + net.input_shape)
+        _, stats = snn.forward_spikes(images, collect_stats=True)
+        serial = estimate_event_driven(
+            net, stats.spikes_per_layer,
+            EventDrivenConfig(updates_per_cycle=1))
+        wide = estimate_event_driven(
+            net, stats.spikes_per_layer,
+            EventDrivenConfig(updates_per_cycle=64))
+        assert wide.cycles < serial.cycles
+
+    def test_conv_fanout_exceeds_linear(self):
+        """Event-driven engines pay kernel-sized fan-out on conv layers —
+        the structural reason they target linear-only networks."""
+        from repro.baselines.event_driven import _layer_fanout
+        net = small_net()
+        conv = net.conv_layers()[0]
+        linear = net.linear_layers()[0]
+        assert _layer_fanout(conv) == 4 * 9
+        assert _layer_fanout(linear) == 12

@@ -1,0 +1,201 @@
+"""Regression tests pinning the latency/power/resource models to the
+paper's published anchor points, plus model-shape properties.
+
+These are the reproduction's quantitative guardrails: if a change to the
+cycle formulas or calibration constants drifts the models away from
+Table I/II/III, these tests fail.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AcceleratorConfig,
+    LatencyModel,
+    PowerModel,
+    ResourceModel,
+    channels_per_pass,
+    conv_group_count,
+    plan_bram,
+)
+from repro.models import performance_network, vgg11_performance_network
+
+
+def lenet_network(num_steps=3):
+    """LeNet-5 geometry (training-free stand-in for calibration tests)."""
+    return performance_network(
+        [("conv", 6, 5, 1, 0), ("pool", 2), ("conv", 16, 5, 1, 0),
+         ("pool", 2), ("conv", 120, 5, 1, 0), ("flatten",),
+         ("linear", 120), ("linear", 84), ("linear", 10)],
+        input_shape=(1, 32, 32), num_steps=num_steps)
+
+
+PAPER_TABLE2_LATENCY = {1: 1063.0, 2: 648.0, 4: 450.0, 8: 370.0}
+PAPER_TABLE2_POWER = {1: 3.07, 2: 3.09, 4: 3.17, 8: 3.28}
+PAPER_TABLE2_LUTS = {1: 11_000, 2: 15_000, 4: 24_000, 8: 42_000}
+PAPER_TABLE2_FFS = {1: 10_000, 2: 14_000, 4: 23_000, 8: 39_000}
+
+
+class TestLatencyCalibration:
+    @pytest.mark.parametrize("units", [1, 2, 4, 8])
+    def test_table2_latency_within_10pct(self, units):
+        config = AcceleratorConfig().with_units(units)
+        latency = LatencyModel(config).latency_us(lenet_network(3))
+        paper = PAPER_TABLE2_LATENCY[units]
+        assert abs(latency - paper) / paper < 0.10
+
+    def test_table1_latency_linear_in_t(self):
+        """Table I: latency scales ~linearly with T (648 -> 1271 us)."""
+        config = AcceleratorConfig()
+        model = LatencyModel(config)
+        lats = [model.latency_us(lenet_network(t)) for t in (3, 4, 5, 6)]
+        diffs = np.diff(lats)
+        assert np.all(diffs > 0)
+        # Uniform per-step increments (within 2%):
+        assert diffs.std() / diffs.mean() < 0.02
+        # Paper's slope is ~208 us/step at 100 MHz:
+        assert abs(diffs.mean() - 208.0) / 208.0 < 0.10
+
+    def test_latency_improves_sublinearly_with_units(self):
+        """Table II's headline: 2x units never halve the latency."""
+        model3 = lenet_network(3)
+        lat = {u: LatencyModel(AcceleratorConfig().with_units(u))
+               .total_cycles(model3) for u in (1, 2, 4, 8)}
+        assert lat[2] < lat[1] and lat[4] < lat[2] and lat[8] < lat[4]
+        assert lat[2] > lat[1] / 2
+        assert lat[4] > lat[2] / 2
+        assert lat[8] > lat[4] / 2
+
+    def test_vgg_latency_matches_table3_order(self):
+        """Paper: 210 ms at 115 MHz with 8 units; we must land within
+        ~35% and preserve the >4 fps claim."""
+        net = vgg11_performance_network(num_steps=6)
+        config = AcceleratorConfig.for_network(net, num_conv_units=8,
+                                               clock_mhz=115.0)
+        model = LatencyModel(config)
+        latency_ms = model.latency_us(net, weights_on_chip=False) / 1000
+        assert 135 < latency_ms < 285
+        assert model.throughput_fps(net, weights_on_chip=False) > 4.0
+
+    def test_lenet_200mhz_matches_table3_row(self):
+        """Paper row 4: LeNet-5, T=4, 200 MHz, 4 units -> 294 us."""
+        config = AcceleratorConfig().with_units(4).with_clock(200.0)
+        latency = LatencyModel(config).latency_us(lenet_network(4))
+        assert abs(latency - 294.0) / 294.0 < 0.15
+
+    def test_dram_streaming_adds_cycles(self):
+        net = vgg11_performance_network(num_steps=6)
+        config = AcceleratorConfig.for_network(net, 8, 115.0)
+        model = LatencyModel(config)
+        on_chip = model.total_cycles(net, weights_on_chip=True)
+        streamed = model.total_cycles(net, weights_on_chip=False)
+        # 28.5M 3-bit weights over a 64-bit bus: ~1.3M extra cycles.
+        assert streamed - on_chip > 1_000_000
+
+
+class TestChannelPacking:
+    def test_collapsed_maps_pack_many_channels(self):
+        net = lenet_network()
+        conv3 = net.conv_layers()[2]   # 120C5 on 5x5 -> 1x1 outputs
+        config = AcceleratorConfig()
+        assert channels_per_pass(conv3, config) == 6  # floor(34 / 5)
+
+    def test_wide_maps_do_not_pack(self):
+        net = lenet_network()
+        conv1 = net.conv_layers()[0]   # 28-wide output rows
+        assert channels_per_pass(conv1, AcceleratorConfig()) == 1
+
+    def test_group_count_divides_by_units(self):
+        net = lenet_network()
+        conv1 = net.conv_layers()[0]
+        assert conv_group_count(conv1, AcceleratorConfig().with_units(1)) == 6
+        assert conv_group_count(conv1, AcceleratorConfig().with_units(2)) == 3
+        assert conv_group_count(conv1, AcceleratorConfig().with_units(8)) == 1
+
+    def test_too_narrow_unit_rejected(self):
+        from repro.core.config import ConvUnitConfig
+        from repro.errors import CompilationError
+        net = lenet_network()
+        conv1 = net.conv_layers()[0]
+        narrow = AcceleratorConfig(conv_unit=ConvUnitConfig(columns=20,
+                                                            rows=5))
+        with pytest.raises(CompilationError):
+            channels_per_pass(conv1, narrow)
+
+
+class TestPowerCalibration:
+    @pytest.mark.parametrize("units", [1, 2, 4, 8])
+    def test_table2_power_within_3pct(self, units):
+        config = AcceleratorConfig().with_units(units)
+        bram = plan_bram(lenet_network(3), config.memory, True)
+        power = PowerModel(config).average_power_w(bram_mbit=bram.total_mbit)
+        paper = PAPER_TABLE2_POWER[units]
+        assert abs(power - paper) / paper < 0.03
+
+    def test_table3_lenet_power(self):
+        """Paper: 3.4 W at 200 MHz with 4 units."""
+        config = AcceleratorConfig().with_units(4).with_clock(200.0)
+        power = PowerModel(config).average_power_w(bram_mbit=0.1)
+        assert abs(power - 3.4) / 3.4 < 0.06
+
+    def test_table3_vgg_power_with_dram(self):
+        """Paper: 4.9 W at 115 MHz, 8 units, DRAM streaming."""
+        net = vgg11_performance_network(6)
+        config = AcceleratorConfig.for_network(net, 8, 115.0)
+        bram = plan_bram(net, config.memory, False)
+        power = PowerModel(config).average_power_w(
+            bram_mbit=bram.total_mbit, dram_active=True)
+        assert abs(power - 4.9) / 4.9 < 0.15
+
+    def test_power_monotone_in_units_and_clock(self):
+        p = [PowerModel(AcceleratorConfig().with_units(u)).average_power_w()
+             for u in (1, 2, 4, 8)]
+        assert p == sorted(p)
+        slow = PowerModel(AcceleratorConfig()).average_power_w()
+        fast = PowerModel(AcceleratorConfig().with_clock(200)).average_power_w()
+        assert fast > slow
+
+    def test_energy_per_inference(self):
+        model = PowerModel(AcceleratorConfig())
+        energy = model.energy_per_inference_mj(latency_us=648.0)
+        assert energy == pytest.approx(
+            model.average_power_w() * 0.648, rel=1e-9)
+
+
+class TestResourceCalibration:
+    @pytest.mark.parametrize("units", [1, 2, 4, 8])
+    def test_table2_luts_within_12pct(self, units):
+        res = ResourceModel(AcceleratorConfig().with_units(units)).estimate()
+        paper = PAPER_TABLE2_LUTS[units]
+        assert abs(res.luts - paper) / paper < 0.12
+
+    @pytest.mark.parametrize("units", [1, 2, 4, 8])
+    def test_table2_ffs_within_12pct(self, units):
+        res = ResourceModel(AcceleratorConfig().with_units(units)).estimate()
+        paper = PAPER_TABLE2_FFS[units]
+        assert abs(res.ffs - paper) / paper < 0.12
+
+    def test_resources_scale_linearly_with_units(self):
+        """Paper: "hardware resources scale almost linear"."""
+        luts = {u: ResourceModel(AcceleratorConfig().with_units(u))
+                .estimate().luts for u in (1, 2, 4, 8)}
+        per_unit = (luts[8] - luts[4]) / 4
+        base = luts[1] - per_unit
+        # Extrapolation from the top of the sweep stays close at U=2.
+        assert abs(luts[2] - (base + 2 * per_unit)) / luts[2] < 0.15
+
+    def test_dram_controller_only_when_streaming(self):
+        model = ResourceModel(AcceleratorConfig())
+        on = model.estimate(weights_on_chip=True)
+        off = model.estimate(weights_on_chip=False)
+        assert off.luts > on.luts
+        assert off.dram_luts > 0 and on.dram_luts == 0
+
+    def test_bigger_arrays_cost_more(self):
+        from repro.core.config import ConvUnitConfig
+        small = ResourceModel(AcceleratorConfig(
+            conv_unit=ConvUnitConfig(columns=14, rows=3))).estimate()
+        large = ResourceModel(AcceleratorConfig(
+            conv_unit=ConvUnitConfig(columns=32, rows=5))).estimate()
+        assert large.luts > small.luts
+        assert large.conv_unit_ffs > small.conv_unit_ffs

@@ -1,0 +1,68 @@
+"""Tests for the overlap extensions (prefetch, frame pipelining)."""
+
+import pytest
+
+from repro.core import AcceleratorConfig
+from repro.core.pipeline import pipelined_throughput, prefetch_latency
+from repro.models import performance_network, vgg11_performance_network
+
+
+def small_net(num_steps=3):
+    return performance_network(
+        [("conv", 4, 3, 1, 0), ("pool", 2), ("conv", 8, 3, 1, 0),
+         ("flatten",), ("linear", 16), ("linear", 4)],
+        input_shape=(1, 12, 12), num_steps=num_steps)
+
+
+class TestPrefetch:
+    def test_never_slower_than_baseline(self):
+        net = small_net()
+        config = AcceleratorConfig.for_network(net)
+        estimate = prefetch_latency(net, config)
+        assert estimate.optimized_cycles <= estimate.baseline_cycles
+        assert 0.0 <= estimate.saving_fraction < 1.0
+
+    def test_hides_most_vgg_dram_time(self):
+        """VGG's compute per layer dwarfs its weight streams, so prefetch
+        should hide the bulk of the 1.3M DRAM cycles."""
+        net = vgg11_performance_network(num_steps=6)
+        config = AcceleratorConfig.for_network(net, 8, 115.0)
+        estimate = prefetch_latency(net, config)
+        saved = estimate.baseline_cycles - estimate.optimized_cycles
+        assert saved > 500_000
+
+    def test_cannot_beat_pure_compute(self):
+        """Prefetch can at best remove all DRAM cycles except layer 1's."""
+        from repro.core import LatencyModel
+        net = vgg11_performance_network(num_steps=6)
+        config = AcceleratorConfig.for_network(net, 8, 115.0)
+        estimate = prefetch_latency(net, config)
+        compute_only = LatencyModel(config).total_cycles(
+            net, weights_on_chip=True)
+        assert estimate.optimized_cycles >= compute_only
+
+
+class TestFramePipelining:
+    def test_interval_is_slowest_layer(self):
+        from repro.core import LatencyModel
+        net = small_net()
+        config = AcceleratorConfig.for_network(net)
+        estimate = pipelined_throughput(net, config)
+        layers = LatencyModel(config).layer_latencies(net)
+        assert estimate.optimized_cycles == max(
+            l.total_cycles for l in layers)
+
+    def test_throughput_gain_bounded_by_layer_count(self):
+        net = small_net()
+        config = AcceleratorConfig.for_network(net)
+        estimate = pipelined_throughput(net, config)
+        n_layers = 7  # input + 6 programs
+        gain = estimate.baseline_cycles / estimate.optimized_cycles
+        assert 1.0 <= gain <= n_layers
+
+    def test_saving_fraction_consistency(self):
+        net = small_net()
+        config = AcceleratorConfig.for_network(net)
+        estimate = pipelined_throughput(net, config)
+        assert estimate.saving_fraction == pytest.approx(
+            1 - estimate.optimized_cycles / estimate.baseline_cycles)

@@ -1,0 +1,188 @@
+"""Bit-exactness tests for the processing units against the reference
+integer semantics, over randomized layer shapes (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AcceleratorConfig, ConvUnit, LinearUnit, PoolUnit
+from repro.core.config import ConvUnitConfig, PoolUnitConfig
+from repro.encoding import radix
+from repro.errors import SimulationError
+from repro.snn.model import _int_conv, _int_linear, _int_pool
+from repro.snn.spec import QuantConvSpec, QuantLinearSpec, QuantPoolSpec
+
+
+def make_conv_spec(rng, c_in, c_out, k, h, w, stride=1, padding=0,
+                   num_steps=3):
+    h_out = (h + 2 * padding - k) // stride + 1
+    w_out = (w + 2 * padding - k) // stride + 1
+    return QuantConvSpec(
+        weights=rng.integers(-3, 4, size=(c_out, c_in, k, k)),
+        bias=rng.integers(-20, 20, size=c_out),
+        scales=rng.uniform(0.002, 0.05, size=c_out),
+        stride=stride, padding=padding,
+        in_shape=(c_in, h, w), out_shape=(c_out, h_out, w_out),
+    )
+
+
+def spike_input(rng, num_steps, shape):
+    ints = rng.integers(0, 1 << num_steps, size=shape)
+    return radix.encode_ints(ints, num_steps).bits, ints
+
+
+def reference_conv(spec, ints, num_steps):
+    acc = _int_conv(ints[np.newaxis], spec)[0] + spec.bias.reshape(-1, 1, 1)
+    from repro.snn.spec import requantize
+    return requantize(acc, spec.scales, num_steps, channel_axis=0)
+
+
+class TestConvUnitExactness:
+    @given(
+        st.integers(min_value=1, max_value=3),    # c_in
+        st.integers(min_value=1, max_value=4),    # c_out
+        st.sampled_from([(3, 1, 0), (3, 1, 1), (5, 1, 0), (3, 2, 1)]),
+        st.integers(min_value=7, max_value=11),   # spatial
+        st.integers(min_value=2, max_value=5),    # T
+        st.integers(min_value=0, max_value=100),  # seed
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_matches_reference(self, c_in, c_out, kparams, size, t, seed):
+        k, stride, padding = kparams
+        rng = np.random.default_rng(seed)
+        spec = make_conv_spec(rng, c_in, c_out, k, size, size, stride,
+                              padding, t)
+        bits, ints = spike_input(rng, t, spec.in_shape)
+        config = AcceleratorConfig(
+            conv_unit=ConvUnitConfig(columns=max(spec.out_shape[2], 4),
+                                     rows=k))
+        unit = ConvUnit(config)
+        channels = list(range(c_out))[:1]  # one channel per pass
+        out, stats = unit.run_pass(spec, bits, channels, t)
+        expected = reference_conv(spec, ints, t)
+        np.testing.assert_array_equal(out[0], expected[channels[0]])
+        assert stats.cycles > 0
+        assert stats.adder_ops > 0
+
+    def test_channel_packing_exact(self):
+        """Fully-collapsed 1x1 outputs: many channels share one pass."""
+        rng = np.random.default_rng(0)
+        spec = make_conv_spec(rng, c_in=3, c_out=8, k=5, h=5, w=5)
+        assert spec.out_shape == (8, 1, 1)
+        t = 3
+        bits, ints = spike_input(rng, t, spec.in_shape)
+        config = AcceleratorConfig()  # X=30 -> packs floor(34/5)=6
+        unit = ConvUnit(config)
+        out, _ = unit.run_pass(spec, bits, list(range(6)), t)
+        expected = reference_conv(spec, ints, t)
+        np.testing.assert_array_equal(out, expected[:6])
+
+    def test_packing_capacity_enforced(self):
+        rng = np.random.default_rng(1)
+        spec = make_conv_spec(rng, 1, 4, 3, 10, 10)  # out width 8
+        bits, _ = spike_input(rng, 3, spec.in_shape)
+        config = AcceleratorConfig(
+            conv_unit=ConvUnitConfig(columns=10, rows=3))
+        unit = ConvUnit(config)
+        with pytest.raises(SimulationError):
+            unit.run_pass(spec, bits, [0, 1], 3)  # only 1 row fits
+
+    def test_kernel_taller_than_array_rejected(self):
+        rng = np.random.default_rng(2)
+        spec = make_conv_spec(rng, 1, 1, 5, 8, 8)
+        bits, _ = spike_input(rng, 2, spec.in_shape)
+        config = AcceleratorConfig(
+            conv_unit=ConvUnitConfig(columns=8, rows=3))
+        with pytest.raises(SimulationError):
+            ConvUnit(config).run_pass(spec, bits, [0], 2)
+
+    def test_traffic_counts_row_reuse(self):
+        """Each input row is read once per (step, channel) pass — the
+        row-reuse property the paper claims."""
+        rng = np.random.default_rng(3)
+        t = 2
+        spec = make_conv_spec(rng, c_in=2, c_out=1, k=3, h=8, w=8)
+        bits, _ = spike_input(rng, t, spec.in_shape)
+        unit = ConvUnit(AcceleratorConfig(
+            conv_unit=ConvUnitConfig(columns=6, rows=3)))
+        _, stats = unit.run_pass(spec, bits, [0], t)
+        assert stats.traffic.activation_read_bits == t * 2 * 8 * 8
+
+
+class TestPoolUnitExactness:
+    @given(st.integers(min_value=1, max_value=4),
+           st.sampled_from([4, 6, 8, 10]),
+           st.integers(min_value=2, max_value=5),
+           st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_reference(self, channels, size, t, seed):
+        rng = np.random.default_rng(seed)
+        spec = QuantPoolSpec(size=2, stride=2,
+                             in_shape=(channels, size, size),
+                             out_shape=(channels, size // 2, size // 2))
+        bits, ints = spike_input(rng, t, spec.in_shape)
+        unit = PoolUnit(AcceleratorConfig(
+            pool_unit=PoolUnitConfig(columns=size, rows=2)))
+        out, stats = unit.run_layer(spec, bits, t)
+        np.testing.assert_array_equal(out, _int_pool(ints[np.newaxis],
+                                                     spec)[0])
+        assert stats.cycles > 0
+
+    def test_pooling_preserves_value_range(self):
+        rng = np.random.default_rng(1)
+        t = 4
+        spec = QuantPoolSpec(size=2, stride=2, in_shape=(1, 6, 6),
+                             out_shape=(1, 3, 3))
+        bits, _ = spike_input(rng, t, spec.in_shape)
+        out, _ = PoolUnit(AcceleratorConfig()).run_layer(spec, bits, t)
+        assert out.min() >= 0 and out.max() <= radix.max_int(t)
+
+
+class TestLinearUnitExactness:
+    @given(st.integers(min_value=1, max_value=30),
+           st.integers(min_value=1, max_value=40),
+           st.integers(min_value=2, max_value=5),
+           st.booleans(),
+           st.integers(min_value=0, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_reference(self, n_in, n_out, t, is_output, seed):
+        rng = np.random.default_rng(seed)
+        spec = QuantLinearSpec(
+            weights=rng.integers(-3, 4, size=(n_out, n_in)),
+            bias=rng.integers(-10, 10, size=n_out),
+            scales=rng.uniform(0.005, 0.08, size=n_out),
+            is_output=is_output, in_features=n_in, out_features=n_out,
+        )
+        ints = rng.integers(0, 1 << t, size=n_in)
+        bits = radix.encode_ints(ints, t).bits
+        unit = LinearUnit(AcceleratorConfig())
+        out, stats = unit.run_layer(spec, bits, t)
+        acc = _int_linear(ints[np.newaxis], spec)[0] + spec.bias
+        if is_output:
+            np.testing.assert_array_equal(out, acc)
+        else:
+            from repro.snn.spec import requantize
+            expected = requantize(acc[np.newaxis], spec.scales, t,
+                                  channel_axis=1)[0]
+            np.testing.assert_array_equal(out, expected)
+        assert stats.cycles >= t * spec.in_features
+
+    def test_weight_fetch_bound_cycles(self):
+        """Cycles grow with ceil(N_out / parallel_outputs) blocks."""
+        rng = np.random.default_rng(0)
+        t = 2
+        config = AcceleratorConfig()
+        p = config.linear_unit.parallel_outputs
+
+        def cycles_for(n_out):
+            spec = QuantLinearSpec(
+                weights=rng.integers(-3, 4, size=(n_out, 10)),
+                bias=np.zeros(n_out, dtype=np.int64),
+                scales=np.ones(n_out), is_output=True,
+                in_features=10, out_features=n_out)
+            bits = radix.encode_ints(rng.integers(0, 4, size=10), t).bits
+            _, stats = LinearUnit(config).run_layer(spec, bits, t)
+            return stats.cycles
+
+        assert cycles_for(p + 1) > cycles_for(p)

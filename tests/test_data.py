@@ -1,0 +1,169 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DIGIT_STROKES,
+    Dataset,
+    SyntheticCIFAR100,
+    SyntheticMNIST,
+    generate_cifar100,
+    generate_mnist,
+    rasterize_strokes,
+    render_digit,
+)
+from repro.errors import ShapeError
+
+
+class TestStrokes:
+    def test_all_ten_digits_defined(self):
+        assert sorted(DIGIT_STROKES) == list(range(10))
+
+    def test_rasterize_range_and_shape(self):
+        img = rasterize_strokes(DIGIT_STROKES[3], size=28)
+        assert img.shape == (28, 28)
+        assert 0.0 <= img.min() and img.max() <= 1.0
+        assert img.max() > 0.5  # something was actually drawn
+
+    def test_render_digit_deterministic_given_rng(self):
+        a = render_digit(7, np.random.default_rng(5))
+        b = render_digit(7, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_render_digit_varies_across_draws(self):
+        rng = np.random.default_rng(0)
+        a = render_digit(2, rng)
+        b = render_digit(2, rng)
+        assert not np.array_equal(a, b)
+
+    def test_digits_are_mutually_distinct(self):
+        """Mean images of different digits should differ clearly."""
+        rng = np.random.default_rng(0)
+        means = [np.mean([render_digit(d, rng) for _ in range(5)], axis=0)
+                 for d in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                diff = np.abs(means[i] - means[j]).mean()
+                assert diff > 0.01, f"digits {i} and {j} look identical"
+
+    def test_invalid_digit_rejected(self):
+        with pytest.raises(ShapeError):
+            render_digit(10, np.random.default_rng(0))
+
+    def test_canvas_too_small_rejected(self):
+        with pytest.raises(ShapeError):
+            rasterize_strokes(DIGIT_STROKES[0], size=4)
+
+
+class TestDatasetContainer:
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            Dataset(np.zeros((2, 1, 4)), np.zeros(2, dtype=int), 10)
+        with pytest.raises(ShapeError):
+            Dataset(np.zeros((2, 1, 4, 4)), np.zeros(3, dtype=int), 10)
+        with pytest.raises(ShapeError):
+            Dataset(np.zeros((2, 1, 4, 4)), np.array([0, 10]), 10)
+
+    def test_split_and_subset(self):
+        data = Dataset(np.zeros((10, 1, 2, 2)), np.arange(10) % 3, 3)
+        head, tail = data.split(6)
+        assert len(head) == 6 and len(tail) == 4
+        assert len(data.subset(4)) == 4
+        with pytest.raises(ShapeError):
+            data.split(10)
+
+    def test_shuffled_preserves_pairs(self):
+        images = np.arange(8).reshape(8, 1, 1, 1).astype(float) / 10
+        labels = np.arange(8) % 4
+        data = Dataset(images, labels, 4)
+        shuffled = data.shuffled(seed=1)
+        for img, lab in zip(shuffled.images, shuffled.labels):
+            original = int(round(img.flatten()[0] * 10))
+            assert labels[original] == lab
+
+    def test_batches_cover_everything(self):
+        data = Dataset(np.zeros((10, 1, 2, 2)), np.zeros(10, dtype=int), 2)
+        seen = sum(len(lbl) for _, lbl in data.batches(3))
+        assert seen == 10
+
+    def test_class_counts(self):
+        data = Dataset(np.zeros((6, 1, 2, 2)), np.array([0, 0, 1, 2, 2, 2]),
+                       4)
+        np.testing.assert_array_equal(data.class_counts(), [2, 1, 3, 0])
+
+
+class TestSyntheticMNIST:
+    def test_shapes_and_range(self):
+        train = SyntheticMNIST(image_size=32, seed=0).generate(50)
+        assert train.images.shape == (50, 1, 32, 32)
+        assert train.images.min() >= 0 and train.images.max() <= 1
+
+    def test_28px_variant(self):
+        data = SyntheticMNIST(image_size=28, seed=0).generate(10)
+        assert data.image_shape == (1, 28, 28)
+
+    def test_padding_leaves_border_empty(self):
+        data = SyntheticMNIST(image_size=32, seed=0).generate(10)
+        border = np.concatenate([
+            data.images[:, 0, :2, :].ravel(),
+            data.images[:, 0, -2:, :].ravel()])
+        assert border.max() == 0
+
+    def test_balanced_classes(self):
+        data = SyntheticMNIST(seed=1).generate(100)
+        counts = data.class_counts()
+        assert counts.min() == counts.max() == 10
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticMNIST(seed=9).generate(12)
+        b = SyntheticMNIST(seed=9).generate(12)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_splits_do_not_overlap(self):
+        train, test = generate_mnist(train_count=30, test_count=10)
+        assert len(train) == 30 and len(test) == 10
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ShapeError):
+            SyntheticMNIST(image_size=20)
+
+
+class TestSyntheticCIFAR100:
+    def test_shapes_and_classes(self):
+        data = SyntheticCIFAR100(seed=0).generate(200)
+        assert data.images.shape == (200, 3, 32, 32)
+        assert data.num_classes == 100
+
+    def test_class_signature_bijective(self):
+        signatures = {SyntheticCIFAR100.class_signature(c)
+                      for c in range(100)}
+        assert len(signatures) == 100
+
+    def test_deterministic(self):
+        a = SyntheticCIFAR100(seed=4).generate(20)
+        b = SyntheticCIFAR100(seed=4).generate(20)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_noise_level_controls_difficulty(self):
+        """Same class renders should be more similar at low noise."""
+        clean = SyntheticCIFAR100(seed=0, noise_level=0.0)
+        noisy = SyntheticCIFAR100(seed=0, noise_level=2.0)
+
+        def intra_class_spread(maker):
+            data = maker.generate(400)  # 4 instances per class
+            img0 = data.images[data.labels == 0]
+            assert len(img0) >= 2
+            return np.var(img0, axis=0).mean()
+
+        assert intra_class_spread(noisy) > intra_class_spread(clean)
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(ShapeError):
+            SyntheticCIFAR100.class_signature(100)
+
+    def test_generate_splits(self):
+        train, test = generate_cifar100(train_count=120, test_count=40)
+        assert len(train) == 120 and len(test) == 40
+        assert train.num_classes == test.num_classes == 100

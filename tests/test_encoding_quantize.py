@@ -1,0 +1,128 @@
+"""Tests for weight quantization and activation calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import (
+    ActivationCalibrator,
+    quantize_weights,
+    weight_int_range,
+)
+from repro.errors import QuantizationError
+
+
+class TestWeightIntRange:
+    def test_three_bits_symmetric(self):
+        assert weight_int_range(3) == (-3, 3)
+
+    def test_eight_bits(self):
+        assert weight_int_range(8) == (-127, 127)
+
+    def test_rejects_one_bit(self):
+        with pytest.raises(QuantizationError):
+            weight_int_range(1)
+
+
+class TestQuantizeWeights:
+    def test_integers_in_range(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(8, 4, 3, 3))
+        q = quantize_weights(w, 3)
+        assert q.values.min() >= -3 and q.values.max() <= 3
+
+    def test_per_channel_scales_shape(self):
+        w = np.random.default_rng(1).normal(size=(6, 10))
+        q = quantize_weights(w, 4)
+        assert q.scales.shape == (6,)
+        assert q.num_output_channels == 6
+
+    def test_channel_max_maps_to_top_integer(self):
+        w = np.zeros((2, 4))
+        w[0, 1] = 0.9
+        w[1, 2] = -0.3
+        q = quantize_weights(w, 3)
+        assert q.values[0, 1] == 3
+        assert q.values[1, 2] == -3
+
+    def test_zero_channel_keeps_unit_scale(self):
+        w = np.zeros((3, 5))
+        w[0, 0] = 1.0
+        q = quantize_weights(w, 3)
+        assert q.scales[1] == 1.0
+        assert np.all(q.values[1] == 0)
+
+    def test_per_tensor_mode_single_scale(self):
+        w = np.random.default_rng(2).normal(size=(4, 4))
+        q = quantize_weights(w, 5, per_channel=False)
+        assert np.allclose(q.scales, q.scales[0])
+
+    def test_rejects_one_dim(self):
+        with pytest.raises(QuantizationError):
+            quantize_weights(np.ones(5), 3)
+
+    @given(st.integers(min_value=2, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_dequantize_error_bounded(self, bits):
+        rng = np.random.default_rng(bits)
+        w = rng.normal(size=(5, 7))
+        q = quantize_weights(w, bits)
+        top = (1 << (bits - 1)) - 1
+        err = np.abs(q.dequantize() - w)
+        per_channel_bound = np.abs(w).max(axis=1) / top
+        assert np.all(err <= per_channel_bound[:, None] / 2 + 1e-12)
+
+    def test_quantization_idempotent(self):
+        """Quantizing already-quantized weights changes nothing."""
+        rng = np.random.default_rng(5)
+        w = rng.normal(size=(4, 6))
+        q1 = quantize_weights(w, 3)
+        q2 = quantize_weights(q1.dequantize(), 3)
+        np.testing.assert_array_equal(q1.values, q2.values)
+
+
+class TestActivationCalibrator:
+    def test_scale_is_percentile(self):
+        cal = ActivationCalibrator(percentile=100.0)
+        cal.observe(np.linspace(0, 2.0, 101))
+        assert cal.scale() == pytest.approx(2.0)
+
+    def test_percentile_clips_outliers(self):
+        cal = ActivationCalibrator(percentile=99.0)
+        data = np.concatenate([np.ones(990), np.full(10, 100.0)])
+        cal.observe(data)
+        assert cal.scale() < 100.0
+
+    def test_accumulates_batches(self):
+        cal = ActivationCalibrator(percentile=100.0)
+        cal.observe(np.array([0.5]))
+        cal.observe(np.array([1.5]))
+        assert cal.scale() == pytest.approx(1.5)
+        assert cal.num_observed == 2
+
+    def test_unobserved_raises(self):
+        with pytest.raises(QuantizationError):
+            ActivationCalibrator().scale()
+
+    def test_empty_observation_ignored(self):
+        cal = ActivationCalibrator()
+        cal.observe(np.array([]))
+        with pytest.raises(QuantizationError):
+            cal.scale()
+
+    def test_scale_never_zero(self):
+        cal = ActivationCalibrator()
+        cal.observe(np.zeros(100))
+        assert cal.scale() > 0
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(QuantizationError):
+            ActivationCalibrator(percentile=0.0)
+        with pytest.raises(QuantizationError):
+            ActivationCalibrator(percentile=101.0)
+
+    def test_reservoir_bounds_memory(self):
+        cal = ActivationCalibrator()
+        cal.observe(np.ones(1 << 18))
+        assert cal.num_observed <= (1 << 16) + 1

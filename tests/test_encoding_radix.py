@@ -1,0 +1,167 @@
+"""Tests for radix encoding — the reference semantics of the whole repo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import radix
+from repro.encoding.spike_train import SpikeTrain
+from repro.errors import EncodingError
+
+
+class TestStepWeight:
+    def test_msb_first(self):
+        assert radix.step_weight(0, 4) == 8
+        assert radix.step_weight(3, 4) == 1
+
+    def test_weights_halve_each_step(self):
+        for t in range(5):
+            assert radix.step_weight(t, 6) == 2 * radix.step_weight(t + 1, 6)
+
+    def test_out_of_range_step_rejected(self):
+        with pytest.raises(EncodingError):
+            radix.step_weight(4, 4)
+        with pytest.raises(EncodingError):
+            radix.step_weight(-1, 4)
+
+
+class TestMaxInt:
+    def test_values(self):
+        assert radix.max_int(1) == 1
+        assert radix.max_int(3) == 7
+        assert radix.max_int(8) == 255
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(EncodingError):
+            radix.max_int(0)
+        with pytest.raises(EncodingError):
+            radix.max_int(31)
+
+
+class TestEncodeInts:
+    def test_known_pattern(self):
+        train = radix.encode_ints(np.array([5]), 3)  # 5 = 0b101
+        assert train.bits[:, 0].tolist() == [1, 0, 1]
+
+    def test_zero_encodes_to_silence(self):
+        train = radix.encode_ints(np.array([0, 0]), 4)
+        assert train.num_spikes == 0
+
+    def test_max_value_spikes_everywhere(self):
+        train = radix.encode_ints(np.array([15]), 4)
+        assert train.num_spikes == 4
+
+    def test_preserves_payload_shape(self):
+        values = np.arange(12).reshape(3, 4)
+        train = radix.encode_ints(values, 4)
+        assert train.payload_shape == (3, 4)
+        assert train.num_steps == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(EncodingError):
+            radix.encode_ints(np.array([-1]), 3)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(EncodingError):
+            radix.encode_ints(np.array([8]), 3)
+
+    def test_rejects_float_input(self):
+        with pytest.raises(EncodingError):
+            radix.encode_ints(np.array([0.5]), 3)
+
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=0, max_value=4000))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_scalar(self, num_steps, value):
+        value = value % (1 << num_steps)
+        train = radix.encode_ints(np.array([value]), num_steps)
+        assert radix.decode_ints(train)[0] == value
+
+    @given(st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_all_values(self, num_steps):
+        values = np.arange(1 << num_steps)
+        train = radix.encode_ints(values, num_steps)
+        np.testing.assert_array_equal(radix.decode_ints(train), values)
+
+    def test_spike_count_is_popcount(self):
+        values = np.array([0b1011, 0b0001, 0b1111])
+        train = radix.encode_ints(values, 4)
+        assert train.num_spikes == 3 + 1 + 4
+
+
+class TestQuantizeReal:
+    def test_grid_floor(self):
+        q = radix.quantize_real(np.array([0.0, 0.49, 0.5, 0.999]), 1)
+        np.testing.assert_array_equal(q, [0, 0, 1, 1])
+
+    def test_clips_above_one(self):
+        q = radix.quantize_real(np.array([1.0, 2.5]), 3)
+        np.testing.assert_array_equal(q, [7, 7])
+
+    def test_clips_below_zero(self):
+        q = radix.quantize_real(np.array([-0.3]), 3)
+        assert q[0] == 0
+
+    @given(st.floats(min_value=0.0, max_value=0.999999),
+           st.integers(min_value=1, max_value=16))
+    @settings(max_examples=80, deadline=None)
+    def test_quantization_error_bounded(self, value, num_steps):
+        q = radix.quantize_real(np.array([value]), num_steps)[0]
+        reconstructed = q / (1 << num_steps)
+        assert 0 <= value - reconstructed < 1.0 / (1 << num_steps) + 1e-12
+
+
+class TestEncodeDecodeReal:
+    def test_decode_real_on_grid(self):
+        values = np.array([0.0, 0.25, 0.5, 0.75])
+        train = radix.encode_real(values, 2)
+        np.testing.assert_allclose(radix.decode_real(train), values)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=0.999),
+                    min_size=1, max_size=16),
+           st.integers(min_value=2, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_decode_never_exceeds_input(self, values, num_steps):
+        arr = np.array(values)
+        decoded = radix.decode_real(radix.encode_real(arr, num_steps))
+        assert np.all(decoded <= arr + 1e-12)
+        assert np.all(arr - decoded < 1.0 / (1 << num_steps) + 1e-12)
+
+
+class TestSpikeTrainContainer:
+    def test_rejects_non_binary(self):
+        with pytest.raises(EncodingError):
+            SpikeTrain(np.full((2, 3), 2, dtype=np.uint8))
+
+    def test_rejects_missing_time_axis(self):
+        with pytest.raises(Exception):
+            SpikeTrain(np.zeros(5, dtype=np.uint8))
+
+    def test_step_access_and_iteration(self):
+        train = radix.encode_ints(np.array([6]), 3)  # 0b110
+        assert train.step(0)[0] == 1
+        assert train.step(2)[0] == 0
+        assert len(list(train)) == 3
+
+    def test_step_out_of_range(self):
+        train = radix.encode_ints(np.array([1]), 3)
+        with pytest.raises(EncodingError):
+            train.step(3)
+
+    def test_spike_rate(self):
+        train = radix.encode_ints(np.array([7]), 3)
+        assert train.spike_rate() == 1.0
+
+    def test_concatenate_channels(self):
+        a = radix.encode_ints(np.arange(4).reshape(2, 2) % 4, 2)
+        b = radix.encode_ints(np.arange(4).reshape(2, 2) % 4, 2)
+        merged = a.concatenate_channels(b)
+        assert merged.payload_shape == (4, 2)
+
+    def test_concatenate_length_mismatch_rejected(self):
+        a = radix.encode_ints(np.zeros((2, 2), dtype=np.int64), 2)
+        b = radix.encode_ints(np.zeros((2, 2), dtype=np.int64), 3)
+        with pytest.raises(Exception):
+            a.concatenate_channels(b)

@@ -1,0 +1,80 @@
+"""Tests for the rate-encoding baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import (
+    DeterministicRateEncoder,
+    PoissonRateEncoder,
+    decode_rate,
+)
+from repro.errors import EncodingError
+
+
+class TestDeterministicRateEncoder:
+    def test_zero_gives_no_spikes(self):
+        train = DeterministicRateEncoder(8).encode(np.array([0.0]))
+        assert train.num_spikes == 0
+
+    def test_one_gives_all_spikes(self):
+        train = DeterministicRateEncoder(8).encode(np.array([1.0]))
+        assert train.num_spikes == 8
+
+    def test_half_gives_half_spikes(self):
+        train = DeterministicRateEncoder(10).encode(np.array([0.5]))
+        assert train.num_spikes == 5
+
+    def test_spikes_spread_not_bunched(self):
+        train = DeterministicRateEncoder(10).encode(np.array([0.5]))
+        bits = train.bits[:, 0]
+        # No two consecutive duplicate runs: 5 spikes over 10 slots should
+        # alternate rather than fill the first half.
+        assert bits[:5].sum() < 5
+
+    def test_deterministic(self):
+        enc = DeterministicRateEncoder(7)
+        values = np.linspace(0, 1, 13)
+        a = enc.encode(values)
+        b = enc.encode(values)
+        np.testing.assert_array_equal(a.bits, b.bits)
+
+    def test_clips_out_of_range(self):
+        train = DeterministicRateEncoder(4).encode(np.array([-1.0, 2.0]))
+        assert train.bits[:, 0].sum() == 0
+        assert train.bits[:, 1].sum() == 4
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(EncodingError):
+            DeterministicRateEncoder(0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_decode_error_bounded(self, value, num_steps):
+        enc = DeterministicRateEncoder(num_steps)
+        train = enc.encode(np.array([value]))
+        decoded = decode_rate(train)[0]
+        assert abs(decoded - value) <= 0.5 / num_steps + 1e-9
+
+
+class TestPoissonRateEncoder:
+    def test_seeded_reproducibility(self):
+        a = PoissonRateEncoder(16, seed=3).encode(np.full(8, 0.5))
+        b = PoissonRateEncoder(16, seed=3).encode(np.full(8, 0.5))
+        np.testing.assert_array_equal(a.bits, b.bits)
+
+    def test_rate_statistics(self):
+        train = PoissonRateEncoder(2000, seed=0).encode(np.array([0.3]))
+        assert abs(decode_rate(train)[0] - 0.3) < 0.05
+
+    def test_extremes(self):
+        enc = PoissonRateEncoder(50, seed=1)
+        train = enc.encode(np.array([0.0, 1.0]))
+        assert train.bits[:, 0].sum() == 0
+        assert train.bits[:, 1].sum() == 50
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(EncodingError):
+            PoissonRateEncoder(0)

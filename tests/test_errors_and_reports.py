@@ -1,0 +1,77 @@
+"""Tests for the exception hierarchy and the report/summary surfaces."""
+
+import pytest
+
+from repro import errors
+from repro.core import AcceleratorConfig, PerformanceReport
+from repro.core.report import PerformanceReport as ReportAlias
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        subclasses = [
+            errors.EncodingError, errors.QuantizationError,
+            errors.ShapeError, errors.ConversionError,
+            errors.CompilationError, errors.ConfigurationError,
+            errors.CapacityError, errors.SimulationError,
+        ]
+        for cls in subclasses:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_single_except_clause_catches_everything(self):
+        """The documented contract: one except catches the library."""
+        try:
+            raise errors.CapacityError("buffer full")
+        except errors.ReproError as caught:
+            assert "buffer full" in str(caught)
+
+    def test_repro_error_is_an_exception(self):
+        assert issubclass(errors.ReproError, Exception)
+
+
+class TestPerformanceReport:
+    def _report(self, **overrides):
+        fields = dict(
+            model_name="demo", num_steps=4, num_conv_units=2,
+            clock_mhz=100.0, cycles=50_000, latency_us=500.0,
+            throughput_fps=2000.0, power_w=3.1,
+            energy_per_frame_mj=1.55, luts=14_000, ffs=13_000,
+            bram_blocks=12, bram_mbit=0.4, weights_on_chip=True,
+            accuracy=0.987,
+        )
+        fields.update(overrides)
+        return PerformanceReport(**fields)
+
+    def test_summary_contains_all_headline_numbers(self):
+        text = self._report().summary()
+        assert "demo" in text
+        assert "98.70%" in text
+        assert "2,000" in text       # fps
+        assert "14,000 LUTs" in text
+        assert "on-chip" in text
+
+    def test_summary_without_accuracy(self):
+        text = self._report(accuracy=None).summary()
+        assert "n/a" in text
+
+    def test_summary_dram_wording(self):
+        text = self._report(weights_on_chip=False).summary()
+        assert "DRAM" in text
+
+    def test_report_is_frozen(self):
+        report = self._report()
+        with pytest.raises(Exception):
+            report.latency_us = 1.0
+
+    def test_alias_is_same_class(self):
+        assert ReportAlias is PerformanceReport
+
+
+class TestConfigSummaryValues:
+    def test_cycle_time(self):
+        assert AcceleratorConfig(clock_mhz=125.0).cycle_time_us \
+            == pytest.approx(0.008)
+
+    def test_conv_unit_adder_count(self):
+        config = AcceleratorConfig()
+        assert config.conv_unit.num_adders == 150  # 30 x 5

@@ -1,0 +1,85 @@
+"""Tests for the experiment-settings plumbing and the markdown report."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    ArtifactStore,
+    ExperimentRunner,
+    ExperimentSettings,
+    write_report,
+)
+from repro.harness.experiments import PAPER_TABLE1, PAPER_TABLE2
+from repro.harness.report_md import _md_table, build_report
+
+
+class TestExperimentSettings:
+    def test_paper_constants_match_tables(self):
+        assert PAPER_TABLE1[3] == (98.57, 648)
+        assert PAPER_TABLE1[6] == (99.26, 1271)
+        assert PAPER_TABLE2[1][0] == 1063
+        assert PAPER_TABLE2[8][2] == 42_000
+
+    def test_fast_env_settings(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        settings = ExperimentSettings.from_env()
+        assert settings.fast
+        assert settings.train_count < 1000
+
+    def test_full_env_settings(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAST", raising=False)
+        settings = ExperimentSettings.from_env()
+        assert not settings.fast
+        assert settings.train_count == 5000
+
+    def test_key_suffix_separates_scales(self):
+        full = ExperimentSettings()
+        fast = ExperimentSettings(train_count=700, fast=True)
+        assert full.key_suffix() != fast.key_suffix()
+
+    def test_runner_dataset_shapes(self, tmp_path):
+        settings = ExperimentSettings(train_count=60, test_count=20,
+                                      fast=True)
+        runner = ExperimentRunner(settings=settings,
+                                  store=ArtifactStore(tmp_path))
+        train, test = runner.mnist()
+        assert len(train) == 60 and len(test) == 20
+        assert train.image_shape == (1, 32, 32)
+        train28, _ = runner.mnist28()
+        assert train28.image_shape == (1, 28, 28)
+
+    def test_cifar_respects_noise_setting(self, tmp_path):
+        settings = ExperimentSettings(vgg_train_count=30, vgg_test_count=10,
+                                      cifar_noise=0.5, fast=True)
+        runner = ExperimentRunner(settings=settings,
+                                  store=ArtifactStore(tmp_path))
+        train, test = runner.cifar()
+        assert train.image_shape == (3, 32, 32)
+        assert train.num_classes == 100
+
+
+class TestMarkdownTable:
+    def test_md_table_structure(self):
+        text = _md_table(["a", "b"], [["1", "2"], ["3", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    @pytest.mark.slow
+    def test_full_report_smoke(self, tmp_path):
+        """Build the whole report at smoke scale (trains tiny models)."""
+        settings = ExperimentSettings(
+            train_count=300, test_count=80, calibration_count=48,
+            base_epochs=1, t3_epochs=1, vgg_width=0.0625,
+            vgg_train_count=200, vgg_test_count=50, vgg_epochs=1,
+            fast=True)
+        runner = ExperimentRunner(settings=settings,
+                                  store=ArtifactStore(tmp_path))
+        path = write_report(runner, tmp_path / "report.md",
+                            include_vgg=False)
+        text = path.read_text()
+        assert "# Reproduction report" in text
+        assert "Table I" in text and "Table III" in text
+        assert "Dataflow ablation" in text
+        assert "Ju et al. [12]" in text

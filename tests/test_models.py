@@ -1,0 +1,140 @@
+"""Tests for the model zoo: exact paper topologies and parameter counts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.models import (
+    build_fang_cnn,
+    build_ju_cnn,
+    build_lenet5,
+    build_vgg11,
+    performance_network,
+    vgg11_channel_widths,
+    vgg11_performance_network,
+)
+
+
+class TestLeNet5:
+    def test_forward_shape(self):
+        model = build_lenet5()
+        out = model.forward(np.zeros((2, 1, 32, 32)))
+        assert out.shape == (2, 10)
+
+    def test_layer_plan_matches_paper_string(self):
+        """32x32x1 - 6C5 - P2 - 16C5 - P2 - 120C5 - 120 - 84 - 10."""
+        model = build_lenet5()
+        convs = [l for l in model.layers
+                 if type(l).__name__ == "Conv2d"]
+        linears = [l for l in model.layers
+                   if type(l).__name__ == "Linear"]
+        assert [c.out_channels for c in convs] == [6, 16, 120]
+        assert all(c.kernel_size == 5 for c in convs)
+        assert [(l.in_features, l.out_features) for l in linears] == [
+            (120, 120), (120, 84), (84, 10)]
+
+    def test_trainable(self):
+        model = build_lenet5()
+        assert model.num_parameters() > 50_000
+
+
+class TestComparisonCNNs:
+    def test_fang_cnn_shapes(self):
+        model = build_fang_cnn()
+        out = model.forward(np.zeros((1, 1, 28, 28)))
+        assert out.shape == (1, 10)
+        linears = [l for l in model.layers
+                   if type(l).__name__ == "Linear"]
+        assert linears[0].in_features == 800   # 32 * 5 * 5
+        assert linears[0].out_features == 256
+
+    def test_ju_cnn_shapes(self):
+        model = build_ju_cnn()
+        out = model.forward(np.zeros((1, 1, 28, 28)))
+        assert out.shape == (1, 10)
+        linears = [l for l in model.layers
+                   if type(l).__name__ == "Linear"]
+        assert linears[0].in_features == 1024  # 64 * 4 * 4
+        assert linears[0].out_features == 128
+
+
+class TestVGG11:
+    def test_full_width_parameter_count_matches_paper(self):
+        """The paper quotes 28.5M parameters for VGG-11."""
+        model = build_vgg11()
+        params = model.num_parameters()
+        assert 28.3e6 < params < 28.8e6
+
+    def test_forward_shape_reduced(self):
+        model = build_vgg11(width_multiplier=0.0625)
+        out = model.forward(np.zeros((2, 3, 32, 32)))
+        assert out.shape == (2, 100)
+
+    def test_channel_widths(self):
+        assert vgg11_channel_widths(1.0) == [64, 128, 256, 256, 512, 512,
+                                             512, 512]
+        assert vgg11_channel_widths(0.125) == [8, 16, 32, 32, 64, 64, 64,
+                                               64]
+
+    def test_eleven_weight_layers(self):
+        """VGG-11 means 8 conv + 3 linear weight layers."""
+        model = build_vgg11(width_multiplier=0.0625)
+        convs = [l for l in model.layers if type(l).__name__ == "Conv2d"]
+        linears = [l for l in model.layers if type(l).__name__ == "Linear"]
+        assert len(convs) == 8 and len(linears) == 3
+
+    def test_max_pool_variant(self):
+        model = build_vgg11(width_multiplier=0.0625, pool="max")
+        assert any(type(l).__name__ == "MaxPool2d" for l in model.layers)
+
+    def test_invalid_options(self):
+        with pytest.raises(ShapeError):
+            build_vgg11(width_multiplier=0.0)
+        with pytest.raises(ShapeError):
+            build_vgg11(pool="sum")
+
+
+class TestPerformanceNetworks:
+    def test_vgg_geometry_matches_trained_model(self):
+        net = vgg11_performance_network(num_steps=6)
+        # Same weight tensors as the trainable model (the Sequential's
+        # count additionally includes biases, which the accelerator folds
+        # into the requantization stage).
+        trained = build_vgg11()
+        weight_only = sum(
+            p.size for layer in trained.layers for p in layer.params()
+            if p.ndim >= 2)
+        assert net.num_parameters == weight_only
+        assert net.num_steps == 6
+        assert net.num_classes == 100
+
+    def test_vgg_geometry_parameter_bytes(self):
+        net = vgg11_performance_network()
+        # 28.5M 3-bit weights ~ 10.7 MB: needs DRAM (paper Section IV-D).
+        assert 10.0e6 < net.parameter_bytes < 11.5e6
+
+    def test_performance_network_shapes_propagate(self):
+        net = performance_network(
+            [("conv", 4, 3, 1, 1), ("pool", 2), ("flatten",),
+             ("linear", 10)],
+            input_shape=(1, 8, 8), num_steps=3)
+        conv = net.conv_layers()[0]
+        assert conv.out_shape == (4, 8, 8)
+        assert net.layers[-1].in_features == 4 * 4 * 4
+
+    def test_must_end_in_linear(self):
+        with pytest.raises(ShapeError):
+            performance_network([("conv", 2, 3, 1, 0)],
+                                input_shape=(1, 8, 8), num_steps=3)
+
+    def test_executable_by_reference_semantics(self):
+        """Geometry networks carry real (random) weights and must run."""
+        from repro.snn import SNNModel
+        net = performance_network(
+            [("conv", 3, 3, 1, 0), ("pool", 2), ("flatten",),
+             ("linear", 5)],
+            input_shape=(1, 10, 10), num_steps=3, seed=1)
+        model = SNNModel(net)
+        logits = model.forward_ints(
+            np.random.default_rng(0).random((2, 1, 10, 10)))
+        assert logits.shape == (2, 5)

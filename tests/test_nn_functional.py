@@ -1,0 +1,157 @@
+"""Tests for the numpy conv/pool kernels against naive references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+
+
+def naive_conv2d(images, kernels, bias, stride, padding):
+    """Straightforward quadruple-loop convolution used as the oracle."""
+    n, c_in, h, w = images.shape
+    c_out, _, kr, kc = kernels.shape
+    padded = np.pad(images, ((0, 0), (0, 0), (padding, padding),
+                             (padding, padding)))
+    h_out = (h + 2 * padding - kr) // stride + 1
+    w_out = (w + 2 * padding - kc) // stride + 1
+    out = np.zeros((n, c_out, h_out, w_out))
+    for i in range(n):
+        for o in range(c_out):
+            for y in range(h_out):
+                for x in range(w_out):
+                    patch = padded[i, :, y * stride:y * stride + kr,
+                                   x * stride:x * stride + kc]
+                    out[i, o, y, x] = (patch * kernels[o]).sum()
+            if bias is not None:
+                out[i, o] += bias[o]
+    return out
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert F.conv_output_size(32, 5, 1, 0) == 28
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(28, 2, 2, 0) == 14
+
+    def test_too_small_raises(self):
+        with pytest.raises(ShapeError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestConv2d:
+    @given(
+        st.integers(min_value=1, max_value=3),   # batch
+        st.integers(min_value=1, max_value=4),   # c_in
+        st.integers(min_value=1, max_value=5),   # c_out
+        st.sampled_from([(3, 1, 0), (3, 1, 1), (5, 1, 0), (3, 2, 1),
+                         (1, 1, 0), (5, 2, 2)]),
+        st.integers(min_value=6, max_value=12),  # spatial
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_naive(self, n, c_in, c_out, kparams, size):
+        k, stride, padding = kparams
+        rng = np.random.default_rng(n * 100 + c_in * 10 + c_out)
+        images = rng.normal(size=(n, c_in, size, size))
+        kernels = rng.normal(size=(c_out, c_in, k, k))
+        bias = rng.normal(size=c_out)
+        ours, _ = F.conv2d(images, kernels, bias, stride, padding)
+        oracle = naive_conv2d(images, kernels, bias, stride, padding)
+        np.testing.assert_allclose(ours, oracle, atol=1e-9)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            F.conv2d(np.zeros((1, 3, 8, 8)), np.zeros((2, 4, 3, 3)),
+                     None, 1, 0)
+
+    def test_gradients_match_numerical(self):
+        rng = np.random.default_rng(0)
+        images = rng.normal(size=(2, 2, 6, 6))
+        kernels = rng.normal(size=(3, 2, 3, 3))
+        bias = rng.normal(size=3)
+        out, cols = F.conv2d(images, kernels, bias, 1, 1)
+        grad_out = rng.normal(size=out.shape)
+        gi, gk, gb = F.conv2d_backward(
+            grad_out, cols, kernels, images.shape, 1, 1, True)
+
+        eps = 1e-6
+        # Spot-check input gradient entries numerically.
+        for idx in [(0, 0, 2, 3), (1, 1, 0, 0), (0, 1, 5, 5)]:
+            images_p = images.copy()
+            images_p[idx] += eps
+            lp = (F.conv2d(images_p, kernels, bias, 1, 1)[0]
+                  * grad_out).sum()
+            images_m = images.copy()
+            images_m[idx] -= eps
+            lm = (F.conv2d(images_m, kernels, bias, 1, 1)[0]
+                  * grad_out).sum()
+            assert gi[idx] == pytest.approx((lp - lm) / (2 * eps), rel=1e-4)
+        # And kernel gradient entries.
+        for idx in [(0, 0, 0, 0), (2, 1, 2, 2)]:
+            kp = kernels.copy()
+            kp[idx] += eps
+            lp = (F.conv2d(images, kp, bias, 1, 1)[0] * grad_out).sum()
+            km = kernels.copy()
+            km[idx] -= eps
+            lm = (F.conv2d(images, km, bias, 1, 1)[0] * grad_out).sum()
+            assert gk[idx] == pytest.approx((lp - lm) / (2 * eps), rel=1e-4)
+        np.testing.assert_allclose(gb, grad_out.sum(axis=(0, 2, 3)))
+
+
+class TestIm2colCol2im:
+    def test_adjoint_property(self):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint pair."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 3, 7, 7))
+        cols = F.im2col(x, (3, 3), 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = (cols * y).sum()
+        rhs = (x * F.col2im(y, x.shape, (3, 3), 2, 1)).sum()
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_im2col_shape(self):
+        cols = F.im2col(np.zeros((2, 3, 8, 8)), (3, 3), 1, 0)
+        assert cols.shape == (2, 36, 27)
+
+
+class TestPooling:
+    def test_avg_pool_known(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(x, 2, 2)
+        np.testing.assert_allclose(
+            out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_known(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out, arg = F.max_pool2d(x, 2, 2)
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_backward_spreads_evenly(self):
+        grad = F.avg_pool2d_backward(
+            np.ones((1, 1, 2, 2)), (1, 1, 4, 4), 2, 2)
+        np.testing.assert_allclose(grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_max_pool_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out, arg = F.max_pool2d(x, 2, 2)
+        grad = F.max_pool2d_backward(
+            np.ones((1, 1, 2, 2)), arg, x.shape, 2, 2)
+        assert grad.sum() == 4
+        assert grad[0, 0, 1, 1] == 1  # argmax of the first window (value 5)
+
+    def test_avg_pool_numerical_gradient(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 6, 6))
+        grad_out = rng.normal(size=(1, 2, 3, 3))
+        gi = F.avg_pool2d_backward(grad_out, x.shape, 2, 2)
+        eps = 1e-6
+        idx = (0, 1, 3, 2)
+        xp = x.copy()
+        xp[idx] += eps
+        xm = x.copy()
+        xm[idx] -= eps
+        num = ((F.avg_pool2d(xp, 2, 2) - F.avg_pool2d(xm, 2, 2))
+               * grad_out).sum() / (2 * eps)
+        assert gi[idx] == pytest.approx(num, rel=1e-5)

@@ -1,0 +1,184 @@
+"""Gradient and behaviour tests for every trainable layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+
+
+def numerical_grad_check(layer, x, param=None, eps=1e-6, spots=3, seed=0):
+    """Compare analytic gradients to central differences at random spots."""
+    rng = np.random.default_rng(seed)
+    out = layer.forward(x)
+    grad_out = rng.normal(size=out.shape)
+    grad_in = layer.backward(grad_out)
+    target = param if param is not None else x
+    analytic = grad_in if param is None else None
+    if param is not None:
+        slot = [i for i, p in enumerate(layer.params()) if p is param][0]
+        analytic = layer.grads()[slot]
+    flat_idx = rng.choice(target.size, size=min(spots, target.size),
+                          replace=False)
+    for fi in flat_idx:
+        idx = np.unravel_index(fi, target.shape)
+        original = target[idx]
+        target[idx] = original + eps
+        lp = (layer.forward(x) * grad_out).sum()
+        target[idx] = original - eps
+        lm = (layer.forward(x) * grad_out).sum()
+        target[idx] = original
+        numeric = (lp - lm) / (2 * eps)
+        assert analytic[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+
+class TestConv2dLayer:
+    def test_output_shape(self):
+        layer = Conv2d(3, 8, kernel_size=3, padding=1)
+        out = layer.forward(np.zeros((2, 3, 10, 10)))
+        assert out.shape == (2, 8, 10, 10)
+
+    def test_input_gradient(self):
+        layer = Conv2d(2, 3, kernel_size=3)
+        x = np.random.default_rng(0).normal(size=(2, 2, 6, 6))
+        numerical_grad_check(layer, x)
+
+    def test_weight_gradient(self):
+        layer = Conv2d(2, 3, kernel_size=3)
+        x = np.random.default_rng(1).normal(size=(2, 2, 6, 6))
+        numerical_grad_check(layer, x, param=layer.weight)
+
+    def test_bias_gradient(self):
+        layer = Conv2d(2, 3, kernel_size=3)
+        x = np.random.default_rng(2).normal(size=(1, 2, 5, 5))
+        numerical_grad_check(layer, x, param=layer.bias)
+
+    def test_no_bias_variant(self):
+        layer = Conv2d(1, 1, kernel_size=3, bias=False)
+        assert layer.bias is None
+        assert len(layer.params()) == 1
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ShapeError):
+            Conv2d(1, 1, 3).backward(np.zeros((1, 1, 2, 2)))
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ShapeError):
+            Conv2d(0, 1, 3)
+
+
+class TestLinearLayer:
+    def test_forward_values(self):
+        layer = Linear(3, 2)
+        layer.weight = np.array([[1.0, 0, 0], [0, 2.0, 0]])
+        layer.bias = np.array([0.5, -0.5])
+        out = layer.forward(np.array([[1.0, 1.0, 1.0]]))
+        np.testing.assert_allclose(out, [[1.5, 1.5]])
+
+    def test_gradients(self):
+        layer = Linear(4, 3)
+        x = np.random.default_rng(0).normal(size=(5, 4))
+        numerical_grad_check(layer, x)
+        numerical_grad_check(layer, x, param=layer.weight)
+        numerical_grad_check(layer, x, param=layer.bias)
+
+    def test_shape_check(self):
+        with pytest.raises(ShapeError):
+            Linear(4, 2).forward(np.zeros((1, 5)))
+
+
+class TestReLU:
+    def test_clamps_negative(self):
+        out = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out, [0, 0, 2])
+
+    def test_gradient_mask(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 3.0]])
+        layer.forward(x)
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_allclose(grad, [[0.0, 5.0]])
+
+
+class TestPoolLayers:
+    def test_avg_pool_forward_backward(self):
+        layer = AvgPool2d(2)
+        x = np.random.default_rng(0).normal(size=(1, 2, 6, 6))
+        numerical_grad_check(layer, x)
+
+    def test_max_pool_forward_backward(self):
+        layer = MaxPool2d(2)
+        # Use well-separated values so argmax is stable under eps nudges.
+        x = np.random.default_rng(1).permutation(144).reshape(
+            1, 4, 6, 6).astype(float)
+        numerical_grad_check(layer, x)
+
+    def test_default_stride_equals_size(self):
+        assert AvgPool2d(3).stride == 3
+        assert MaxPool2d(2, stride=1).stride == 1
+
+
+class TestFlatten:
+    def test_roundtrip(self):
+        layer = Flatten()
+        x = np.arange(24).reshape(2, 3, 2, 2).astype(float)
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        back = layer.backward(out)
+        np.testing.assert_array_equal(back, x)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = np.random.default_rng(0).normal(size=(4, 4))
+        np.testing.assert_array_equal(layer.forward(x), x)
+
+    def test_training_preserves_expectation(self):
+        layer = Dropout(0.5, seed=0)
+        x = np.ones((200, 200))
+        out = layer.forward(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ShapeError):
+            Dropout(1.0)
+
+
+class TestBatchNorm2d:
+    def test_normalizes_training_batch(self):
+        layer = BatchNorm2d(3)
+        x = np.random.default_rng(0).normal(2.0, 3.0, size=(8, 3, 4, 4))
+        out = layer.forward(x)
+        assert out.mean() == pytest.approx(0.0, abs=1e-7)
+        assert out.std() == pytest.approx(1.0, abs=1e-2)
+
+    def test_eval_uses_running_stats(self):
+        layer = BatchNorm2d(2)
+        x = np.random.default_rng(1).normal(size=(16, 2, 3, 3))
+        for _ in range(50):
+            layer.forward(x)
+        layer.eval()
+        out_eval = layer.forward(x)
+        assert abs(out_eval.mean()) < 0.2
+
+    def test_gradients(self):
+        layer = BatchNorm2d(2)
+        x = np.random.default_rng(2).normal(size=(4, 2, 3, 3))
+        numerical_grad_check(layer, x)
+        numerical_grad_check(layer, x, param=layer.gamma)
+        numerical_grad_check(layer, x, param=layer.beta)
+
+    def test_shape_check(self):
+        with pytest.raises(ShapeError):
+            BatchNorm2d(3).forward(np.zeros((1, 2, 4, 4)))

@@ -1,0 +1,164 @@
+"""Tests for quantization-aware training."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.nn import Adam, Conv2d, Flatten, Linear, ReLU, Sequential
+from repro.nn.qat import (
+    FakeQuantActivation,
+    QATTrainer,
+    add_activation_quantization,
+    fake_quantized_weights,
+)
+from repro.snn import ann_to_snn
+
+
+def tiny_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        Conv2d(1, 3, kernel_size=3, rng=rng), ReLU(),
+        Flatten(),
+        Linear(3 * 6 * 6, 8, rng=rng), ReLU(),
+        Linear(8, 3, rng=rng),
+    ])
+
+
+class TestFakeQuantActivation:
+    def test_snaps_to_grid(self):
+        fq = FakeQuantActivation(num_steps=2)  # 4 levels
+        fq.scale = 1.0
+        fq.training = False
+        out = fq.forward(np.array([0.0, 0.3, 0.6, 0.9]))
+        grid = np.round(out * 4) / 4
+        np.testing.assert_allclose(out, grid)
+
+    def test_rounds_to_nearest(self):
+        fq = FakeQuantActivation(num_steps=2)
+        fq.scale = 1.0
+        fq.training = False
+        # 0.3 * 4 = 1.2 -> level 1; 0.4 * 4 = 1.6 -> level 2
+        out = fq.forward(np.array([0.3, 0.4]))
+        np.testing.assert_allclose(out, [0.25, 0.5])
+
+    def test_saturates_at_scale(self):
+        fq = FakeQuantActivation(num_steps=3)
+        fq.scale = 1.0
+        fq.training = False
+        out = fq.forward(np.array([5.0]))
+        assert out[0] == pytest.approx(7 / 8)
+
+    def test_running_scale_tracks_percentile(self):
+        fq = FakeQuantActivation(num_steps=4, percentile=100.0,
+                                 momentum=1.0)
+        fq.forward(np.linspace(0, 2.0, 50))
+        assert fq.scale == pytest.approx(2.0)
+
+    def test_ste_gradient_masked(self):
+        fq = FakeQuantActivation(num_steps=3)
+        fq.forward(np.array([-0.5, 0.2, 5.0]))  # sets scale, mask
+        grad = fq.backward(np.ones(3))
+        assert grad[0] == 0.0        # below zero: clipped
+        assert grad[1] == 1.0        # inside range: straight through
+        assert grad[2] == 0.0        # above scale: clipped
+
+    def test_eval_before_training_raises(self):
+        fq = FakeQuantActivation(num_steps=3)
+        fq.training = False
+        with pytest.raises(QuantizationError):
+            fq.forward(np.ones(3))
+
+    def test_invalid_steps(self):
+        with pytest.raises(QuantizationError):
+            FakeQuantActivation(0)
+
+
+class TestAddActivationQuantization:
+    def test_inserts_after_each_relu(self):
+        model = tiny_model()
+        qat = add_activation_quantization(model, num_steps=4)
+        relu_count = sum(isinstance(l, ReLU) for l in model.layers)
+        fq_count = sum(isinstance(l, FakeQuantActivation)
+                       for l in qat.layers)
+        assert fq_count == relu_count
+
+    def test_shares_parameters_with_original(self):
+        model = tiny_model()
+        qat = add_activation_quantization(model, num_steps=4)
+        assert qat.layers[0] is model.layers[0]
+
+
+class TestFakeQuantizedWeights:
+    def test_weights_quantized_inside_context(self):
+        model = tiny_model()
+        original = model.layers[0].weight.copy()
+        with fake_quantized_weights(model, weight_bits=3):
+            inside = model.layers[0].weight
+            scales = np.abs(inside).reshape(3, -1).max(axis=1) / 3
+            ratio = inside / np.where(scales[:, None, None, None] > 0,
+                                      scales[:, None, None, None], 1)
+            np.testing.assert_allclose(ratio, np.rint(ratio), atol=1e-9)
+        np.testing.assert_array_equal(model.layers[0].weight, original)
+
+    def test_restores_on_exception(self):
+        model = tiny_model()
+        original = model.layers[0].weight
+        try:
+            with fake_quantized_weights(model, weight_bits=3):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert model.layers[0].weight is original
+
+
+class TestQATTrainer:
+    def _dataset(self, n=240, seed=0):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 3, size=n)
+        images = rng.random((n, 1, 8, 8)) * 0.2
+        # Make class signal: brighten a class-specific quadrant.
+        for i, lab in enumerate(labels):
+            y, x = divmod(int(lab), 2)
+            images[i, 0, y * 4:(y + 1) * 4, x * 4:(x + 1) * 4] += 0.7
+        return np.clip(images, 0, 1), labels
+
+    def test_learns_under_quantization(self):
+        images, labels = self._dataset()
+        model = add_activation_quantization(tiny_model(), num_steps=3)
+        trainer = QATTrainer(model, Adam(model.params(), lr=2e-3),
+                             weight_bits=3, input_steps=3, batch_size=32)
+        log = trainer.fit(images, labels, epochs=8)
+        assert log.train_accuracies[-1] > 0.8
+
+    def test_converted_model_preserves_qat_accuracy(self):
+        images, labels = self._dataset(seed=1)
+        model = add_activation_quantization(tiny_model(seed=1), num_steps=3)
+        trainer = QATTrainer(model, Adam(model.params(), lr=2e-3),
+                             weight_bits=3, input_steps=3, batch_size=32)
+        trainer.fit(images, labels, epochs=8)
+        snn = ann_to_snn(model, images[:64], num_steps=3, weight_bits=3)
+        acc = (snn.predict(images) == labels).mean()
+        assert acc > 0.75
+
+    def test_input_quantization_grid(self):
+        trainer = QATTrainer(tiny_model(), Adam([np.zeros(1)], lr=1e-3),
+                             input_steps=2)
+        q = trainer._quantize_inputs(np.array([0.0, 0.3, 0.6, 0.99]))
+        np.testing.assert_allclose(q, [0.0, 0.25, 0.5, 0.75])
+
+    def test_conversion_uses_trained_scales(self):
+        images, labels = self._dataset(seed=2)
+        model = add_activation_quantization(tiny_model(seed=2), num_steps=3)
+        trainer = QATTrainer(model, Adam(model.params(), lr=2e-3),
+                             weight_bits=3, input_steps=3, batch_size=32)
+        trainer.fit(images, labels, epochs=2)
+        fq_scales = [l.scale for l in model.layers
+                     if isinstance(l, FakeQuantActivation)]
+        snn = ann_to_snn(model, images[:32], num_steps=3, weight_bits=3)
+        convs = snn.network.conv_layers()
+        # The first conv's requantization scale must be derived from the
+        # trained FQ scale: M = lam_in * s_w / lam_out with lam_in = 1.
+        head_fq = fq_scales[0]
+        expected_order = 1.0 / head_fq
+        ratio = convs[0].scales.mean() * head_fq
+        assert 0.001 < ratio < 1000  # sanity: scales wired through

@@ -1,0 +1,198 @@
+"""Tests for losses, optimizers, schedules, the trainer and save/load."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import (
+    Adam,
+    CosineSchedule,
+    CrossEntropyLoss,
+    Flatten,
+    Linear,
+    ReLU,
+    SGD,
+    Sequential,
+    StepSchedule,
+    Trainer,
+    evaluate_accuracy,
+    softmax,
+)
+
+
+def tiny_classifier(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        Linear(8, 16, rng=rng), ReLU(), Linear(16, 3, rng=rng)])
+
+
+def blob_dataset(n=300, seed=0):
+    """Three well-separated Gaussian blobs in 8 dimensions."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=3.0, size=(3, 8))
+    labels = rng.integers(0, 3, size=n)
+    x = centers[labels] + rng.normal(scale=0.5, size=(n, 8))
+    return x, labels
+
+
+class TestSoftmaxAndLoss:
+    def test_softmax_rows_sum_to_one(self):
+        probs = softmax(np.random.default_rng(0).normal(size=(5, 7)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+
+    def test_softmax_stability_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(probs, [[0.5, 0.5]])
+
+    def test_perfect_prediction_low_loss(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        assert loss.forward(logits, np.array([0, 1])) < 1e-4
+
+    def test_uniform_prediction_log_k(self):
+        loss = CrossEntropyLoss()
+        logits = np.zeros((4, 10))
+        value = loss.forward(logits, np.zeros(4, dtype=int))
+        assert value == pytest.approx(np.log(10), rel=1e-6)
+
+    def test_gradient_matches_numerical(self):
+        loss = CrossEntropyLoss(label_smoothing=0.1)
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(3, 4))
+        targets = np.array([0, 2, 1])
+        loss.forward(logits, targets)
+        grad = loss.backward()
+        eps = 1e-6
+        for idx in [(0, 0), (1, 2), (2, 3)]:
+            lp = logits.copy()
+            lp[idx] += eps
+            lm = logits.copy()
+            lm[idx] -= eps
+            numeric = (loss.forward(lp, targets)
+                       - loss.forward(lm, targets)) / (2 * eps)
+            assert grad[idx] == pytest.approx(numeric, rel=1e-4)
+
+    def test_shape_validation(self):
+        loss = CrossEntropyLoss()
+        with pytest.raises(ShapeError):
+            loss.forward(np.zeros((2, 3)), np.zeros(3, dtype=int))
+        with pytest.raises(ShapeError):
+            CrossEntropyLoss(label_smoothing=1.0)
+
+
+class TestOptimizers:
+    def test_sgd_descends_quadratic(self):
+        w = np.array([5.0, -3.0])
+        opt = SGD([w], lr=0.1, momentum=0.0)
+        for _ in range(200):
+            opt.step([2 * w])  # d/dw ||w||^2
+        assert np.abs(w).max() < 1e-3
+
+    def test_sgd_momentum_accelerates(self):
+        w_plain = np.array([5.0])
+        w_mom = np.array([5.0])
+        plain = SGD([w_plain], lr=0.01, momentum=0.0)
+        mom = SGD([w_mom], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            plain.step([2 * w_plain])
+            mom.step([2 * w_mom])
+        assert abs(w_mom[0]) < abs(w_plain[0])
+
+    def test_adam_descends_quadratic(self):
+        w = np.array([5.0, -3.0, 1.0])
+        opt = Adam([w], lr=0.05)
+        for _ in range(500):
+            opt.step([2 * w])
+        assert np.abs(w).max() < 1e-2
+
+    def test_weight_decay_shrinks(self):
+        w = np.array([1.0])
+        opt = SGD([w], lr=0.1, momentum=0.0, weight_decay=0.5)
+        opt.step([np.zeros(1)])
+        assert w[0] < 1.0
+
+    def test_gradient_count_mismatch(self):
+        opt = SGD([np.zeros(2)], lr=0.1)
+        with pytest.raises(ShapeError):
+            opt.step([])
+
+    def test_invalid_lr(self):
+        with pytest.raises(ShapeError):
+            Adam([np.zeros(1)], lr=0.0)
+
+
+class TestSchedules:
+    def test_cosine_endpoints(self):
+        sched = CosineSchedule(1.0, 100, min_lr=0.1)
+        assert sched.lr_at(0) == pytest.approx(1.0)
+        assert sched.lr_at(100) == pytest.approx(0.1)
+        assert 0.1 < sched.lr_at(50) < 1.0
+
+    def test_step_schedule(self):
+        sched = StepSchedule(1.0, milestones=[10, 20], gamma=0.1)
+        assert sched.lr_at(5) == pytest.approx(1.0)
+        assert sched.lr_at(15) == pytest.approx(0.1)
+        assert sched.lr_at(25) == pytest.approx(0.01)
+
+    def test_apply_mutates_optimizer(self):
+        opt = SGD([np.zeros(1)], lr=1.0)
+        CosineSchedule(1.0, 10).apply(opt, 10)
+        assert opt.lr == pytest.approx(0.0)
+
+
+class TestTrainer:
+    def test_learns_separable_blobs(self):
+        x, y = blob_dataset()
+        model = tiny_classifier()
+        trainer = Trainer(model, Adam(model.params(), lr=1e-2),
+                          batch_size=32)
+        log = trainer.fit(x, y, epochs=10)
+        assert log.train_accuracies[-1] > 0.95
+        assert log.losses[-1] < log.losses[0]
+
+    def test_eval_accuracy_on_untrained_is_chancey(self):
+        x, y = blob_dataset(seed=1)
+        acc = evaluate_accuracy(tiny_classifier(seed=5), x, y)
+        assert acc < 0.9  # untrained should not be near-perfect
+
+    def test_log_tracks_test_accuracy(self):
+        x, y = blob_dataset()
+        model = tiny_classifier()
+        trainer = Trainer(model, Adam(model.params(), lr=1e-2))
+        log = trainer.fit(x[:200], y[:200], x[200:], y[200:], epochs=2)
+        assert len(log.test_accuracies) == 2
+        assert log.best_test_accuracy >= log.test_accuracies[0] - 1e-12
+
+
+class TestSequentialSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        model = tiny_classifier(seed=1)
+        x = np.random.default_rng(0).normal(size=(4, 8))
+        expected = model.forward(x)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        fresh = tiny_classifier(seed=2)
+        fresh.load(path)
+        np.testing.assert_allclose(fresh.forward(x), expected)
+
+    def test_load_shape_mismatch_raises(self, tmp_path):
+        model = tiny_classifier()
+        model.save(tmp_path / "m.npz")
+        other = Sequential([Linear(8, 17), ReLU(), Linear(17, 3)])
+        with pytest.raises(ShapeError):
+            other.load(tmp_path / "m.npz")
+
+    def test_num_parameters(self):
+        model = tiny_classifier()
+        assert model.num_parameters() == 8 * 16 + 16 + 16 * 3 + 3
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ShapeError):
+            Sequential([])
+
+    def test_train_eval_propagates(self):
+        model = Sequential([Linear(2, 2), ReLU(), Flatten()])
+        model.eval()
+        assert all(not l.training for l in model.layers)
+        model.train()
+        assert all(l.training for l in model.layers)

@@ -1,0 +1,229 @@
+"""Tests for ANN-to-SNN conversion and the central exactness invariant:
+
+    quantized-ANN reference == temporal radix spike simulation
+
+for every layer type, network shape and spike-train length.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConversionError
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.snn import (
+    RadixIFNeuron,
+    ann_to_snn,
+    fold_batch_norm,
+    group_layers,
+    requantize,
+)
+from repro.snn.spec import QuantPoolSpec
+
+
+def tiny_cnn(seed=0, in_size=12):
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        Conv2d(1, 4, kernel_size=3, rng=rng), ReLU(),
+        AvgPool2d(2),
+        Conv2d(4, 6, kernel_size=3, rng=rng), ReLU(),
+        Flatten(),
+        Linear(6 * 3 * 3, 12, rng=rng), ReLU(),
+        Linear(12, 5, rng=rng),
+    ])
+
+
+def random_images(n, shape, seed=0):
+    return np.random.default_rng(seed).random((n,) + shape)
+
+
+class TestGroupLayers:
+    def test_groups_tiny_cnn(self):
+        kinds = [g[0] for g in group_layers(tiny_cnn())]
+        assert kinds == ["conv", "pool", "conv", "flatten", "linear",
+                         "linear"]
+
+    def test_dropout_is_skipped(self):
+        model = Sequential([Linear(4, 4), ReLU(), Dropout(0.3),
+                            Linear(4, 2)])
+        kinds = [g[0] for g in group_layers(model)]
+        assert kinds == ["linear", "linear"]
+
+    def test_conv_without_relu_rejected(self):
+        model = Sequential([Conv2d(1, 2, 3), Flatten(), Linear(8, 2)])
+        with pytest.raises(ConversionError):
+            group_layers(model)
+
+    def test_max_pool_rejected(self):
+        model = Sequential([Conv2d(1, 2, 3), ReLU(), MaxPool2d(2),
+                            Flatten(), Linear(2, 2)])
+        with pytest.raises(ConversionError):
+            group_layers(model)
+
+    def test_relu_head_rejected(self):
+        model = Sequential([Linear(4, 2), ReLU()])
+        with pytest.raises(ConversionError):
+            group_layers(model)
+
+    def test_unfolded_batchnorm_rejected(self):
+        model = Sequential([Conv2d(1, 2, 3), BatchNorm2d(2), ReLU(),
+                            Flatten(), Linear(8, 2)])
+        with pytest.raises(ConversionError):
+            group_layers(model)
+
+
+class TestFoldBatchNorm:
+    def test_folded_model_matches_eval_output(self):
+        rng = np.random.default_rng(0)
+        model = Sequential([
+            Conv2d(2, 3, kernel_size=3, rng=rng), BatchNorm2d(3), ReLU(),
+            Flatten(), Linear(3 * 4 * 4, 2, rng=rng)])
+        x = rng.normal(size=(16, 2, 6, 6))
+        model.train()
+        for _ in range(10):
+            model.forward(x)  # populate running stats
+        model.eval()
+        expected = model.forward(x)
+        folded = fold_batch_norm(model)
+        folded.eval()
+        np.testing.assert_allclose(folded.forward(x), expected, atol=1e-8)
+
+    def test_folded_model_has_no_batchnorm(self):
+        model = Sequential([Conv2d(1, 2, 3), BatchNorm2d(2), ReLU(),
+                            Flatten(), Linear(2 * 2 * 2, 2)])
+        folded = fold_batch_norm(model)
+        assert not any(isinstance(l, BatchNorm2d) for l in folded.layers)
+
+
+class TestConversion:
+    def test_spec_structure(self):
+        model = tiny_cnn()
+        snn = ann_to_snn(model, random_images(8, (1, 12, 12)), num_steps=4)
+        net = snn.network
+        assert net.num_steps == 4
+        assert net.weight_bits == 3
+        assert len(net.conv_layers()) == 2
+        assert len(net.linear_layers()) == 2
+        assert net.linear_layers()[-1].is_output
+        assert not net.linear_layers()[0].is_output
+
+    def test_weights_in_3bit_range(self):
+        snn = ann_to_snn(tiny_cnn(), random_images(8, (1, 12, 12)),
+                         num_steps=4)
+        for spec in snn.network.conv_layers():
+            assert spec.weights.min() >= -3 and spec.weights.max() <= 3
+
+    def test_output_head_uses_per_tensor_scale(self):
+        """Per-channel scales on the head would corrupt the argmax."""
+        snn = ann_to_snn(tiny_cnn(), random_images(8, (1, 12, 12)),
+                         num_steps=4)
+        head = snn.network.linear_layers()[-1]
+        assert np.allclose(head.scales, head.scales[0])
+
+    def test_rejects_bad_calibration_shape(self):
+        with pytest.raises(ConversionError):
+            ann_to_snn(tiny_cnn(), np.zeros((8, 12, 12)), num_steps=4)
+
+    def test_higher_precision_tracks_float_model(self):
+        """With generous bits/steps the SNN must match the float ANN."""
+        model = tiny_cnn(seed=3)
+        images = random_images(64, (1, 12, 12), seed=1)
+        model.eval()
+        float_pred = model.forward(images).argmax(axis=1)
+        snn = ann_to_snn(model, images[:32], num_steps=10, weight_bits=10)
+        agreement = (snn.predict(images) == float_pred).mean()
+        assert agreement > 0.95
+
+
+class TestExactnessInvariant:
+    """The repo's central invariant (DESIGN.md §4)."""
+
+    @given(st.integers(min_value=2, max_value=7),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_spike_sim_equals_int_reference(self, num_steps, seed):
+        model = tiny_cnn(seed=seed)
+        images = random_images(4, (1, 12, 12), seed=seed + 10)
+        snn = ann_to_snn(model, images, num_steps=num_steps)
+        ref = snn.forward_ints(images)
+        spike, _ = snn.forward_spikes(images)
+        np.testing.assert_array_equal(ref, spike)
+
+    def test_invariant_on_strided_padded_conv(self):
+        rng = np.random.default_rng(0)
+        model = Sequential([
+            Conv2d(2, 3, kernel_size=3, stride=2, padding=1, rng=rng),
+            ReLU(),
+            Flatten(),
+            Linear(3 * 5 * 5, 4, rng=rng)])
+        images = random_images(4, (2, 9, 9), seed=5)
+        snn = ann_to_snn(model, images, num_steps=4)
+        ref = snn.forward_ints(images)
+        spike, _ = snn.forward_spikes(images)
+        np.testing.assert_array_equal(ref, spike)
+
+    def test_spike_stats_collected(self):
+        model = tiny_cnn()
+        images = random_images(2, (1, 12, 12))
+        snn = ann_to_snn(model, images, num_steps=3)
+        _, stats = snn.forward_spikes(images, collect_stats=True)
+        assert stats is not None
+        assert stats.total_spikes > 0
+        assert 0.0 < stats.mean_rate(3) <= 1.0
+        assert len(stats.spikes_per_layer) == len(stats.neurons_per_layer)
+
+
+class TestRequantize:
+    def test_relu_behaviour(self):
+        acc = np.array([[-5, 0, 5]])
+        out = requantize(acc, np.array([1.0, 1.0, 1.0]), 3, channel_axis=1)
+        np.testing.assert_array_equal(out, [[0, 0, 5]])
+
+    def test_saturation(self):
+        acc = np.array([[100]])
+        out = requantize(acc, np.array([1.0]), 3, channel_axis=1)
+        assert out[0, 0] == 7
+
+    def test_rounds_to_nearest(self):
+        acc = np.array([[1], [2]])
+        out = requantize(acc, np.array([0.3]), 3, channel_axis=0)
+        # 0.3 -> 0 (floor(0.8)), 0.6 -> 1 (floor(1.1))
+        np.testing.assert_array_equal(out.ravel(), [0, 1])
+
+    def test_per_channel_scales(self):
+        acc = np.array([[4, 4]])
+        out = requantize(acc, np.array([0.5, 1.0]), 4, channel_axis=1)
+        np.testing.assert_array_equal(out, [[2, 4]])
+
+
+class TestNeurons:
+    def test_radix_neuron_computes_dot_product(self):
+        neuron = RadixIFNeuron((1,), num_steps=3)
+        # currents 1, 0, 1 -> potential 0b101 = 5
+        neuron.integrate(np.array([1]))
+        neuron.integrate(np.array([0]))
+        neuron.integrate(np.array([1]))
+        assert neuron.potential[0] == 5
+        assert neuron.complete
+
+    def test_radix_neuron_overflow_guard(self):
+        neuron = RadixIFNeuron((1,), num_steps=1)
+        neuron.integrate(np.array([1]))
+        with pytest.raises(Exception):
+            neuron.integrate(np.array([1]))
+
+    def test_pool_spec_requires_power_of_two(self):
+        with pytest.raises(ConversionError):
+            QuantPoolSpec(size=3, stride=3, in_shape=(1, 6, 6),
+                          out_shape=(1, 2, 2))

@@ -1,0 +1,82 @@
+"""Tests for QuantizedNetwork queries and dataset→encoding integration."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_mnist
+from repro.encoding import radix
+from repro.errors import ConversionError
+from repro.models import performance_network, vgg11_performance_network
+from repro.snn.spec import QuantizedNetwork
+
+
+class TestNetworkQueries:
+    def _net(self):
+        return performance_network(
+            [("conv", 4, 3, 1, 0), ("pool", 2), ("conv", 6, 3, 1, 0),
+             ("flatten",), ("linear", 10), ("linear", 3)],
+            input_shape=(1, 12, 12), num_steps=4)
+
+    def test_layer_kind_queries(self):
+        net = self._net()
+        assert len(net.conv_layers()) == 2
+        assert len(net.pool_layers()) == 1
+        assert len(net.linear_layers()) == 2
+
+    def test_parameter_count(self):
+        net = self._net()
+        expected = (4 * 1 * 9) + (6 * 4 * 9)
+        flat = 6 * 3 * 3
+        expected += 10 * flat + 3 * 10
+        assert net.num_parameters == expected
+
+    def test_parameter_bytes_rounds_up(self):
+        net = self._net()
+        assert net.parameter_bytes == (net.num_parameters * 3 + 7) // 8
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ConversionError):
+            QuantizedNetwork(layers=(), num_steps=3, weight_bits=3,
+                             input_shape=(1, 4, 4), num_classes=2)
+
+    def test_vgg_has_eleven_weight_layers(self):
+        net = vgg11_performance_network()
+        assert len(net.conv_layers()) + len(net.linear_layers()) == 11
+
+    def test_conv_spec_helpers(self):
+        conv = self._net().conv_layers()[0]
+        assert conv.kernel_size == (3, 3)
+        assert conv.num_weights == 4 * 1 * 9
+        assert conv.macs > 0
+
+    def test_pool_shift(self):
+        pool = self._net().pool_layers()[0]
+        assert pool.shift == 2  # 2x2 window -> divide by 4
+
+
+class TestDatasetEncodingIntegration:
+    def test_images_encode_without_clipping_surprise(self):
+        """Dataset output lives in [0,1] and must round-trip through the
+        radix grid with bounded error for every sample."""
+        train, _ = generate_mnist(train_count=24, test_count=8)
+        for t in (3, 6):
+            ints = radix.quantize_real(train.images, t)
+            decoded = ints.astype(np.float64) / (1 << t)
+            err = np.abs(train.images - decoded)
+            assert err.max() < 1.0 / (1 << t) + 1e-12
+
+    def test_batch_encode_decode_roundtrip(self):
+        train, _ = generate_mnist(train_count=8, test_count=4)
+        ints = radix.quantize_real(train.images, 5)
+        spikes = radix.encode_ints(ints, 5)
+        np.testing.assert_array_equal(radix.decode_ints(spikes), ints)
+
+    def test_spike_density_tracks_brightness(self):
+        """Brighter images must produce more spikes — the physical link
+        between data statistics and accelerator energy."""
+        train, _ = generate_mnist(train_count=16, test_count=4)
+        dim = train.images * 0.3
+        t = 4
+        bright_spikes = radix.encode_real(train.images, t).num_spikes
+        dim_spikes = radix.encode_real(dim, t).num_spikes
+        assert bright_spikes > dim_spikes
