@@ -2,17 +2,27 @@
 
 The session-scoped runner trains each workload model once (results are
 cached in ``<repo>/artifacts``, so later sessions skip training) and every
-benchmark prints its paper-table next to the timing numbers.
+benchmark prints its paper-table next to the timing numbers.  ``rng``
+mirrors the test suite's deterministic per-test generator so stochastic
+benchmark inputs reproduce.
 """
 
+import numpy as np
 import pytest
 
 from repro.harness import ExperimentRunner
+from tests.conftest import seed_for
 
 
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
     return ExperimentRunner()
+
+
+@pytest.fixture
+def rng(request) -> np.random.Generator:
+    """Per-benchmark deterministic numpy Generator (REPRO_TEST_SEED wins)."""
+    return np.random.default_rng(seed_for(request.node.nodeid))
 
 
 def print_table(table) -> None:

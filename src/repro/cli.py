@@ -11,7 +11,9 @@ Usage::
     python -m repro all               # everything above
 
 Models are trained on first use and cached under ``artifacts/``; set
-``REPRO_FAST=1`` for a smoke-scale run.
+``REPRO_FAST=1`` for a smoke-scale run.  ``--backend vectorized`` runs
+the functional simulations on the batched tensor engine (bit-identical
+results, orders of magnitude faster than the unit-level model).
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core import Accelerator, AcceleratorConfig
+from repro.core import Accelerator, AcceleratorConfig, available_backends
 from repro.harness import (
     ExperimentRunner,
     render_conv_unit,
@@ -77,9 +79,12 @@ def main(argv: list[str] | None = None) -> int:
         help="which experiment to run")
     parser.add_argument("--no-vgg", action="store_true",
                         help="skip the VGG-11 row of table3")
+    parser.add_argument("--backend", choices=available_backends(),
+                        default="reference",
+                        help="execution engine for functional simulations")
     args = parser.parse_args(argv)
 
-    runner = ExperimentRunner()
+    runner = ExperimentRunner(backend=args.backend)
     dispatch = {
         "table1": lambda: _print_table1(runner),
         "table2": lambda: _print_table2(runner),

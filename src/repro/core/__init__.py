@@ -32,6 +32,14 @@ from repro.core.config import (
 )
 from repro.core.controller import Controller, ExecutionTrace, LayerTrace
 from repro.core.conv_unit import ConvUnit
+from repro.core.engine import (
+    ExecutionEngine,
+    ReferenceEngine,
+    VectorizedEngine,
+    available_backends,
+    create_engine,
+    register_engine,
+)
 from repro.core.dram import DramModel, DramTransfer
 from repro.core.energy import EnergyBreakdown, EnergyConstants, trace_energy
 from repro.core.isa import (
@@ -79,6 +87,7 @@ __all__ = [
     "DramTransfer",
     "EnergyBreakdown",
     "EnergyConstants",
+    "ExecutionEngine",
     "ExecutionTrace",
     "Instruction",
     "Opcode",
@@ -99,13 +108,17 @@ __all__ = [
     "PoolUnitConfig",
     "PowerCalibration",
     "PowerModel",
+    "ReferenceEngine",
     "ResourceCalibration",
     "ResourceEstimate",
     "ResourceModel",
     "UnitStats",
+    "VectorizedEngine",
     "assemble",
+    "available_backends",
     "channels_per_pass",
     "compile_network",
+    "create_engine",
     "conv_group_count",
     "conv_layer_cycles",
     "decode",
@@ -114,5 +127,6 @@ __all__ = [
     "linear_layer_cycles",
     "plan_bram",
     "pool_layer_cycles",
+    "register_engine",
     "trace_energy",
 ]

@@ -5,27 +5,33 @@ Typical flow (mirrors the paper's):
     >>> snn = ann_to_snn(trained_ann, calibration_set, num_steps=4)
     >>> acc = Accelerator(AcceleratorConfig.for_network(snn.network,
     ...                                                 num_conv_units=4,
-    ...                                                 clock_mhz=200.0))
+    ...                                                 clock_mhz=200.0),
+    ...                   backend="vectorized")
     >>> acc.deploy(snn)
-    >>> predictions, trace = acc.run(images)        # functional simulation
+    >>> predictions, traces = acc.run(images)       # batched functional sim
     >>> report = acc.report(accuracy=0.991)         # Table III row
 
-``run`` executes the bit-exact functional hardware model (slow, per-image);
-``report``/``estimate_*`` use the analytic models and need no data.
+``run``/``run_image`` execute the bit-exact functional hardware model on
+the selected backend — ``reference`` simulates every register shift,
+``vectorized`` computes the identical integer semantics (and identical
+traces) with whole-batch tensor ops.  ``report``/``estimate_*`` use the
+analytic models and need no data.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
 from repro.core.compiler import CompiledModel, compile_network
 from repro.core.config import AcceleratorConfig
 from repro.core.controller import Controller, ExecutionTrace
+from repro.core.engine import ExecutionEngine, resolve_backend
 from repro.core.latency import LatencyModel
 from repro.core.power import PowerModel
 from repro.core.report import PerformanceReport
 from repro.core.resources import ResourceModel
-from repro.errors import CompilationError, ShapeError
+from repro.errors import CompilationError, SimulationError
 from repro.snn.model import SNNModel
 
 __all__ = ["Accelerator"]
@@ -34,11 +40,23 @@ __all__ = ["Accelerator"]
 class Accelerator:
     """A configured instance of the paper's architecture."""
 
-    def __init__(self, config: AcceleratorConfig) -> None:
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        backend: str | type[ExecutionEngine] = "reference",
+        calibration: LatencyCalibration = DEFAULT_LATENCY,
+    ) -> None:
         self.config = config
+        self.calibration = calibration
+        self._backend = resolve_backend(backend)  # fail fast on typos
         self.compiled: CompiledModel | None = None
         self._controller: Controller | None = None
         self._model_name = "unnamed"
+
+    @property
+    def backend(self) -> str:
+        """Name of the selected execution backend."""
+        return self._backend.name
 
     # ------------------------------------------------------------------
     # Deployment
@@ -46,9 +64,20 @@ class Accelerator:
     def deploy(self, snn: SNNModel, name: str = "network") -> CompiledModel:
         """Compile and load a converted SNN onto this accelerator."""
         self.compiled = compile_network(snn.network, self.config)
-        self._controller = Controller(self.compiled)
+        self._controller = Controller(self.compiled, self.calibration,
+                                      backend=self._backend)
         self._model_name = name
         return self.compiled
+
+    def use_backend(
+        self, backend: str | type[ExecutionEngine]
+    ) -> "Accelerator":
+        """Switch execution backend (compiled model is reused); returns self."""
+        self._backend = resolve_backend(backend)
+        if self.compiled is not None:
+            self._controller = Controller(self.compiled, self.calibration,
+                                          backend=self._backend)
+        return self
 
     def _require_deployed(self) -> CompiledModel:
         if self.compiled is None or self._controller is None:
@@ -67,25 +96,26 @@ class Accelerator:
 
     def run(self, images: np.ndarray) -> tuple[np.ndarray,
                                                list[ExecutionTrace]]:
-        """Infer a batch; returns (predictions, per-image traces)."""
+        """Infer a batch; returns (predictions, per-image traces).
+
+        On the ``vectorized`` backend the whole batch runs as one set of
+        tensor ops; the ``reference`` backend loops the unit models.
+        """
+        logits, traces = self.run_logits(images)
+        return logits.argmax(axis=1).astype(np.int64), traces
+
+    def run_logits(self, images: np.ndarray) -> tuple[np.ndarray,
+                                                      list[ExecutionTrace]]:
+        """Infer a batch; returns (integer logits, per-image traces)."""
         self._require_deployed()
-        if images.ndim != 4:
-            raise ShapeError(
-                f"expected a batch of NCHW images, got {images.shape}")
-        predictions = np.zeros(images.shape[0], dtype=np.int64)
-        traces: list[ExecutionTrace] = []
-        for i in range(images.shape[0]):
-            logits, trace = self._controller.run_image(images[i])
-            predictions[i] = int(logits.argmax())
-            traces.append(trace)
-        return predictions, traces
+        return self._controller.run_batch(images)
 
     # ------------------------------------------------------------------
     # Analytic estimation (no data required)
     # ------------------------------------------------------------------
     def estimate_cycles(self) -> int:
         compiled = self._require_deployed()
-        model = LatencyModel(self.config)
+        model = LatencyModel(self.config, self.calibration)
         return model.total_cycles(compiled.network,
                                   compiled.weights_on_chip)
 
@@ -108,6 +138,12 @@ class Accelerator:
         """The Table III row for this deployment."""
         compiled = self._require_deployed()
         cycles = self.estimate_cycles()
+        if cycles <= 0:
+            raise SimulationError(
+                f"deployment {self._model_name!r} estimates {cycles} "
+                "cycles per inference; throughput and energy-per-frame "
+                "are undefined for this degenerate configuration"
+            )
         latency_us = cycles * self.config.cycle_time_us
         power_w = self.estimate_power_w()
         resources = self.estimate_resources()

@@ -1,186 +1,51 @@
-"""Execution controller (Fig. 1): sequences layer programs over the units.
+"""Execution controller (Fig. 1): binds a compiled model to a backend.
 
-For each layer the controller reads the input spike train from the active
-ping-pong bank, dispatches work to the processing units (convolution
-rounds run all units concurrently; pooling and linear layers use their
-single unit), writes the result to the opposite bank and swaps.  Cycle
-charges come from the same calibrated formulas as the analytic latency
-model, DRAM weight streams are charged before their layer (the paper's
-off-chip option), and all memory traffic is counted for the dataflow
-ablation.
+Historically this module held the whole per-image execution loop; that
+loop now lives in :mod:`repro.core.engine.reference` as one of several
+interchangeable :class:`~repro.core.engine.ExecutionEngine` backends.
+The controller remains the orchestration-layer entry point: it resolves a
+backend name to an engine bound to the compiled model and exposes the
+per-image and batched run calls.  ``ExecutionTrace``/``LayerTrace`` are
+re-exported here for backwards compatibility.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
 from repro.core.compiler import CompiledModel
-from repro.core.conv_unit import ConvUnit
-from repro.core.dram import DramModel
-from repro.core.latency import flatten_cycles, input_load_cycles
-from repro.core.linear_unit import LinearUnit
-from repro.core.pingpong import BufferPair
-from repro.core.pool_unit import PoolUnit
-from repro.core.stats import MemoryTraffic, UnitStats
-from repro.encoding import radix
-from repro.errors import ShapeError, SimulationError
+from repro.core.engine import ExecutionEngine, create_engine
+from repro.core.engine.trace import ExecutionTrace, LayerTrace
 
 __all__ = ["Controller", "ExecutionTrace", "LayerTrace"]
 
 
-@dataclass
-class LayerTrace:
-    """Per-layer record of one functional inference."""
-
-    name: str
-    kind: str
-    cycles: int
-    dram_cycles: int
-    adder_ops: int
-    traffic: MemoryTraffic
-
-
-@dataclass
-class ExecutionTrace:
-    """Aggregate record of one functional inference."""
-
-    layers: list[LayerTrace] = field(default_factory=list)
-    input_cycles: int = 0
-
-    @property
-    def total_cycles(self) -> int:
-        return self.input_cycles + sum(
-            l.cycles + l.dram_cycles for l in self.layers)
-
-    @property
-    def total_adder_ops(self) -> int:
-        return sum(l.adder_ops for l in self.layers)
-
-    def total_traffic(self) -> MemoryTraffic:
-        merged = MemoryTraffic()
-        for layer in self.layers:
-            merged.merge(layer.traffic)
-        return merged
-
-
 class Controller:
-    """Runs a compiled model on the functional unit models."""
+    """Runs a compiled model on a selected execution backend."""
 
     def __init__(
         self,
         compiled: CompiledModel,
         calibration: LatencyCalibration = DEFAULT_LATENCY,
+        backend: str | type[ExecutionEngine] = "reference",
     ) -> None:
         self.compiled = compiled
         self.calibration = calibration
-        config = compiled.config
-        self.conv_units = [
-            ConvUnit(config, unit_id=i, calibration=calibration)
-            for i in range(config.num_conv_units)
-        ]
-        self.pool_unit = PoolUnit(config, calibration=calibration)
-        self.linear_unit = LinearUnit(config, calibration=calibration)
+        self.engine = create_engine(backend, compiled, calibration)
+
+    @property
+    def backend(self) -> str:
+        """Name of the active execution backend."""
+        return self.engine.name
 
     def run_image(self, image: np.ndarray) -> tuple[np.ndarray,
                                                     ExecutionTrace]:
-        """Infer one image; returns (logits, execution trace).
+        """Infer one ``(C, H, W)`` image; returns (logits, trace)."""
+        return self.engine.run_image(image)
 
-        ``image`` is ``(C, H, W)`` in ``[0, 1]`` — the controller radix-
-        encodes it, exactly as the host-side encoder feeds the FPGA.
-        """
-        network = self.compiled.network
-        if image.shape != network.input_shape:
-            raise ShapeError(
-                f"expected image of shape {network.input_shape}, "
-                f"got {image.shape}"
-            )
-        t = network.num_steps
-        config = self.compiled.config
-        ints = radix.quantize_real(image[np.newaxis], t)[0]
-        bits = radix.encode_ints(ints, t).bits  # (T, C, H, W)
-
-        buffers = BufferPair(
-            capacity_2d_bits=max(self.compiled.bram.activation_2d_bits, 1),
-            capacity_1d_bits=max(self.compiled.bram.activation_1d_bits, 1),
-        )
-        trace = ExecutionTrace()
-        trace.input_cycles = input_load_cycles(
-            network.input_shape, self.calibration, t)
-        buffers.planar.prime(bits, bits_per_element=1)
-        dram = DramModel(config.memory)
-        logits: np.ndarray | None = None
-
-        for program in self.compiled.programs:
-            spec = program.spec
-            dram_cycles = 0
-            streamed_bits = 0
-            if (program.kind in ("conv", "linear")
-                    and not program.weights_on_chip):
-                streamed_bits = spec.num_weights * network.weight_bits
-                dram_cycles = dram.stream(program.name, streamed_bits)
-            if program.kind == "conv":
-                stats, out_bits = self._run_conv(program, buffers, t)
-                buffers.planar.write(out_bits, bits_per_element=1)
-                buffers.planar.swap()
-            elif program.kind == "pool":
-                in_bits = buffers.planar.read()
-                out_ints, stats = self.pool_unit.run_layer(spec, in_bits, t)
-                out_bits = radix.encode_ints(out_ints, t).bits
-                buffers.planar.write(out_bits, bits_per_element=1)
-                buffers.planar.swap()
-            elif program.kind == "flatten":
-                in_bits = buffers.planar.read()  # (T, C, H, W)
-                flat = in_bits.reshape(t, -1)
-                buffers.flat.prime(flat, bits_per_element=1)
-                stats = UnitStats(
-                    cycles=flatten_cycles(spec, config, t))
-                stats.traffic.activation_read_bits = int(flat.size)
-                stats.traffic.activation_write_bits = int(flat.size)
-            else:  # linear
-                in_bits = buffers.flat.read()
-                out, stats = self.linear_unit.run_layer(spec, in_bits, t)
-                stats.cycles += self.calibration.layer_setup
-                if spec.is_output:
-                    logits = out
-                else:
-                    out_bits = radix.encode_ints(out, t).bits
-                    buffers.flat.write(out_bits, bits_per_element=1)
-                    buffers.flat.swap()
-            if program.kind in ("conv", "pool"):
-                stats.cycles += self.calibration.layer_setup
-            stats.traffic.weight_stream_bits += streamed_bits
-            trace.layers.append(LayerTrace(
-                name=program.name, kind=program.kind, cycles=stats.cycles,
-                dram_cycles=dram_cycles, adder_ops=stats.adder_ops,
-                traffic=stats.traffic))
-        if logits is None:
-            raise SimulationError(
-                "compiled model has no output linear layer")
-        return logits, trace
-
-    def _run_conv(self, program, buffers: BufferPair,
-                  t: int) -> tuple[UnitStats, np.ndarray]:
-        """Execute one conv layer's schedule over the parallel units."""
-        spec = program.spec
-        in_bits = buffers.planar.read()
-        c_out, h_out, w_out = spec.out_shape
-        out_ints = np.zeros(spec.out_shape, dtype=np.int64)
-        stats = UnitStats()
-        for round_assignment in program.conv_schedule.rounds:
-            round_cycles = 0
-            for unit, channels in zip(self.conv_units, round_assignment):
-                activations, unit_stats = unit.run_pass(
-                    spec, in_bits, list(channels), t)
-                out_ints[list(channels)] = activations
-                # Units in a round run concurrently: the round costs the
-                # slowest unit; counters other than cycles accumulate.
-                round_cycles = max(round_cycles, unit_stats.cycles)
-                stats.adder_ops += unit_stats.adder_ops
-                stats.accumulator_writes += unit_stats.accumulator_writes
-                stats.traffic.merge(unit_stats.traffic)
-            stats.cycles += round_cycles
-        out_bits = radix.encode_ints(out_ints, t).bits
-        return stats, out_bits
+    def run_batch(
+        self, images: np.ndarray
+    ) -> tuple[np.ndarray, list[ExecutionTrace]]:
+        """Infer a ``(N, C, H, W)`` batch; returns (logits, traces)."""
+        return self.engine.run_batch(images)

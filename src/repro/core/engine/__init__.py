@@ -1,0 +1,35 @@
+"""Pluggable execution engines for the functional accelerator model.
+
+Importing this package registers the built-in backends:
+
+* ``reference`` — :class:`~repro.core.engine.reference.ReferenceEngine`,
+  the shift-register/adder-array hardware model (slow, per-image);
+* ``vectorized`` — :class:`~repro.core.engine.vectorized.VectorizedEngine`,
+  batched numpy tensor ops with identical integer semantics and traces.
+
+Select one with ``Accelerator(config, backend="vectorized")`` or
+``create_engine("vectorized", compiled)``.
+"""
+
+from repro.core.engine.base import (
+    ExecutionEngine,
+    available_backends,
+    create_engine,
+    register_engine,
+    resolve_backend,
+)
+from repro.core.engine.reference import ReferenceEngine
+from repro.core.engine.trace import ExecutionTrace, LayerTrace
+from repro.core.engine.vectorized import VectorizedEngine
+
+__all__ = [
+    "ExecutionEngine",
+    "ExecutionTrace",
+    "LayerTrace",
+    "ReferenceEngine",
+    "VectorizedEngine",
+    "available_backends",
+    "create_engine",
+    "register_engine",
+    "resolve_backend",
+]

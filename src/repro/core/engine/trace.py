@@ -1,0 +1,53 @@
+"""Execution traces shared by every execution engine.
+
+A functional inference — whichever backend ran it — produces one
+:class:`ExecutionTrace` per image: an ordered list of per-layer records
+whose cycle charges come from the calibrated latency formulas
+(``repro.core.latency``) and whose traffic counters feed the dataflow
+ablation and the activity-based energy model.  Backends are required to
+produce *identical* traces for identical inputs; the equivalence test
+suite enforces this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.stats import MemoryTraffic
+
+__all__ = ["ExecutionTrace", "LayerTrace"]
+
+
+@dataclass
+class LayerTrace:
+    """Per-layer record of one functional inference."""
+
+    name: str
+    kind: str
+    cycles: int
+    dram_cycles: int
+    adder_ops: int
+    traffic: MemoryTraffic
+
+
+@dataclass
+class ExecutionTrace:
+    """Aggregate record of one functional inference."""
+
+    layers: list[LayerTrace] = field(default_factory=list)
+    input_cycles: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.input_cycles + sum(
+            l.cycles + l.dram_cycles for l in self.layers)
+
+    @property
+    def total_adder_ops(self) -> int:
+        return sum(l.adder_ops for l in self.layers)
+
+    def total_traffic(self) -> MemoryTraffic:
+        merged = MemoryTraffic()
+        for layer in self.layers:
+            merged.merge(layer.traffic)
+        return merged

@@ -107,15 +107,22 @@ class ExperimentSettings:
 
 
 class ExperimentRunner:
-    """Shared state (datasets, caches) for all experiment functions."""
+    """Shared state (datasets, caches) for all experiment functions.
+
+    ``backend`` selects the execution engine for every functional
+    simulation the experiments run (``reference`` or ``vectorized``;
+    both produce bit-identical results and traces).
+    """
 
     def __init__(
         self,
         settings: ExperimentSettings | None = None,
         store: ArtifactStore | None = None,
+        backend: str = "reference",
     ) -> None:
         self.settings = settings or ExperimentSettings.from_env()
         self.store = store or default_store()
+        self.backend = backend
         self._mnist: tuple[Dataset, Dataset] | None = None
         self._cifar: tuple[Dataset, Dataset] | None = None
         self._snn_cache: dict[str, tuple[SNNModel, float]] = {}
@@ -436,7 +443,7 @@ class ExperimentRunner:
     def run_dataflow_ablation(self, num_images: int = 2) -> dict:
         snn, _ = self.lenet_snn(3)
         config = AcceleratorConfig()
-        accelerator = Accelerator(config)
+        accelerator = Accelerator(config, backend=self.backend)
         accelerator.deploy(snn, name="LeNet-5")
         _, test = self.mnist()
         _, traces = accelerator.run(test.images[:num_images])

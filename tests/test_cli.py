@@ -14,7 +14,7 @@ def tiny_runner(tmp_path, monkeypatch):
         base_epochs=1, t3_epochs=1, fast=True)
     runner = ExperimentRunner(settings=settings,
                               store=ArtifactStore(tmp_path))
-    monkeypatch.setattr(cli, "ExperimentRunner", lambda: runner)
+    monkeypatch.setattr(cli, "ExperimentRunner", lambda **kwargs: runner)
     return runner
 
 
@@ -51,3 +51,13 @@ class TestCliDispatch:
         out = capsys.readouterr().out
         assert "row-based" in out
         assert "naive sliding window" in out
+
+    def test_dataflow_vectorized_backend(self, tiny_runner, capsys):
+        tiny_runner.backend = "vectorized"
+        assert cli.main(["dataflow", "--backend", "vectorized"]) == 0
+        out = capsys.readouterr().out
+        assert "row-based" in out
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["figures", "--backend", "warp-drive"])

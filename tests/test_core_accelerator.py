@@ -14,7 +14,7 @@ from repro.core import (
     LatencyModel,
     compile_network,
 )
-from repro.errors import CompilationError, ShapeError
+from repro.errors import CompilationError, ShapeError, SimulationError
 from repro.models import performance_network
 from repro.snn import SNNModel
 
@@ -129,6 +129,16 @@ class TestAcceleratorFacade:
         assert report.cycles == accelerator.estimate_cycles()
         assert report.power_w == pytest.approx(
             accelerator.estimate_power_w())
+
+    def test_zero_cycle_estimate_raises_clearly(self, monkeypatch):
+        """A degenerate deployment estimating 0 cycles must raise a
+        SimulationError instead of dividing by zero in throughput/energy."""
+        net = random_network()
+        accelerator = Accelerator(AcceleratorConfig.for_network(net))
+        accelerator.deploy(SNNModel(net), name="degenerate")
+        monkeypatch.setattr(accelerator, "estimate_cycles", lambda: 0)
+        with pytest.raises(SimulationError, match="degenerate"):
+            accelerator.report()
 
 
 class TestControllerDramPath:
