@@ -5,38 +5,64 @@ The paper's related-work section notes that event-driven FPGA designs
 linear layers only".  This benchmark quantifies why: pricing LeNet-5's
 measured spike activity on an event-driven cost model shows the conv
 layers' kernel-sized fan-out per event, and rate coding (which those
-engines rely on) multiplies the event count further.  The timed kernel is
-the spike-statistics collection powering the estimate.
+engines rely on) multiplies the event count further.
+
+Spike statistics average over several images (per-image event counts are
+data-dependent), and "this work" quotes both the analytic latency and
+the cycles measured by the functional model's aggregated multi-image
+trace (``Controller.run_images``) — the two agree by construction.
+
+Timing note: ``SNNModel.forward_spikes`` now computes all ``T`` step
+currents per layer in one fused whole-plane call (the per-step Python
+loop only shifts and integrates), so the spike-statistics collection
+timed here runs ~T-fold fewer convolution dispatches than the naive
+per-step simulation; the printed wall time records that on every run.
 """
 
+import time
+
 from repro.baselines import estimate_event_driven
-from repro.core import AcceleratorConfig, LatencyModel
+from repro.core import AcceleratorConfig, Controller, LatencyModel, \
+    compile_network
 from repro.harness import Table
 
 from benchmarks.conftest import print_table
+
+NUM_IMAGES = 3
 
 
 def test_event_driven_report(runner, benchmark):
     snn, _ = runner.lenet_snn(3)
     _, test = runner.mnist()
-    images = test.images[:1]
+    images = test.images[:NUM_IMAGES]
 
+    start = time.perf_counter()
     _, stats = snn.forward_spikes(images, collect_stats=True)
-    event_est = estimate_event_driven(snn.network, stats.spikes_per_layer)
+    spike_sim_s = time.perf_counter() - start
+    # Per-image averages: the event-driven cost model prices one
+    # inference, so the batch totals divide by the image count.
+    events_per_layer = [s // NUM_IMAGES for s in stats.spikes_per_layer]
+    event_est = estimate_event_driven(snn.network, events_per_layer)
 
     config = AcceleratorConfig()
     ours_us = LatencyModel(config).latency_us(snn.network)
+    # Cross-check against the functional model: measured cycles from the
+    # aggregated multi-image trace, converted at the configured clock.
+    controller = Controller(compile_network(snn.network, config))
+    _, merged = controller.run_images(images)
+    measured_us = merged.cycles_per_image() * config.cycle_time_us
 
     # Rate coding at the T the encoding ablation found necessary (~16)
     # multiplies events by roughly T_rate / T_radix x density growth; use
     # the measured radix spike count scaled by train-length ratio as a
     # conservative lower bound.
     rate_scale = 16 / snn.num_steps
-    rate_events = [int(s * rate_scale) for s in stats.spikes_per_layer]
+    rate_events = [int(s * rate_scale) for s in events_per_layer]
     rate_est = estimate_event_driven(snn.network, rate_events)
 
     table = Table(
-        "Event-driven engine vs this work - LeNet-5 inference",
+        "Event-driven engine vs this work - LeNet-5 inference "
+        f"(spike counts averaged over {NUM_IMAGES} images)",
         ["engine", "events", "state updates", "latency us"])
     table.add_row("event-driven, radix spikes (NOT functional: order lost)",
                   f"{event_est.total_events:,}",
@@ -45,10 +71,16 @@ def test_event_driven_report(runner, benchmark):
                   f"{rate_est.total_events:,}",
                   f"{rate_est.total_updates:,}", rate_est.latency_us)
     table.add_row("this work (row dataflow, radix)", "-", "-", ours_us)
+    table.add_row("this work (measured functional cycles)", "-", "-",
+                  measured_us)
     print_table(table)
     print("note: an event-driven engine integrates spikes order-blind, so "
           "it cannot execute radix\ntrains at all (the paper's motivation); "
           "the first row is a hypothetical lower bound.")
+    print(f"timing: step-batched forward_spikes simulated {NUM_IMAGES} "
+          f"images x T={snn.num_steps} in {spike_sim_s * 1e3:.0f} ms "
+          "(fused per-layer step currents; the Python loop only "
+          "shift-integrates)")
 
     # The structural claims: in its actual operating mode (rate coding at
     # the T the encoding ablation found necessary) the event-driven engine
@@ -56,6 +88,8 @@ def test_event_driven_report(runner, benchmark):
     # the radix one — order-awareness is what buys the short trains.
     assert rate_est.latency_us > ours_us
     assert rate_est.total_events > 3 * event_est.total_events
+    # Analytic and measured latency describe the same hardware.
+    assert abs(measured_us - ours_us) / ours_us < 0.05
 
     benchmark.pedantic(
         lambda: snn.forward_spikes(images, collect_stats=True),

@@ -8,12 +8,18 @@ Usage::
     python -m repro encoding          # radix vs rate ablation
     python -m repro dataflow          # memory-traffic ablation
     python -m repro figures           # Fig. 1 / Fig. 2 diagrams
-    python -m repro all               # everything above
+    python -m repro sweep             # sharded multi-process accuracy sweep
+    python -m repro all               # everything above (except sweep)
 
 Models are trained on first use and cached under ``artifacts/``; set
 ``REPRO_FAST=1`` for a smoke-scale run.  ``--backend vectorized`` runs
 the functional simulations on the batched tensor engine (bit-identical
 results, orders of magnitude faster than the unit-level model).
+
+``sweep`` scores LeNet T-configs hardware-in-the-loop over the full test
+set, sharding (config × image-range) work units across ``--workers``
+processes; results are bit-identical for any worker count or
+``--shard-size`` and are persisted in the artifact store.
 """
 
 from __future__ import annotations
@@ -68,6 +74,46 @@ def _print_figures(runner: ExperimentRunner) -> None:
     print(render_conv_unit(accelerator.config, kernel_rows=5))
 
 
+def _print_sweep(runner: ExperimentRunner, steps: tuple) -> None:
+    result = runner.run_accuracy_sweep(steps=steps)
+    print(result["table"].render())
+    summary = result["summary"]
+    if summary is None:
+        print("\nall sweep cells already scored this session "
+              "(in-memory cache)")
+    elif summary.num_images:
+        print(f"\n{summary.num_images} images through {summary.num_units} "
+              f"work units on {summary.workers} worker(s) in "
+              f"{summary.wall_s:.2f} s "
+              f"({summary.images_per_second:.1f} images/s)")
+    else:
+        print(f"\nall {summary.num_tasks} sweep cells served from the "
+              "artifact store")
+
+
+def _positive_int(raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {raw!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _parse_steps(raw: str) -> tuple:
+    try:
+        steps = tuple(int(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"--steps must be comma-separated ints: {raw!r}")
+    if not steps:
+        raise SystemExit("--steps selected no spike-train lengths")
+    if any(t < 1 for t in steps):
+        raise SystemExit(
+            f"--steps must be positive spike-train lengths: {raw!r}")
+    return steps
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -75,16 +121,40 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "encoding", "dataflow",
-                 "figures", "all"],
+                 "figures", "sweep", "all"],
         help="which experiment to run")
     parser.add_argument("--no-vgg", action="store_true",
                         help="skip the VGG-11 row of table3")
     parser.add_argument("--backend", choices=available_backends(),
-                        default="reference",
-                        help="execution engine for functional simulations")
+                        default=None,
+                        help="execution engine (default: reference for "
+                             "trace-level sims, vectorized for accuracy "
+                             "scoring and sweeps)")
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        metavar="N",
+                        help="worker processes for sharded sweeps "
+                             "(default: 1)")
+    parser.add_argument("--shard-size", type=_positive_int, default=64,
+                        metavar="M",
+                        help="images per sweep work unit (default: 64)")
+    parser.add_argument("--steps", default="3,4", metavar="T,T,...",
+                        help="spike-train lengths for the sweep command "
+                             "(default: 3,4)")
     args = parser.parse_args(argv)
 
-    runner = ExperimentRunner(backend=args.backend)
+    # --backend drives the trace-level sims; accuracy scoring stays on
+    # the vectorized engine (full test sets are intractable on the
+    # reference model) — except for the sweep command itself, where the
+    # flag explicitly names the engine the sweep runs.
+    score_backend = "vectorized"
+    if args.experiment == "sweep" and args.backend:
+        score_backend = args.backend
+    runner = ExperimentRunner(
+        backend=args.backend or "reference",
+        score_backend=score_backend,
+        sweep_workers=args.workers,
+        sweep_shard_size=args.shard_size,
+    )
     dispatch = {
         "table1": lambda: _print_table1(runner),
         "table2": lambda: _print_table2(runner),
@@ -92,9 +162,12 @@ def main(argv: list[str] | None = None) -> int:
         "encoding": lambda: _print_encoding(runner),
         "dataflow": lambda: _print_dataflow(runner),
         "figures": lambda: _print_figures(runner),
+        "sweep": lambda: _print_sweep(runner, _parse_steps(args.steps)),
     }
     if args.experiment == "all":
         for name, fn in dispatch.items():
+            if name == "sweep":
+                continue  # covered by table1/encoding scoring
             print(f"\n===== {name} =====")
             fn()
     else:

@@ -30,7 +30,12 @@ from repro.core.config import (
     MemoryConfig,
     PoolUnitConfig,
 )
-from repro.core.controller import Controller, ExecutionTrace, LayerTrace
+from repro.core.controller import (
+    Controller,
+    ExecutionTrace,
+    LayerTrace,
+    TraceMerge,
+)
 from repro.core.conv_unit import ConvUnit
 from repro.core.engine import (
     ExecutionEngine,
@@ -112,6 +117,7 @@ __all__ = [
     "ResourceCalibration",
     "ResourceEstimate",
     "ResourceModel",
+    "TraceMerge",
     "UnitStats",
     "VectorizedEngine",
     "assemble",

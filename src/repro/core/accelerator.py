@@ -25,7 +25,7 @@ import numpy as np
 from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
 from repro.core.compiler import CompiledModel, compile_network
 from repro.core.config import AcceleratorConfig
-from repro.core.controller import Controller, ExecutionTrace
+from repro.core.controller import Controller, ExecutionTrace, TraceMerge
 from repro.core.engine import ExecutionEngine, resolve_backend
 from repro.core.latency import LatencyModel
 from repro.core.power import PowerModel
@@ -109,6 +109,30 @@ class Accelerator:
         """Infer a batch; returns (integer logits, per-image traces)."""
         self._require_deployed()
         return self._controller.run_batch(images)
+
+    def run_images(self, images: np.ndarray) -> tuple[np.ndarray,
+                                                      TraceMerge]:
+        """Infer a batch; returns (logits, aggregated multi-image trace)."""
+        self._require_deployed()
+        return self._controller.run_images(images)
+
+    def evaluate(self, dataset, batch_size: int = 256) -> float:
+        """Hardware-in-the-loop top-1 accuracy over a dataset.
+
+        Runs every image of ``dataset`` through the functional hardware
+        model on the selected backend (use ``vectorized`` for full test
+        sets) and scores the argmax of the integer logit accumulators —
+        the accelerator's own output stage.  By the engine-equivalence
+        contract this equals ``SNNModel.accuracy`` bit-for-bit; the paper
+        tables are scored through this path so the hardware model, not
+        the SNN shortcut, sees the whole test set.
+        """
+        self._require_deployed()
+        correct = 0
+        for images, labels in dataset.batches(batch_size):
+            logits, _ = self._controller.run_batch(images)
+            correct += int((logits.argmax(axis=1) == labels).sum())
+        return correct / max(len(dataset), 1)
 
     # ------------------------------------------------------------------
     # Analytic estimation (no data required)

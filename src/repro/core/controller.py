@@ -16,9 +16,9 @@ import numpy as np
 from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
 from repro.core.compiler import CompiledModel
 from repro.core.engine import ExecutionEngine, create_engine
-from repro.core.engine.trace import ExecutionTrace, LayerTrace
+from repro.core.engine.trace import ExecutionTrace, LayerTrace, TraceMerge
 
-__all__ = ["Controller", "ExecutionTrace", "LayerTrace"]
+__all__ = ["Controller", "ExecutionTrace", "LayerTrace", "TraceMerge"]
 
 
 class Controller:
@@ -49,3 +49,17 @@ class Controller:
     ) -> tuple[np.ndarray, list[ExecutionTrace]]:
         """Infer a ``(N, C, H, W)`` batch; returns (logits, traces)."""
         return self.engine.run_batch(images)
+
+    def run_images(
+        self, images: np.ndarray
+    ) -> tuple[np.ndarray, TraceMerge]:
+        """Infer a batch and aggregate the per-image traces.
+
+        The multi-image counterpart of :meth:`run_image`: returns the
+        batch logits plus one :class:`TraceMerge` summing every image's
+        cycle, DRAM, adder-operation and memory-traffic counters — the
+        form the energy ablations and the sweep driver consume, so
+        claims average over many images instead of quoting one.
+        """
+        logits, traces = self.engine.run_batch(images)
+        return logits, TraceMerge.from_traces(traces)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.controller import ExecutionTrace
+from repro.core.engine.trace import TraceMerge
 
 __all__ = ["EnergyConstants", "EnergyBreakdown", "trace_energy"]
 
@@ -65,11 +66,19 @@ class EnergyBreakdown:
 
 
 def trace_energy(
-    trace: ExecutionTrace,
+    trace: ExecutionTrace | TraceMerge,
     constants: EnergyConstants | None = None,
     weight_bits: int = 3,
 ) -> EnergyBreakdown:
-    """Energy breakdown of one functional-simulation trace."""
+    """Energy breakdown of one trace or of a multi-image aggregate.
+
+    Accepts a single :class:`ExecutionTrace` or a
+    :class:`~repro.core.engine.trace.TraceMerge`; for the latter the
+    breakdown covers all merged images (divide by ``num_images`` for a
+    per-inference figure).  Deriving energy from the merged *integer*
+    counters — instead of summing per-shard floats — keeps sharded sweep
+    results bit-identical to single-process runs.
+    """
     constants = constants or EnergyConstants()
     traffic = trace.total_traffic()
     compute = trace.total_adder_ops * constants.adder_op_pj
@@ -77,9 +86,10 @@ def trace_energy(
               + traffic.kernel_read_values * weight_bits) \
         * constants.bram_bit_pj
     dram = traffic.weight_stream_bits * constants.dram_bit_pj
-    accumulator = sum(
-        layer.traffic.activation_write_bits for layer in trace.layers
-    ) * constants.accumulator_write_pj
+    # Every activation write lands in an accumulator slot first, so the
+    # merged write counter equals the per-layer sum of a single trace.
+    accumulator = (traffic.activation_write_bits
+                   * constants.accumulator_write_pj)
     return EnergyBreakdown(
         compute_pj=compute,
         onchip_memory_pj=onchip,

@@ -19,13 +19,14 @@ from repro.core.engine.base import (
     resolve_backend,
 )
 from repro.core.engine.reference import ReferenceEngine
-from repro.core.engine.trace import ExecutionTrace, LayerTrace
+from repro.core.engine.trace import ExecutionTrace, LayerTrace, TraceMerge
 from repro.core.engine.vectorized import VectorizedEngine
 
 __all__ = [
     "ExecutionEngine",
     "ExecutionTrace",
     "LayerTrace",
+    "TraceMerge",
     "ReferenceEngine",
     "VectorizedEngine",
     "available_backends",

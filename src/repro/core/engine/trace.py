@@ -7,15 +7,23 @@ whose cycle charges come from the calibrated latency formulas
 ablation and the activity-based energy model.  Backends are required to
 produce *identical* traces for identical inputs; the equivalence test
 suite enforces this.
+
+:class:`TraceMerge` is the multi-image (and multi-process) aggregate: a
+commutative sum of integer counters, so merging shards in any order —
+or splitting a dataset into any shard sizes — yields bit-identical
+totals.  The sweep driver ships one ``TraceMerge`` per shard back from
+its workers and folds them; energy is derived from the merged counters
+(``repro.core.energy.trace_energy``) rather than by summing floats, for
+the same determinism reason.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.core.stats import MemoryTraffic
 
-__all__ = ["ExecutionTrace", "LayerTrace"]
+__all__ = ["ExecutionTrace", "LayerTrace", "TraceMerge"]
 
 
 @dataclass
@@ -51,3 +59,81 @@ class ExecutionTrace:
         for layer in self.layers:
             merged.merge(layer.traffic)
         return merged
+
+
+@dataclass
+class TraceMerge:
+    """Order-independent aggregate of many images' execution traces.
+
+    Every field is an exact integer sum, so ``merge`` is associative and
+    commutative: sharded runs merge to the same totals as a single
+    process, whatever the shard sizes or completion order.  Averages and
+    energy are derived views over the summed counters.
+    """
+
+    num_images: int = 0
+    input_cycles: int = 0
+    compute_cycles: int = 0   # sum of per-layer unit cycles
+    dram_cycles: int = 0
+    adder_ops: int = 0
+    traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
+
+    @classmethod
+    def from_traces(cls, traces) -> "TraceMerge":
+        merged = cls()
+        for trace in traces:
+            merged.add_trace(trace)
+        return merged
+
+    def add_trace(self, trace: ExecutionTrace) -> None:
+        """Fold one image's trace into the aggregate."""
+        self.num_images += 1
+        self.input_cycles += trace.input_cycles
+        for layer in trace.layers:
+            self.compute_cycles += layer.cycles
+            self.dram_cycles += layer.dram_cycles
+            self.adder_ops += layer.adder_ops
+            self.traffic.merge(layer.traffic)
+
+    def merge(self, other: "TraceMerge") -> None:
+        """Fold another aggregate (e.g. a shard's) into this one."""
+        self.num_images += other.num_images
+        self.input_cycles += other.input_cycles
+        self.compute_cycles += other.compute_cycles
+        self.dram_cycles += other.dram_cycles
+        self.adder_ops += other.adder_ops
+        self.traffic.merge(other.traffic)
+
+    # ------------------------------------------------------------------
+    # Derived views (the interface trace_energy and reports consume)
+    # ------------------------------------------------------------------
+    @property
+    def total_cycles(self) -> int:
+        return self.input_cycles + self.compute_cycles + self.dram_cycles
+
+    @property
+    def total_adder_ops(self) -> int:
+        return self.adder_ops
+
+    def total_traffic(self) -> MemoryTraffic:
+        copied = MemoryTraffic()
+        copied.merge(self.traffic)
+        return copied
+
+    def cycles_per_image(self) -> float:
+        return self.total_cycles / self.num_images if self.num_images else 0.0
+
+    # ------------------------------------------------------------------
+    # JSON persistence (the sweep result store)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["traffic"] = asdict(self.traffic)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceMerge":
+        traffic = MemoryTraffic(**{k: int(v) for k, v in
+                                   payload["traffic"].items()})
+        fields = {k: int(v) for k, v in payload.items() if k != "traffic"}
+        return cls(traffic=traffic, **fields)

@@ -4,13 +4,25 @@ from repro.harness.artifacts import ArtifactStore, default_store
 from repro.harness.diagrams import render_conv_unit, render_overview
 from repro.harness.experiments import ExperimentRunner, ExperimentSettings
 from repro.harness.report_md import build_report, write_report
+from repro.harness.sweep import (
+    SweepDriver,
+    SweepProgress,
+    SweepSummary,
+    SweepTask,
+    TaskOutcome,
+)
 from repro.harness.tables import Table
 
 __all__ = [
     "ArtifactStore",
     "ExperimentRunner",
     "ExperimentSettings",
+    "SweepDriver",
+    "SweepProgress",
+    "SweepSummary",
+    "SweepTask",
     "Table",
+    "TaskOutcome",
     "build_report",
     "default_store",
     "render_conv_unit",

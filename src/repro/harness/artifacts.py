@@ -79,6 +79,10 @@ class ArtifactStore:
     def load_result(self, key: str) -> dict:
         return json.loads(self._result_path(key).read_text())
 
+    def drop_result(self, key: str) -> None:
+        """Remove a persisted result (e.g. one that failed validation)."""
+        self._result_path(key).unlink(missing_ok=True)
+
 
 def _jsonify(value):
     if isinstance(value, (np.integer,)):

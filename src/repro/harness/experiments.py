@@ -44,7 +44,14 @@ from repro.core import (
 )
 from repro.data import generate_cifar100, generate_mnist
 from repro.data.dataset import Dataset
+from repro.errors import SimulationError
 from repro.harness.artifacts import ArtifactStore, default_store
+from repro.harness.sweep import (
+    SweepDriver,
+    SweepTask,
+    TaskOutcome,
+    sweep_store_key,
+)
 from repro.harness.tables import Table
 from repro.models import (
     build_fang_cnn,
@@ -109,9 +116,21 @@ class ExperimentSettings:
 class ExperimentRunner:
     """Shared state (datasets, caches) for all experiment functions.
 
-    ``backend`` selects the execution engine for every functional
-    simulation the experiments run (``reference`` or ``vectorized``;
-    both produce bit-identical results and traces).
+    ``backend`` selects the execution engine for the trace-level
+    simulations (dataflow ablation and friends); ``score_backend`` is the
+    engine that scores accuracies — the hardware model runs every test
+    image through :meth:`~repro.core.Accelerator.evaluate` semantics via
+    the sweep driver, so paper tables are hardware-in-the-loop rather
+    than the SNN shortcut.  It defaults to ``vectorized`` because the
+    reference engine cannot traverse full test sets in reasonable time;
+    both engines are pinned bit-identical by the equivalence suite, and
+    every fresh score is additionally asserted equal to
+    ``SNNModel.accuracy`` at runtime.
+
+    All accuracy cache and result-store keys include the engine name
+    that produced them, so switching backends can never serve a result
+    computed under a different engine.  ``sweep_workers`` shards scoring
+    across that many processes (see ``repro.harness.sweep``).
     """
 
     def __init__(
@@ -119,13 +138,85 @@ class ExperimentRunner:
         settings: ExperimentSettings | None = None,
         store: ArtifactStore | None = None,
         backend: str = "reference",
+        score_backend: str = "vectorized",
+        sweep_workers: int = 1,
+        sweep_shard_size: int = 64,
     ) -> None:
         self.settings = settings or ExperimentSettings.from_env()
         self.store = store or default_store()
         self.backend = backend
+        self.score_backend = score_backend
+        self.sweep_workers = sweep_workers
+        self.sweep_shard_size = sweep_shard_size
         self._mnist: tuple[Dataset, Dataset] | None = None
         self._cifar: tuple[Dataset, Dataset] | None = None
         self._snn_cache: dict[str, tuple[SNNModel, float]] = {}
+        self._outcome_cache: dict[str, TaskOutcome] = {}
+        self.last_sweep_summary = None  # SweepSummary of the latest run
+
+    # ------------------------------------------------------------------
+    # Hardware-in-the-loop scoring (sweep driver)
+    # ------------------------------------------------------------------
+    def _score_key(self, base: str) -> str:
+        """Accuracy cache key; names the engine that scores it."""
+        return f"{base}_hw-{self.score_backend}"
+
+    def sweep_driver(self) -> SweepDriver:
+        """A driver wired to this runner's store and worker settings."""
+        return SweepDriver(workers=self.sweep_workers,
+                           shard_size=self.sweep_shard_size,
+                           store=self.store)
+
+    def _score_entries(
+        self, entries: list[tuple[str, SNNModel, Dataset]]
+    ) -> dict[str, TaskOutcome]:
+        """Score (key, snn, test set) cells on the hardware model.
+
+        One sweep run covers all cells — sharded across
+        ``sweep_workers`` processes on the ``score_backend`` engine.
+        Freshly computed outcomes are asserted equal to the SNN
+        reference accuracy (the engine-equivalence contract, enforced
+        end to end); cached outcomes were asserted when first computed.
+        """
+        todo = [e for e in entries
+                if self._score_key(e[0]) not in self._outcome_cache]
+        self.last_sweep_summary = None  # no driver ran (all cached)
+        if todo:
+            tasks = [
+                SweepTask.from_dataset(
+                    key, snn.network,
+                    AcceleratorConfig.for_network(snn.network),
+                    test, backend=self.score_backend)
+                for key, snn, test in todo
+            ]
+            driver = self.sweep_driver()
+            outcomes = driver.run(tasks)
+            self.last_sweep_summary = driver.last_summary
+            fresh = [(key, snn, test) for key, snn, test in todo
+                     if not outcomes[key].cached]
+            divergent = None
+            for key, snn, test in fresh:
+                reference = snn.accuracy(test)
+                if outcomes[key].accuracy != reference:
+                    divergent = (key, outcomes[key].accuracy, reference)
+                    break
+            if divergent is not None:
+                # The engine is broken: scrub every record this run
+                # persisted so no divergent score — raising cell or
+                # sibling — can be served as validated cache later.
+                for key, _, _ in fresh:
+                    self.store.drop_result(
+                        sweep_store_key(key, self.score_backend))
+                key, got, reference = divergent
+                raise SimulationError(
+                    f"hardware accuracy {got:.6f} for {key!r} diverges "
+                    f"from the SNN reference {reference:.6f}; the "
+                    f"{self.score_backend!r} engine violates the "
+                    "equivalence contract")
+            for key, snn, test in todo:
+                self._outcome_cache[self._score_key(key)] = outcomes[key]
+        return {key: self._outcome_cache[self._score_key(key)]
+                for key, _, _ in entries}
 
     # ------------------------------------------------------------------
     # Datasets
@@ -184,12 +275,10 @@ class ExperimentRunner:
         self.store.save_model(key, model)
         return model
 
-    def lenet_snn(self, num_steps: int) -> tuple[SNNModel, float]:
-        """Trained+converted LeNet-5 at ``T=num_steps`` and its accuracy."""
+    def _lenet_convert(self, num_steps: int) -> tuple[str, SNNModel]:
+        """Train (or load) and convert LeNet-5 at ``T=num_steps``."""
         cache_key = f"lenet_t{num_steps}_{self.settings.key_suffix()}"
-        if cache_key in self._snn_cache:
-            return self._snn_cache[cache_key]
-        train, test = self.mnist()
+        train, _ = self.mnist()
         epochs = (self.settings.t3_epochs if num_steps <= 3
                   else self.settings.base_epochs)
         model = self._train_qat(
@@ -197,23 +286,62 @@ class ExperimentRunner:
             num_steps, epochs)
         snn = ann_to_snn(model, train.subset(self.settings.calibration_count),
                          num_steps=num_steps, weight_bits=3)
-        accuracy = snn.accuracy(test)
-        self._snn_cache[cache_key] = (snn, accuracy)
-        return snn, accuracy
+        return cache_key, snn
+
+    def lenet_snn(self, num_steps: int) -> tuple[SNNModel, float]:
+        """Trained+converted LeNet-5 at ``T=num_steps`` and its accuracy.
+
+        Accuracy is hardware-in-the-loop: the full test set runs through
+        the functional accelerator model (``score_backend`` engine) via
+        the sweep driver, not the SNN shortcut.
+        """
+        return self.lenet_sweep((num_steps,))[num_steps][:2]
+
+    def lenet_sweep(
+        self, steps: tuple
+    ) -> dict[int, tuple[SNNModel, float, TaskOutcome]]:
+        """Score several LeNet T-configs in one sharded sweep.
+
+        Trains/loads every model first (cached), then runs one
+        multi-config sweep over the whole test set — all (config, shard)
+        cells share the worker pool, so a T-sweep saturates
+        ``sweep_workers`` processes instead of running serially.
+        """
+        _, test = self.mnist()
+        converted: dict[int, tuple[str, SNNModel]] = {}
+        entries = []
+        for t in dict.fromkeys(steps):  # dedup, order preserved
+            base = f"lenet_t{t}_{self.settings.key_suffix()}"
+            cached = self._snn_cache.get(self._score_key(base))
+            if cached is not None:
+                snn = cached[0]
+            else:
+                base, snn = self._lenet_convert(t)
+            converted[t] = (base, snn)
+            entries.append((base, snn, test))
+        outcomes = self._score_entries(entries)
+        results = {}
+        for t, (base, snn) in converted.items():
+            outcome = outcomes[base]
+            self._snn_cache[self._score_key(base)] = (snn, outcome.accuracy)
+            results[t] = (snn, outcome.accuracy, outcome)
+        return results
 
     def fang_snn(self, num_steps: int = 4) -> tuple[SNNModel, float]:
         """Fang et al.'s CNN-2 deployed on our flow (Table III row 3)."""
         cache_key = f"fang_t{num_steps}_{self.settings.key_suffix()}"
-        if cache_key in self._snn_cache:
-            return self._snn_cache[cache_key]
+        score_key = self._score_key(cache_key)
+        if score_key in self._snn_cache:
+            return self._snn_cache[score_key]
         train, test = self.mnist28()
         model = self._train_qat(
             cache_key, lambda: build_fang_cnn(seed=num_steps), train,
             num_steps, self.settings.base_epochs)
         snn = ann_to_snn(model, train.subset(self.settings.calibration_count),
                          num_steps=num_steps, weight_bits=3)
-        accuracy = snn.accuracy(test)
-        self._snn_cache[cache_key] = (snn, accuracy)
+        accuracy = self._score_entries([(cache_key, snn, test)])[
+            cache_key].accuracy
+        self._snn_cache[score_key] = (snn, accuracy)
         return snn, accuracy
 
     def vgg_accuracy(self, num_steps: int = 6) -> float:
@@ -221,13 +349,17 @@ class ExperimentRunner:
 
         The hardware row uses the *full* VGG-11 geometry; training 28.5M
         parameters in numpy is infeasible, so accuracy comes from the
-        reduced-width twin (DESIGN.md §2 records this substitution).
+        reduced-width twin (DESIGN.md §2 records this substitution) —
+        scored, like every accuracy, by the hardware model over the full
+        test set.  The sweep store short-circuits training when this
+        cell was already scored under the same engine.
         """
         cache_key = (f"vgg_t{num_steps}_w{self.settings.vgg_width}"
                      f"_{self.settings.key_suffix()}")
-        result_key = cache_key + "_acc"
-        if self.store.has_result(result_key):
-            return float(self.store.load_result(result_key)["accuracy"])
+        stored = sweep_store_key(cache_key, self.score_backend)
+        if self.store.has_result(stored):
+            return TaskOutcome.from_dict(
+                self.store.load_result(stored)).accuracy
         train, test = self.cifar()
         model = self._train_qat(
             cache_key,
@@ -236,9 +368,8 @@ class ExperimentRunner:
             train, num_steps, self.settings.vgg_epochs, lr=1e-3)
         snn = ann_to_snn(model, train.subset(self.settings.calibration_count),
                          num_steps=num_steps, weight_bits=3)
-        accuracy = snn.accuracy(test)
-        self.store.save_result(result_key, {"accuracy": accuracy})
-        return accuracy
+        return self._score_entries([(cache_key, snn, test)])[
+            cache_key].accuracy
 
     # ------------------------------------------------------------------
     # Table I — accuracy & latency vs time steps
@@ -246,9 +377,11 @@ class ExperimentRunner:
     def run_table1(self, steps: tuple = (3, 4, 5, 6)) -> dict:
         config = AcceleratorConfig()  # U=2, (30,5), 100 MHz — the paper's
         latency = LatencyModel(config)
+        # One sharded sweep scores every T on the hardware model.
+        sweep = self.lenet_sweep(steps)
         rows = []
         for t in steps:
-            snn, accuracy = self.lenet_snn(t)
+            snn, accuracy, _ = sweep[t]
             lat_us = latency.latency_us(snn.network)
             paper_acc, paper_lat = PAPER_TABLE1.get(t, (float("nan"),) * 2)
             rows.append({
@@ -383,10 +516,11 @@ class ExperimentRunner:
         radix_steps: tuple = (3, 4, 5, 6),
         rate_steps: tuple = (2, 4, 6, 8, 10, 12, 16, 24, 32),
     ) -> dict:
-        radix_accs = []
-        for t in radix_steps:
-            _, accuracy = self.lenet_snn(t)
-            radix_accs.append(accuracy)
+        # The radix side is hardware-in-the-loop: one sharded sweep over
+        # all T cells on the accelerator model (the rate baseline below
+        # stays on the rate SNN — it is not this paper's hardware).
+        sweep = self.lenet_sweep(tuple(radix_steps))
+        radix_accs = [sweep[t][1] for t in radix_steps]
         radix_curve = AccuracyCurve("radix", tuple(radix_steps),
                                     tuple(radix_accs))
 
@@ -436,6 +570,45 @@ class ExperimentRunner:
             "radix": radix_curve, "rate": rate_curve,
             "comparison": comparison, "table": table,
         }
+
+    # ------------------------------------------------------------------
+    # Sharded accuracy sweep (the `repro sweep` command)
+    # ------------------------------------------------------------------
+    def run_accuracy_sweep(self, steps: tuple = (3, 4)) -> dict:
+        """Hardware-in-the-loop accuracy sweep with throughput reporting.
+
+        Scores every LeNet T-config over the full test set through the
+        sweep driver (``sweep_workers`` processes, ``score_backend``
+        engine) and reports per-cell accuracy, hardware cycles per image
+        and measured simulation throughput.
+        """
+        sweep = self.lenet_sweep(steps)
+        summary = self.last_sweep_summary
+        rows = []
+        for t in steps:
+            _, accuracy, outcome = sweep[t]
+            rows.append({
+                "num_steps": t,
+                "accuracy_pct": accuracy * 100,
+                "images": outcome.num_images,
+                "shards": outcome.num_shards,
+                "cycles_per_image": outcome.trace.cycles_per_image(),
+                "worker_s": outcome.elapsed_s,
+                "cached": outcome.cached,
+            })
+        table = Table(
+            f"Accuracy sweep - hardware-in-the-loop over the test set "
+            f"({self.score_backend} engine, {self.sweep_workers} "
+            "worker(s))",
+            ["T", "acc %", "images", "shards", "cycles/img", "worker s"])
+        for row in rows:
+            table.add_row(
+                row["num_steps"], f"{row['accuracy_pct']:.2f}",
+                row["images"],
+                "cached" if row["cached"] else row["shards"],
+                f"{row['cycles_per_image']:,.0f}",
+                f"{row['worker_s']:.2f}")
+        return {"rows": rows, "table": table, "summary": summary}
 
     # ------------------------------------------------------------------
     # Section III-A claim — row dataflow memory-traffic reduction

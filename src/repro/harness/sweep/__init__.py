@@ -1,0 +1,30 @@
+"""Sharded multi-process sweeps over the functional hardware model.
+
+Build a work list of :class:`SweepTask` cells (configs × datasets), hand
+it to a :class:`SweepDriver`, and get back merged, bit-deterministic
+:class:`TaskOutcome` records — hardware-in-the-loop accuracies plus
+aggregated cycle/traffic/energy counters — however many worker processes
+and whatever shard size you chose.
+"""
+
+from repro.harness.sweep.driver import SweepDriver, SweepProgress, SweepSummary
+from repro.harness.sweep.work import (
+    ShardResult,
+    SweepTask,
+    TaskOutcome,
+    WorkUnit,
+    shard_tasks,
+    sweep_store_key,
+)
+
+__all__ = [
+    "ShardResult",
+    "SweepDriver",
+    "SweepProgress",
+    "SweepSummary",
+    "SweepTask",
+    "TaskOutcome",
+    "WorkUnit",
+    "shard_tasks",
+    "sweep_store_key",
+]

@@ -1,0 +1,300 @@
+"""The sweep driver: sharded multi-process execution with merged results.
+
+:class:`SweepDriver` takes a work list of :class:`SweepTask` cells
+(configs × datasets), shards each cell's image range, and runs the shards
+across ``workers`` processes — each worker holds one lazily-built
+execution engine per task (the vectorized engine, unless a task says
+otherwise) and streams back per-shard predictions plus a
+:class:`~repro.core.engine.trace.TraceMerge`.  The driver merges shards
+deterministically, reports progress/throughput as units complete, and
+persists merged outcomes to an :class:`~repro.harness.artifacts.
+ArtifactStore` so re-running a sweep re-executes nothing.
+
+Determinism contract: for any worker count and any shard size the merged
+predictions, accuracies and trace counters are bit-identical to a
+single-process run (``tests/test_sweep.py`` pins this).  Store keys
+include the backend name, so results computed under one engine can never
+be served to a run requesting another.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.core.compiler import compile_network
+from repro.core.engine import create_engine
+from repro.core.engine.trace import TraceMerge
+from repro.errors import ConfigurationError
+from repro.harness.artifacts import ArtifactStore
+from repro.harness.sweep.work import (
+    ShardResult,
+    SweepTask,
+    TaskOutcome,
+    WorkUnit,
+    shard_tasks,
+    sweep_store_key,
+)
+
+__all__ = ["SweepDriver", "SweepProgress", "SweepSummary"]
+
+#: Upper bound on queued futures per worker; keeps memory flat on huge
+#: work lists without ever idling a worker.
+_INFLIGHT_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One progress tick, emitted after every completed work unit."""
+
+    done_units: int
+    total_units: int
+    done_images: int
+    total_images: int
+    elapsed_s: float
+    task_key: str
+
+    @property
+    def images_per_second(self) -> float:
+        return self.done_images / self.elapsed_s if self.elapsed_s else 0.0
+
+
+@dataclass
+class SweepSummary:
+    """Wall-clock totals of one ``SweepDriver.run`` call."""
+
+    workers: int
+    shard_size: int
+    num_tasks: int
+    num_units: int
+    num_images: int
+    cached_tasks: int
+    wall_s: float
+
+    @property
+    def images_per_second(self) -> float:
+        return self.num_images / self.wall_s if self.wall_s else 0.0
+
+
+# ----------------------------------------------------------------------
+# Worker side: one engine per task, built lazily, cached per process
+# ----------------------------------------------------------------------
+_WORKER_TASKS: list[SweepTask] | None = None
+_WORKER_ENGINES: dict[int, object] = {}
+
+
+def _init_worker(tasks: list[SweepTask]) -> None:
+    """Process-pool initializer: receive the task list once per worker."""
+    global _WORKER_TASKS
+    _WORKER_TASKS = tasks
+    _WORKER_ENGINES.clear()
+
+
+def _engine_for(task_index: int):
+    """The worker's cached engine for one task (compiled on first use)."""
+    engine = _WORKER_ENGINES.get(task_index)
+    if engine is None:
+        task = _WORKER_TASKS[task_index]
+        compiled = compile_network(task.network, task.config)
+        engine = create_engine(task.backend, compiled, task.calibration)
+        _WORKER_ENGINES[task_index] = engine
+    return engine
+
+
+def _run_unit(unit: WorkUnit) -> ShardResult:
+    """Execute one shard; runs in a worker process (or inline)."""
+    task = _WORKER_TASKS[unit.task_index]
+    engine = _engine_for(unit.task_index)
+    start_time = time.perf_counter()
+    logits, traces = engine.run_batch(task.images[unit.start:unit.stop])
+    predictions = logits.argmax(axis=1).astype(np.int64)
+    correct = int(
+        (predictions == task.labels[unit.start:unit.stop]).sum())
+    return ShardResult(
+        task_index=unit.task_index, task_key=unit.task_key,
+        shard_index=unit.shard_index, start=unit.start, stop=unit.stop,
+        predictions=predictions, correct=correct,
+        trace=TraceMerge.from_traces(traces),
+        elapsed_s=time.perf_counter() - start_time,
+        worker_pid=os.getpid())
+
+
+class SweepDriver:
+    """Runs sweep work lists, optionally across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` executes inline (no subprocesses) through
+        the *same* shard/merge code path, so it is the determinism
+        baseline the multi-process runs are compared against.
+    shard_size:
+        Images per work unit.  Smaller shards balance better across
+        workers; the merged result is invariant to this choice.
+    store:
+        Optional :class:`ArtifactStore`; merged outcomes are persisted
+        under ``sweep_<task key>_<backend>`` and served from disk on
+        re-runs of the same cell.
+    progress:
+        Optional callable receiving a :class:`SweepProgress` after every
+        completed unit (throughput reporting).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        shard_size: int = 64,
+        store: ArtifactStore | None = None,
+        progress=None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.shard_size = shard_size
+        self.store = store
+        self.progress = progress
+        self.last_summary: SweepSummary | None = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def store_key(task: SweepTask) -> str:
+        """Persistent-store key; includes the engine name by contract."""
+        return sweep_store_key(task.key, task.backend)
+
+    def run(self, tasks) -> dict[str, TaskOutcome]:
+        """Execute a work list; returns ``{task key: merged outcome}``."""
+        tasks = list(tasks)
+        if not tasks:
+            raise ConfigurationError("sweep work list is empty")
+        keys = [task.key for task in tasks]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(
+                f"sweep task keys must be unique, got {keys}")
+
+        started = time.perf_counter()
+        outcomes: dict[str, TaskOutcome] = {}
+        pending: list[SweepTask] = []
+        for task in tasks:
+            if self.store is not None and self.store.has_result(
+                    self.store_key(task)):
+                outcomes[task.key] = TaskOutcome.from_dict(
+                    self.store.load_result(self.store_key(task)))
+            else:
+                pending.append(task)
+
+        if pending:
+            units = shard_tasks(pending, self.shard_size)
+            if self.workers == 1:
+                results = self._run_inline(pending, units)
+            else:
+                results = self._run_pool(pending, units)
+            for task, outcome in zip(pending,
+                                     self._merge(pending, results)):
+                outcomes[task.key] = outcome
+                if self.store is not None:
+                    self.store.save_result(self.store_key(task),
+                                           outcome.to_dict())
+
+        self.last_summary = SweepSummary(
+            workers=self.workers, shard_size=self.shard_size,
+            num_tasks=len(tasks),
+            num_units=sum(-(-t.num_images // self.shard_size)
+                          for t in pending),
+            num_images=sum(t.num_images for t in pending),
+            cached_tasks=len(tasks) - len(pending),
+            wall_s=time.perf_counter() - started)
+        return {key: outcomes[key] for key in keys}
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    def _run_inline(self, tasks, units) -> list[ShardResult]:
+        """workers=1: same shard/merge path, current process, no pickling
+        of results — but tasks still round-trip through the worker-state
+        globals so the code path matches the pool exactly."""
+        _init_worker(tasks)
+        try:
+            results = []
+            tracker = _ProgressTracker(self, tasks, units)
+            for unit in units:
+                result = _run_unit(unit)
+                results.append(result)
+                tracker.tick(result)
+            return results
+        finally:
+            _init_worker(None)
+
+    def _run_pool(self, tasks, units) -> list[ShardResult]:
+        """Fan units out over a process pool with bounded in-flight work."""
+        methods = mp.get_all_start_methods()
+        context = mp.get_context("fork" if "fork" in methods else None)
+        results: list[ShardResult] = []
+        tracker = _ProgressTracker(self, tasks, units)
+        queue = list(units)
+        with ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context,
+                initializer=_init_worker, initargs=(tasks,)) as pool:
+            in_flight = set()
+            limit = self.workers * _INFLIGHT_PER_WORKER
+            while queue or in_flight:
+                while queue and len(in_flight) < limit:
+                    in_flight.add(pool.submit(_run_unit, queue.pop(0)))
+                done, in_flight = wait(in_flight,
+                                       return_when=FIRST_COMPLETED)
+                for future in done:
+                    result = future.result()  # re-raises worker errors
+                    results.append(result)
+                    tracker.tick(result)
+        return results
+
+    # ------------------------------------------------------------------
+    def _merge(self, tasks, results) -> list[TaskOutcome]:
+        """Deterministic merge: shards sorted by image range, per task."""
+        by_task: dict[int, list[ShardResult]] = {
+            i: [] for i in range(len(tasks))}
+        for result in results:
+            by_task[result.task_index].append(result)
+        outcomes = []
+        for index, task in enumerate(tasks):
+            shards = sorted(by_task[index], key=lambda r: r.start)
+            outcome = TaskOutcome(key=task.key, backend=task.backend)
+            outcome.predictions = np.concatenate(
+                [shard.predictions for shard in shards])
+            outcome.num_shards = len(shards)
+            for shard in shards:
+                outcome.correct += shard.correct
+                outcome.num_images += shard.num_images
+                outcome.trace.merge(shard.trace)
+                outcome.elapsed_s += shard.elapsed_s
+            outcomes.append(outcome)
+        return outcomes
+
+
+class _ProgressTracker:
+    """Counts completed units/images and invokes the progress callback."""
+
+    def __init__(self, driver: SweepDriver, tasks, units) -> None:
+        self.driver = driver
+        self.total_units = len(units)
+        self.total_images = sum(task.num_images for task in tasks)
+        self.done_units = 0
+        self.done_images = 0
+        self.started = time.perf_counter()
+
+    def tick(self, result: ShardResult) -> None:
+        self.done_units += 1
+        self.done_images += result.stop - result.start
+        if self.driver.progress is not None:
+            self.driver.progress(SweepProgress(
+                done_units=self.done_units, total_units=self.total_units,
+                done_images=self.done_images,
+                total_images=self.total_images,
+                elapsed_s=time.perf_counter() - self.started,
+                task_key=result.task_key))

@@ -81,6 +81,29 @@ def _int_linear(x: np.ndarray, spec: QuantLinearSpec) -> np.ndarray:
     return np.rint(out).astype(np.int64)
 
 
+#: Spike planes per fused layer call in :meth:`SNNModel.forward_spikes`.
+#: The T per-step planes are folded into the batch axis and processed in
+#: chunks of at least one original step-batch, bounding im2col memory
+#: while collapsing the per-step Python loop into a few whole-plane calls.
+_PLANE_CHUNK = 256
+
+
+def _over_steps(fn, bits: np.ndarray, out_shape: tuple) -> np.ndarray:
+    """Apply a per-plane integer op to all ``T`` spike planes at once.
+
+    ``bits`` is ``(T, N, ...)``; the time axis folds into the batch axis
+    so one (or a few, memory-bounded) vectorized calls replace the
+    ``T``-iteration Python loop.  Returns ``(T, N) + out_shape`` step
+    currents, ready for sequential MSB-first integration.
+    """
+    t, n = bits.shape[:2]
+    planes = bits.reshape((t * n,) + bits.shape[2:])
+    chunk = max(n, _PLANE_CHUNK)
+    outs = [fn(planes[lo:lo + chunk])
+            for lo in range(0, t * n, chunk)]
+    return np.concatenate(outs).reshape((t, n) + out_shape)
+
+
 class SNNModel:
     """A lowered, radix-encoded spiking network ready for simulation."""
 
@@ -134,7 +157,10 @@ class SNNModel:
 
         Layers execute in sequence (as on the accelerator); within a layer
         the ``T`` input spike planes are integrated MSB-first with a
-        left-shifting membrane potential.
+        left-shifting membrane potential.  The per-step synaptic currents
+        are computed for all planes in one fused call (``_over_steps``)
+        and only the order-sensitive shift-and-integrate remains a loop —
+        same semantics, ~``T``x fewer convolution/matmul dispatches.
         """
         t = self.num_steps
         train = radix.encode_ints(self.quantize_input(images), t)
@@ -155,32 +181,37 @@ class SNNModel:
                 # precision across steps, shift-divide at the end.
                 neuron = RadixIFNeuron(
                     (train.bits.shape[1],) + spec.out_shape, t)
-                for step in range(t):
-                    plane = train.step(step)
-                    window_sum = np.rint(
-                        F.avg_pool2d(plane.astype(np.float64), spec.size,
+                currents = _over_steps(
+                    lambda planes: np.rint(
+                        F.avg_pool2d(planes.astype(np.float64), spec.size,
                                      spec.stride)
                         * spec.size * spec.size
-                    ).astype(np.int64)
-                    neuron.integrate(window_sum)
+                    ).astype(np.int64),
+                    train.bits, spec.out_shape)
+                for step in range(t):
+                    neuron.integrate(currents[step])
                 out_ints = neuron.potential >> spec.shift
                 out_ints = np.minimum(out_ints, radix.max_int(t))
                 train = radix.encode_ints(out_ints, t)
             elif spec.kind == "conv":
                 neuron = RadixIFNeuron(
                     (train.bits.shape[1],) + spec.out_shape, t)
+                currents = _over_steps(
+                    lambda planes: _int_conv(planes, spec),
+                    train.bits, spec.out_shape)
                 for step in range(t):
-                    current = _int_conv(train.step(step), spec)
-                    neuron.integrate(current)
+                    neuron.integrate(currents[step])
                 acc = neuron.potential + spec.bias.reshape(1, -1, 1, 1)
                 out_ints = requantize(acc, spec.scales, t, channel_axis=1)
                 train = radix.encode_ints(out_ints, t)
             else:  # linear
                 neuron = RadixIFNeuron(
                     (train.bits.shape[1], spec.out_features), t)
+                currents = _over_steps(
+                    lambda planes: _int_linear(planes, spec),
+                    train.bits, (spec.out_features,))
                 for step in range(t):
-                    current = _int_linear(train.step(step), spec)
-                    neuron.integrate(current)
+                    neuron.integrate(currents[step])
                 acc = neuron.potential + spec.bias.reshape(1, -1)
                 if spec.is_output:
                     logits = acc

@@ -8,13 +8,25 @@ from repro.harness import ArtifactStore, ExperimentRunner, ExperimentSettings
 
 @pytest.fixture()
 def tiny_runner(tmp_path, monkeypatch):
-    """Patch the CLI to use a smoke-scale runner with isolated artifacts."""
+    """Patch the CLI to use a smoke-scale runner with isolated artifacts.
+
+    The CLI's constructor kwargs (backend, sweep_workers, ...) are
+    applied onto the shared runner so the argument wiring in
+    ``cli.main`` is actually exercised.
+    """
     settings = ExperimentSettings(
         train_count=250, test_count=60, calibration_count=48,
         base_epochs=1, t3_epochs=1, fast=True)
     runner = ExperimentRunner(settings=settings,
                               store=ArtifactStore(tmp_path))
-    monkeypatch.setattr(cli, "ExperimentRunner", lambda **kwargs: runner)
+
+    def make_runner(**kwargs):
+        for name, value in kwargs.items():
+            assert hasattr(runner, name), name
+            setattr(runner, name, value)
+        return runner
+
+    monkeypatch.setattr(cli, "ExperimentRunner", make_runner)
     return runner
 
 
@@ -57,6 +69,36 @@ class TestCliDispatch:
         assert cli.main(["dataflow", "--backend", "vectorized"]) == 0
         out = capsys.readouterr().out
         assert "row-based" in out
+
+    def test_sweep_path(self, tiny_runner, capsys):
+        assert cli.main(["sweep", "--workers", "2", "--shard-size", "16",
+                         "--steps", "3"]) == 0
+        assert tiny_runner.sweep_workers == 2
+        assert tiny_runner.sweep_shard_size == 16
+        out = capsys.readouterr().out
+        assert "Accuracy sweep" in out
+        assert "2 worker(s)" in out
+
+    def test_sweep_bad_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["sweep", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            cli.main(["sweep", "--shard-size", "-4"])
+
+    def test_sweep_duplicate_steps_deduplicated(self, tiny_runner, capsys):
+        assert cli.main(["sweep", "--steps", "3,3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n3 |") == 2  # one row per requested step
+
+    def test_sweep_bad_steps_rejected(self, tiny_runner):
+        with pytest.raises(SystemExit):
+            cli.main(["sweep", "--steps", "three"])
+        with pytest.raises(SystemExit):
+            cli.main(["sweep", "--steps", ","])
+        with pytest.raises(SystemExit):
+            cli.main(["sweep", "--steps", "0"])
+        with pytest.raises(SystemExit):
+            cli.main(["sweep", "--steps", "-3"])
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(SystemExit):
