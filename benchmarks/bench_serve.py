@@ -1,0 +1,233 @@
+"""Serving benchmark — micro-batch coalescing vs batch-size-1 serving.
+
+Drives the asyncio inference server (``repro.serve``) with an open-loop
+load generator on a fixed LeNet-5 deployment (vectorized engine) and
+records to ``artifacts/bench_serve.json``:
+
+* the head-to-head: batch-size-1 serving vs greedy micro-batching at the
+  *same* offered load — the coalescing speedup is the PR's acceptance
+  bar (>= 3x);
+* a latency/throughput curve for the coalescing server across offered
+  loads (0.5x .. 4x the engine's single-image rate);
+* the deadline (SLO) policy at moderate load, with the measured p99
+  against the configured target.
+
+Every phase runtime-asserts that each served prediction equals the
+direct ``Accelerator.run_logits`` argmax for the same image — batching
+must never change results, only when they arrive.
+
+The model is an untrained ``performance_network`` LeNet: serving
+throughput and latency do not depend on the weight values, and skipping
+training keeps the benchmark self-contained and fast.
+"""
+
+import json
+import os
+
+# Pin BLAS before numpy initializes its thread pool (see bench_sweep.py):
+# the comparison is request coalescing vs per-request dispatch, and a
+# multi-threaded GEMM under the batch-1 server would blur exactly the
+# per-call overhead the benchmark measures.
+for _var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS",
+             "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import asyncio
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import Accelerator, AcceleratorConfig, warm_engine
+from repro.harness import Table
+from repro.models import performance_network
+from repro.serve import InferenceServer, LoadGenerator
+from repro.snn import SNNModel
+
+RESULTS_PATH = (Path(__file__).resolve().parent.parent
+                / "artifacts" / "bench_serve.json")
+NUM_REQUESTS = 256 if os.environ.get("REPRO_FAST") else 1024
+MAX_BATCH = 32
+SLO_MS = 75.0
+#: Offered-load multipliers (of the engine's single-image rate) for the
+#: latency/throughput curve.
+CURVE_LOADS = (0.5, 1.0, 2.0, 4.0)
+#: The head-to-head runs well past batch-1 capacity so both servers are
+#: saturated by the same offered stream.
+HEAD_TO_HEAD_LOAD = 4.0
+
+
+def _lenet_network():
+    """LeNet-5 geometry at the repo's 12x12 MNIST scale, T=3."""
+    return performance_network(
+        [("conv", 6, 5, 1, 2), ("pool", 2), ("conv", 16, 5, 1, 0),
+         ("pool", 2), ("flatten",), ("linear", 120), ("linear", 84),
+         ("linear", 10)],
+        input_shape=(1, 12, 12), num_steps=3, seed=0)
+
+
+def _request_images(network, count: int) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    return rng.random((count,) + network.input_shape)
+
+
+def measure_single_image_rate(network, config) -> float:
+    """Images/s of the engine itself at batch size 1 (no serving layer)."""
+    engine = warm_engine(network, config)
+    image = _request_images(network, 1)
+    engine.run_batch(image)  # warm numpy paths
+    start = time.perf_counter()
+    count = 0
+    while time.perf_counter() - start < 0.5:
+        engine.run_batch(image)
+        count += 1
+    return count / (time.perf_counter() - start)
+
+
+def run_serve_phase(network, config, images, rate_rps,
+                    expected_predictions, **server_kwargs) -> dict:
+    """One load phase: build a server, offer the stream, check, report."""
+
+    async def main():
+        async with InferenceServer(network, config,
+                                   **server_kwargs) as server:
+            generator = LoadGenerator(server.submit, rate_rps=rate_rps)
+            report = await generator.run(images)
+            return report, server.snapshot()
+
+    report, snapshot = asyncio.run(main())
+    assert report.failed == 0, f"{report.failed} requests failed"
+    served = np.array([r.prediction for r in report.results])
+    np.testing.assert_array_equal(served, expected_predictions)
+    return {
+        "offered_rps": report.offered_rps,
+        "achieved_rps": report.achieved_rps,
+        "wall_s": report.wall_s,
+        "num_requests": report.num_requests,
+        "mean_batch_size": snapshot.mean_batch_size,
+        "latency_ms": snapshot.latency_ms,
+        "queue_wait_ms": snapshot.queue_wait_ms,
+        "service_ms": snapshot.service_ms,
+    }
+
+
+def run_bench() -> dict:
+    network = _lenet_network()
+    config = AcceleratorConfig.for_network(network)
+    images = _request_images(network, NUM_REQUESTS)
+
+    # Ground truth for the runtime prediction assert in every phase.
+    accelerator = Accelerator(config, backend="vectorized", warm=True)
+    accelerator.deploy(SNNModel(network), name="LeNet-5 T=3")
+    direct_logits, _ = accelerator.run_logits(images)
+    expected = direct_logits.argmax(axis=1)
+
+    base_rps = measure_single_image_rate(network, config)
+
+    # Head-to-head at the same offered load, well past batch-1 capacity.
+    offered = HEAD_TO_HEAD_LOAD * base_rps
+    batch1 = run_serve_phase(
+        network, config, images, offered, expected,
+        policy="greedy", max_batch=1, max_wait_ms=0.0)
+    coalesced = run_serve_phase(
+        network, config, images, offered, expected,
+        policy="greedy", max_batch=MAX_BATCH, max_wait_ms=2.0)
+    speedup = coalesced["achieved_rps"] / batch1["achieved_rps"]
+
+    # Latency/throughput curve for the coalescing server.
+    curve = []
+    for multiplier in CURVE_LOADS:
+        phase = run_serve_phase(
+            network, config, images, multiplier * base_rps, expected,
+            policy="greedy", max_batch=MAX_BATCH, max_wait_ms=2.0)
+        phase["load_multiplier"] = multiplier
+        curve.append(phase)
+
+    # Deadline policy: moderate load, p99 must land under the SLO.
+    deadline = run_serve_phase(
+        network, config, images, 1.5 * base_rps, expected,
+        policy="deadline", max_batch=MAX_BATCH, slo_ms=SLO_MS)
+    deadline["slo_ms"] = SLO_MS
+
+    return {
+        "workload": (f"LeNet-5 T=3, vectorized, {NUM_REQUESTS} requests, "
+                     f"max_batch {MAX_BATCH}"),
+        "cpu_count": os.cpu_count(),
+        "single_image_rps": base_rps,
+        "head_to_head_offered_rps": offered,
+        "batch1": batch1,
+        "coalesced": coalesced,
+        "speedup_coalesced_vs_batch1": speedup,
+        "curve": curve,
+        "deadline": deadline,
+    }
+
+
+def _render(payload: dict) -> Table:
+    table = Table(
+        f"Serving - coalesced micro-batching vs batch-1 "
+        f"({payload['workload']}, {payload['cpu_count']} cores)",
+        ["configuration", "offered rps", "achieved rps", "mean batch",
+         "p50 ms", "p99 ms"])
+
+    def row(label, phase):
+        table.add_row(label, f"{phase['offered_rps']:.0f}",
+                      f"{phase['achieved_rps']:.0f}",
+                      f"{phase['mean_batch_size']:.1f}",
+                      f"{phase['latency_ms']['p50']:.2f}",
+                      f"{phase['latency_ms']['p99']:.2f}")
+
+    row("batch-1", payload["batch1"])
+    row(f"coalesced (<= {MAX_BATCH})", payload["coalesced"])
+    for phase in payload["curve"]:
+        row(f"curve {phase['load_multiplier']:.1f}x", phase)
+    row(f"deadline (SLO {SLO_MS:.0f} ms)", payload["deadline"])
+    table.add_row("coalescing speedup", "",
+                  f"{payload['speedup_coalesced_vs_batch1']:.2f}x",
+                  "", "", "")
+    return table
+
+
+def check_serve_bars(payload: dict) -> None:
+    """The acceptance gates, shared by the pytest and __main__ paths."""
+    speedup = payload["speedup_coalesced_vs_batch1"]
+    assert speedup >= 3.0, (
+        f"coalesced micro-batching must sustain >= 3x the batch-1 "
+        f"throughput at equal offered load, got {speedup:.2f}x")
+    p99 = payload["deadline"]["latency_ms"]["p99"]
+    assert p99 < payload["deadline"]["slo_ms"], (
+        f"deadline policy p99 {p99:.2f} ms exceeds the "
+        f"{payload['deadline']['slo_ms']} ms SLO")
+
+
+def test_serve_coalescing(benchmark):
+    payload = run_bench()
+    from benchmarks.conftest import print_table
+    print_table(_render(payload))
+
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+
+    check_serve_bars(payload)
+
+    network = _lenet_network()
+    config = AcceleratorConfig.for_network(network)
+    images = _request_images(network, 64)
+
+    async def one_wave():
+        async with InferenceServer(network, config,
+                                   max_batch=MAX_BATCH) as server:
+            await server.submit_many(images)
+
+    benchmark.pedantic(lambda: asyncio.run(one_wave()),
+                       rounds=2, iterations=1)
+
+
+if __name__ == "__main__":
+    bench_payload = run_bench()
+    print(_render(bench_payload).render())
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(bench_payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    check_serve_bars(bench_payload)

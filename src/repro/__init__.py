@@ -20,6 +20,9 @@ Subpackages
     Published comparison numbers and ablation cost models.
 ``repro.harness``
     Experiment runners regenerating every table and figure of the paper.
+``repro.serve``
+    Async inference serving: request coalescing, micro-batching,
+    latency SLOs, warm engine pools and load generation.
 """
 
 __version__ = "1.0.0"

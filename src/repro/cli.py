@@ -9,7 +9,9 @@ Usage::
     python -m repro dataflow          # memory-traffic ablation
     python -m repro figures           # Fig. 1 / Fig. 2 diagrams
     python -m repro sweep             # sharded multi-process accuracy sweep
-    python -m repro all               # everything above (except sweep)
+    python -m repro serve             # async micro-batching server (TCP)
+    python -m repro loadgen           # drive a server, report latency SLOs
+    python -m repro all               # everything above (except sweep/serve)
 
 Models are trained on first use and cached under ``artifacts/``; set
 ``REPRO_FAST=1`` for a smoke-scale run.  ``--backend vectorized`` runs
@@ -20,18 +22,36 @@ results, orders of magnitude faster than the unit-level model).
 set, sharding (config × image-range) work units across ``--workers``
 processes; results are bit-identical for any worker count or
 ``--shard-size`` and are persisted in the artifact store.
+
+``serve`` starts the asyncio micro-batching inference server on the
+trained LeNet over TCP; ``loadgen`` offers an open-loop request stream
+to it (in-process by default, ``--port`` for a running server), prints
+the latency/throughput report, persists it to the artifact store, and —
+in-process — asserts every served prediction against direct
+``Accelerator.run_logits`` output.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 
+import numpy as np
+
 from repro.core import Accelerator, AcceleratorConfig, available_backends
+from repro.errors import SimulationError
 from repro.harness import (
     ExperimentRunner,
+    Table,
     render_conv_unit,
     render_overview,
+)
+from repro.serve import (
+    LoadGenerator,
+    TcpClient,
+    available_policies,
+    start_tcp_server,
 )
 
 __all__ = ["main"]
@@ -91,6 +111,146 @@ def _print_sweep(runner: ExperimentRunner, steps: tuple) -> None:
               "artifact store")
 
 
+def _serve_images(runner, count: int) -> np.ndarray:
+    """``count`` request images: the MNIST test set, tiled as needed."""
+    _, test = runner.mnist()
+    reps = -(-count // len(test))
+    return np.tile(test.images, (reps, 1, 1, 1))[:count]
+
+
+def _serve_kwargs(args) -> dict:
+    return {
+        "policy": args.policy,
+        "max_batch": args.max_batch,
+        "max_wait_ms": args.max_wait_ms,
+        "slo_ms": args.slo_ms,
+        "queue_depth": args.queue_depth,
+        "engines": args.engines,
+    }
+
+
+def _render_serve_report(
+    metrics: dict, report=None,
+    title: str = "Serving report - latency percentiles and throughput",
+) -> Table:
+    """One report table for both loadgen paths.
+
+    ``metrics`` is a snapshot payload (``MetricsSnapshot.to_dict()``
+    locally, or the same shape straight off the TCP wire), so the
+    in-process and remote reports can never drift apart.
+    """
+    table = Table(title, ["metric", "value"])
+    if report is not None:
+        table.add_row("offered load (rps)", f"{report.offered_rps:.1f}")
+        table.add_row("achieved (rps)", f"{report.achieved_rps:.1f}")
+        table.add_row("requests ok/failed",
+                      f"{report.completed}/{report.failed}")
+        for name in ("p50", "p95", "p99"):
+            table.add_row(f"client latency {name} (ms)",
+                          f"{report.client_latency_ms[name]:.2f}")
+    table.add_row("server throughput (rps)",
+                  f"{metrics['throughput_rps']:.1f}")
+    table.add_row("mean batch size", f"{metrics['mean_batch_size']:.2f}")
+    for name in ("p50", "p95", "p99", "max"):
+        table.add_row(f"server latency {name} (ms)",
+                      f"{metrics['latency_ms'][name]:.2f}")
+    table.add_row("queue wait p99 (ms)",
+                  f"{metrics['queue_wait_ms']['p99']:.2f}")
+    table.add_row("rejected (backpressure)", metrics["rejected"])
+    return table
+
+
+def _run_serve(runner: ExperimentRunner, args) -> None:
+    t = _parse_steps(args.steps)[0]
+    server, _, accuracy = runner.build_server(num_steps=t,
+                                              **_serve_kwargs(args))
+
+    async def main() -> None:
+        async with server:
+            tcp, port = await start_tcp_server(server, args.host,
+                                               args.port)
+            print(f"serving LeNet-5 T={t} "
+                  f"(hardware accuracy {accuracy * 100:.2f}%) "
+                  f"on {args.host}:{port}")
+            print(f"policy={args.policy} max_batch={args.max_batch} "
+                  f"max_wait_ms={args.max_wait_ms} slo_ms={args.slo_ms}; "
+                  "Ctrl-C to stop")
+            try:
+                await asyncio.Event().wait()
+            finally:
+                tcp.close()
+                await tcp.wait_closed()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("\nserver stopped")
+
+
+def _run_loadgen(runner: ExperimentRunner, args) -> None:
+    if args.port:
+        _run_loadgen_tcp(runner, args)
+    else:
+        _run_loadgen_inprocess(runner, args)
+
+
+def _run_loadgen_inprocess(runner: ExperimentRunner, args) -> None:
+    """Offer load to an in-process server and verify every prediction."""
+    t = _parse_steps(args.steps)[0]
+    server, snn, _ = runner.build_server(num_steps=t,
+                                         **_serve_kwargs(args))
+    images = _serve_images(runner, args.requests)
+
+    async def main():
+        async with server:
+            report = await LoadGenerator(server.submit,
+                                         rate_rps=args.rate).run(images)
+            return report, server.snapshot()
+
+    report, snapshot = asyncio.run(main())
+
+    # Runtime contract: serving must predict exactly what a direct
+    # batched Accelerator run predicts for the same images.
+    accelerator = Accelerator(
+        AcceleratorConfig.for_network(snn.network),
+        backend=runner.score_backend, warm=True)
+    accelerator.deploy(snn, name=f"LeNet-5 T={t}")
+    direct_logits, _ = accelerator.run_logits(images)
+    served = [r.prediction if r is not None else -1
+              for r in report.results]
+    if report.failed or not np.array_equal(
+            served, direct_logits.argmax(axis=1)):
+        raise SimulationError(
+            f"served predictions diverge from Accelerator.run_logits "
+            f"({report.failed} failed of {report.num_requests})")
+    print(_render_serve_report(snapshot.to_dict(), report).render())
+    print(f"\nall {report.num_requests} served predictions match "
+          "direct Accelerator.run_logits output")
+    payload = runner.save_serve_metrics(
+        f"loadgen_{args.policy}", snapshot,
+        extra={"load": report.to_dict(), "num_steps": t})
+    print(f"p99 latency {payload['snapshot']['latency_ms']['p99']:.2f} ms "
+          f"at {report.offered_rps:.0f} rps offered "
+          f"(slo_ms={args.slo_ms})")
+
+
+def _run_loadgen_tcp(runner: ExperimentRunner, args) -> None:
+    """Offer load over TCP to an already-running ``repro serve``."""
+    images = _serve_images(runner, args.requests)
+
+    async def main():
+        async with TcpClient(args.host, args.port) as client:
+            report = await LoadGenerator(client.infer,
+                                         rate_rps=args.rate).run(images)
+            metrics = await client.metrics()
+            return report, metrics
+
+    report, metrics = asyncio.run(main())
+    print(_render_serve_report(
+        metrics, report,
+        title=f"Load report - {args.host}:{args.port}").render())
+
+
 def _positive_int(raw: str) -> int:
     try:
         value = int(raw)
@@ -121,7 +281,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "encoding", "dataflow",
-                 "figures", "sweep", "all"],
+                 "figures", "sweep", "serve", "loadgen", "all"],
         help="which experiment to run")
     parser.add_argument("--no-vgg", action="store_true",
                         help="skip the VGG-11 row of table3")
@@ -139,7 +299,44 @@ def main(argv: list[str] | None = None) -> int:
                         help="images per sweep work unit (default: 64)")
     parser.add_argument("--steps", default="3,4", metavar="T,T,...",
                         help="spike-train lengths for the sweep command "
-                             "(default: 3,4)")
+                             "(default: 3,4; serve/loadgen deploy the "
+                             "first)")
+    serving = parser.add_argument_group(
+        "serving options (serve / loadgen)")
+    serving.add_argument("--host", default="127.0.0.1",
+                         help="bind/connect address (default: 127.0.0.1)")
+    serving.add_argument("--port", type=int, default=0, metavar="P",
+                         help="serve: TCP port (default: ephemeral); "
+                              "loadgen: target a running server instead "
+                              "of the in-process one")
+    serving.add_argument("--policy", choices=available_policies(),
+                         default="greedy",
+                         help="micro-batch flush policy (default: greedy)")
+    serving.add_argument("--max-batch", type=_positive_int, default=32,
+                         metavar="B",
+                         help="micro-batch size cap (default: 32)")
+    serving.add_argument("--max-wait-ms", type=float, default=2.0,
+                         metavar="MS",
+                         help="greedy policy: max coalescing wait "
+                              "(default: 2.0)")
+    serving.add_argument("--slo-ms", type=float, default=50.0,
+                         metavar="MS",
+                         help="deadline policy: p99 latency target "
+                              "(default: 50.0)")
+    serving.add_argument("--queue-depth", type=_positive_int,
+                         default=1024, metavar="N",
+                         help="bounded request queue (default: 1024)")
+    serving.add_argument("--engines", type=_positive_int, default=1,
+                         metavar="N",
+                         help="warm engines in the serving pool "
+                              "(default: 1)")
+    serving.add_argument("--requests", type=_positive_int, default=256,
+                         metavar="N",
+                         help="loadgen: requests to offer (default: 256)")
+    serving.add_argument("--rate", type=float, default=500.0,
+                         metavar="RPS",
+                         help="loadgen: offered load in requests/s "
+                              "(default: 500)")
     args = parser.parse_args(argv)
 
     # --backend drives the trace-level sims; accuracy scoring stays on
@@ -163,11 +360,13 @@ def main(argv: list[str] | None = None) -> int:
         "dataflow": lambda: _print_dataflow(runner),
         "figures": lambda: _print_figures(runner),
         "sweep": lambda: _print_sweep(runner, _parse_steps(args.steps)),
+        "serve": lambda: _run_serve(runner, args),
+        "loadgen": lambda: _run_loadgen(runner, args),
     }
     if args.experiment == "all":
         for name, fn in dispatch.items():
-            if name == "sweep":
-                continue  # covered by table1/encoding scoring
+            if name in ("sweep", "serve", "loadgen"):
+                continue  # sweep covered by table1; serving is a daemon
             print(f"\n===== {name} =====")
             fn()
     else:

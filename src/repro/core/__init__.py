@@ -42,8 +42,12 @@ from repro.core.engine import (
     ReferenceEngine,
     VectorizedEngine,
     available_backends,
+    clear_engine_cache,
     create_engine,
+    engine_cache_stats,
     register_engine,
+    warm_compile,
+    warm_engine,
 )
 from repro.core.dram import DramModel, DramTransfer
 from repro.core.energy import EnergyBreakdown, EnergyConstants, trace_energy
@@ -123,8 +127,10 @@ __all__ = [
     "assemble",
     "available_backends",
     "channels_per_pass",
+    "clear_engine_cache",
     "compile_network",
     "create_engine",
+    "engine_cache_stats",
     "conv_group_count",
     "conv_layer_cycles",
     "decode",
@@ -135,4 +141,6 @@ __all__ = [
     "pool_layer_cycles",
     "register_engine",
     "trace_energy",
+    "warm_compile",
+    "warm_engine",
 ]

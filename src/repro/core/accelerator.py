@@ -26,7 +26,7 @@ from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
 from repro.core.compiler import CompiledModel, compile_network
 from repro.core.config import AcceleratorConfig
 from repro.core.controller import Controller, ExecutionTrace, TraceMerge
-from repro.core.engine import ExecutionEngine, resolve_backend
+from repro.core.engine import ExecutionEngine, resolve_backend, warm_compile
 from repro.core.latency import LatencyModel
 from repro.core.power import PowerModel
 from repro.core.report import PerformanceReport
@@ -45,9 +45,11 @@ class Accelerator:
         config: AcceleratorConfig,
         backend: str | type[ExecutionEngine] = "reference",
         calibration: LatencyCalibration = DEFAULT_LATENCY,
+        warm: bool = False,
     ) -> None:
         self.config = config
         self.calibration = calibration
+        self.warm = warm
         self._backend = resolve_backend(backend)  # fail fast on typos
         self.compiled: CompiledModel | None = None
         self._controller: Controller | None = None
@@ -62,8 +64,17 @@ class Accelerator:
     # Deployment
     # ------------------------------------------------------------------
     def deploy(self, snn: SNNModel, name: str = "network") -> CompiledModel:
-        """Compile and load a converted SNN onto this accelerator."""
-        self.compiled = compile_network(snn.network, self.config)
+        """Compile and load a converted SNN onto this accelerator.
+
+        With ``warm=True`` the compile is served from the process-wide
+        warm cache (:func:`~repro.core.engine.warm_compile`), so hot
+        paths — serving pools, repeated sweeps — deploy the same network
+        without recompiling; reuse is bit-identical by contract.
+        """
+        if self.warm:
+            self.compiled = warm_compile(snn.network, self.config)
+        else:
+            self.compiled = compile_network(snn.network, self.config)
         self._controller = Controller(self.compiled, self.calibration,
                                       backend=self._backend)
         self._model_name = name

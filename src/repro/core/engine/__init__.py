@@ -18,6 +18,13 @@ from repro.core.engine.base import (
     register_engine,
     resolve_backend,
 )
+from repro.core.engine.cache import (
+    clear_engine_cache,
+    engine_cache_stats,
+    network_fingerprint,
+    warm_compile,
+    warm_engine,
+)
 from repro.core.engine.reference import ReferenceEngine
 from repro.core.engine.trace import ExecutionTrace, LayerTrace, TraceMerge
 from repro.core.engine.vectorized import VectorizedEngine
@@ -30,7 +37,12 @@ __all__ = [
     "ReferenceEngine",
     "VectorizedEngine",
     "available_backends",
+    "clear_engine_cache",
     "create_engine",
+    "engine_cache_stats",
+    "network_fingerprint",
     "register_engine",
     "resolve_backend",
+    "warm_compile",
+    "warm_engine",
 ]

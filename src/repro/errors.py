@@ -41,3 +41,11 @@ class CapacityError(ReproError):
 
 class SimulationError(ReproError):
     """Raised when the functional hardware simulation reaches a bad state."""
+
+
+class ServeError(ReproError):
+    """Raised for invalid inference-serving requests or server states."""
+
+
+class BackpressureError(ServeError):
+    """Raised when a non-waiting submit finds the request queue full."""

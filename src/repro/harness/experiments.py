@@ -611,6 +611,39 @@ class ExperimentRunner:
         return {"rows": rows, "table": table, "summary": summary}
 
     # ------------------------------------------------------------------
+    # Serving (the `repro serve` / `repro loadgen` commands)
+    # ------------------------------------------------------------------
+    def build_server(self, num_steps: int = 3, **serve_kwargs):
+        """An :class:`~repro.serve.InferenceServer` over the trained LeNet.
+
+        Trains/loads the ``T=num_steps`` LeNet (cached like every other
+        experiment model), scores it hardware-in-the-loop, and wraps the
+        quantized network in a server on the ``score_backend`` engine.
+        Returns ``(server, snn, accuracy)``; the caller starts/stops the
+        server (``async with server: ...``).
+        """
+        from repro.serve import InferenceServer  # serving is optional
+
+        snn, accuracy = self.lenet_snn(num_steps)
+        serve_kwargs.setdefault("backend", self.score_backend)
+        server = InferenceServer(snn.network, **serve_kwargs)
+        return server, snn, accuracy
+
+    def save_serve_metrics(self, name: str, snapshot,
+                           extra: dict | None = None) -> dict:
+        """Persist a serving metrics snapshot in the artifact store.
+
+        The record lands next to the experiment results (key
+        ``serve_<name>``), so load runs leave the same durable trail as
+        table regenerations; returns the stored payload.
+        """
+        payload = {"snapshot": snapshot.to_dict()}
+        if extra:
+            payload.update(extra)
+        self.store.save_result(f"serve_{name}", payload)
+        return payload
+
+    # ------------------------------------------------------------------
     # Section III-A claim — row dataflow memory-traffic reduction
     # ------------------------------------------------------------------
     def run_dataflow_ablation(self, num_images: int = 2) -> dict:

@@ -28,8 +28,7 @@ import multiprocessing as mp
 
 import numpy as np
 
-from repro.core.compiler import compile_network
-from repro.core.engine import create_engine
+from repro.core.engine import warm_engine
 from repro.core.engine.trace import TraceMerge
 from repro.errors import ConfigurationError
 from repro.harness.artifacts import ArtifactStore
@@ -47,6 +46,11 @@ __all__ = ["SweepDriver", "SweepProgress", "SweepSummary"]
 #: Upper bound on queued futures per worker; keeps memory flat on huge
 #: work lists without ever idling a worker.
 _INFLIGHT_PER_WORKER = 4
+
+#: Adaptive sizing aims for this many units per worker: enough
+#: granularity that a straggling shard cannot tail-block the pool, few
+#: enough that per-unit overhead stays negligible.
+_ADAPTIVE_UNITS_PER_WORKER = 8
 
 
 @dataclass(frozen=True)
@@ -76,6 +80,10 @@ class SweepSummary:
     num_images: int
     cached_tasks: int
     wall_s: float
+    adaptive: bool = False
+    #: Per-task shard sizes chosen by the adaptive probe (key -> images
+    #: per unit); ``None`` for fixed-size runs.
+    task_shard_sizes: dict | None = None
 
     @property
     def images_per_second(self) -> float:
@@ -97,12 +105,20 @@ def _init_worker(tasks: list[SweepTask]) -> None:
 
 
 def _engine_for(task_index: int):
-    """The worker's cached engine for one task (compiled on first use)."""
+    """The worker's engine for one task, from the warm-instance cache.
+
+    The per-task dict keeps repeat lookups O(1); behind it,
+    :func:`~repro.core.engine.warm_engine` dedupes by content — so a
+    task re-run in a later ``SweepDriver.run`` (or probed by the
+    adaptive sizer, or already compiled before a fork) reuses the
+    compiled model instead of recompiling.  Reuse is bit-identical by
+    the warm-cache contract.
+    """
     engine = _WORKER_ENGINES.get(task_index)
     if engine is None:
         task = _WORKER_TASKS[task_index]
-        compiled = compile_network(task.network, task.config)
-        engine = create_engine(task.backend, compiled, task.calibration)
+        engine = warm_engine(task.network, task.config, task.backend,
+                             task.calibration)
         _WORKER_ENGINES[task_index] = engine
     return engine
 
@@ -137,6 +153,17 @@ class SweepDriver:
     shard_size:
         Images per work unit.  Smaller shards balance better across
         workers; the merged result is invariant to this choice.
+    adaptive:
+        Size shards from a measured per-image cost probe instead of
+        using ``shard_size`` uniformly: each pending task runs a few
+        probe images inline (on its warm engine — the work is not
+        wasted, the compile is reused), and shard sizes are chosen so
+        every unit costs roughly the same wall time.  Heterogeneous work
+        lists (a VGG cell next to LeNet cells) then finish together
+        instead of the expensive task tail-blocking the pool.  Results
+        remain bit-identical — shard boundaries never affect the merge.
+    probe_images:
+        Images per adaptive cost probe (clamped to the task size).
     store:
         Optional :class:`ArtifactStore`; merged outcomes are persisted
         under ``sweep_<task key>_<backend>`` and served from disk on
@@ -152,12 +179,19 @@ class SweepDriver:
         shard_size: int = 64,
         store: ArtifactStore | None = None,
         progress=None,
+        adaptive: bool = False,
+        probe_images: int = 4,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(
                 f"workers must be >= 1, got {workers}")
+        if probe_images < 1:
+            raise ConfigurationError(
+                f"probe_images must be >= 1, got {probe_images}")
         self.workers = workers
         self.shard_size = shard_size
+        self.adaptive = adaptive
+        self.probe_images = probe_images
         self.store = store
         self.progress = progress
         self.last_summary: SweepSummary | None = None
@@ -189,8 +223,15 @@ class SweepDriver:
             else:
                 pending.append(task)
 
+        units: list[WorkUnit] = []
+        task_shard_sizes: dict | None = None
         if pending:
-            units = shard_tasks(pending, self.shard_size)
+            sizes: int | list[int] = self.shard_size
+            if self.adaptive:
+                sizes = self._adaptive_shard_sizes(pending)
+                task_shard_sizes = {task.key: size for task, size
+                                    in zip(pending, sizes)}
+            units = shard_tasks(pending, sizes)
             if self.workers == 1:
                 results = self._run_inline(pending, units)
             else:
@@ -205,12 +246,48 @@ class SweepDriver:
         self.last_summary = SweepSummary(
             workers=self.workers, shard_size=self.shard_size,
             num_tasks=len(tasks),
-            num_units=sum(-(-t.num_images // self.shard_size)
-                          for t in pending),
+            num_units=len(units),
             num_images=sum(t.num_images for t in pending),
             cached_tasks=len(tasks) - len(pending),
-            wall_s=time.perf_counter() - started)
+            wall_s=time.perf_counter() - started,
+            adaptive=self.adaptive,
+            task_shard_sizes=task_shard_sizes)
         return {key: outcomes[key] for key in keys}
+
+    # ------------------------------------------------------------------
+    # Adaptive shard sizing
+    # ------------------------------------------------------------------
+    def _adaptive_shard_sizes(self, tasks) -> list[int]:
+        """Equal-cost shard sizes from a measured per-image probe.
+
+        Runs ``probe_images`` of each task through its warm engine (the
+        compile this triggers is exactly the one the run needs, so the
+        probe's dominant cost is paid anyway) and sizes shards so each
+        unit costs about ``total cost / (workers x
+        _ADAPTIVE_UNITS_PER_WORKER)`` seconds: cheap tasks get wide
+        shards, expensive ones narrow shards, and the pool drains units
+        of comparable wall time.  Only scheduling changes — the merged
+        outcome is bit-identical to any fixed shard size.
+        """
+        costs = []
+        for task in tasks:
+            engine = warm_engine(task.network, task.config, task.backend,
+                                 task.calibration)
+            probe = task.images[:min(self.probe_images, task.num_images)]
+            start_time = time.perf_counter()
+            engine.run_batch(probe)
+            elapsed = time.perf_counter() - start_time
+            # Guard against timer quantization on very fast probes.
+            costs.append(max(elapsed / len(probe), 1e-9))
+        total_cost = sum(cost * task.num_images
+                         for cost, task in zip(costs, tasks))
+        target = total_cost / (self.workers * _ADAPTIVE_UNITS_PER_WORKER)
+        sizes = []
+        for cost, task in zip(costs, tasks):
+            size = int(target / cost) if cost else task.num_images
+            sizes.append(max(1, min(size, task.num_images,
+                                    4 * self.shard_size)))
+        return sizes
 
     # ------------------------------------------------------------------
     # Execution strategies

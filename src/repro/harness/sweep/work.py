@@ -169,21 +169,32 @@ class TaskOutcome:
         )
 
 
-def shard_tasks(tasks, shard_size: int) -> list[WorkUnit]:
-    """Slice every task's image range into ``shard_size`` work units.
+def shard_tasks(tasks, shard_size) -> list[WorkUnit]:
+    """Slice every task's image range into work units.
 
-    Units are emitted task-major in ascending image order; the merge
-    re-sorts by ``(task_index, start)`` anyway, so scheduling order never
-    affects results.
+    ``shard_size`` is one images-per-unit count applied to every task, or
+    a sequence of per-task counts (the adaptive driver sizes shards from
+    measured per-image cost, so heterogeneous tasks get different
+    sizes).  Units are emitted task-major in ascending image order; the
+    merge re-sorts by ``(task_index, start)`` anyway, so neither
+    scheduling order nor the shard sizes affect results.
     """
-    if shard_size < 1:
+    tasks = list(tasks)
+    if isinstance(shard_size, int):
+        sizes = [shard_size] * len(tasks)
+    else:
+        sizes = [int(s) for s in shard_size]
+        if len(sizes) != len(tasks):
+            raise ConfigurationError(
+                f"{len(tasks)} tasks but {len(sizes)} shard sizes")
+    if any(size < 1 for size in sizes):
         raise ConfigurationError(
-            f"shard_size must be >= 1, got {shard_size}")
+            f"shard_size must be >= 1, got {sizes}")
     units: list[WorkUnit] = []
-    for task_index, task in enumerate(tasks):
+    for task_index, (task, size) in enumerate(zip(tasks, sizes)):
         for shard_index, start in enumerate(
-                range(0, task.num_images, shard_size)):
-            stop = min(start + shard_size, task.num_images)
+                range(0, task.num_images, size)):
+            stop = min(start + size, task.num_images)
             units.append(WorkUnit(
                 task_index=task_index, task_key=task.key,
                 shard_index=shard_index, start=start, stop=stop))

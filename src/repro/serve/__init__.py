@@ -1,0 +1,57 @@
+"""Async inference serving over the functional accelerator model.
+
+The "millions of users" axis: an asyncio front-end that coalesces
+concurrent single-image requests into micro-batches for the vectorized
+engine, with pluggable flush policies (throughput-greedy or latency-SLO
+deadline), a pool of warm engines, bounded-queue backpressure, full
+latency/throughput metrics and per-request hardware (cycle/energy)
+accounting.  In-process API first; a thin JSON-over-TCP transport and an
+open-loop load generator ride on top.
+
+Quick tour::
+
+    server = InferenceServer(snn.network, policy="deadline",
+                             max_batch=32, slo_ms=20.0)
+    async with server:
+        results = await server.submit_many(images)
+        print(server.snapshot().latency_ms["p99"])
+
+Batching never changes results: every request's prediction and trace
+accounting is bit-identical to a serial ``Accelerator.run`` of the same
+image (``tests/test_serve.py``; ``benchmarks/bench_serve.py`` asserts it
+at runtime under load).
+"""
+
+from repro.serve.batcher import (
+    Batcher,
+    BatchPolicy,
+    DeadlinePolicy,
+    GreedyPolicy,
+    available_policies,
+    create_policy,
+    register_policy,
+)
+from repro.serve.client import LoadGenerator, LoadReport
+from repro.serve.metrics import MetricsSnapshot, ServerMetrics
+from repro.serve.pool import EnginePool
+from repro.serve.server import InferenceResult, InferenceServer
+from repro.serve.transport import TcpClient, start_tcp_server
+
+__all__ = [
+    "Batcher",
+    "BatchPolicy",
+    "DeadlinePolicy",
+    "EnginePool",
+    "GreedyPolicy",
+    "InferenceResult",
+    "InferenceServer",
+    "LoadGenerator",
+    "LoadReport",
+    "MetricsSnapshot",
+    "ServerMetrics",
+    "TcpClient",
+    "available_policies",
+    "create_policy",
+    "register_policy",
+    "start_tcp_server",
+]

@@ -1,0 +1,203 @@
+"""Request coalescing: micro-batch formation under pluggable policies.
+
+The server funnels every accepted request through one bounded
+``asyncio.Queue``; a :class:`Batcher` drains that queue into micro-batches
+and a :class:`BatchPolicy` decides *when to stop waiting for more*:
+
+* ``greedy`` — flush at ``max_batch`` requests or once the oldest request
+  has waited ``max_wait_ms``, whichever comes first.  Maximizes batch
+  size (throughput) subject to a fixed waiting cap.
+* ``deadline`` — SLO-driven: every request carries an implicit deadline
+  ``arrival + slo_ms``; the policy tracks an EWMA of engine service time
+  and flushes early enough that waiting + execution still lands inside
+  the SLO (minus a safety margin).  Under light load it behaves like a
+  small ``max_wait``; under heavy load it grows batches only as far as
+  the p99 target allows.
+
+Policies register by name (the same idiom as execution engines), so new
+disciplines — priority-aware, cost-model-driven — drop in without
+touching the server.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+import time
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BatchPolicy",
+    "Batcher",
+    "DeadlinePolicy",
+    "GreedyPolicy",
+    "available_policies",
+    "create_policy",
+    "register_policy",
+]
+
+
+class BatchPolicy(abc.ABC):
+    """Decides how long a forming micro-batch may keep waiting.
+
+    All built-in policies share one constructor signature so the server
+    can build any of them from its own knobs; each uses the subset it
+    cares about.
+    """
+
+    #: Registry name of the policy (subclasses override).
+    name: str = "abstract"
+
+    def __init__(self, max_batch: int = 32, max_wait_ms: float = 2.0,
+                 slo_ms: float = 50.0) -> None:
+        if max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ConfigurationError(
+                f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if slo_ms <= 0:
+            raise ConfigurationError(
+                f"slo_ms must be > 0, got {slo_ms}")
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.slo_ms = slo_ms
+
+    @abc.abstractmethod
+    def flush_deadline(self, oldest_enqueued_at: float) -> float:
+        """Absolute ``perf_counter`` time by which the batch must flush.
+
+        ``oldest_enqueued_at`` is the enqueue time of the batch's first
+        (oldest) request; a deadline at or before *now* means "flush
+        immediately with what you have".
+        """
+
+    def observe(self, batch_size: int, service_s: float) -> None:
+        """Feedback after a batch executed (adaptive policies override)."""
+
+
+_POLICIES: dict[str, type[BatchPolicy]] = {}
+
+
+def register_policy(cls: type[BatchPolicy]) -> type[BatchPolicy]:
+    """Class decorator: make a policy selectable by its ``name``."""
+    if not cls.name or cls.name == "abstract":
+        raise ConfigurationError(
+            f"policy {cls.__name__} must define a registry name")
+    _POLICIES[cls.name] = cls
+    return cls
+
+
+def available_policies() -> tuple[str, ...]:
+    """Names of all registered batching policies."""
+    return tuple(sorted(_POLICIES))
+
+
+def create_policy(policy: str | BatchPolicy, **kwargs) -> BatchPolicy:
+    """Resolve a policy name (or pass through an instance)."""
+    if isinstance(policy, BatchPolicy):
+        return policy
+    if isinstance(policy, str):
+        try:
+            return _POLICIES[policy](**kwargs)
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown batching policy {policy!r}; available: "
+                f"{', '.join(available_policies())}"
+            ) from None
+    raise ConfigurationError(
+        f"policy must be a name or a BatchPolicy, got {policy!r}")
+
+
+@register_policy
+class GreedyPolicy(BatchPolicy):
+    """Fill to ``max_batch``, but never delay a request past ``max_wait_ms``."""
+
+    name = "greedy"
+
+    def flush_deadline(self, oldest_enqueued_at: float) -> float:
+        return oldest_enqueued_at + self.max_wait_ms / 1e3
+
+
+@register_policy
+class DeadlinePolicy(BatchPolicy):
+    """Wait as long as the latency SLO allows, and no longer.
+
+    The flush deadline is ``oldest arrival + slo - expected service time
+    - safety margin``: the batch is released with enough headroom that
+    its oldest request still completes inside the SLO even if service
+    takes as long as the recent (EWMA-tracked) worst full batch.  The
+    margin (a fraction of the SLO) absorbs scheduler jitter — that is
+    what keeps the measured *p99*, not just the median, under the
+    target.
+    """
+
+    name = "deadline"
+
+    #: EWMA smoothing for observed service times.
+    alpha: float = 0.2
+    #: Fraction of the SLO reserved for jitter between flush and finish.
+    safety_fraction: float = 0.25
+
+    def __init__(self, max_batch: int = 32, max_wait_ms: float = 2.0,
+                 slo_ms: float = 50.0) -> None:
+        super().__init__(max_batch, max_wait_ms, slo_ms)
+        # Until the first observation, assume service eats half the SLO:
+        # conservative (small early batches), converges within a few
+        # batches.
+        self._service_ewma_s = self.slo_ms / 1e3 / 2
+
+    @property
+    def expected_service_s(self) -> float:
+        """Current service-time estimate for a full batch (seconds)."""
+        return self._service_ewma_s
+
+    def observe(self, batch_size: int, service_s: float) -> None:
+        # Scale the observation up to a full batch so partial batches
+        # don't talk the estimate down below what a max_batch flush
+        # actually costs.
+        per_image = service_s / max(batch_size, 1)
+        full_batch_s = service_s + per_image * (self.max_batch - batch_size)
+        self._service_ewma_s += self.alpha * (full_batch_s
+                                              - self._service_ewma_s)
+
+    def flush_deadline(self, oldest_enqueued_at: float) -> float:
+        slo_s = self.slo_ms / 1e3
+        headroom = slo_s * (1 - self.safety_fraction) - self._service_ewma_s
+        return oldest_enqueued_at + max(headroom, 0.0)
+
+
+class Batcher:
+    """Drains a request queue into policy-shaped micro-batches.
+
+    One ``await next_batch()`` blocks until at least one request exists,
+    then keeps absorbing arrivals until the batch is full or the
+    policy's flush deadline passes.  The batcher never reorders: batches
+    are contiguous slices of arrival order, which is what makes serving
+    results comparable to a serial run of the same request sequence.
+    """
+
+    def __init__(self, queue: asyncio.Queue, policy: BatchPolicy) -> None:
+        self.queue = queue
+        self.policy = policy
+
+    async def next_batch(self) -> list:
+        batch = [await self.queue.get()]
+        while len(batch) < self.policy.max_batch:
+            # Drain whatever is already queued without yielding.
+            try:
+                batch.append(self.queue.get_nowait())
+                continue
+            except asyncio.QueueEmpty:
+                pass
+            deadline = self.policy.flush_deadline(batch[0].enqueued_at)
+            timeout = deadline - time.perf_counter()
+            if timeout <= 0:
+                break
+            try:
+                batch.append(await asyncio.wait_for(self.queue.get(),
+                                                    timeout))
+            except asyncio.TimeoutError:
+                break
+        return batch

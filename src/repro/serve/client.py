@@ -1,0 +1,108 @@
+"""Load generation: open-loop arrivals against any async submit callable.
+
+:class:`LoadGenerator` replays a fixed image sequence at a configured
+offered rate (requests/second) with evenly spaced arrival times — the
+deterministic open-loop shape benchmarkers prefer, because arrivals do
+not slow down when the server does.  Each arrival becomes its own task,
+so slow responses pile up as concurrency (and, through the server's
+bounded queue, as backpressure) exactly like independent clients would.
+
+The ``submit`` callable is either ``InferenceServer.submit`` (in-process
+measurement, no transport noise) or ``TcpClient.infer`` (end-to-end over
+the wire); the generator only assumes ``await submit(image) -> result``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.serve.metrics import _percentiles
+
+__all__ = ["LoadGenerator", "LoadReport"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Client-side view of one load run (server metrics live elsewhere)."""
+
+    offered_rps: float
+    achieved_rps: float
+    num_requests: int
+    completed: int
+    failed: int
+    wall_s: float
+    client_latency_ms: dict[str, float]
+    results: list  # per-request results in submission order (None = failed)
+    errors: list   # exceptions, aligned with results
+
+    def to_dict(self) -> dict:
+        return {
+            "offered_rps": self.offered_rps,
+            "achieved_rps": self.achieved_rps,
+            "num_requests": self.num_requests,
+            "completed": self.completed,
+            "failed": self.failed,
+            "wall_s": self.wall_s,
+            "client_latency_ms": dict(self.client_latency_ms),
+        }
+
+
+class LoadGenerator:
+    """Replays images at a fixed offered rate and gathers the results."""
+
+    def __init__(self, submit, rate_rps: float) -> None:
+        if rate_rps <= 0:
+            raise ConfigurationError(
+                f"offered rate must be > 0 rps, got {rate_rps}")
+        self.submit = submit
+        self.rate_rps = rate_rps
+
+    async def _timed_submit(self, image):
+        started = time.perf_counter()
+        result = await self.submit(image)
+        return result, (time.perf_counter() - started) * 1e3
+
+    async def run(self, images) -> LoadReport:
+        """Offer every image at the configured rate; returns the report.
+
+        Requests that raise are recorded (``failed`` count plus the
+        exception in ``errors``) without aborting the run — a load test
+        should observe overload behaviour, not die of it.
+        """
+        interval = 1.0 / self.rate_rps
+        started = time.perf_counter()
+        tasks = []
+        for index, image in enumerate(images):
+            due = started + index * interval
+            delay = due - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(asyncio.create_task(self._timed_submit(image)))
+        settled = await asyncio.gather(*tasks, return_exceptions=True)
+        wall = time.perf_counter() - started
+
+        results, errors, latencies = [], [], []
+        for outcome in settled:
+            if isinstance(outcome, BaseException):
+                results.append(None)
+                errors.append(outcome)
+            else:
+                result, latency_ms = outcome
+                results.append(result)
+                errors.append(None)
+                latencies.append(latency_ms)
+        completed = len(latencies)
+        return LoadReport(
+            offered_rps=self.rate_rps,
+            achieved_rps=completed / wall if wall else 0.0,
+            num_requests=len(results),
+            completed=completed,
+            failed=len(results) - completed,
+            wall_s=wall,
+            client_latency_ms=_percentiles(latencies),
+            results=results,
+            errors=errors,
+        )

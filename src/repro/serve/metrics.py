@@ -1,0 +1,134 @@
+"""Serving metrics: throughput, queue depth, batch sizes, latency tails.
+
+:class:`ServerMetrics` is the live collector the server feeds after every
+completed request; :meth:`ServerMetrics.snapshot` freezes it into a
+:class:`MetricsSnapshot` — the JSON-serializable record the CLI prints,
+the benchmark persists to ``artifacts/bench_serve.json`` and the load
+generator asserts SLOs against.
+
+Latencies are kept exactly (one float per request) over a bounded
+sliding window (``window`` most recent requests, default 100k): within
+the window p99 is a real order statistic, not a sketch estimate — and
+the window keeps the long-running ``repro serve`` daemon's memory flat
+instead of growing a list per request forever.  Benchmarks and tests
+complete fewer requests than the default window, so for them the
+percentiles are exact over the whole run.  ``completed``/``rejected``
+and the batch histogram are lifetime totals regardless.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MetricsSnapshot", "ServerMetrics"]
+
+
+def _percentiles(samples) -> dict[str, float]:
+    """p50/p95/p99 plus mean and max of a latency series, in ms."""
+    if not samples:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0,
+                "max": 0.0}
+    array = np.asarray(samples, dtype=np.float64)
+    p50, p95, p99 = np.percentile(array, (50.0, 95.0, 99.0))
+    return {"p50": float(p50), "p95": float(p95), "p99": float(p99),
+            "mean": float(array.mean()), "max": float(array.max())}
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """One frozen reading of a server's counters and distributions.
+
+    ``latency_ms`` is end-to-end (enqueue → result), ``queue_wait_ms``
+    the coalescing delay before the batch started executing, and
+    ``service_ms`` the engine execution time of the request's batch.
+    """
+
+    completed: int
+    rejected: int
+    queue_depth: int
+    elapsed_s: float
+    throughput_rps: float
+    batch_size_histogram: dict[int, int]
+    mean_batch_size: float
+    latency_ms: dict[str, float]
+    queue_wait_ms: dict[str, float]
+    service_ms: dict[str, float]
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (histogram keys become strings)."""
+        return {
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "queue_depth": self.queue_depth,
+            "elapsed_s": self.elapsed_s,
+            "throughput_rps": self.throughput_rps,
+            "batch_size_histogram": {str(k): v for k, v in
+                                     sorted(self.batch_size_histogram
+                                            .items())},
+            "mean_batch_size": self.mean_batch_size,
+            "latency_ms": dict(self.latency_ms),
+            "queue_wait_ms": dict(self.queue_wait_ms),
+            "service_ms": dict(self.service_ms),
+        }
+
+
+class ServerMetrics:
+    """Accumulates per-request observations; cheap to feed, exact to read
+    (percentiles over the most recent ``window`` requests)."""
+
+    def __init__(self, window: int = 100_000) -> None:
+        self.window = window
+        self.started_at = time.perf_counter()
+        self.completed = 0
+        self.rejected = 0
+        self._latency_ms: deque = deque(maxlen=window)
+        self._queue_wait_ms: deque = deque(maxlen=window)
+        self._service_ms: deque = deque(maxlen=window)
+        self._batch_sizes: dict[int, int] = {}
+
+    def record(self, latency_ms: float, queue_wait_ms: float,
+               service_ms: float, batch_size: int) -> None:
+        """One completed request (called once per request, not per batch)."""
+        self.completed += 1
+        self._latency_ms.append(latency_ms)
+        self._queue_wait_ms.append(queue_wait_ms)
+        self._service_ms.append(service_ms)
+        self._batch_sizes[batch_size] = \
+            self._batch_sizes.get(batch_size, 0) + 1
+
+    def record_rejected(self) -> None:
+        """A submit bounced off the bounded queue (backpressure)."""
+        self.rejected += 1
+
+    def reset(self) -> None:
+        """Restart the measurement window (load-phase boundaries)."""
+        self.started_at = time.perf_counter()
+        self.completed = 0
+        self.rejected = 0
+        self._latency_ms.clear()
+        self._queue_wait_ms.clear()
+        self._service_ms.clear()
+        self._batch_sizes.clear()
+
+    def snapshot(self, queue_depth: int = 0) -> MetricsSnapshot:
+        """Freeze the current counters into a :class:`MetricsSnapshot`."""
+        elapsed = time.perf_counter() - self.started_at
+        mean_batch = (
+            sum(size * count for size, count in self._batch_sizes.items())
+            / self.completed if self.completed else 0.0)
+        return MetricsSnapshot(
+            completed=self.completed,
+            rejected=self.rejected,
+            queue_depth=queue_depth,
+            elapsed_s=elapsed,
+            throughput_rps=self.completed / elapsed if elapsed else 0.0,
+            batch_size_histogram=dict(self._batch_sizes),
+            mean_batch_size=mean_batch,
+            latency_ms=_percentiles(self._latency_ms),
+            queue_wait_ms=_percentiles(self._queue_wait_ms),
+            service_ms=_percentiles(self._service_ms),
+        )

@@ -1,0 +1,143 @@
+"""Warm execution-engine pools: batches run off the event loop.
+
+The server's asyncio loop must never block on a GEMM, so batch execution
+is pushed onto an executor holding ``size`` *warm* engines — compiled
+once up front (via the :func:`~repro.core.engine.warm_compile` cache),
+never recompiled per batch.  Two modes:
+
+* ``thread`` (default) — ``size`` engine instances over one shared
+  compiled model, executed on a thread pool.  numpy releases the GIL
+  inside its kernels, so threads overlap real work; engines are
+  stateless per ``run_batch`` call, which is what makes this safe.
+* ``process`` — the PR-2 sweep-worker recipe turned into a serving
+  executor: ``size`` forked worker processes, each holding one warm
+  engine built by its initializer, with batches shipped over pickled
+  numpy arrays.  Sidesteps the GIL entirely at the cost of IPC per
+  batch; worth it for big batches on multi-core hosts.
+
+A counting token queue caps in-flight batches at ``size`` in both modes,
+so backpressure propagates to the batcher instead of piling futures into
+the executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
+from repro.core.config import AcceleratorConfig
+from repro.core.engine import create_engine, resolve_backend, warm_compile
+from repro.core.engine.trace import ExecutionTrace
+from repro.errors import ConfigurationError, ServeError
+
+__all__ = ["EnginePool"]
+
+
+# ----------------------------------------------------------------------
+# Process-mode worker side (module-level for picklability; the same
+# initializer-plus-global pattern the sweep driver's workers use).
+# ----------------------------------------------------------------------
+_WORKER_ENGINE = None
+
+
+def _init_pool_worker(network, config, backend_name, calibration) -> None:
+    """Build this worker's warm engine once, at pool start-up."""
+    global _WORKER_ENGINE
+    compiled = warm_compile(network, config)
+    _WORKER_ENGINE = create_engine(backend_name, compiled, calibration)
+
+
+def _pool_worker_run(images: np.ndarray):
+    return _WORKER_ENGINE.run_batch(images)
+
+
+class EnginePool:
+    """``size`` warm engines behind an async ``run_batch``."""
+
+    def __init__(
+        self,
+        network,
+        config: AcceleratorConfig,
+        backend: str = "vectorized",
+        calibration: LatencyCalibration = DEFAULT_LATENCY,
+        size: int = 1,
+        mode: str = "thread",
+    ) -> None:
+        if size < 1:
+            raise ConfigurationError(f"pool size must be >= 1, got {size}")
+        if mode not in ("thread", "process"):
+            raise ConfigurationError(
+                f"pool mode must be 'thread' or 'process', got {mode!r}")
+        self.network = network
+        self.config = config
+        self.backend = resolve_backend(backend).name
+        self.calibration = calibration
+        self.size = size
+        self.mode = mode
+        self._executor = None
+        self._engines = []
+        self._tokens: asyncio.Queue | None = None
+
+    @property
+    def started(self) -> bool:
+        return self._executor is not None
+
+    def start(self) -> None:
+        """Compile (warm) and spin up the executor; idempotent-checked."""
+        if self.started:
+            raise ServeError("engine pool already started")
+        # Warm the parent-process cache first: thread mode shares this
+        # compiled model across all engines; process mode forks after
+        # it, so children inherit the compiled pages copy-on-write and
+        # their initializers hit the warm cache instead of recompiling.
+        compiled = warm_compile(self.network, self.config)
+        if self.mode == "thread":
+            self._engines = [
+                create_engine(self.backend, compiled, self.calibration)
+                for _ in range(self.size)
+            ]
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.size,
+                thread_name_prefix="repro-serve-engine")
+        else:
+            methods = mp.get_all_start_methods()
+            context = mp.get_context(
+                "fork" if "fork" in methods else None)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.size, mp_context=context,
+                initializer=_init_pool_worker,
+                initargs=(self.network, self.config, self.backend,
+                          self.calibration))
+        self._tokens = asyncio.Queue()
+        for index in range(self.size):
+            self._tokens.put_nowait(index)
+
+    async def run_batch(
+        self, images: np.ndarray
+    ) -> tuple[np.ndarray, list[ExecutionTrace]]:
+        """Execute one micro-batch on the next free warm engine."""
+        if not self.started:
+            raise ServeError("engine pool is not started")
+        token = await self._tokens.get()
+        try:
+            loop = asyncio.get_running_loop()
+            if self.mode == "thread":
+                engine = self._engines[token]
+                return await loop.run_in_executor(
+                    self._executor, engine.run_batch, images)
+            return await loop.run_in_executor(
+                self._executor, _pool_worker_run, images)
+        finally:
+            self._tokens.put_nowait(token)
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
+            self._engines = []
+            self._tokens = None

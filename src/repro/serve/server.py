@@ -1,0 +1,358 @@
+"""The asyncio inference server: coalesce, execute, account, respond.
+
+:class:`InferenceServer` accepts single-image requests (``submit`` /
+``submit_many``), parks them in a bounded queue (backpressure), lets a
+:class:`~repro.serve.batcher.Batcher` coalesce them into micro-batches
+under the configured policy, executes each batch on a pool of warm
+engines (:class:`~repro.serve.pool.EnginePool`), and resolves every
+request's future with an :class:`InferenceResult` — the prediction plus
+the per-request slice of the batch's hardware accounting.
+
+Determinism contract: batching is a pure re-grouping.  The engines
+return one :class:`~repro.core.engine.trace.ExecutionTrace` per image
+whatever the batch shape, so a request's prediction, cycle count and
+energy are identical whether it ran alone or inside a 64-deep
+micro-batch (``tests/test_serve.py`` pins this, and the load generator
+asserts predictions against direct ``Accelerator.run_logits`` output at
+runtime).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
+from repro.core.config import AcceleratorConfig
+from repro.core.energy import trace_energy
+from repro.core.engine.trace import TraceMerge
+from repro.errors import BackpressureError, ServeError, ShapeError
+from repro.serve.batcher import Batcher, BatchPolicy, create_policy
+from repro.serve.metrics import MetricsSnapshot, ServerMetrics
+from repro.serve.pool import EnginePool
+
+__all__ = ["InferenceResult", "InferenceServer"]
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """One request's prediction plus its hardware and serving accounting.
+
+    ``trace`` is the request's own single-image
+    :class:`~repro.core.engine.trace.TraceMerge` — sliced out of the
+    micro-batch it rode in, so summing the traces of N requests equals
+    the merged trace of one N-image batch run exactly.
+    """
+
+    request_id: int
+    prediction: int
+    logits: np.ndarray
+    trace: TraceMerge
+    cycles: int
+    energy_pj: float
+    model_latency_us: float
+    queue_wait_ms: float
+    service_ms: float
+    latency_ms: float
+    batch_size: int
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (logits and trace collapse to scalars)."""
+        return {
+            "request_id": self.request_id,
+            "prediction": self.prediction,
+            "logits": [int(v) for v in self.logits],
+            "cycles": self.cycles,
+            "energy_pj": self.energy_pj,
+            "model_latency_us": self.model_latency_us,
+            "queue_wait_ms": self.queue_wait_ms,
+            "service_ms": self.service_ms,
+            "latency_ms": self.latency_ms,
+            "batch_size": self.batch_size,
+        }
+
+
+@dataclass
+class _Request:
+    """Internal queue entry: the image plus its completion future."""
+
+    request_id: int
+    image: np.ndarray
+    future: asyncio.Future
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class InferenceServer:
+    """Async micro-batching front-end over the functional hardware model.
+
+    Parameters
+    ----------
+    network:
+        A :class:`~repro.snn.spec.QuantizedNetwork` (or an object with a
+        ``.network`` attribute, e.g. :class:`~repro.snn.model.SNNModel`).
+    config:
+        Accelerator configuration; defaults to
+        ``AcceleratorConfig.for_network(network)``.
+    policy:
+        Batching policy name (``greedy`` | ``deadline``) or a
+        :class:`~repro.serve.batcher.BatchPolicy` instance.
+    max_batch / max_wait_ms / slo_ms:
+        Policy knobs (each policy uses the subset it cares about).
+    queue_depth:
+        Bounded-queue capacity; ``submit(wait=True)`` blocks when full,
+        ``submit(wait=False)`` raises :class:`BackpressureError`.
+    engines / mode:
+        Warm-engine pool size and executor kind (``thread`` |
+        ``process``); see :class:`~repro.serve.pool.EnginePool`.
+    """
+
+    def __init__(
+        self,
+        network,
+        config: AcceleratorConfig | None = None,
+        backend: str = "vectorized",
+        calibration: LatencyCalibration = DEFAULT_LATENCY,
+        policy: str | BatchPolicy = "greedy",
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        slo_ms: float = 50.0,
+        queue_depth: int = 1024,
+        engines: int = 1,
+        mode: str = "thread",
+    ) -> None:
+        network = getattr(network, "network", network)
+        self.network = network
+        self.config = config or AcceleratorConfig.for_network(network)
+        self.policy = create_policy(policy, max_batch=max_batch,
+                                    max_wait_ms=max_wait_ms, slo_ms=slo_ms)
+        self.queue_depth = queue_depth
+        self.pool = EnginePool(network, self.config, backend=backend,
+                               calibration=calibration, size=engines,
+                               mode=mode)
+        self.metrics = ServerMetrics()
+        self._queue: asyncio.Queue | None = None
+        self._batcher: Batcher | None = None
+        self._loop_task: asyncio.Task | None = None
+        self._dispatch_tasks: set[asyncio.Task] = set()
+        self._open_requests = 0
+        self._idle: asyncio.Event | None = None
+        self._next_id = 0
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._loop_task is not None and not self._loop_task.done()
+
+    async def start(self) -> "InferenceServer":
+        """Warm the engine pool and begin serving; returns self."""
+        if self.running:
+            raise ServeError("server already running")
+        self._queue = asyncio.Queue(maxsize=self.queue_depth)
+        self._batcher = Batcher(self._queue, self.policy)
+        self._dispatch_slots = asyncio.Semaphore(self.pool.size)
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._open_requests = 0
+        self.pool.start()
+        self.metrics.reset()
+        self._closed = False
+        self._loop_task = asyncio.create_task(self._serve_loop(),
+                                              name="repro-serve-loop")
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop serving; with ``drain`` (default) finish queued work first."""
+        if self._loop_task is None:
+            return
+        self._closed = True  # refuse new submits immediately
+        if drain:
+            await self._idle.wait()
+        self._loop_task.cancel()
+        try:
+            await self._loop_task
+        except asyncio.CancelledError:
+            pass
+        self._loop_task = None
+        for task in list(self._dispatch_tasks):
+            task.cancel()
+        if self._dispatch_tasks:
+            await asyncio.gather(*self._dispatch_tasks,
+                                 return_exceptions=True)
+        self._dispatch_tasks.clear()
+        # Fail anything still queued — including requests whose
+        # submitters were parked on a full queue: each drained slot
+        # wakes a parked put(), whose request lands on a later pass of
+        # this loop.  Only reachable with drain=False (a drain already
+        # waited the open count down to zero).
+        while self._open_requests > 0:
+            while not self._queue.empty():
+                request = self._queue.get_nowait()
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServeError("server stopped before request ran"))
+                self._request_done()
+            await asyncio.sleep(0)  # let woken putters deposit
+        self.pool.shutdown()
+
+    async def __aenter__(self) -> "InferenceServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def _check_image(self, image: np.ndarray) -> np.ndarray:
+        image = np.asarray(image, dtype=np.float64)
+        expected = self.network.input_shape
+        if image.shape != expected:
+            raise ShapeError(
+                f"expected one image shaped {expected}, got {image.shape}"
+                " (submit() takes single images; batching is the"
+                " server's job)")
+        return image
+
+    async def submit(self, image: np.ndarray,
+                     wait: bool = True) -> InferenceResult:
+        """Infer one ``(C, H, W)`` image; resolves when its batch ran.
+
+        ``wait=True`` applies backpressure by awaiting queue space;
+        ``wait=False`` raises :class:`BackpressureError` when the queue
+        is full (and counts the rejection in the metrics).
+        """
+        if self._closed:
+            raise ServeError("server is not running (call start())")
+        image = self._check_image(image)
+        loop = asyncio.get_running_loop()
+        request = _Request(request_id=self._next_id, image=image,
+                           future=loop.create_future())
+        self._next_id += 1
+        self._request_opened()
+        try:
+            if wait:
+                await self._queue.put(request)
+            else:
+                try:
+                    self._queue.put_nowait(request)
+                except asyncio.QueueFull:
+                    self.metrics.record_rejected()
+                    raise BackpressureError(
+                        f"request queue full ({self.queue_depth} deep); "
+                        "retry, or submit(wait=True) for backpressure"
+                    ) from None
+        except BaseException:
+            self._request_done()
+            raise
+        return await request.future
+
+    async def submit_many(self, images: np.ndarray,
+                          wait: bool = True) -> list[InferenceResult]:
+        """Submit a pre-formed group of images; order-preserving.
+
+        All submissions settle before this returns; if any failed (e.g.
+        ``wait=False`` backpressure rejections), the first error is
+        raised *after* the siblings finished — nothing keeps running in
+        the background and no result is silently dropped mid-flight.
+        """
+        settled = await asyncio.gather(
+            *(self.submit(image, wait=wait) for image in images),
+            return_exceptions=True)
+        for outcome in settled:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return list(settled)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Metrics snapshot including the live queue depth."""
+        depth = self._queue.qsize() if self._queue is not None else 0
+        return self.metrics.snapshot(queue_depth=depth)
+
+    # ------------------------------------------------------------------
+    # Serving internals
+    # ------------------------------------------------------------------
+    def _request_opened(self) -> None:
+        self._open_requests += 1
+        self._idle.clear()
+
+    def _request_done(self) -> None:
+        self._open_requests -= 1
+        if self._open_requests <= 0:
+            self._idle.set()
+
+    async def _serve_loop(self) -> None:
+        # In-flight batches are capped at the engine-pool size *before*
+        # the next batch forms: while every engine is busy, requests
+        # stay in the bounded queue (where submit() feels the
+        # backpressure) instead of draining into parked dispatch tasks.
+        # The queue keeps filling during execution, so the next
+        # next_batch() still coalesces everything that arrived.
+        while True:
+            await self._dispatch_slots.acquire()
+            try:
+                batch = await self._batcher.next_batch()
+            except BaseException:
+                self._dispatch_slots.release()
+                raise
+            task = asyncio.create_task(self._execute(batch))
+            self._dispatch_tasks.add(task)
+            task.add_done_callback(self._finish_dispatch)
+
+    def _finish_dispatch(self, task: asyncio.Task) -> None:
+        self._dispatch_tasks.discard(task)
+        self._dispatch_slots.release()
+
+    async def _execute(self, batch: list[_Request]) -> None:
+        images = np.stack([request.image for request in batch])
+        started = time.perf_counter()
+        try:
+            logits, traces = await self.pool.run_batch(images)
+        except BaseException as error:
+            # Fail the whole batch but keep serving — and on
+            # cancellation (stop(drain=False) tears down in-flight
+            # dispatches) still resolve every future so concurrent
+            # submit() callers unblock instead of hanging forever.
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServeError(f"batch execution failed: {error!r}"))
+                self._request_done()
+            if isinstance(error, asyncio.CancelledError):
+                raise
+            return
+        finished = time.perf_counter()
+        service_ms = (finished - started) * 1e3
+        self.policy.observe(len(batch), finished - started)
+        weight_bits = self.network.weight_bits
+        for i, request in enumerate(batch):
+            trace = TraceMerge.from_traces([traces[i]])
+            cycles = trace.total_cycles
+            queue_wait_ms = (started - request.enqueued_at) * 1e3
+            latency_ms = (finished - request.enqueued_at) * 1e3
+            result = InferenceResult(
+                request_id=request.request_id,
+                prediction=int(logits[i].argmax()),
+                logits=logits[i],
+                trace=trace,
+                cycles=cycles,
+                energy_pj=trace_energy(trace,
+                                       weight_bits=weight_bits).total_pj,
+                model_latency_us=cycles * self.config.cycle_time_us,
+                queue_wait_ms=queue_wait_ms,
+                service_ms=service_ms,
+                latency_ms=latency_ms,
+                batch_size=len(batch),
+            )
+            self.metrics.record(latency_ms=latency_ms,
+                                queue_wait_ms=queue_wait_ms,
+                                service_ms=service_ms,
+                                batch_size=len(batch))
+            if not request.future.done():
+                request.future.set_result(result)
+            self._request_done()

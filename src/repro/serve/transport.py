@@ -1,0 +1,215 @@
+"""TCP front-end: newline-delimited JSON over asyncio streams.
+
+One request per line.  An inference request carries the image (nested
+lists, the network's ``(C, H, W)`` shape); control requests carry an
+``op`` field::
+
+    {"id": 7, "image": [[[0.1, ...]]]}      -> inference
+    {"op": "metrics"}                        -> server metrics snapshot
+    {"op": "ping"}                           -> liveness probe
+
+Responses echo the client's ``id`` so clients may pipeline: every
+connection handles its requests concurrently (each becomes a
+``submit()`` into the shared :class:`~repro.serve.server.InferenceServer`,
+so requests from many connections coalesce into the same micro-batches).
+Errors come back as ``{"id": ..., "error": "..."}`` instead of tearing
+the connection down.
+
+This transport is deliberately minimal — a measurement and demo surface,
+not a hardened RPC layer; the in-process API is the primary interface.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.errors import ReproError, ServeError
+from repro.serve.server import InferenceServer
+
+__all__ = ["TcpClient", "start_tcp_server"]
+
+
+def _encode(payload: dict) -> bytes:
+    return (json.dumps(payload) + "\n").encode()
+
+
+async def _handle_connection(server: InferenceServer,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+    write_lock = asyncio.Lock()
+    pending: set[asyncio.Task] = set()
+
+    async def respond(payload: dict) -> None:
+        async with write_lock:
+            writer.write(_encode(payload))
+            await writer.drain()
+
+    async def serve_one(message: dict) -> None:
+        request_id = message.get("id")
+        try:
+            if message.get("op") == "ping":
+                await respond({"id": request_id, "ok": True})
+                return
+            if message.get("op") == "metrics":
+                await respond({"id": request_id,
+                               "metrics": server.snapshot().to_dict()})
+                return
+            if "image" not in message:
+                raise ServeError(
+                    "request needs an 'image' field or a known 'op'")
+            image = np.asarray(message["image"], dtype=np.float64)
+            result = await server.submit(image)
+            payload = result.to_dict()
+            payload["id"] = request_id
+            await respond(payload)
+        except (ReproError, ValueError, TypeError) as error:
+            # TypeError covers unconvertible 'image' payloads (null,
+            # objects): every failure must answer, or a pipelining
+            # client waits on this id forever.
+            await respond({"id": request_id, "error": str(error)})
+
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                message = json.loads(line)
+            except json.JSONDecodeError as error:
+                await respond({"id": None,
+                               "error": f"bad JSON: {error}"})
+                continue
+            if not isinstance(message, dict):
+                await respond({"id": None,
+                               "error": "request must be a JSON object"})
+                continue
+            task = asyncio.create_task(serve_one(message))
+            pending.add(task)
+            task.add_done_callback(pending.discard)
+    finally:
+        for task in pending:
+            task.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def start_tcp_server(
+    server: InferenceServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> tuple[asyncio.AbstractServer, int]:
+    """Expose a running :class:`InferenceServer` over TCP.
+
+    ``port=0`` binds an ephemeral port; the bound port is returned so
+    callers (and tests) can hand it to clients.
+    """
+    if not server.running:
+        raise ServeError("start the InferenceServer before the transport")
+    tcp = await asyncio.start_server(
+        lambda r, w: _handle_connection(server, r, w), host, port)
+    bound_port = tcp.sockets[0].getsockname()[1]
+    return tcp, bound_port
+
+
+class TcpClient:
+    """Pipelining JSON-lines client for :func:`start_tcp_server`.
+
+    ``infer`` may be called concurrently from many tasks: requests are
+    matched to responses by id, so in-flight requests overlap — which is
+    exactly what lets a single client drive the server's coalescing.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._write_lock = asyncio.Lock()
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+
+    async def connect(self) -> "TcpClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        self._reader_task = asyncio.create_task(self._read_loop())
+        return self
+
+    async def __aenter__(self) -> "TcpClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                payload = json.loads(line)
+                future = self._pending.pop(payload.get("id"), None)
+                if future is not None and not future.done():
+                    if "error" in payload:
+                        future.set_exception(ServeError(payload["error"]))
+                    else:
+                        future.set_result(payload)
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ServeError("connection closed mid-request"))
+            self._pending.clear()
+
+    async def _request(self, payload: dict) -> dict:
+        if self._writer is None:
+            raise ServeError("client is not connected")
+        request_id = self._next_id
+        self._next_id += 1
+        payload = dict(payload, id=request_id)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        # Register before checking liveness: either the read loop is
+        # already done (we fail fast here) or its exit path will fail
+        # this pending future — no window where a request can hang on a
+        # dead connection.
+        if self._reader_task is None or self._reader_task.done():
+            self._pending.pop(request_id, None)
+            raise ServeError("connection closed")
+        async with self._write_lock:
+            self._writer.write(_encode(payload))
+            await self._writer.drain()
+        return await future
+
+    async def infer(self, image: np.ndarray) -> dict:
+        """One inference round-trip; returns the response payload."""
+        return await self._request(
+            {"image": np.asarray(image, dtype=np.float64).tolist()})
+
+    async def metrics(self) -> dict:
+        return (await self._request({"op": "metrics"}))["metrics"]
+
+    async def ping(self) -> bool:
+        return bool((await self._request({"op": "ping"})).get("ok"))
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None

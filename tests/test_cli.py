@@ -103,3 +103,34 @@ class TestCliDispatch:
     def test_unknown_backend_rejected(self):
         with pytest.raises(SystemExit):
             cli.main(["figures", "--backend", "warp-drive"])
+
+
+class TestCliServing:
+    def test_loadgen_in_process(self, tiny_runner, capsys):
+        """Serve smoke: N requests in-process, predictions verified."""
+        assert cli.main(["loadgen", "--requests", "24", "--rate", "300",
+                         "--max-batch", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving report" in out
+        assert "all 24 served predictions match" in out
+        assert tiny_runner.store.has_result("serve_loadgen_greedy")
+        payload = tiny_runner.store.load_result("serve_loadgen_greedy")
+        assert payload["snapshot"]["completed"] == 24
+        assert payload["load"]["offered_rps"] == 300.0
+
+    def test_loadgen_deadline_policy(self, tiny_runner, capsys):
+        assert cli.main(["loadgen", "--requests", "16", "--rate", "200",
+                         "--policy", "deadline", "--slo-ms", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "slo_ms=500" in out
+        assert tiny_runner.store.has_result("serve_loadgen_deadline")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["loadgen", "--policy", "fifo-ish"])
+
+    def test_bad_serving_knobs_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["loadgen", "--max-batch", "0"])
+        with pytest.raises(SystemExit):
+            cli.main(["serve", "--engines", "-1"])
