@@ -1,0 +1,247 @@
+"""Runtime fabric benchmark — work stealing and remote equivalence.
+
+Two acceptance bars for the ``repro.runtime`` worker fabric:
+
+* **Work stealing** — a deliberately skewed static assignment (all the
+  heavy shards pinned to one lane, the light ones to the other) must run
+  ≥ 1.3x faster with stealing enabled, on machines with ≥ 2 cores.  On
+  smaller boxes the numbers are still measured and recorded with the
+  core count in the payload, and the merged results are asserted
+  bit-identical either way — stealing only ever changes scheduling.
+* **Remote workers** — a sweep fanned out over two local TCP engine
+  workers (the ``repro worker --listen`` protocol, in-process here) must
+  merge bit-exactly to the single-process run, and a served request
+  through a remote-lane engine pool must predict exactly what a direct
+  ``run_batch`` predicts.  These are hard gates on every machine.
+
+Results land in ``artifacts/bench_runtime.json`` so the fabric's
+trajectory is tracked across PRs alongside the batching
+(``bench_backends.json``), sharding (``bench_sweep.json``) and serving
+(``bench_serve.json``) axes.
+"""
+
+import json
+import os
+
+# Pin BLAS to one thread per process *before* numpy initializes: the
+# stealing claim is about lane parallelism, not an OpenBLAS thread-pool
+# lottery.  Under pytest numpy is already loaded; ci.yml sets the same.
+for _var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS",
+             "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import asyncio
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import AcceleratorConfig
+from repro.harness import SweepDriver, SweepTask, Table
+from repro.models import performance_network
+from repro.runtime import (
+    Deployment,
+    WorkItem,
+    WorkerGroup,
+    WorkerServer,
+    create_workers,
+)
+from repro.serve import InferenceServer
+
+from benchmarks.conftest import print_table
+
+RESULTS_PATH = (Path(__file__).resolve().parent.parent
+                / "artifacts" / "bench_runtime.json")
+FAST = bool(os.environ.get("REPRO_FAST"))
+HEAVY_ITEMS = 8 if FAST else 12
+HEAVY_BATCH = 96 if FAST else 128
+LIGHT_ITEMS = HEAVY_ITEMS
+STEAL_GATE = 1.3
+
+
+def _deployment(rng) -> Deployment:
+    network = performance_network(
+        [("conv", 8, 3, 1, 1), ("pool", 2), ("conv", 16, 3, 1, 1),
+         ("pool", 2), ("flatten",), ("linear", 10)],
+        input_shape=(1, 16, 16), num_steps=3,
+        seed=int(rng.integers(1 << 16)))
+    return Deployment(network=network,
+                      config=AcceleratorConfig.for_network(network))
+
+
+def _skewed_items(rng, deployment):
+    """Heavy shards for lane 0, token shards for lane 1: the worst-case
+    static assignment stealing exists to absorb."""
+    shape = deployment.network.input_shape
+    heavy = [WorkItem(i, 0, rng.random((HEAVY_BATCH,) + shape))
+             for i in range(HEAVY_ITEMS)]
+    light = [WorkItem(1000 + i, 0, rng.random((2,) + shape))
+             for i in range(LIGHT_ITEMS)]
+    return heavy + light, [0] * len(heavy) + [1] * len(light)
+
+
+def run_steal_comparison(rng) -> dict:
+    """Static-pinned vs stealing on the same skewed work list."""
+    deployment = _deployment(rng)
+    deployment.engine().run_batch(
+        rng.random((2,) + deployment.network.input_shape))  # warm compile
+    items, assignment = _skewed_items(rng, deployment)
+
+    walls, results, stolen_counts = {}, {}, {}
+    for steal in (False, True):
+        group = WorkerGroup(create_workers(["process", "process"]),
+                            deployments=[deployment], steal=steal)
+        with group:
+            group.run(items[:2])  # spin lanes up before timing
+            started = time.perf_counter()
+            results[steal] = group.run(items, assignment=assignment)
+            walls[steal] = time.perf_counter() - started
+            stolen_counts[steal] = group.metrics.stolen
+
+    # Determinism rides along: stealing must not change a single bit.
+    for static_result, steal_result in zip(results[False], results[True]):
+        np.testing.assert_array_equal(static_result.logits,
+                                      steal_result.logits)
+        assert static_result.merged_trace() == steal_result.merged_trace()
+
+    return {
+        "heavy_items": HEAVY_ITEMS,
+        "heavy_batch": HEAVY_BATCH,
+        "light_items": LIGHT_ITEMS,
+        "static_wall_s": walls[False],
+        "steal_wall_s": walls[True],
+        "steal_speedup": walls[False] / walls[True],
+        "stolen_units": stolen_counts[True],
+    }
+
+
+def run_remote_equivalence(rng) -> dict:
+    """Two local TCP workers vs the serial baseline, bit for bit."""
+    network = performance_network(
+        [("conv", 4, 3, 1, 1), ("pool", 2), ("flatten",), ("linear", 5)],
+        input_shape=(1, 8, 8), num_steps=3,
+        seed=int(rng.integers(1 << 16)))
+    num_images = 64 if FAST else 128
+    task = SweepTask(
+        key="bench_runtime_remote", network=network,
+        config=AcceleratorConfig.for_network(network),
+        images=rng.random((num_images,) + network.input_shape),
+        labels=rng.integers(0, 5, size=num_images))
+
+    serial = SweepDriver(workers=1, shard_size=num_images).run(
+        [task])[task.key]
+    with WorkerServer() as first, WorkerServer() as second:
+        specs = [f"127.0.0.1:{first.port}", f"127.0.0.1:{second.port}"]
+        started = time.perf_counter()
+        driver = SweepDriver(workers=specs, shard_size=8)
+        remote = driver.run([task])[task.key]
+        remote_wall = time.perf_counter() - started
+
+        # The hard gate: the TCP fabric is invisible in the results.
+        np.testing.assert_array_equal(remote.predictions,
+                                      serial.predictions)
+        assert remote.trace == serial.trace
+        assert remote.correct == serial.correct
+
+        # And one served request through a remote-lane engine pool.
+        images = rng.random((4,) + network.input_shape)
+        direct_logits, _ = Deployment(
+            network=network,
+            config=task.config).engine().run_batch(images)
+
+        async def serve_once():
+            server = InferenceServer(network, max_batch=4,
+                                     workers=[specs[0]])
+            async with server:
+                return await server.submit_many(images)
+
+        served = asyncio.run(serve_once())
+        np.testing.assert_array_equal(
+            [result.prediction for result in served],
+            direct_logits.argmax(axis=1))
+
+    return {
+        "num_images": num_images,
+        "tcp_workers": 2,
+        "remote_wall_s": remote_wall,
+        "bit_identical": True,
+        "served_predictions_verified": len(served),
+        "summary_executors": list(driver.last_summary.executors),
+    }
+
+
+def run_bench(rng) -> dict:
+    return {
+        "cpu_count": os.cpu_count(),
+        "fast": FAST,
+        "steal": run_steal_comparison(rng),
+        "remote": run_remote_equivalence(rng),
+    }
+
+
+def _render(payload: dict) -> Table:
+    steal = payload["steal"]
+    remote = payload["remote"]
+    table = Table(
+        "Runtime fabric - work stealing and remote workers "
+        f"({payload['cpu_count']} cores)",
+        ["metric", "value"])
+    table.add_row("skewed workload",
+                  f"{steal['heavy_items']}x{steal['heavy_batch']} heavy + "
+                  f"{steal['light_items']} light shards")
+    table.add_row("static wall (s)", f"{steal['static_wall_s']:.2f}")
+    table.add_row("steal wall (s)", f"{steal['steal_wall_s']:.2f}")
+    table.add_row("steal speedup", f"{steal['steal_speedup']:.2f}x")
+    table.add_row("units stolen", steal["stolen_units"])
+    table.add_row("remote sweep images", remote["num_images"])
+    table.add_row("remote sweep wall (s)",
+                  f"{remote['remote_wall_s']:.2f}")
+    table.add_row("remote bit-identical", remote["bit_identical"])
+    table.add_row("served via TCP lane, verified",
+                  remote["served_predictions_verified"])
+    return table
+
+
+def check_gates(payload: dict) -> None:
+    """Acceptance bars, shared by the pytest and __main__ paths."""
+    assert payload["remote"]["bit_identical"]
+    if (os.cpu_count() or 1) >= 2:
+        speedup = payload["steal"]["steal_speedup"]
+        assert speedup >= STEAL_GATE, \
+            (f"work stealing must be >= {STEAL_GATE}x vs static shards "
+             f"on a skewed workload, measured {speedup:.2f}x")
+    else:
+        print(f"note: only {os.cpu_count()} core(s) visible - the "
+              f">={STEAL_GATE}x stealing bar needs >= 2; numbers "
+              "recorded for the record")
+
+
+def test_runtime_fabric(rng, benchmark):
+    payload = run_bench(rng)
+    print_table(_render(payload))
+
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+
+    check_gates(payload)
+
+    deployment = _deployment(rng)
+    items, assignment = _skewed_items(rng, deployment)
+
+    def stealing_run():
+        with WorkerGroup(create_workers(["process", "process"]),
+                         deployments=[deployment]) as group:
+            group.run(items, assignment=assignment)
+
+    benchmark.pedantic(stealing_run, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    bench_rng = np.random.default_rng(7)
+    bench_payload = run_bench(bench_rng)
+    print(_render(bench_payload).render())
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(bench_payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    check_gates(bench_payload)

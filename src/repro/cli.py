@@ -8,10 +8,11 @@ Usage::
     python -m repro encoding          # radix vs rate ablation
     python -m repro dataflow          # memory-traffic ablation
     python -m repro figures           # Fig. 1 / Fig. 2 diagrams
-    python -m repro sweep             # sharded multi-process accuracy sweep
+    python -m repro sweep             # sharded accuracy sweep (fabric)
     python -m repro serve             # async micro-batching server (TCP)
     python -m repro loadgen           # drive a server, report latency SLOs
-    python -m repro all               # everything above (except sweep/serve)
+    python -m repro worker            # TCP engine worker (join a fabric)
+    python -m repro all               # everything above (except daemons)
 
 Models are trained on first use and cached under ``artifacts/``; set
 ``REPRO_FAST=1`` for a smoke-scale run.  ``--backend vectorized`` runs
@@ -19,9 +20,17 @@ the functional simulations on the batched tensor engine (bit-identical
 results, orders of magnitude faster than the unit-level model).
 
 ``sweep`` scores LeNet T-configs hardware-in-the-loop over the full test
-set, sharding (config × image-range) work units across ``--workers``
-processes; results are bit-identical for any worker count or
-``--shard-size`` and are persisted in the artifact store.
+set, sharding (config × image-range) work units across the runtime
+worker fabric.  ``--workers`` takes a process count (``--workers 4``) or
+an explicit lane mix — ``--workers thread,host:7601,host:7602`` spans
+one in-process lane plus two remote TCP engine workers (hosts running
+``repro worker --listen host:port``).  Results are bit-identical for any
+lane mix or ``--shard-size`` and are persisted in the artifact store.
+
+``worker`` turns this host into a TCP engine worker: it listens for
+``deploy``/``execute`` requests from drivers (sweeps or serving pools on
+other machines) and runs batches on warm local engines.  Only expose it
+on networks you trust — deployments arrive as pickled payloads.
 
 ``serve`` starts the asyncio micro-batching inference server on the
 trained LeNet over TCP; ``loadgen`` offers an open-loop request stream
@@ -36,6 +45,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
+import time
 
 import numpy as np
 
@@ -119,7 +129,7 @@ def _serve_images(runner, count: int) -> np.ndarray:
 
 
 def _serve_kwargs(args) -> dict:
-    return {
+    kwargs = {
         "policy": args.policy,
         "max_batch": args.max_batch,
         "max_wait_ms": args.max_wait_ms,
@@ -127,6 +137,15 @@ def _serve_kwargs(args) -> dict:
         "queue_depth": args.queue_depth,
         "engines": args.engines,
     }
+    if isinstance(args.workers, list):
+        # An explicit lane mix extends serving onto the fabric too:
+        # micro-batches fan out across the named workers.
+        kwargs["workers"] = args.workers
+    elif args.workers > 1:
+        # A count keeps its fabric meaning everywhere: N process lanes
+        # (overrides --engines; the pool takes one spec or the other).
+        kwargs["workers"] = ["process"] * args.workers
+    return kwargs
 
 
 def _render_serve_report(
@@ -261,6 +280,53 @@ def _positive_int(raw: str) -> int:
     return value
 
 
+def _parse_workers(raw: str):
+    """``--workers``: a count (historical) or a fabric lane mix.
+
+    ``4`` means four local process lanes; anything else is parsed as
+    comma-separated lane specs (``thread``, ``process``, ``process:4``,
+    ``host:port``) and validated against the fabric's grammar.
+    """
+    from repro.errors import ConfigurationError
+    from repro.runtime import normalize_worker_specs
+
+    raw = raw.strip()
+    if raw.lstrip("+-").isdigit():
+        return _positive_int(raw)
+    specs = [token.strip() for token in raw.split(",") if token.strip()]
+    try:
+        normalize_worker_specs(specs)
+    except ConfigurationError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return specs
+
+
+def _parse_listen(raw: str) -> tuple[str, int]:
+    host, _, port = raw.rpartition(":")
+    try:
+        return (host or "127.0.0.1"), int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {raw!r}") from None
+
+
+def _run_worker(args) -> None:
+    """Join the fabric: serve deploy/execute requests until Ctrl-C."""
+    from repro.runtime import WorkerServer
+
+    host, port = args.listen
+    server = WorkerServer(host, port).start()
+    print(f"engine worker listening on {server.host}:{server.port} "
+          "(trusted networks only); Ctrl-C to stop")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nworker stopped")
+    finally:
+        server.close()
+
+
 def _parse_steps(raw: str) -> tuple:
     try:
         steps = tuple(int(part) for part in raw.split(",") if part.strip())
@@ -281,7 +347,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "encoding", "dataflow",
-                 "figures", "sweep", "serve", "loadgen", "all"],
+                 "figures", "sweep", "serve", "loadgen", "worker", "all"],
         help="which experiment to run")
     parser.add_argument("--no-vgg", action="store_true",
                         help="skip the VGG-11 row of table3")
@@ -290,10 +356,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="execution engine (default: reference for "
                              "trace-level sims, vectorized for accuracy "
                              "scoring and sweeps)")
-    parser.add_argument("--workers", type=_positive_int, default=1,
-                        metavar="N",
-                        help="worker processes for sharded sweeps "
+    parser.add_argument("--workers", type=_parse_workers, default=1,
+                        metavar="N|SPEC,...",
+                        help="fabric lanes for sweeps/serving: a process "
+                             "count, or comma-separated specs mixing "
+                             "'thread', 'process', 'process:4' and "
+                             "remote 'host:port' TCP workers "
                              "(default: 1)")
+    parser.add_argument("--listen", type=_parse_listen,
+                        default=("127.0.0.1", 7601), metavar="HOST:PORT",
+                        help="worker: bind address for the TCP engine "
+                             "worker (default: 127.0.0.1:7601)")
     parser.add_argument("--shard-size", type=_positive_int, default=64,
                         metavar="M",
                         help="images per sweep work unit (default: 64)")
@@ -328,8 +401,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="bounded request queue (default: 1024)")
     serving.add_argument("--engines", type=_positive_int, default=1,
                          metavar="N",
-                         help="warm engines in the serving pool "
-                              "(default: 1)")
+                         help="warm thread-lane engines in the serving "
+                              "pool (default: 1; --workers overrides "
+                              "with explicit fabric lanes)")
     serving.add_argument("--requests", type=_positive_int, default=256,
                          metavar="N",
                          help="loadgen: requests to offer (default: 256)")
@@ -362,11 +436,12 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": lambda: _print_sweep(runner, _parse_steps(args.steps)),
         "serve": lambda: _run_serve(runner, args),
         "loadgen": lambda: _run_loadgen(runner, args),
+        "worker": lambda: _run_worker(args),
     }
     if args.experiment == "all":
         for name, fn in dispatch.items():
-            if name in ("sweep", "serve", "loadgen"):
-                continue  # sweep covered by table1; serving is a daemon
+            if name in ("sweep", "serve", "loadgen", "worker"):
+                continue  # sweep covered by table1; the rest are daemons
             print(f"\n===== {name} =====")
             fn()
     else:

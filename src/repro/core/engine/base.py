@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
 from repro.core.compiler import CompiledModel
-from repro.core.engine.trace import ExecutionTrace
+from repro.core.engine.trace import ExecutionTrace, TraceMerge
 from repro.errors import ConfigurationError, ShapeError
 
 __all__ = [
@@ -60,6 +60,19 @@ class ExecutionEngine(abc.ABC):
         logit-accumulator tensor ``(N, num_classes)`` and ``traces`` holds
         one :class:`ExecutionTrace` per image.
         """
+
+    def run_merged(
+        self, images: np.ndarray
+    ) -> tuple[np.ndarray, list[TraceMerge]]:
+        """Infer a batch; returns per-image :class:`TraceMerge` records.
+
+        This is the shape runtime workers ship across process and host
+        boundaries: integer counter aggregates (JSON/pickle friendly),
+        one per image, whose fold equals the fold of the raw traces —
+        so any re-grouping downstream stays bit-identical.
+        """
+        logits, traces = self.run_batch(images)
+        return logits, [TraceMerge.from_traces([t]) for t in traces]
 
     def run_image(self, image: np.ndarray) -> tuple[np.ndarray,
                                                     ExecutionTrace]:

@@ -49,3 +49,25 @@ class ServeError(ReproError):
 
 class BackpressureError(ServeError):
     """Raised when a non-waiting submit finds the request queue full."""
+
+
+class RequestTimeoutError(ServeError):
+    """Raised when a request's queue-wait deadline passes before dispatch."""
+
+
+class WorkerCrashError(ReproError):
+    """Raised when a runtime worker (process or remote host) dies or hangs.
+
+    The :class:`~repro.runtime.WorkerGroup` scheduler catches this,
+    evicts the worker and requeues its in-flight work on a healthy one;
+    callers only see it when no healthy worker remains.
+    """
+
+
+class RemoteExecutionError(ReproError):
+    """Raised when a remote worker reports a task-level failure.
+
+    The worker itself is healthy (the connection answered); the work item
+    it was given could not be executed — a shape mismatch, an unknown
+    backend name, a deployment that was never registered.
+    """

@@ -129,8 +129,11 @@ class ExperimentRunner:
 
     All accuracy cache and result-store keys include the engine name
     that produced them, so switching backends can never serve a result
-    computed under a different engine.  ``sweep_workers`` shards scoring
-    across that many processes (see ``repro.harness.sweep``).
+    computed under a different engine.  ``sweep_workers`` names the
+    runtime-fabric lanes scoring shards across: an integer process
+    count, or a list of lane specs (``"thread"``, ``"process"``,
+    ``"host:port"`` remote TCP engine workers) — see ``repro.runtime``
+    and ``repro.harness.sweep``.
     """
 
     def __init__(
@@ -139,7 +142,7 @@ class ExperimentRunner:
         store: ArtifactStore | None = None,
         backend: str = "reference",
         score_backend: str = "vectorized",
-        sweep_workers: int = 1,
+        sweep_workers: int | list = 1,
         sweep_shard_size: int = 64,
     ) -> None:
         self.settings = settings or ExperimentSettings.from_env()
@@ -596,10 +599,12 @@ class ExperimentRunner:
                 "worker_s": outcome.elapsed_s,
                 "cached": outcome.cached,
             })
+        workers = self.sweep_workers
+        lanes = (f"{workers} worker(s)" if isinstance(workers, int)
+                 else "lanes " + ",".join(workers))
         table = Table(
             f"Accuracy sweep - hardware-in-the-loop over the test set "
-            f"({self.score_backend} engine, {self.sweep_workers} "
-            "worker(s))",
+            f"({self.score_backend} engine, {lanes})",
             ["T", "acc %", "images", "shards", "cycles/img", "worker s"])
         for row in rows:
             table.add_row(

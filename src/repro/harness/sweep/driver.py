@@ -1,35 +1,32 @@
-"""The sweep driver: sharded multi-process execution with merged results.
+"""The sweep driver: sharded execution over the runtime worker fabric.
 
 :class:`SweepDriver` takes a work list of :class:`SweepTask` cells
-(configs × datasets), shards each cell's image range, and runs the shards
-across ``workers`` processes — each worker holds one lazily-built
-execution engine per task (the vectorized engine, unless a task says
-otherwise) and streams back per-shard predictions plus a
-:class:`~repro.core.engine.trace.TraceMerge`.  The driver merges shards
-deterministically, reports progress/throughput as units complete, and
-persists merged outcomes to an :class:`~repro.harness.artifacts.
-ArtifactStore` so re-running a sweep re-executes nothing.
+(configs × datasets), shards each cell's image range, and runs the
+shards across a :class:`~repro.runtime.WorkerGroup` — any mix of
+``thread`` lanes (in-process), ``process`` lanes (forked children) and
+``host:port`` remote TCP engine workers (hosts running ``repro worker
+--listen``).  The driver owns only sweep *policy* — sharding, adaptive
+sizing, the persistent result store, progress reporting — while the
+fabric owns worker lifecycle: scheduling, work stealing between idle
+lanes, heartbeat liveness and crash requeueing.
 
-Determinism contract: for any worker count and any shard size the merged
+Determinism contract: for any lane mix and any shard size the merged
 predictions, accuracies and trace counters are bit-identical to a
-single-process run (``tests/test_sweep.py`` pins this).  Store keys
-include the backend name, so results computed under one engine can never
-be served to a run requesting another.
+single-process run (``tests/test_sweep.py`` and ``tests/test_runtime.py``
+pin this; ``benchmarks/bench_runtime.py`` asserts it across a live TCP
+fabric).  Store keys include the backend name, so results computed under
+one engine can never be served to a run requesting another.
 """
 
 from __future__ import annotations
 
-import os
+import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-
-import multiprocessing as mp
 
 import numpy as np
 
 from repro.core.engine import warm_engine
-from repro.core.engine.trace import TraceMerge
 from repro.errors import ConfigurationError
 from repro.harness.artifacts import ArtifactStore
 from repro.harness.sweep.work import (
@@ -40,12 +37,15 @@ from repro.harness.sweep.work import (
     shard_tasks,
     sweep_store_key,
 )
+from repro.runtime import (
+    Deployment,
+    WorkItem,
+    WorkerGroup,
+    create_workers,
+    normalize_worker_specs,
+)
 
 __all__ = ["SweepDriver", "SweepProgress", "SweepSummary"]
-
-#: Upper bound on queued futures per worker; keeps memory flat on huge
-#: work lists without ever idling a worker.
-_INFLIGHT_PER_WORKER = 4
 
 #: Adaptive sizing aims for this many units per worker: enough
 #: granularity that a straggling shard cannot tail-block the pool, few
@@ -84,75 +84,35 @@ class SweepSummary:
     #: Per-task shard sizes chosen by the adaptive probe (key -> images
     #: per unit); ``None`` for fixed-size runs.
     task_shard_sizes: dict | None = None
+    #: The lane specs the fabric ran on (("thread",), ("process", ...)).
+    executors: tuple = ()
+    #: Lanes evicted mid-run (dead processes / dropped hosts) — their
+    #: work was requeued, so results are unaffected.
+    worker_crashes: int = 0
+    #: Units an idle lane stole from a busy peer's queue.
+    stolen_units: int = 0
 
     @property
     def images_per_second(self) -> float:
         return self.num_images / self.wall_s if self.wall_s else 0.0
 
 
-# ----------------------------------------------------------------------
-# Worker side: one engine per task, built lazily, cached per process
-# ----------------------------------------------------------------------
-_WORKER_TASKS: list[SweepTask] | None = None
-_WORKER_ENGINES: dict[int, object] = {}
-
-
-def _init_worker(tasks: list[SweepTask]) -> None:
-    """Process-pool initializer: receive the task list once per worker."""
-    global _WORKER_TASKS
-    _WORKER_TASKS = tasks
-    _WORKER_ENGINES.clear()
-
-
-def _engine_for(task_index: int):
-    """The worker's engine for one task, from the warm-instance cache.
-
-    The per-task dict keeps repeat lookups O(1); behind it,
-    :func:`~repro.core.engine.warm_engine` dedupes by content — so a
-    task re-run in a later ``SweepDriver.run`` (or probed by the
-    adaptive sizer, or already compiled before a fork) reuses the
-    compiled model instead of recompiling.  Reuse is bit-identical by
-    the warm-cache contract.
-    """
-    engine = _WORKER_ENGINES.get(task_index)
-    if engine is None:
-        task = _WORKER_TASKS[task_index]
-        engine = warm_engine(task.network, task.config, task.backend,
-                             task.calibration)
-        _WORKER_ENGINES[task_index] = engine
-    return engine
-
-
-def _run_unit(unit: WorkUnit) -> ShardResult:
-    """Execute one shard; runs in a worker process (or inline)."""
-    task = _WORKER_TASKS[unit.task_index]
-    engine = _engine_for(unit.task_index)
-    start_time = time.perf_counter()
-    logits, traces = engine.run_batch(task.images[unit.start:unit.stop])
-    predictions = logits.argmax(axis=1).astype(np.int64)
-    correct = int(
-        (predictions == task.labels[unit.start:unit.stop]).sum())
-    return ShardResult(
-        task_index=unit.task_index, task_key=unit.task_key,
-        shard_index=unit.shard_index, start=unit.start, stop=unit.stop,
-        predictions=predictions, correct=correct,
-        trace=TraceMerge.from_traces(traces),
-        elapsed_s=time.perf_counter() - start_time,
-        worker_pid=os.getpid())
-
-
 class SweepDriver:
-    """Runs sweep work lists, optionally across worker processes.
+    """Runs sweep work lists over the runtime worker fabric.
 
     Parameters
     ----------
     workers:
-        Process count.  ``1`` executes inline (no subprocesses) through
-        the *same* shard/merge code path, so it is the determinism
-        baseline the multi-process runs are compared against.
+        Lane request for the :class:`~repro.runtime.WorkerGroup`.  An
+        integer keeps its historical meaning — ``1`` is one in-process
+        lane (the determinism baseline every other mix is compared
+        against), ``N`` is ``N`` forked process lanes.  A list of spec
+        strings names an explicit mix: ``"thread"``, ``"process"``,
+        multipliers like ``"process:4"``, or ``"host:port"`` for remote
+        TCP engine workers (``repro sweep --workers host:7601,thread``).
     shard_size:
         Images per work unit.  Smaller shards balance better across
-        workers; the merged result is invariant to this choice.
+        lanes; the merged result is invariant to this choice.
     adaptive:
         Size shards from a measured per-image cost probe instead of
         using ``shard_size`` uniformly: each pending task runs a few
@@ -164,6 +124,10 @@ class SweepDriver:
         remain bit-identical — shard boundaries never affect the merge.
     probe_images:
         Images per adaptive cost probe (clamped to the task size).
+    steal:
+        Let idle lanes steal queued units from busy peers (default).
+        Turning it off pins units to their initially assigned lane —
+        useful only as the static baseline stealing is measured against.
     store:
         Optional :class:`ArtifactStore`; merged outcomes are persisted
         under ``sweep_<task key>_<backend>`` and served from disk on
@@ -175,23 +139,25 @@ class SweepDriver:
 
     def __init__(
         self,
-        workers: int = 1,
+        workers=1,
         shard_size: int = 64,
         store: ArtifactStore | None = None,
         progress=None,
         adaptive: bool = False,
         probe_images: int = 4,
+        steal: bool = True,
+        heartbeat_s: float = 2.0,
     ) -> None:
-        if workers < 1:
-            raise ConfigurationError(
-                f"workers must be >= 1, got {workers}")
         if probe_images < 1:
             raise ConfigurationError(
                 f"probe_images must be >= 1, got {probe_images}")
+        self.worker_specs = normalize_worker_specs(workers)
         self.workers = workers
         self.shard_size = shard_size
         self.adaptive = adaptive
         self.probe_images = probe_images
+        self.steal = steal
+        self.heartbeat_s = heartbeat_s
         self.store = store
         self.progress = progress
         self.last_summary: SweepSummary | None = None
@@ -225,6 +191,8 @@ class SweepDriver:
 
         units: list[WorkUnit] = []
         task_shard_sizes: dict | None = None
+        crashes = 0
+        stolen = 0
         if pending:
             sizes: int | list[int] = self.shard_size
             if self.adaptive:
@@ -232,10 +200,7 @@ class SweepDriver:
                 task_shard_sizes = {task.key: size for task, size
                                     in zip(pending, sizes)}
             units = shard_tasks(pending, sizes)
-            if self.workers == 1:
-                results = self._run_inline(pending, units)
-            else:
-                results = self._run_pool(pending, units)
+            results, crashes, stolen = self._run_fabric(pending, units)
             for task, outcome in zip(pending,
                                      self._merge(pending, results)):
                 outcomes[task.key] = outcome
@@ -244,14 +209,17 @@ class SweepDriver:
                                            outcome.to_dict())
 
         self.last_summary = SweepSummary(
-            workers=self.workers, shard_size=self.shard_size,
+            workers=len(self.worker_specs), shard_size=self.shard_size,
             num_tasks=len(tasks),
             num_units=len(units),
             num_images=sum(t.num_images for t in pending),
             cached_tasks=len(tasks) - len(pending),
             wall_s=time.perf_counter() - started,
             adaptive=self.adaptive,
-            task_shard_sizes=task_shard_sizes)
+            task_shard_sizes=task_shard_sizes,
+            executors=tuple(self.worker_specs),
+            worker_crashes=crashes,
+            stolen_units=stolen)
         return {key: outcomes[key] for key in keys}
 
     # ------------------------------------------------------------------
@@ -263,11 +231,11 @@ class SweepDriver:
         Runs ``probe_images`` of each task through its warm engine (the
         compile this triggers is exactly the one the run needs, so the
         probe's dominant cost is paid anyway) and sizes shards so each
-        unit costs about ``total cost / (workers x
+        unit costs about ``total cost / (lanes x
         _ADAPTIVE_UNITS_PER_WORKER)`` seconds: cheap tasks get wide
-        shards, expensive ones narrow shards, and the pool drains units
-        of comparable wall time.  Only scheduling changes — the merged
-        outcome is bit-identical to any fixed shard size.
+        shards, expensive ones narrow shards, and the fabric drains
+        units of comparable wall time.  Only scheduling changes — the
+        merged outcome is bit-identical to any fixed shard size.
         """
         costs = []
         for task in tasks:
@@ -281,7 +249,8 @@ class SweepDriver:
             costs.append(max(elapsed / len(probe), 1e-9))
         total_cost = sum(cost * task.num_images
                          for cost, task in zip(costs, tasks))
-        target = total_cost / (self.workers * _ADAPTIVE_UNITS_PER_WORKER)
+        target = total_cost / (len(self.worker_specs)
+                               * _ADAPTIVE_UNITS_PER_WORKER)
         sizes = []
         for cost, task in zip(costs, tasks):
             size = int(target / cost) if cost else task.num_images
@@ -290,46 +259,45 @@ class SweepDriver:
         return sizes
 
     # ------------------------------------------------------------------
-    # Execution strategies
+    # Execution: hand the units to the worker fabric
     # ------------------------------------------------------------------
-    def _run_inline(self, tasks, units) -> list[ShardResult]:
-        """workers=1: same shard/merge path, current process, no pickling
-        of results — but tasks still round-trip through the worker-state
-        globals so the code path matches the pool exactly."""
-        _init_worker(tasks)
-        try:
-            results = []
-            tracker = _ProgressTracker(self, tasks, units)
-            for unit in units:
-                result = _run_unit(unit)
-                results.append(result)
-                tracker.tick(result)
-            return results
-        finally:
-            _init_worker(None)
-
-    def _run_pool(self, tasks, units) -> list[ShardResult]:
-        """Fan units out over a process pool with bounded in-flight work."""
-        methods = mp.get_all_start_methods()
-        context = mp.get_context("fork" if "fork" in methods else None)
-        results: list[ShardResult] = []
+    def _run_fabric(self, tasks, units) -> tuple[list[ShardResult],
+                                                 int, int]:
+        """Run every unit through a WorkerGroup; returns shard results
+        in unit order plus the fabric's crash and steal counts."""
+        deployments = [Deployment(network=task.network, config=task.config,
+                                  backend=task.backend,
+                                  calibration=task.calibration)
+                       for task in tasks]
+        items = [WorkItem(item_id=index, deployment=unit.task_index,
+                          images=tasks[unit.task_index]
+                          .images[unit.start:unit.stop])
+                 for index, unit in enumerate(units)]
         tracker = _ProgressTracker(self, tasks, units)
-        queue = list(units)
-        with ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=context,
-                initializer=_init_worker, initargs=(tasks,)) as pool:
-            in_flight = set()
-            limit = self.workers * _INFLIGHT_PER_WORKER
-            while queue or in_flight:
-                while queue and len(in_flight) < limit:
-                    in_flight.add(pool.submit(_run_unit, queue.pop(0)))
-                done, in_flight = wait(in_flight,
-                                       return_when=FIRST_COMPLETED)
-                for future in done:
-                    result = future.result()  # re-raises worker errors
-                    results.append(result)
-                    tracker.tick(result)
-        return results
+        group = WorkerGroup(create_workers(self.worker_specs),
+                            deployments=deployments, steal=self.steal,
+                            heartbeat_s=self.heartbeat_s)
+        with group:
+            work_results = group.run(
+                items,
+                result_callback=lambda result: tracker.tick(
+                    units[result.item_id]))
+            crashes = group.metrics.worker_crashes
+            stolen = group.metrics.stolen
+        shard_results = []
+        for unit, result in zip(units, work_results):
+            task = tasks[unit.task_index]
+            predictions = result.predictions
+            shard_results.append(ShardResult(
+                task_index=unit.task_index, task_key=unit.task_key,
+                shard_index=unit.shard_index, start=unit.start,
+                stop=unit.stop, predictions=predictions,
+                correct=int((predictions
+                             == task.labels[unit.start:unit.stop]).sum()),
+                trace=result.merged_trace(),
+                elapsed_s=result.elapsed_s,
+                worker_pid=result.pid))
+        return shard_results, crashes, stolen
 
     # ------------------------------------------------------------------
     def _merge(self, tasks, results) -> list[TaskOutcome]:
@@ -355,7 +323,11 @@ class SweepDriver:
 
 
 class _ProgressTracker:
-    """Counts completed units/images and invokes the progress callback."""
+    """Counts completed units/images and invokes the progress callback.
+
+    Ticks arrive from the fabric's dispatcher threads, so the counters
+    are guarded by a lock and callbacks are serialized.
+    """
 
     def __init__(self, driver: SweepDriver, tasks, units) -> None:
         self.driver = driver
@@ -364,14 +336,17 @@ class _ProgressTracker:
         self.done_units = 0
         self.done_images = 0
         self.started = time.perf_counter()
+        self._lock = threading.Lock()
 
-    def tick(self, result: ShardResult) -> None:
-        self.done_units += 1
-        self.done_images += result.stop - result.start
-        if self.driver.progress is not None:
-            self.driver.progress(SweepProgress(
-                done_units=self.done_units, total_units=self.total_units,
-                done_images=self.done_images,
-                total_images=self.total_images,
-                elapsed_s=time.perf_counter() - self.started,
-                task_key=result.task_key))
+    def tick(self, unit: WorkUnit) -> None:
+        with self._lock:
+            self.done_units += 1
+            self.done_images += unit.stop - unit.start
+            if self.driver.progress is not None:
+                self.driver.progress(SweepProgress(
+                    done_units=self.done_units,
+                    total_units=self.total_units,
+                    done_images=self.done_images,
+                    total_images=self.total_images,
+                    elapsed_s=time.perf_counter() - self.started,
+                    task_key=unit.task_key))

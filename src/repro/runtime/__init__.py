@@ -1,0 +1,68 @@
+"""The worker fabric: one executor/transport layer for serving and sweeps.
+
+``repro.runtime`` owns the worker abstraction for the whole codebase.
+A :class:`Worker` executes :class:`WorkItem` batches on warm engines and
+returns logits plus per-image trace aggregates; three interchangeable
+executors ship (``thread``, ``process``, ``remote`` — the last over
+JSON-lines TCP to a host running ``repro worker --listen``); a
+:class:`WorkerGroup` schedules items across any mix of them with work
+stealing, heartbeat liveness tracking and crash requeueing.
+
+The serving pool (``repro.serve.pool.EnginePool``) and the sweep driver
+(``repro.harness.sweep.SweepDriver``) are thin policy layers over this
+fabric — serving keeps its micro-batch flush policies, sweeps keep
+sharding and the persistent store — and both inherit the fabric's
+contract: **any executor mix merges bit-identically to a serial
+single-process run.**
+
+Quick tour::
+
+    from repro.runtime import (Deployment, WorkItem, WorkerGroup,
+                               create_workers)
+
+    group = WorkerGroup(create_workers(["thread", "host:7601"]),
+                        deployments=[Deployment(network, config)])
+    with group:
+        results = group.run([WorkItem(0, 0, images)])
+"""
+
+from repro.runtime.codec import (
+    decode_array,
+    decode_blob,
+    decode_line,
+    encode_array,
+    encode_blob,
+    encode_line,
+)
+from repro.runtime.group import GroupMetrics, WorkerGroup
+from repro.runtime.remote import RemoteWorker, WorkerServer
+from repro.runtime.work import Deployment, WorkItem, WorkResult, execute_item
+from repro.runtime.workers import (
+    ProcessWorker,
+    ThreadWorker,
+    Worker,
+    create_workers,
+    normalize_worker_specs,
+)
+
+__all__ = [
+    "Deployment",
+    "GroupMetrics",
+    "ProcessWorker",
+    "RemoteWorker",
+    "ThreadWorker",
+    "WorkItem",
+    "WorkResult",
+    "Worker",
+    "WorkerGroup",
+    "WorkerServer",
+    "create_workers",
+    "decode_array",
+    "decode_blob",
+    "decode_line",
+    "encode_array",
+    "encode_blob",
+    "encode_line",
+    "execute_item",
+    "normalize_worker_specs",
+]

@@ -1,0 +1,79 @@
+"""Wire codecs shared by the worker fabric and the serving transport.
+
+Everything that crosses a socket in this repo is **newline-delimited
+JSON** — one message per line, encoded by :func:`encode_line` and parsed
+by :func:`decode_line`.  The serving front-end (``repro.serve.transport``)
+and the runtime worker protocol (``repro.runtime.remote``) share these
+helpers, so the two wire surfaces can never drift apart in framing.
+
+Numeric payloads ride inside the JSON as compact, bit-exact envelopes:
+
+* :func:`encode_array` / :func:`decode_array` — a numpy array as
+  ``{dtype, shape, data}`` with the raw buffer base64-encoded.  The
+  decoded array is byte-for-byte identical to the original, which is
+  what lets a remote engine worker produce results bit-identical to a
+  local run (the fabric's acceptance contract).
+* :func:`encode_blob` / :func:`decode_blob` — an arbitrary picklable
+  object (deployment specs: quantized networks, configs, calibrations)
+  as base64-wrapped pickle.  **Blobs are code-adjacent data: only
+  exchange them between mutually trusted hosts.**  The worker fabric is
+  a lab/cluster tool, not an internet-facing service.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+
+import numpy as np
+
+__all__ = [
+    "decode_array",
+    "decode_blob",
+    "decode_line",
+    "encode_array",
+    "encode_blob",
+    "encode_line",
+]
+
+
+def encode_line(payload: dict) -> bytes:
+    """One JSON message, newline-terminated (the shared framing)."""
+    return (json.dumps(payload) + "\n").encode()
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one framed line; raises ``ValueError`` on non-object JSON."""
+    message = json.loads(line)
+    if not isinstance(message, dict):
+        raise ValueError("message must be a JSON object")
+    return message
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """A numpy array as a JSON-safe ``{dtype, shape, data}`` envelope."""
+    array = np.ascontiguousarray(array)
+    return {
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: dict) -> np.ndarray:
+    """Rebuild an array bit-identically from its wire envelope."""
+    raw = base64.b64decode(payload["data"])
+    array = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+    return array.reshape(tuple(payload["shape"])).copy()
+
+
+def encode_blob(obj) -> str:
+    """Pickle + base64 an object (deployments; trusted fabric only)."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def decode_blob(text: str) -> object:
+    """Inverse of :func:`encode_blob` (trusted fabric only)."""
+    return pickle.loads(base64.b64decode(text))

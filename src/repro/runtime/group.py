@@ -1,0 +1,393 @@
+"""The WorkerGroup scheduler: one queue, many lanes, no deadlocks.
+
+:class:`WorkerGroup` is the single worker-lifecycle owner for the whole
+codebase — the serving pool and the sweep driver are thin policy layers
+over it.  Mechanics:
+
+* **Per-lane queues + work stealing.**  Every worker has a deque;
+  ``submit`` places items on the shortest live queue (or an explicit
+  lane for static assignment).  An idle lane steals from the tail of the
+  longest peer queue, so a skewed cost distribution cannot tail-block
+  the group.  Stealing only moves *scheduling*; results are keyed by
+  item and merged by integer counters, so any interleaving is
+  bit-identical (the fabric's acceptance contract).
+* **Crash containment.**  A lane whose ``execute`` raises
+  :class:`~repro.errors.WorkerCrashError` (child killed, connection
+  dropped, budget blown) is evicted: its in-flight item and queued
+  backlog are requeued on healthy lanes and ``metrics.worker_crashes``
+  counts the event.  Only when *no* healthy lane remains do the orphaned
+  futures fail.  An item that has crashed ``max_attempts`` lanes is
+  treated as poison and failed instead of requeued.
+* **Heartbeats.**  A monitor thread pings idle lanes every
+  ``heartbeat_s`` seconds; a lane that stops answering is evicted the
+  same way, so a silently dead remote host cannot strand queued work.
+
+Results come back as :class:`concurrent.futures.Future` objects, which
+both the synchronous sweep driver (``future.result()``) and the asyncio
+serving pool (``asyncio.wrap_future``) consume directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.runtime.work import Deployment, WorkItem, WorkResult
+from repro.runtime.workers import Worker
+
+__all__ = ["GroupMetrics", "WorkerGroup"]
+
+
+@dataclass
+class GroupMetrics:
+    """Scheduling counters, updated live under the group lock."""
+
+    executed: dict = field(default_factory=dict)   # worker name -> items
+    stolen: int = 0                                # items taken from peers
+    requeued: int = 0                              # items moved off a crash
+    worker_crashes: int = 0                        # lanes evicted
+    last_heartbeat: dict = field(default_factory=dict)  # name -> monotonic
+
+    def to_dict(self) -> dict:
+        return {
+            "executed": dict(self.executed),
+            "stolen": self.stolen,
+            "requeued": self.requeued,
+            "worker_crashes": self.worker_crashes,
+        }
+
+
+class _Pending:
+    """One queued item plus its completion future and retry budget."""
+
+    __slots__ = ("item", "future", "attempts")
+
+    def __init__(self, item: WorkItem) -> None:
+        self.item = item
+        self.future: Future = Future()
+        self.attempts = 0
+
+
+class WorkerGroup:
+    """Schedules :class:`WorkItem` batches across worker lanes.
+
+    Parameters
+    ----------
+    workers:
+        Started-or-not :class:`~repro.runtime.workers.Worker` lanes (the
+        group starts them).  Build from specs with
+        :func:`~repro.runtime.workers.create_workers`.
+    deployments:
+        The deployment table registered with every lane at start.
+    steal:
+        Idle lanes steal queued items from the busiest peer (default).
+        ``False`` pins items to their assigned lane — the static-shard
+        baseline the stealing benchmark is measured against (crash
+        requeues still move work; correctness beats pinning).
+    heartbeat_s:
+        Liveness-probe period for idle lanes.
+    max_attempts:
+        Crash-requeue budget per item before it is failed as poison.
+    """
+
+    def __init__(
+        self,
+        workers: list[Worker],
+        deployments: list[Deployment] | tuple = (),
+        steal: bool = True,
+        heartbeat_s: float = 2.0,
+        ping_timeout_s: float = 5.0,
+        max_attempts: int = 3,
+    ) -> None:
+        if not workers:
+            raise ConfigurationError("worker group needs >= 1 worker")
+        names = [worker.name for worker in workers]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"worker names must be unique, got {names}")
+        self.workers = list(workers)
+        self.deployments = list(deployments)
+        self.steal = steal
+        self.heartbeat_s = heartbeat_s
+        self.ping_timeout_s = ping_timeout_s
+        self.max_attempts = max_attempts
+        self.metrics = GroupMetrics(
+            executed={name: 0 for name in names})
+
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queues: list[deque] = [deque() for _ in self.workers]
+        self._busy: list[_Pending | None] = [None] * len(self.workers)
+        self._dead: set[int] = set()
+        self._stopping = False
+        self._threads: list[threading.Thread] = []
+        self._monitor_stop = threading.Event()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def size(self) -> int:
+        return len(self.workers)
+
+    def alive_workers(self) -> list[str]:
+        with self._lock:
+            return [worker.name for index, worker
+                    in enumerate(self.workers) if index not in self._dead]
+
+    def start(self) -> "WorkerGroup":
+        """Start every lane, register deployments, spin up dispatchers.
+
+        A lane that fails to start (e.g. an unreachable remote host) is
+        marked dead immediately and counted as a crash; the group comes
+        up as long as at least one lane is healthy.
+        """
+        if self._started:
+            raise ConfigurationError("worker group already started")
+        for index, worker in enumerate(self.workers):
+            try:
+                worker.start()
+                worker.deploy(self.deployments)
+            except WorkerCrashError:
+                with self._cond:
+                    self._dead.add(index)
+                    self.metrics.worker_crashes += 1
+                continue
+            self.metrics.last_heartbeat[worker.name] = time.monotonic()
+        if len(self._dead) == len(self.workers):
+            raise WorkerCrashError(
+                "no worker in the group could be started")
+        for index in range(len(self.workers)):
+            thread = threading.Thread(
+                target=self._dispatch, args=(index,),
+                name=f"repro-runtime-{self.workers[index].name}",
+                daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        monitor = threading.Thread(target=self._monitor,
+                                   name="repro-runtime-monitor",
+                                   daemon=True)
+        monitor.start()
+        self._threads.append(monitor)
+        self._started = True
+        return self
+
+    def __enter__(self) -> "WorkerGroup":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        """Stop dispatching; queued-but-unstarted items fail fast."""
+        with self._cond:
+            self._stopping = True
+            orphans = [pending for queue in self._queues
+                       for pending in queue]
+            for queue in self._queues:
+                queue.clear()
+            self._cond.notify_all()
+        self._monitor_stop.set()
+        for pending in orphans:
+            if not pending.future.done():
+                pending.future.set_exception(
+                    WorkerCrashError("worker group stopped before the "
+                                     "item was executed"))
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+        for worker in self.workers:
+            worker.close()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, item: WorkItem, worker: int | None = None) -> Future:
+        """Enqueue one item; returns its completion future.
+
+        ``worker`` pins the item to a lane index (static assignment);
+        the default picks the live lane with the shortest queue.
+        """
+        pending = _Pending(item)
+        with self._cond:
+            if self._stopping:
+                raise ConfigurationError("worker group is stopped")
+            index = self._pick_lane(worker)
+            if index is None:
+                pending.future.set_exception(WorkerCrashError(
+                    "no healthy worker left in the group"))
+                return pending.future
+            self._queues[index].append(pending)
+            self._cond.notify_all()
+        return pending.future
+
+    def run(self, items, assignment=None, result_callback=None) -> list:
+        """Execute a batch of items; returns results in input order.
+
+        ``assignment`` optionally maps each item to a lane index (static
+        sharding); ``result_callback`` fires once per completed item
+        from a dispatcher thread (progress reporting).
+        """
+        items = list(items)
+        if assignment is not None and len(assignment) != len(items):
+            raise ConfigurationError(
+                f"{len(items)} items but {len(assignment)} assignments")
+        futures = []
+        for position, item in enumerate(items):
+            future = self.submit(
+                item,
+                worker=None if assignment is None
+                else assignment[position])
+            if result_callback is not None:
+                future.add_done_callback(
+                    lambda f: (result_callback(f.result())
+                               if f.exception() is None else None))
+            futures.append(future)
+        return [future.result() for future in futures]
+
+    def _pick_lane(self, explicit: int | None) -> int | None:
+        """Lane index for a new item (under the lock); None = all dead."""
+        alive = [i for i in range(len(self.workers))
+                 if i not in self._dead]
+        if not alive:
+            return None
+        if explicit is not None:
+            if not 0 <= explicit < len(self.workers):
+                raise ConfigurationError(
+                    f"worker index {explicit} out of range "
+                    f"(0..{len(self.workers) - 1})")
+            if explicit not in self._dead:
+                return explicit
+            # Pinned lane is dead: fall through to least-loaded.
+        return min(alive, key=lambda i: (len(self._queues[i]),
+                                         self._busy[i] is not None, i))
+
+    # ------------------------------------------------------------------
+    # Dispatch + stealing
+    # ------------------------------------------------------------------
+    def _next_pending(self, index: int) -> _Pending | None:
+        """Own queue first, then (if enabled) steal; lock must be held."""
+        queue = self._queues[index]
+        if queue:
+            return queue.popleft()
+        if not self.steal:
+            return None
+        donors = [i for i in range(len(self.workers))
+                  if i != index and i not in self._dead
+                  and self._queues[i]]
+        if not donors:
+            return None
+        donor = max(donors, key=lambda i: (len(self._queues[i]), -i))
+        self.metrics.stolen += 1
+        return self._queues[donor].pop()  # steal from the tail
+
+    def _dispatch(self, index: int) -> None:
+        worker = self.workers[index]
+        while True:
+            with self._cond:
+                pending = None
+                while pending is None:
+                    if self._stopping or index in self._dead:
+                        return
+                    pending = self._next_pending(index)
+                    if pending is None:
+                        self._cond.wait(timeout=0.1)
+                self._busy[index] = pending
+            pending.attempts += 1
+            try:
+                result: WorkResult = worker.execute(pending.item)
+            except WorkerCrashError as error:
+                self._evict(index, error, in_flight=pending)
+                return
+            except Exception as error:  # noqa: BLE001 — fail the item,
+                # not the group: a task-level error (bad shapes, an
+                # engine bug) leaves the lane healthy.
+                with self._cond:
+                    self._busy[index] = None
+                if not pending.future.done():
+                    pending.future.set_exception(error)
+            else:
+                with self._cond:
+                    self._busy[index] = None
+                    self.metrics.executed[worker.name] += 1
+                    self.metrics.last_heartbeat[worker.name] = \
+                        time.monotonic()
+                if not pending.future.done():
+                    pending.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # Crash handling + heartbeats
+    # ------------------------------------------------------------------
+    def _evict(self, index: int, error: Exception,
+               in_flight: _Pending | None = None) -> None:
+        """Mark a lane dead; requeue its work on healthy lanes.
+
+        Monitor (heartbeat) and dispatcher (failed execute) can both
+        report the same death; the first caller evicts and drains the
+        queue, but the dispatcher's ``in_flight`` item must be placed
+        either way — dropping it would leave its future unresolved
+        forever, which is exactly the deadlock eviction exists to
+        prevent.
+        """
+        worker = self.workers[index]
+        with self._cond:
+            first_report = index not in self._dead
+            orphans: list[_Pending] = []
+            if first_report:
+                self._dead.add(index)
+                self.metrics.worker_crashes += 1
+                orphans = list(self._queues[index])
+                self._queues[index].clear()
+            self._busy[index] = None
+            if in_flight is not None:
+                orphans.insert(0, in_flight)
+            alive = [i for i in range(len(self.workers))
+                     if i not in self._dead]
+            failures = []
+            for pending in orphans:
+                if not alive or pending.attempts >= self.max_attempts:
+                    failures.append(pending)
+                else:
+                    target = min(alive,
+                                 key=lambda i: (len(self._queues[i]), i))
+                    self._queues[target].append(pending)
+                    self.metrics.requeued += 1
+            self._cond.notify_all()
+        for pending in failures:
+            if not pending.future.done():
+                pending.future.set_exception(WorkerCrashError(
+                    f"worker {worker.name!r} died "
+                    f"({error}) and no healthy worker could take item "
+                    f"{pending.item.item_id}"))
+        if first_report:
+            worker.close()
+
+    def _monitor(self) -> None:
+        """Ping idle lanes; evict the ones that stopped answering."""
+        while not self._monitor_stop.wait(self.heartbeat_s):
+            for index, worker in enumerate(self.workers):
+                with self._lock:
+                    if (self._stopping or index in self._dead
+                            or self._busy[index] is not None):
+                        continue
+                try:
+                    alive = worker.ping(timeout_s=self.ping_timeout_s)
+                except WorkerCrashError:
+                    alive = False
+                if alive:
+                    with self._lock:
+                        self.metrics.last_heartbeat[worker.name] = \
+                            time.monotonic()
+                else:
+                    self._evict(index, WorkerCrashError(
+                        "heartbeat probe failed"))

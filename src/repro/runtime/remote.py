@@ -1,0 +1,337 @@
+"""Remote engine workers: the fabric over JSON-lines TCP.
+
+A host joins the fabric by running ``repro worker --listen host:port``
+(:class:`WorkerServer`); a driver attaches a :class:`RemoteWorker` lane
+to it.  The protocol reuses the serving transport's newline-delimited
+JSON framing (``repro.runtime.codec``), one request per line, answered
+in order::
+
+    {"op": "ping"}                         -> {"ok": true, "pid": ...}
+    {"op": "deploy", "blob": "<b64>"}      -> {"ok": true, "deployments": N}
+    {"op": "execute", "item_id": 7,
+     "deployment": 0, "images": {...}}     -> {"ok": true, "item_id": 7,
+                                               "logits": {...},
+                                               "traces": [...],
+                                               "elapsed_s": ..., "pid": ...}
+
+Task-level failures answer ``{"ok": false, "error": {"type", "message"}}``
+and keep the connection; transport-level failures (closed socket, blown
+timeout) surface as :class:`~repro.errors.WorkerCrashError` so the group
+evicts the lane and requeues its work.
+
+Results are bit-identical to a local run: images and logits cross the
+wire through the exact array codec, traces as integer counters.  The
+``deploy`` blob is pickled — **only attach workers you trust, over
+networks you trust**; this is a lab/cluster fabric, not a public API.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+
+from repro.core.engine.trace import TraceMerge
+from repro.errors import RemoteExecutionError, WorkerCrashError
+from repro.runtime.codec import (
+    decode_array,
+    decode_blob,
+    encode_array,
+    encode_blob,
+    encode_line,
+)
+from repro.runtime.work import Deployment, WorkItem, WorkResult, execute_item
+from repro.runtime.workers import Worker
+
+__all__ = ["RemoteWorker", "WorkerServer"]
+
+
+# ----------------------------------------------------------------------
+# Server side — what `repro worker --listen` runs
+# ----------------------------------------------------------------------
+class WorkerServer:
+    """A TCP engine worker: accepts connections, executes work items.
+
+    Engines are built lazily per deployment through the process-wide
+    warm cache, so repeated sweeps against the same worker recompile
+    nothing.  Each connection carries its own deployment table (drivers
+    deploy right after connecting); one handler thread per connection
+    keeps the protocol strictly request/response ordered.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._sock: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        # Live handler threads and their sockets, pruned as connections
+        # close — the worker is a long-lived daemon, so per-connection
+        # state must not accumulate.  Guarded by _conn_lock (accept
+        # thread adds, handlers remove, close() snapshots).
+        self._handlers: set[threading.Thread] = set()
+        self._connections: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        self._closing = threading.Event()
+
+    @property
+    def running(self) -> bool:
+        return self._sock is not None
+
+    def start(self) -> "WorkerServer":
+        """Bind and begin accepting; ``port=0`` picks an ephemeral port."""
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self.port))
+        sock.listen()
+        self.port = sock.getsockname()[1]
+        self._sock = sock
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-worker-accept",
+            daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def __enter__(self) -> "WorkerServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # socket closed by close()
+            handler = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="repro-worker-conn", daemon=True)
+            with self._conn_lock:
+                self._connections.add(conn)
+                self._handlers.add(handler)
+            handler.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        deployments: list[Deployment] = []
+        try:
+            with conn, conn.makefile("rb") as reader:
+                for line in reader:
+                    try:
+                        reply = self._handle(deployments, line)
+                    except Exception as error:  # noqa: BLE001 — every
+                        # request must answer: an unpicklable blob or a
+                        # version-skewed payload is a *task* failure on
+                        # a healthy host, and killing the connection
+                        # would make the driver misread it as a lane
+                        # crash and requeue the item elsewhere.
+                        reply = _error_reply(error)
+                    conn.sendall(encode_line(reply))
+        except (ConnectionError, OSError):
+            pass  # peer vanished; nothing to answer
+        finally:
+            with self._conn_lock:
+                self._connections.discard(conn)
+                self._handlers.discard(threading.current_thread())
+
+    def _handle(self, deployments: list[Deployment], line: bytes) -> dict:
+        message = json.loads(line)
+        if not isinstance(message, dict):
+            raise ValueError("request must be a JSON object")
+        op = message.get("op")
+        if op == "ping":
+            return {"ok": True, "pid": os.getpid(),
+                    "deployments": len(deployments)}
+        if op == "deploy":
+            table = decode_blob(message["blob"])
+            deployments[:] = list(table)
+            return {"ok": True, "deployments": len(deployments)}
+        if op == "execute":
+            item = WorkItem(
+                item_id=int(message["item_id"]),
+                deployment=int(message["deployment"]),
+                images=decode_array(message["images"]))
+            if not 0 <= item.deployment < len(deployments):
+                raise RemoteExecutionError(
+                    f"deployment {item.deployment} is not registered "
+                    f"({len(deployments)} deployed); send a 'deploy' "
+                    "request first")
+            result = execute_item(deployments, item)
+            return {
+                "ok": True,
+                "item_id": result.item_id,
+                "logits": encode_array(result.logits),
+                "traces": [t.to_dict() for t in result.image_traces],
+                "elapsed_s": result.elapsed_s,
+                "pid": result.pid,
+            }
+        raise ValueError(f"unknown op {op!r}")
+
+    def close(self) -> None:
+        self._closing.set()
+        if self._sock is not None:
+            # shutdown() before close(): closing an fd does NOT wake a
+            # thread blocked in accept() on it (the kernel socket stays
+            # in LISTEN and keeps taking connections); shutdown does.
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        # Drop live connections too, so attached lanes observe the death
+        # promptly (heartbeat probes must fail, not hang).
+        with self._conn_lock:
+            connections = list(self._connections)
+            handlers = list(self._handlers)
+            self._connections.clear()
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=1.0)
+            self._accept_thread = None
+        for handler in handlers:
+            handler.join(timeout=1.0)
+
+
+def _error_reply(error: Exception) -> dict:
+    return {"ok": False,
+            "error": {"type": type(error).__name__,
+                      "message": str(error)}}
+
+
+# ----------------------------------------------------------------------
+# Client side — the lane a WorkerGroup schedules onto
+# ----------------------------------------------------------------------
+class RemoteWorker(Worker):
+    """One fabric lane backed by a :class:`WorkerServer` connection."""
+
+    kind = "remote"
+
+    def __init__(self, host: str, port: int, name: str | None = None,
+                 connect_timeout_s: float = 5.0) -> None:
+        super().__init__(name or f"remote@{host}:{port}")
+        self.host = host
+        self.port = port
+        self.connect_timeout_s = connect_timeout_s
+        self._sock: socket.socket | None = None
+        self._reader = None
+        # Serializes the request/response exchange: the group's monitor
+        # may ping while the dispatcher thread owns the socket.
+        self._io_lock = threading.Lock()
+
+    def start(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s)
+            # An execute without a per-item timeout blocks in readline;
+            # keepalive makes a host that vanished without a FIN/RST
+            # (power loss, network partition) surface as an OSError in
+            # about a minute instead of blocking forever.
+            self._sock.setsockopt(socket.SOL_SOCKET,
+                                  socket.SO_KEEPALIVE, 1)
+            for option, value in (("TCP_KEEPIDLE", 30),
+                                  ("TCP_KEEPINTVL", 10),
+                                  ("TCP_KEEPCNT", 3)):
+                if hasattr(socket, option):
+                    self._sock.setsockopt(socket.IPPROTO_TCP,
+                                          getattr(socket, option), value)
+            self._reader = self._sock.makefile("rb")
+        except OSError as error:
+            raise WorkerCrashError(
+                f"cannot reach worker {self.host}:{self.port}: "
+                f"{error}") from error
+
+    def _request(self, payload: dict,
+                 timeout_s: float | None = None) -> dict:
+        with self._io_lock:
+            return self._request_locked(payload, timeout_s)
+
+    def _request_locked(self, payload: dict,
+                        timeout_s: float | None = None) -> dict:
+        """One exchange; caller must hold ``_io_lock``."""
+        if self._sock is None:
+            raise WorkerCrashError(
+                f"worker {self.name!r} is not connected")
+        try:
+            self._sock.settimeout(timeout_s)
+            self._sock.sendall(encode_line(payload))
+            line = self._reader.readline()
+        except (OSError, ValueError) as error:
+            self.close()
+            raise WorkerCrashError(
+                f"worker {self.name!r} connection failed: "
+                f"{error}") from error
+        if not line:
+            self.close()
+            raise WorkerCrashError(
+                f"worker {self.name!r} closed the connection")
+        reply = json.loads(line)
+        if not reply.get("ok"):
+            error = reply.get("error") or {}
+            raise RemoteExecutionError(
+                f"{error.get('type', 'Error')}: "
+                f"{error.get('message', 'remote worker failure')}")
+        return reply
+
+    def deploy(self, deployments: list[Deployment]) -> None:
+        self._request({"op": "deploy",
+                       "blob": encode_blob(list(deployments))},
+                      timeout_s=self.connect_timeout_s * 4)
+
+    def execute(self, item: WorkItem) -> WorkResult:
+        reply = self._request({
+            "op": "execute",
+            "item_id": item.item_id,
+            "deployment": item.deployment,
+            "images": encode_array(item.images),
+        }, timeout_s=item.timeout_s)
+        return WorkResult(
+            item_id=int(reply["item_id"]),
+            logits=decode_array(reply["logits"]),
+            image_traces=[TraceMerge.from_dict(t)
+                          for t in reply["traces"]],
+            elapsed_s=float(reply["elapsed_s"]),
+            worker=self.name,
+            pid=int(reply.get("pid", 0)),
+        )
+
+    def ping(self, timeout_s: float = 5.0) -> bool:
+        # A lane busy executing is alive by definition; never block the
+        # monitor behind a long-running item — probe only if the lock
+        # can be taken NOW, and hold it for the whole exchange (a
+        # release-then-reacquire would let an untimed execute slip in
+        # and stall the monitor indefinitely).
+        if not self._io_lock.acquire(blocking=False):
+            return True
+        try:
+            self._request_locked({"op": "ping"}, timeout_s=timeout_s)
+            return True
+        except (WorkerCrashError, RemoteExecutionError):
+            return False
+        finally:
+            self._io_lock.release()
+
+    def close(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None

@@ -1,0 +1,115 @@
+"""The fabric's unit of work: deployments, work items, work results.
+
+Serving and sweeps used to speak different worker dialects; the fabric
+reduces both to one sentence: *run this batch of images on that
+deployment and send back logits plus per-image trace aggregates*.
+
+* :class:`Deployment` — everything that determines a result: the
+  quantized network, the accelerator config, the engine backend and the
+  latency calibration.  Registered with every worker once, up front, so
+  work items only need an index into the table.
+* :class:`WorkItem` — one executable batch: a deployment index, the
+  image array, an optional execution timeout and opaque caller metadata
+  (the sweep driver parks its shard bookkeeping there; metadata never
+  crosses a process or host boundary).
+* :class:`WorkResult` — integer logits, one
+  :class:`~repro.core.engine.trace.TraceMerge` per image, wall time and
+  the identity of whoever ran it.  Per-image merges are the smallest
+  aggregate that still lets serving slice per-request accounting and
+  sweeps fold shard totals — both bit-identical to a local run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
+from repro.core.config import AcceleratorConfig
+from repro.core.engine import warm_engine
+from repro.core.engine.trace import TraceMerge
+
+__all__ = ["Deployment", "WorkItem", "WorkResult", "execute_item"]
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """One runnable model: network + config + engine + calibration."""
+
+    network: object                      # QuantizedNetwork (picklable)
+    config: AcceleratorConfig
+    backend: str = "vectorized"
+    calibration: LatencyCalibration = DEFAULT_LATENCY
+
+    def engine(self):
+        """This deployment's engine, via the warm-instance cache.
+
+        Workers call this lazily per item; the cache makes repeat calls
+        O(1) and reuse bit-identical (the warm-cache contract), whether
+        the worker is a thread, a forked process or a remote host.
+        """
+        return warm_engine(self.network, self.config, self.backend,
+                           self.calibration)
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One batch to execute on one registered deployment."""
+
+    item_id: int
+    deployment: int                      # index into the worker's table
+    images: np.ndarray                   # (N, C, H, W) floats in [0, 1]
+    timeout_s: float | None = None       # per-item execution budget
+    meta: dict = field(default_factory=dict)  # caller-side only
+
+    @property
+    def num_images(self) -> int:
+        return int(self.images.shape[0])
+
+
+@dataclass
+class WorkResult:
+    """What comes back for one completed :class:`WorkItem`."""
+
+    item_id: int
+    logits: np.ndarray                   # (N, classes) integer logits
+    image_traces: list[TraceMerge]       # one single-image merge each
+    elapsed_s: float
+    worker: str = ""                     # group-unique worker name
+    pid: int = 0                         # executing process id
+
+    @property
+    def predictions(self) -> np.ndarray:
+        return self.logits.argmax(axis=1).astype(np.int64)
+
+    def merged_trace(self) -> TraceMerge:
+        """Fold the per-image merges (order-independent integer sums)."""
+        merged = TraceMerge()
+        for trace in self.image_traces:
+            merged.merge(trace)
+        return merged
+
+
+def execute_item(deployments, item: WorkItem,
+                 worker: str = "") -> WorkResult:
+    """Run one item against a deployment table (any executor's core).
+
+    Thread workers call this inline, process workers call it in the
+    child, the TCP worker server calls it per request — one code path,
+    so every executor produces byte-identical results by construction.
+    """
+    deployment = deployments[item.deployment]
+    engine = deployment.engine()
+    started = time.perf_counter()
+    logits, image_traces = engine.run_merged(item.images)
+    return WorkResult(
+        item_id=item.item_id,
+        logits=logits,
+        image_traces=image_traces,
+        elapsed_s=time.perf_counter() - started,
+        worker=worker,
+        pid=os.getpid(),
+    )

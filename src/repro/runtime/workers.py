@@ -1,0 +1,268 @@
+"""Workers: the three interchangeable executors of the fabric.
+
+A :class:`Worker` owns one execution lane — it is started once, receives
+the deployment table once, and then executes one :class:`~repro.runtime.
+work.WorkItem` at a time.  Three kinds ship:
+
+* :class:`ThreadWorker` — runs items inline on the caller's dispatcher
+  thread.  numpy releases the GIL inside its kernels, so several thread
+  workers overlap real work; zero serialization cost, shares the
+  process-wide warm-engine cache.  Also the ``workers=1`` determinism
+  baseline every other executor mix is compared against.
+* :class:`ProcessWorker` — one dedicated forked (or spawned) child
+  process holding warm engines, fed over pickled numpy arrays.
+  Sidesteps the GIL; a killed child surfaces as
+  :class:`~repro.errors.WorkerCrashError`, which the group turns into
+  eviction + requeue instead of a deadlock.
+* ``RemoteWorker`` (``repro.runtime.remote``) — the same protocol over a
+  JSON-lines TCP connection to a host running ``repro worker --listen``.
+
+Spec strings name workers uniformly across the CLI, the sweep driver and
+the serving pool: ``"thread"``, ``"process"``, ``"thread:4"`` /
+``"process:4"`` (multipliers), or ``"host:port"`` for a remote worker.
+An integer worker count keeps its historical meaning — ``1`` is the
+inline baseline, ``N`` is ``N`` process workers.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+
+import multiprocessing as mp
+
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.runtime.work import Deployment, WorkItem, WorkResult, execute_item
+
+__all__ = [
+    "ProcessWorker",
+    "ThreadWorker",
+    "Worker",
+    "create_workers",
+    "normalize_worker_specs",
+]
+
+
+class Worker(abc.ABC):
+    """One execution lane: start, deploy once, execute items, ping."""
+
+    #: Executor kind ("thread" | "process" | "remote").
+    kind: str = "abstract"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Acquire the lane's resources (executor, connection)."""
+
+    @abc.abstractmethod
+    def deploy(self, deployments: list[Deployment]) -> None:
+        """Register the deployment table this lane will execute against."""
+
+    @abc.abstractmethod
+    def execute(self, item: WorkItem) -> WorkResult:
+        """Run one item; raises :class:`WorkerCrashError` if the lane
+        itself died (process killed, connection dropped, budget blown) —
+        any other :class:`~repro.errors.ReproError` is a task-level
+        failure on a healthy lane."""
+
+    def ping(self, timeout_s: float = 5.0) -> bool:
+        """Liveness probe; ``False``/``WorkerCrashError`` marks the lane
+        dead.  In-process lanes are alive by definition."""
+        return True
+
+    def close(self) -> None:
+        """Release the lane's resources; idempotent."""
+
+
+class ThreadWorker(Worker):
+    """Inline execution on the group's dispatcher thread."""
+
+    kind = "thread"
+
+    def __init__(self, name: str = "thread") -> None:
+        super().__init__(name)
+        self._deployments: list[Deployment] = []
+
+    def start(self) -> None:
+        pass
+
+    def deploy(self, deployments: list[Deployment]) -> None:
+        self._deployments = list(deployments)
+
+    def execute(self, item: WorkItem) -> WorkResult:
+        return execute_item(self._deployments, item, worker=self.name)
+
+
+# ----------------------------------------------------------------------
+# Process-worker child side (module-level for picklability).  One child
+# per ProcessWorker, so a plain global table is per-lane state.
+# ----------------------------------------------------------------------
+_CHILD_DEPLOYMENTS: list[Deployment] = []
+
+
+def _child_deploy(deployments: list[Deployment]) -> int:
+    global _CHILD_DEPLOYMENTS
+    _CHILD_DEPLOYMENTS = list(deployments)
+    return os.getpid()
+
+
+def _child_execute(item: WorkItem) -> WorkResult:
+    return execute_item(_CHILD_DEPLOYMENTS, item)
+
+
+class ProcessWorker(Worker):
+    """One dedicated child process holding warm engines."""
+
+    kind = "process"
+
+    def __init__(self, name: str = "process") -> None:
+        super().__init__(name)
+        self._pool: ProcessPoolExecutor | None = None
+        self.pid: int | None = None
+        # Held while a batch runs in the child.  The group's monitor
+        # pings "idle" lanes, but a batch may start between its idle
+        # check and the ping; a ping queued behind a long batch on this
+        # single-child pool would time out and falsely evict a healthy
+        # lane, so ping only probes when it can take this lock.
+        self._exec_lock = threading.Lock()
+
+    def start(self) -> None:
+        methods = mp.get_all_start_methods()
+        context = mp.get_context("fork" if "fork" in methods else None)
+        self._pool = ProcessPoolExecutor(max_workers=1,
+                                         mp_context=context)
+
+    def _submit(self, fn, *args, timeout_s: float | None = None):
+        if self._pool is None:
+            raise WorkerCrashError(f"worker {self.name!r} is not started")
+        try:
+            return self._pool.submit(fn, *args).result(timeout=timeout_s)
+        except BrokenProcessPool as error:
+            raise WorkerCrashError(
+                f"worker {self.name!r} (pid {self.pid}) died: "
+                f"{error}") from error
+        except FutureTimeout as error:
+            # A blown budget is indistinguishable from a hung child;
+            # treat the lane as dead so the group can requeue elsewhere.
+            self.close()
+            raise WorkerCrashError(
+                f"worker {self.name!r} (pid {self.pid}) exceeded its "
+                f"{timeout_s} s execution budget") from error
+
+    def deploy(self, deployments: list[Deployment]) -> None:
+        self.pid = self._submit(_child_deploy, list(deployments))
+
+    def execute(self, item: WorkItem) -> WorkResult:
+        # Strip caller-side metadata before pickling: it is documented
+        # as never crossing the boundary (and may be unpicklable).
+        wire_item = WorkItem(item_id=item.item_id,
+                             deployment=item.deployment,
+                             images=item.images,
+                             timeout_s=item.timeout_s)
+        with self._exec_lock:
+            result = self._submit(_child_execute, wire_item,
+                                  timeout_s=item.timeout_s)
+        result.worker = self.name
+        return result
+
+    def ping(self, timeout_s: float = 5.0) -> bool:
+        # A lane mid-batch is alive by definition; never queue a probe
+        # behind a running shard (see _exec_lock above).
+        if not self._exec_lock.acquire(blocking=False):
+            return True
+        try:
+            self._submit(os.getpid, timeout_s=timeout_s)
+            return True
+        except WorkerCrashError:
+            return False
+        finally:
+            self._exec_lock.release()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+
+# ----------------------------------------------------------------------
+# Worker specs — the one grammar the CLI, sweeps and serving share
+# ----------------------------------------------------------------------
+_LOCAL_KINDS = ("thread", "process")
+
+
+def normalize_worker_specs(workers) -> list[str]:
+    """Expand a worker request into one spec string per lane.
+
+    ``workers`` may be an integer (``1`` → one inline thread lane, the
+    determinism baseline; ``N`` → ``N`` process lanes), a single spec
+    string, or a sequence of spec strings.  Multipliers expand here:
+    ``"process:4"`` → four process lanes.
+    """
+    if isinstance(workers, int):
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {workers}")
+        return ["thread"] if workers == 1 else ["process"] * workers
+    if isinstance(workers, str):
+        workers = [workers]
+    specs: list[str] = []
+    for token in workers:
+        token = str(token).strip()
+        if not token:
+            continue
+        kind, _, tail = token.partition(":")
+        if kind in _LOCAL_KINDS:
+            count = 1
+            if tail:
+                try:
+                    count = int(tail)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"bad worker multiplier in {token!r}") from None
+                if count < 1:
+                    raise ConfigurationError(
+                        f"worker multiplier must be >= 1 in {token!r}")
+            specs.extend([kind] * count)
+        elif ":" in token:
+            host, _, port = token.rpartition(":")
+            try:
+                int(port)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad remote worker spec {token!r}; expected "
+                    "host:port") from None
+            if not host:
+                raise ConfigurationError(
+                    f"bad remote worker spec {token!r}; expected "
+                    "host:port")
+            specs.append(f"{host}:{int(port)}")
+        else:
+            raise ConfigurationError(
+                f"unknown worker spec {token!r}; expected 'thread', "
+                "'process', 'kind:N' or 'host:port'")
+    if not specs:
+        raise ConfigurationError("worker spec list selected no workers")
+    return specs
+
+
+def create_workers(workers) -> list[Worker]:
+    """Build (unstarted) workers from specs; names are group-unique."""
+    from repro.runtime.remote import RemoteWorker  # avoid module cycle
+
+    built: list[Worker] = []
+    for index, spec in enumerate(normalize_worker_specs(workers)):
+        if spec == "thread":
+            built.append(ThreadWorker(name=f"thread-{index}"))
+        elif spec == "process":
+            built.append(ProcessWorker(name=f"process-{index}"))
+        else:
+            host, _, port = spec.rpartition(":")
+            built.append(RemoteWorker(host, int(port),
+                                      name=f"remote-{index}@{spec}"))
+    return built

@@ -3,10 +3,14 @@
 The "millions of users" axis: an asyncio front-end that coalesces
 concurrent single-image requests into micro-batches for the vectorized
 engine, with pluggable flush policies (throughput-greedy or latency-SLO
-deadline), a pool of warm engines, bounded-queue backpressure, full
-latency/throughput metrics and per-request hardware (cycle/energy)
-accounting.  In-process API first; a thin JSON-over-TCP transport and an
-open-loop load generator ride on top.
+deadline) honoring per-request ``timeout_ms``/``priority``, a pool of
+warm engine lanes on the runtime worker fabric (threads, processes or
+remote TCP workers; crashed lanes are evicted and their batches
+requeued), bounded-queue backpressure, full latency/throughput metrics
+and per-request hardware (cycle/energy) accounting.  In-process API
+first; a thin JSON-over-TCP transport (structured typed errors — a
+timed-out request answers, never hangs) and an open-loop load generator
+ride on top.
 
 Quick tour::
 

@@ -73,6 +73,20 @@ class BatchPolicy(abc.ABC):
         immediately with what you have".
         """
 
+    def select(self, waiting: list) -> list[int]:
+        """Indices of the requests to put in the flushing batch.
+
+        The default — shared by every built-in policy — honors
+        per-request ``priority``: highest priority first, FIFO within a
+        priority level, capped at ``max_batch``.  Returned indices are
+        ascending (arrival order inside the batch), so equal-priority
+        traffic behaves exactly like the pre-priority batcher.
+        """
+        order = sorted(range(len(waiting)),
+                       key=lambda i: (-getattr(waiting[i], "priority", 0),
+                                      i))
+        return sorted(order[:self.max_batch])
+
     def observe(self, batch_size: int, service_s: float) -> None:
         """Feedback after a batch executed (adaptive policies override)."""
 
@@ -173,31 +187,102 @@ class Batcher:
 
     One ``await next_batch()`` blocks until at least one request exists,
     then keeps absorbing arrivals until the batch is full or the
-    policy's flush deadline passes.  The batcher never reorders: batches
-    are contiguous slices of arrival order, which is what makes serving
-    results comparable to a serial run of the same request sequence.
+    policy's flush deadline passes.  Requests the batch cannot take
+    (overflow past ``max_batch``, lower priority than newer arrivals)
+    wait in an internal buffer for the next flush.  Selection honors
+    per-request ``priority`` through :meth:`BatchPolicy.select`; with
+    equal priorities batches are contiguous slices of arrival order,
+    which is what keeps serving results comparable to a serial run of
+    the same request sequence.  (Re-grouping never changes results —
+    that is the serving determinism contract — so priority only moves
+    *when* a request runs, never *what* it answers.)
+
+    ``expire`` is called once per request whose ``deadline`` passed
+    while it waited (per-request ``timeout_ms``); expired requests are
+    dropped from the buffer instead of dispatched, and the earliest
+    pending deadline bounds the wait so expiry is detected promptly.
+
+    The internal buffer is bounded at **two batches** of lookahead:
+    priority selection sees at most ``2 x max_batch`` waiting requests,
+    and everything beyond that stays in the bounded intake queue — which
+    is what keeps the server's backpressure contract intact under
+    sustained overload (``submit(wait=False)`` must keep bouncing off a
+    *full* queue, not leak into an unbounded buffer).
     """
 
-    def __init__(self, queue: asyncio.Queue, policy: BatchPolicy) -> None:
+    def __init__(self, queue: asyncio.Queue, policy: BatchPolicy,
+                 expire=None) -> None:
         self.queue = queue
         self.policy = policy
+        self.expire = expire
+        self._waiting: list = []  # arrival order, held between flushes
+
+    @property
+    def waiting(self) -> int:
+        """Requests buffered beyond the queue (snapshot diagnostics)."""
+        return len(self._waiting)
+
+    @property
+    def _capacity(self) -> int:
+        """Buffer bound: the flushing batch plus one batch of lookahead."""
+        return 2 * self.policy.max_batch
+
+    def drain_waiting(self) -> list:
+        """Hand back (and clear) the held requests — shutdown path."""
+        waiting, self._waiting = self._waiting, []
+        return waiting
+
+    def _drain_queue(self) -> None:
+        while len(self._waiting) < self._capacity:
+            try:
+                self._waiting.append(self.queue.get_nowait())
+            except asyncio.QueueEmpty:
+                return
+
+    def _purge_expired(self, now: float) -> None:
+        if self.expire is None:
+            return
+        keep = []
+        for request in self._waiting:
+            deadline = getattr(request, "deadline", None)
+            if deadline is not None and deadline <= now:
+                self.expire(request)
+            else:
+                keep.append(request)
+        self._waiting = keep
 
     async def next_batch(self) -> list:
-        batch = [await self.queue.get()]
-        while len(batch) < self.policy.max_batch:
-            # Drain whatever is already queued without yielding.
-            try:
-                batch.append(self.queue.get_nowait())
+        while True:
+            if not self._waiting:
+                self._waiting.append(await self.queue.get())
+            self._drain_queue()
+            now = time.perf_counter()
+            self._purge_expired(now)
+            if not self._waiting:
                 continue
-            except asyncio.QueueEmpty:
-                pass
-            deadline = self.policy.flush_deadline(batch[0].enqueued_at)
-            timeout = deadline - time.perf_counter()
-            if timeout <= 0:
+            if len(self._waiting) >= self.policy.max_batch:
                 break
+            flush_at = self.policy.flush_deadline(
+                self._waiting[0].enqueued_at)
+            if flush_at <= now:
+                break
+            # Wake early for whichever comes first: the policy flush or
+            # the earliest per-request timeout (prompt expiry answers).
+            # Without an expire hook, deadlines are nobody's business
+            # here — honoring them would busy-loop on a passed one.
+            deadlines = []
+            if self.expire is not None:
+                deadlines = [r.deadline for r in self._waiting
+                             if getattr(r, "deadline", None) is not None]
+            wake_at = min([flush_at] + deadlines)
             try:
-                batch.append(await asyncio.wait_for(self.queue.get(),
-                                                    timeout))
+                self._waiting.append(await asyncio.wait_for(
+                    self.queue.get(), wake_at - now))
             except asyncio.TimeoutError:
-                break
+                pass
+        chosen = self.policy.select(self._waiting)
+        taken = set(chosen)
+        batch = [self._waiting[i] for i in chosen]
+        self._waiting = [r for i, r in enumerate(self._waiting)
+                         if i not in taken]
         return batch

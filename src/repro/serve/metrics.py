@@ -57,12 +57,16 @@ class MetricsSnapshot:
     latency_ms: dict[str, float]
     queue_wait_ms: dict[str, float]
     service_ms: dict[str, float]
+    timed_out: int = 0        # requests expired before dispatch
+    worker_crashes: int = 0   # engine lanes evicted by the runtime fabric
 
     def to_dict(self) -> dict:
         """JSON-ready payload (histogram keys become strings)."""
         return {
             "completed": self.completed,
             "rejected": self.rejected,
+            "timed_out": self.timed_out,
+            "worker_crashes": self.worker_crashes,
             "queue_depth": self.queue_depth,
             "elapsed_s": self.elapsed_s,
             "throughput_rps": self.throughput_rps,
@@ -85,6 +89,7 @@ class ServerMetrics:
         self.started_at = time.perf_counter()
         self.completed = 0
         self.rejected = 0
+        self.timed_out = 0
         self._latency_ms: deque = deque(maxlen=window)
         self._queue_wait_ms: deque = deque(maxlen=window)
         self._service_ms: deque = deque(maxlen=window)
@@ -104,17 +109,23 @@ class ServerMetrics:
         """A submit bounced off the bounded queue (backpressure)."""
         self.rejected += 1
 
+    def record_timeout(self) -> None:
+        """A request's deadline passed before its batch dispatched."""
+        self.timed_out += 1
+
     def reset(self) -> None:
         """Restart the measurement window (load-phase boundaries)."""
         self.started_at = time.perf_counter()
         self.completed = 0
         self.rejected = 0
+        self.timed_out = 0
         self._latency_ms.clear()
         self._queue_wait_ms.clear()
         self._service_ms.clear()
         self._batch_sizes.clear()
 
-    def snapshot(self, queue_depth: int = 0) -> MetricsSnapshot:
+    def snapshot(self, queue_depth: int = 0,
+                 worker_crashes: int = 0) -> MetricsSnapshot:
         """Freeze the current counters into a :class:`MetricsSnapshot`."""
         elapsed = time.perf_counter() - self.started_at
         mean_batch = (
@@ -123,6 +134,8 @@ class ServerMetrics:
         return MetricsSnapshot(
             completed=self.completed,
             rejected=self.rejected,
+            timed_out=self.timed_out,
+            worker_crashes=worker_crashes,
             queue_depth=queue_depth,
             elapsed_s=elapsed,
             throughput_rps=self.completed / elapsed if elapsed else 0.0,

@@ -1,63 +1,53 @@
-"""Warm execution-engine pools: batches run off the event loop.
+"""Warm engine pools for serving — a policy skin over the runtime fabric.
 
 The server's asyncio loop must never block on a GEMM, so batch execution
-is pushed onto an executor holding ``size`` *warm* engines — compiled
-once up front (via the :func:`~repro.core.engine.warm_compile` cache),
-never recompiled per batch.  Two modes:
+is pushed onto a :class:`~repro.runtime.WorkerGroup` of warm worker
+lanes; the pool itself only owns serving policy (one deployment, an
+in-flight cap enforced upstream by the server's dispatch slots) and the
+async bridge (``concurrent.futures.Future`` → ``await``).  Executor
+kinds:
 
-* ``thread`` (default) — ``size`` engine instances over one shared
-  compiled model, executed on a thread pool.  numpy releases the GIL
-  inside its kernels, so threads overlap real work; engines are
-  stateless per ``run_batch`` call, which is what makes this safe.
-* ``process`` — the PR-2 sweep-worker recipe turned into a serving
-  executor: ``size`` forked worker processes, each holding one warm
-  engine built by its initializer, with batches shipped over pickled
-  numpy arrays.  Sidesteps the GIL entirely at the cost of IPC per
-  batch; worth it for big batches on multi-core hosts.
+* ``thread`` (default) — inline lanes over one shared warm-compiled
+  model.  numpy releases the GIL inside its kernels, so lanes overlap
+  real work; engines are stateless per ``run_batch`` call, which is what
+  makes sharing safe.
+* ``process`` — one forked child per lane, each holding a warm engine,
+  batches shipped as pickled arrays.  Sidesteps the GIL entirely.
+* ``workers=[...]`` — explicit lane specs, including ``"host:port"``
+  remote TCP workers (a host running ``repro worker --listen``), so one
+  server can fan micro-batches out across machines.
 
-A counting token queue caps in-flight batches at ``size`` in both modes,
-so backpressure propagates to the batcher instead of piling futures into
-the executor.
+A lane dying mid-batch does not fail the request: the group evicts the
+lane, requeues the batch on a healthy one and counts the event — the
+server surfaces the count as ``worker_crashes`` in its metrics.
 """
 
 from __future__ import annotations
 
 import asyncio
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-
-import multiprocessing as mp
+import itertools
+import threading
 
 import numpy as np
 
 from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
 from repro.core.config import AcceleratorConfig
-from repro.core.engine import create_engine, resolve_backend, warm_compile
-from repro.core.engine.trace import ExecutionTrace
+from repro.core.engine import resolve_backend, warm_compile
+from repro.core.engine.trace import TraceMerge
 from repro.errors import ConfigurationError, ServeError
+from repro.runtime import Deployment, WorkItem, WorkerGroup, create_workers
 
 __all__ = ["EnginePool"]
 
 
-# ----------------------------------------------------------------------
-# Process-mode worker side (module-level for picklability; the same
-# initializer-plus-global pattern the sweep driver's workers use).
-# ----------------------------------------------------------------------
-_WORKER_ENGINE = None
-
-
-def _init_pool_worker(network, config, backend_name, calibration) -> None:
-    """Build this worker's warm engine once, at pool start-up."""
-    global _WORKER_ENGINE
-    compiled = warm_compile(network, config)
-    _WORKER_ENGINE = create_engine(backend_name, compiled, calibration)
-
-
-def _pool_worker_run(images: np.ndarray):
-    return _WORKER_ENGINE.run_batch(images)
-
-
 class EnginePool:
-    """``size`` warm engines behind an async ``run_batch``."""
+    """Warm engine lanes behind an async ``run_batch``.
+
+    ``size``/``mode`` build a homogeneous group (``size`` lanes of
+    ``mode``); ``workers`` overrides both with explicit fabric specs
+    (``"thread"``, ``"process"``, ``"host:port"``, multipliers like
+    ``"process:4"``).
+    """
 
     def __init__(
         self,
@@ -67,6 +57,7 @@ class EnginePool:
         calibration: LatencyCalibration = DEFAULT_LATENCY,
         size: int = 1,
         mode: str = "thread",
+        workers: list[str] | None = None,
     ) -> None:
         if size < 1:
             raise ConfigurationError(f"pool size must be >= 1, got {size}")
@@ -77,67 +68,73 @@ class EnginePool:
         self.config = config
         self.backend = resolve_backend(backend).name
         self.calibration = calibration
-        self.size = size
         self.mode = mode
-        self._executor = None
-        self._engines = []
-        self._tokens: asyncio.Queue | None = None
+        self.worker_specs = (list(workers) if workers
+                             else [mode] * size)
+        self.size = len(self.worker_specs)
+        self._group: WorkerGroup | None = None
+        self._item_ids = itertools.count()
 
     @property
     def started(self) -> bool:
-        return self._executor is not None
+        return self._group is not None
+
+    @property
+    def worker_crashes(self) -> int:
+        """Lanes evicted since start (dead children, dropped hosts)."""
+        return self._group.metrics.worker_crashes if self._group else 0
+
+    def group_metrics(self) -> dict:
+        """The fabric's scheduling counters (diagnostics)."""
+        return self._group.metrics.to_dict() if self._group else {}
 
     def start(self) -> None:
-        """Compile (warm) and spin up the executor; idempotent-checked."""
+        """Warm-compile, build the lane group, start it; not idempotent."""
         if self.started:
             raise ServeError("engine pool already started")
-        # Warm the parent-process cache first: thread mode shares this
-        # compiled model across all engines; process mode forks after
-        # it, so children inherit the compiled pages copy-on-write and
-        # their initializers hit the warm cache instead of recompiling.
-        compiled = warm_compile(self.network, self.config)
-        if self.mode == "thread":
-            self._engines = [
-                create_engine(self.backend, compiled, self.calibration)
-                for _ in range(self.size)
-            ]
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.size,
-                thread_name_prefix="repro-serve-engine")
-        else:
-            methods = mp.get_all_start_methods()
-            context = mp.get_context(
-                "fork" if "fork" in methods else None)
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.size, mp_context=context,
-                initializer=_init_pool_worker,
-                initargs=(self.network, self.config, self.backend,
-                          self.calibration))
-        self._tokens = asyncio.Queue()
-        for index in range(self.size):
-            self._tokens.put_nowait(index)
+        # Warm the parent-process cache first: thread lanes share this
+        # compiled model; process lanes fork after it, so children
+        # inherit the compiled pages copy-on-write and their deploys hit
+        # the warm cache instead of recompiling.
+        warm_compile(self.network, self.config)
+        deployment = Deployment(network=self.network, config=self.config,
+                                backend=self.backend,
+                                calibration=self.calibration)
+        self._group = WorkerGroup(create_workers(self.worker_specs),
+                                  deployments=[deployment])
+        try:
+            self._group.start()
+        except BaseException:
+            self._group = None
+            raise
 
     async def run_batch(
-        self, images: np.ndarray
-    ) -> tuple[np.ndarray, list[ExecutionTrace]]:
-        """Execute one micro-batch on the next free warm engine."""
+        self, images: np.ndarray, timeout_s: float | None = None
+    ) -> tuple[np.ndarray, list[TraceMerge]]:
+        """Execute one micro-batch on the next free warm lane.
+
+        Returns ``(logits, per-image TraceMerge list)``; a crashed lane
+        is evicted and the batch re-runs on a healthy one before this
+        resolves.
+        """
         if not self.started:
             raise ServeError("engine pool is not started")
-        token = await self._tokens.get()
-        try:
-            loop = asyncio.get_running_loop()
-            if self.mode == "thread":
-                engine = self._engines[token]
-                return await loop.run_in_executor(
-                    self._executor, engine.run_batch, images)
-            return await loop.run_in_executor(
-                self._executor, _pool_worker_run, images)
-        finally:
-            self._tokens.put_nowait(token)
+        item = WorkItem(item_id=next(self._item_ids), deployment=0,
+                        images=images, timeout_s=timeout_s)
+        future = self._group.submit(item)
+        result = await asyncio.wrap_future(future)
+        return result.logits, result.image_traces
 
     def shutdown(self, wait: bool = True) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=wait)
-            self._executor = None
-            self._engines = []
-            self._tokens = None
+        """Stop the lane group; ``wait=False`` tears down off-thread
+        (group stop joins dispatchers, which can take seconds with a
+        batch in flight)."""
+        group, self._group = self._group, None
+        if group is None:
+            return
+        if wait:
+            group.stop()
+        else:
+            threading.Thread(target=group.stop,
+                             name="repro-pool-shutdown",
+                             daemon=True).start()

@@ -29,7 +29,12 @@ from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
 from repro.core.config import AcceleratorConfig
 from repro.core.energy import trace_energy
 from repro.core.engine.trace import TraceMerge
-from repro.errors import BackpressureError, ServeError, ShapeError
+from repro.errors import (
+    BackpressureError,
+    RequestTimeoutError,
+    ServeError,
+    ShapeError,
+)
 from repro.serve.batcher import Batcher, BatchPolicy, create_policy
 from repro.serve.metrics import MetricsSnapshot, ServerMetrics
 from repro.serve.pool import EnginePool
@@ -77,12 +82,21 @@ class InferenceResult:
 
 @dataclass
 class _Request:
-    """Internal queue entry: the image plus its completion future."""
+    """Internal queue entry: the image plus its completion future.
+
+    ``priority`` orders batch selection (higher first, FIFO within a
+    level); ``deadline`` is the absolute ``perf_counter`` time after
+    which the request must be failed with
+    :class:`~repro.errors.RequestTimeoutError` instead of dispatched.
+    """
 
     request_id: int
     image: np.ndarray
     future: asyncio.Future
     enqueued_at: float = field(default_factory=time.perf_counter)
+    priority: int = 0
+    timeout_ms: float | None = None
+    deadline: float | None = None
 
 
 class InferenceServer:
@@ -104,9 +118,11 @@ class InferenceServer:
     queue_depth:
         Bounded-queue capacity; ``submit(wait=True)`` blocks when full,
         ``submit(wait=False)`` raises :class:`BackpressureError`.
-    engines / mode:
-        Warm-engine pool size and executor kind (``thread`` |
-        ``process``); see :class:`~repro.serve.pool.EnginePool`.
+    engines / mode / workers:
+        Warm-engine pool shape: ``engines`` lanes of ``mode`` (``thread``
+        | ``process``), or explicit runtime fabric specs via ``workers``
+        (e.g. ``["thread", "host:7601"]`` to add a remote TCP engine
+        worker); see :class:`~repro.serve.pool.EnginePool`.
     """
 
     def __init__(
@@ -122,6 +138,7 @@ class InferenceServer:
         queue_depth: int = 1024,
         engines: int = 1,
         mode: str = "thread",
+        workers: list[str] | None = None,
     ) -> None:
         network = getattr(network, "network", network)
         self.network = network
@@ -131,7 +148,7 @@ class InferenceServer:
         self.queue_depth = queue_depth
         self.pool = EnginePool(network, self.config, backend=backend,
                                calibration=calibration, size=engines,
-                               mode=mode)
+                               mode=mode, workers=workers)
         self.metrics = ServerMetrics()
         self._queue: asyncio.Queue | None = None
         self._batcher: Batcher | None = None
@@ -154,7 +171,8 @@ class InferenceServer:
         if self.running:
             raise ServeError("server already running")
         self._queue = asyncio.Queue(maxsize=self.queue_depth)
-        self._batcher = Batcher(self._queue, self.policy)
+        self._batcher = Batcher(self._queue, self.policy,
+                                expire=self._expire_request)
         self._dispatch_slots = asyncio.Semaphore(self.pool.size)
         self._idle = asyncio.Event()
         self._idle.set()
@@ -191,8 +209,10 @@ class InferenceServer:
         # this loop.  Only reachable with drain=False (a drain already
         # waited the open count down to zero).
         while self._open_requests > 0:
+            leftovers = self._batcher.drain_waiting()
             while not self._queue.empty():
-                request = self._queue.get_nowait()
+                leftovers.append(self._queue.get_nowait())
+            for request in leftovers:
                 if not request.future.done():
                     request.future.set_exception(
                         ServeError("server stopped before request ran"))
@@ -220,19 +240,34 @@ class InferenceServer:
         return image
 
     async def submit(self, image: np.ndarray,
-                     wait: bool = True) -> InferenceResult:
+                     wait: bool = True,
+                     timeout_ms: float | None = None,
+                     priority: int = 0) -> InferenceResult:
         """Infer one ``(C, H, W)`` image; resolves when its batch ran.
 
         ``wait=True`` applies backpressure by awaiting queue space;
         ``wait=False`` raises :class:`BackpressureError` when the queue
         is full (and counts the rejection in the metrics).
+
+        ``timeout_ms`` bounds the queue wait: a request still waiting
+        for a batch slot when the deadline passes fails with
+        :class:`~repro.errors.RequestTimeoutError` (counted in
+        ``timed_out``) instead of lingering.  ``priority`` biases batch
+        selection — higher values dispatch first, FIFO within a level.
         """
         if self._closed:
             raise ServeError("server is not running (call start())")
+        if timeout_ms is not None and timeout_ms <= 0:
+            raise ServeError(
+                f"timeout_ms must be > 0, got {timeout_ms}")
         image = self._check_image(image)
         loop = asyncio.get_running_loop()
         request = _Request(request_id=self._next_id, image=image,
-                           future=loop.create_future())
+                           future=loop.create_future(),
+                           priority=int(priority),
+                           timeout_ms=timeout_ms)
+        if timeout_ms is not None:
+            request.deadline = request.enqueued_at + timeout_ms / 1e3
         self._next_id += 1
         self._request_opened()
         try:
@@ -253,7 +288,9 @@ class InferenceServer:
         return await request.future
 
     async def submit_many(self, images: np.ndarray,
-                          wait: bool = True) -> list[InferenceResult]:
+                          wait: bool = True,
+                          timeout_ms: float | None = None,
+                          priority: int = 0) -> list[InferenceResult]:
         """Submit a pre-formed group of images; order-preserving.
 
         All submissions settle before this returns; if any failed (e.g.
@@ -262,7 +299,8 @@ class InferenceServer:
         the background and no result is silently dropped mid-flight.
         """
         settled = await asyncio.gather(
-            *(self.submit(image, wait=wait) for image in images),
+            *(self.submit(image, wait=wait, timeout_ms=timeout_ms,
+                          priority=priority) for image in images),
             return_exceptions=True)
         for outcome in settled:
             if isinstance(outcome, BaseException):
@@ -272,7 +310,10 @@ class InferenceServer:
     def snapshot(self) -> MetricsSnapshot:
         """Metrics snapshot including the live queue depth."""
         depth = self._queue.qsize() if self._queue is not None else 0
-        return self.metrics.snapshot(queue_depth=depth)
+        if self._batcher is not None:
+            depth += self._batcher.waiting
+        return self.metrics.snapshot(
+            queue_depth=depth, worker_crashes=self.pool.worker_crashes)
 
     # ------------------------------------------------------------------
     # Serving internals
@@ -285,6 +326,15 @@ class InferenceServer:
         self._open_requests -= 1
         if self._open_requests <= 0:
             self._idle.set()
+
+    def _expire_request(self, request: _Request) -> None:
+        """Batcher hook: a request's queue-wait deadline passed."""
+        self.metrics.record_timeout()
+        if not request.future.done():
+            request.future.set_exception(RequestTimeoutError(
+                f"request {request.request_id} timed out after "
+                f"{request.timeout_ms:.0f} ms waiting for dispatch"))
+        self._request_done()
 
     async def _serve_loop(self) -> None:
         # In-flight batches are capped at the engine-pool size *before*
@@ -331,7 +381,7 @@ class InferenceServer:
         self.policy.observe(len(batch), finished - started)
         weight_bits = self.network.weight_bits
         for i, request in enumerate(batch):
-            trace = TraceMerge.from_traces([traces[i]])
+            trace = traces[i]  # already a per-image TraceMerge
             cycles = trace.total_cycles
             queue_wait_ms = (started - request.enqueued_at) * 1e3
             latency_ms = (finished - request.enqueued_at) * 1e3

@@ -1,10 +1,12 @@
 """TCP front-end: newline-delimited JSON over asyncio streams.
 
-One request per line.  An inference request carries the image (nested
-lists, the network's ``(C, H, W)`` shape); control requests carry an
-``op`` field::
+One request per line (the same framing the runtime worker fabric uses —
+``repro.runtime.codec``).  An inference request carries the image
+(nested lists, the network's ``(C, H, W)`` shape) plus optional serving
+knobs; control requests carry an ``op`` field::
 
-    {"id": 7, "image": [[[0.1, ...]]]}      -> inference
+    {"id": 7, "image": [[[0.1, ...]]],
+     "timeout_ms": 50, "priority": 2}        -> inference
     {"op": "metrics"}                        -> server metrics snapshot
     {"op": "ping"}                           -> liveness probe
 
@@ -12,8 +14,16 @@ Responses echo the client's ``id`` so clients may pipeline: every
 connection handles its requests concurrently (each becomes a
 ``submit()`` into the shared :class:`~repro.serve.server.InferenceServer`,
 so requests from many connections coalesce into the same micro-batches).
-Errors come back as ``{"id": ..., "error": "..."}`` instead of tearing
-the connection down.
+Failures answer as structured errors instead of tearing the connection
+down::
+
+    {"id": 7, "error": {"type": "RequestTimeoutError",
+                        "message": "..."}}
+
+so a timed-out or cancelled request propagates to the client as a typed
+exception (:class:`~repro.errors.RequestTimeoutError`,
+:class:`~repro.errors.BackpressureError`, :class:`~repro.errors.
+ServeError`) rather than a hung connection.
 
 This transport is deliberately minimal — a measurement and demo surface,
 not a hardened RPC layer; the in-process API is the primary interface.
@@ -26,14 +36,35 @@ import json
 
 import numpy as np
 
-from repro.errors import ReproError, ServeError
+from repro.errors import (
+    BackpressureError,
+    ReproError,
+    RequestTimeoutError,
+    ServeError,
+)
+from repro.runtime.codec import encode_line as _encode
 from repro.serve.server import InferenceServer
 
 __all__ = ["TcpClient", "start_tcp_server"]
 
+#: Error types a structured reply can resurrect client-side; anything
+#: else degrades to plain :class:`ServeError`.
+_ERROR_TYPES = {
+    "BackpressureError": BackpressureError,
+    "RequestTimeoutError": RequestTimeoutError,
+}
 
-def _encode(payload: dict) -> bytes:
-    return (json.dumps(payload) + "\n").encode()
+
+def _error_payload(error: Exception) -> dict:
+    return {"type": type(error).__name__, "message": str(error)}
+
+
+def _raise_remote_error(error) -> Exception:
+    """Rebuild the typed exception from a structured (or legacy) error."""
+    if isinstance(error, dict):
+        cls = _ERROR_TYPES.get(error.get("type"), ServeError)
+        return cls(error.get("message", "server error"))
+    return ServeError(str(error))
 
 
 async def _handle_connection(server: InferenceServer,
@@ -61,15 +92,23 @@ async def _handle_connection(server: InferenceServer,
                 raise ServeError(
                     "request needs an 'image' field or a known 'op'")
             image = np.asarray(message["image"], dtype=np.float64)
-            result = await server.submit(image)
+            timeout_ms = message.get("timeout_ms")
+            result = await server.submit(
+                image,
+                timeout_ms=(float(timeout_ms) if timeout_ms is not None
+                            else None),
+                priority=int(message.get("priority", 0)))
             payload = result.to_dict()
             payload["id"] = request_id
             await respond(payload)
         except (ReproError, ValueError, TypeError) as error:
             # TypeError covers unconvertible 'image' payloads (null,
             # objects): every failure must answer, or a pipelining
-            # client waits on this id forever.
-            await respond({"id": request_id, "error": str(error)})
+            # client waits on this id forever.  The structured payload
+            # carries the exception type, so timeouts and backpressure
+            # resurface client-side as the same typed errors.
+            await respond({"id": request_id,
+                           "error": _error_payload(error)})
 
     try:
         while True:
@@ -80,11 +119,14 @@ async def _handle_connection(server: InferenceServer,
                 message = json.loads(line)
             except json.JSONDecodeError as error:
                 await respond({"id": None,
-                               "error": f"bad JSON: {error}"})
+                               "error": {"type": "ServeError",
+                                         "message": f"bad JSON: {error}"}})
                 continue
             if not isinstance(message, dict):
                 await respond({"id": None,
-                               "error": "request must be a JSON object"})
+                               "error": {"type": "ServeError",
+                                         "message": "request must be a "
+                                                    "JSON object"}})
                 continue
             task = asyncio.create_task(serve_one(message))
             pending.add(task)
@@ -157,7 +199,8 @@ class TcpClient:
                 future = self._pending.pop(payload.get("id"), None)
                 if future is not None and not future.done():
                     if "error" in payload:
-                        future.set_exception(ServeError(payload["error"]))
+                        future.set_exception(
+                            _raise_remote_error(payload["error"]))
                     else:
                         future.set_result(payload)
         finally:
@@ -187,10 +230,21 @@ class TcpClient:
             await self._writer.drain()
         return await future
 
-    async def infer(self, image: np.ndarray) -> dict:
-        """One inference round-trip; returns the response payload."""
-        return await self._request(
-            {"image": np.asarray(image, dtype=np.float64).tolist()})
+    async def infer(self, image: np.ndarray,
+                    timeout_ms: float | None = None,
+                    priority: int = 0) -> dict:
+        """One inference round-trip; returns the response payload.
+
+        ``timeout_ms``/``priority`` ride to the server's batch policies;
+        a server-side timeout comes back as
+        :class:`~repro.errors.RequestTimeoutError`.
+        """
+        payload = {"image": np.asarray(image, dtype=np.float64).tolist()}
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        if priority:
+            payload["priority"] = int(priority)
+        return await self._request(payload)
 
     async def metrics(self) -> dict:
         return (await self._request({"op": "metrics"}))["metrics"]

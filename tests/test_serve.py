@@ -37,6 +37,7 @@ from repro.core import (
 from repro.errors import (
     BackpressureError,
     ConfigurationError,
+    RequestTimeoutError,
     ServeError,
     ShapeError,
 )
@@ -274,6 +275,214 @@ class TestPolicies:
         snapshot = asyncio.run(main())
         assert snapshot.completed == 40
         assert snapshot.latency_ms["p99"] < 500.0
+
+
+class TestServingHardening:
+    """Per-request timeouts and priorities in the batch policies."""
+
+    def test_timeout_fails_waiting_request(self, rng):
+        """A request expires while coalescing waits for more arrivals."""
+        net = tiny_network(rng)
+        image = tiny_images(rng, net, 1)[0]
+
+        async def main():
+            # Greedy policy with a huge wait: without the per-request
+            # deadline the lone request would sit for 10 s.
+            server = InferenceServer(net, max_batch=8,
+                                     max_wait_ms=10_000.0)
+            async with server:
+                started = asyncio.get_running_loop().time()
+                with pytest.raises(RequestTimeoutError):
+                    await server.submit(image, timeout_ms=50.0)
+                waited = asyncio.get_running_loop().time() - started
+                return waited, server.metrics.timed_out, \
+                    server.snapshot().to_dict()
+
+        waited, timed_out, payload = asyncio.run(main())
+        assert waited < 5.0          # expired promptly, not at flush
+        assert timed_out == 1
+        assert payload["timed_out"] == 1
+
+    def test_timeout_zero_rejected(self, rng):
+        net = tiny_network(rng)
+
+        async def main():
+            async with InferenceServer(net) as server:
+                with pytest.raises(ServeError):
+                    await server.submit(tiny_images(rng, net, 1)[0],
+                                        timeout_ms=0.0)
+
+        asyncio.run(main())
+
+    def test_fast_requests_unaffected_by_timeout(self, rng):
+        """A generous timeout never changes results."""
+        net = tiny_network(rng)
+        images = tiny_images(rng, net, 6)
+        logits, _ = direct_run(net, images)
+
+        async def main():
+            async with InferenceServer(net, max_batch=4) as server:
+                return await server.submit_many(images,
+                                                timeout_ms=30_000.0)
+
+        results = asyncio.run(main())
+        np.testing.assert_array_equal([r.prediction for r in results],
+                                      logits.argmax(axis=1))
+
+    def test_priority_selects_batch_membership(self):
+        """The policies' shared select(): high priority first, FIFO
+        within a level, arrival order inside the batch."""
+        import time as _time
+        from dataclasses import dataclass as _dataclass
+
+        from repro.serve.batcher import Batcher
+
+        @_dataclass
+        class FakeRequest:
+            name: str
+            priority: int
+            enqueued_at: float
+            deadline: float | None = None
+
+        async def main():
+            queue = asyncio.Queue()
+            policy = GreedyPolicy(max_batch=2, max_wait_ms=0.0)
+            batcher = Batcher(queue, policy)
+            now = _time.perf_counter()
+            for i, (name, priority) in enumerate(
+                    [("a", 0), ("b", 0), ("c", 5), ("d", 5)]):
+                queue.put_nowait(FakeRequest(name, priority, now + i / 1e6))
+            first = await batcher.next_batch()
+            second = await batcher.next_batch()
+            return [r.name for r in first], [r.name for r in second]
+
+        first, second = asyncio.run(main())
+        assert first == ["c", "d"]    # high priority, arrival order
+        assert second == ["a", "b"]   # leftovers drain next
+
+    def test_waiting_buffer_bounded_by_two_batches(self):
+        """Overflow stays in the bounded intake queue (backpressure),
+        not in the batcher's lookahead buffer."""
+        import time as _time
+        from dataclasses import dataclass as _dataclass
+
+        from repro.serve.batcher import Batcher
+
+        @_dataclass
+        class FakeRequest:
+            priority: int
+            enqueued_at: float
+            deadline: float | None = None
+
+        async def main():
+            queue = asyncio.Queue()
+            policy = GreedyPolicy(max_batch=2, max_wait_ms=0.0)
+            batcher = Batcher(queue, policy)
+            now = _time.perf_counter()
+            for i in range(20):
+                queue.put_nowait(FakeRequest(0, now + i / 1e6))
+            batch = await batcher.next_batch()
+            return len(batch), batcher.waiting, queue.qsize()
+
+        batch_len, waiting, queued = asyncio.run(main())
+        assert batch_len == 2
+        assert waiting <= 2          # capacity (4) minus the flush (2)
+        assert queued == 20 - batch_len - waiting
+
+    def test_priority_end_to_end_results_unchanged(self, rng):
+        """Priorities re-order dispatch, never answers."""
+        net = tiny_network(rng)
+        images = tiny_images(rng, net, 8)
+        logits, _ = direct_run(net, images)
+
+        async def main():
+            async with InferenceServer(net, max_batch=4,
+                                       max_wait_ms=20.0) as server:
+                tasks = [asyncio.create_task(
+                    server.submit(image, priority=i % 3))
+                    for i, image in enumerate(images)]
+                return await asyncio.gather(*tasks)
+
+        results = asyncio.run(main())
+        np.testing.assert_array_equal([r.prediction for r in results],
+                                      logits.argmax(axis=1))
+
+    def test_timeout_propagates_over_tcp_as_typed_error(self, rng):
+        """Satellite contract: a timed-out request answers with a
+        structured error instead of hanging the connection."""
+        net = tiny_network(rng)
+        image = tiny_images(rng, net, 1)[0]
+
+        async def main():
+            server = InferenceServer(net, max_batch=8,
+                                     max_wait_ms=10_000.0)
+            async with server:
+                tcp, port = await start_tcp_server(server)
+                try:
+                    async with TcpClient(port=port) as client:
+                        with pytest.raises(RequestTimeoutError):
+                            await asyncio.wait_for(
+                                client.infer(image, timeout_ms=50.0),
+                                timeout=5)
+                        # The connection survives the error.
+                        assert await client.ping()
+                finally:
+                    tcp.close()
+                    await tcp.wait_closed()
+
+        asyncio.run(main())
+
+
+class TestServingOnFabric:
+    """The engine pool is a policy layer over repro.runtime."""
+
+    def test_remote_lane_crash_mid_serving_recovers(self, rng):
+        """Satellite contract: a worker dying mid-batch must not
+        deadlock the pool — requests complete on a healthy lane and
+        the crash is surfaced in the metrics."""
+        from repro.runtime import WorkerServer
+
+        net = tiny_network(rng)
+        images = tiny_images(rng, net, 4)
+        logits, _ = direct_run(net, images)
+
+        server = WorkerServer().start()
+        spec = f"127.0.0.1:{server.port}"
+        server.close()  # the host is already gone when serving starts
+
+        async def main():
+            inference = InferenceServer(
+                net, max_batch=2, workers=[spec, "thread"])
+            async with inference:
+                results = await inference.submit_many(images)
+                return results, inference.snapshot().to_dict()
+
+        results, payload = asyncio.run(main())
+        np.testing.assert_array_equal([r.prediction for r in results],
+                                      logits.argmax(axis=1))
+        assert payload["worker_crashes"] == 1
+
+    def test_remote_lane_serves_bit_identical(self, rng):
+        from repro.runtime import WorkerServer
+
+        net = tiny_network(rng)
+        images = tiny_images(rng, net, 6)
+        logits, traces = direct_run(net, images)
+
+        async def main():
+            with WorkerServer() as worker:
+                spec = f"127.0.0.1:{worker.port}"
+                async with InferenceServer(net, max_batch=4,
+                                           workers=[spec]) as inference:
+                    return await inference.submit_many(images)
+
+        results = asyncio.run(main())
+        np.testing.assert_array_equal([r.prediction for r in results],
+                                      logits.argmax(axis=1))
+        summed = TraceMerge()
+        for result in results:
+            summed.merge(result.trace)
+        assert summed == TraceMerge.from_traces(traces)
 
 
 class _GatedPool(EnginePool):
