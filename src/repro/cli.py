@@ -12,6 +12,7 @@ Usage::
     python -m repro serve             # async micro-batching server (TCP)
     python -m repro loadgen           # drive a server, report latency SLOs
     python -m repro worker            # TCP engine worker (join a fabric)
+    python -m repro deployments       # inspect the deployment registry
     python -m repro all               # everything above (except daemons)
 
 Models are trained on first use and cached under ``artifacts/``; set
@@ -24,20 +25,32 @@ set, sharding (config × image-range) work units across the runtime
 worker fabric.  ``--workers`` takes a process count (``--workers 4``) or
 an explicit lane mix — ``--workers thread,host:7601,host:7602`` spans
 one in-process lane plus two remote TCP engine workers (hosts running
-``repro worker --listen host:port``).  Results are bit-identical for any
-lane mix or ``--shard-size`` and are persisted in the artifact store.
+``repro worker --listen host:port``).  ``--accept host:port`` opens the
+run to ``repro worker --join`` hosts, which enter as lanes *mid-run*;
+``--stream out.jsonl`` emits one JSON line per completed shard
+(deployment, image range, cycles, running top-1) for live dashboards.
+Results are bit-identical for any lane mix, ``--shard-size`` or lane
+churn and are persisted in the artifact store.
 
-``worker`` turns this host into a TCP engine worker: it listens for
-``deploy``/``execute`` requests from drivers (sweeps or serving pools on
-other machines) and runs batches on warm local engines.  Only expose it
-on networks you trust — deployments arrive as pickled payloads.
+``worker`` turns this host into a TCP engine worker, two ways:
+``--listen host:port`` accepts drivers (sweeps or serving pools on
+other machines); ``--join host:port`` dials a driver that is accepting
+joiners and serves over its own connection, retrying until the driver
+appears.  Only use either on networks you trust — deployments arrive as
+pickled payloads; ``--token SECRET`` adds a shared-secret handshake
+that rejects unauthenticated payloads before anything is unpickled.
 
-``serve`` starts the asyncio micro-batching inference server on the
-trained LeNet over TCP; ``loadgen`` offers an open-loop request stream
-to it (in-process by default, ``--port`` for a running server), prints
-the latency/throughput report, persists it to the artifact store, and —
-in-process — asserts every served prediction against direct
-``Accelerator.run_logits`` output.
+``serve`` starts the asyncio micro-batching inference server over TCP —
+on the trained LeNet by default, or on several named deployments at
+once: ``--model lenet:3 --model fang:4`` serves both from one engine
+pool with per-deployment batching, metrics and admission limits
+(requests route with a ``deployment`` field; ``repro deployments``
+prints the registry).  ``loadgen`` offers an open-loop request stream
+(in-process by default, ``--port`` for a running server; ``--arrival
+poisson --seed N`` makes the offered-load trace random yet exactly
+reproducible), prints the latency/throughput report, persists it to the
+artifact store, and — in-process — asserts every served prediction
+against direct ``Accelerator.run_logits`` output.
 """
 
 from __future__ import annotations
@@ -116,6 +129,10 @@ def _print_sweep(runner: ExperimentRunner, steps: tuple) -> None:
               f"work units on {summary.workers} worker(s) in "
               f"{summary.wall_s:.2f} s "
               f"({summary.images_per_second:.1f} images/s)")
+        if summary.lanes_joined:
+            print(f"{summary.lanes_joined} lane(s) joined mid-run; "
+                  "merge bit-identical by the fabric contract "
+                  "(runtime-asserted against the SNN reference)")
     else:
         print(f"\nall {summary.num_tasks} sweep cells served from the "
               "artifact store")
@@ -136,6 +153,7 @@ def _serve_kwargs(args) -> dict:
         "slo_ms": args.slo_ms,
         "queue_depth": args.queue_depth,
         "engines": args.engines,
+        "token": args.token,
     }
     if isinstance(args.workers, list):
         # An explicit lane mix extends serving onto the fabric too:
@@ -180,17 +198,30 @@ def _render_serve_report(
 
 
 def _run_serve(runner: ExperimentRunner, args) -> None:
-    t = _parse_steps(args.steps)[0]
-    server, _, accuracy = runner.build_server(num_steps=t,
-                                              **_serve_kwargs(args))
+    if args.models:
+        server, registry, accuracies = runner.build_multi_server(
+            args.models, **_serve_kwargs(args))
+        banner = [f"serving {len(registry)} deployment(s) from one pool:"]
+        banner += [
+            f"  {row['name']:<12} backend={row['backend']} "
+            f"fp={row['fingerprint']} "
+            f"hw-acc={accuracies[row['name']] * 100:.2f}%"
+            for row in registry.describe()]
+        banner.append('route requests with {"deployment": "<name>"}')
+    else:
+        t = _parse_steps(args.steps)[0]
+        server, _, accuracy = runner.build_server(num_steps=t,
+                                                  **_serve_kwargs(args))
+        banner = [f"serving LeNet-5 T={t} "
+                  f"(hardware accuracy {accuracy * 100:.2f}%)"]
 
     async def main() -> None:
         async with server:
             tcp, port = await start_tcp_server(server, args.host,
                                                args.port)
-            print(f"serving LeNet-5 T={t} "
-                  f"(hardware accuracy {accuracy * 100:.2f}%) "
-                  f"on {args.host}:{port}")
+            print(f"{banner[0]} on {args.host}:{port}"
+                  if len(banner) == 1 else
+                  "\n".join(banner) + f"\nlistening on {args.host}:{port}")
             print(f"policy={args.policy} max_batch={args.max_batch} "
                   f"max_wait_ms={args.max_wait_ms} slo_ms={args.slo_ms}; "
                   "Ctrl-C to stop")
@@ -204,6 +235,27 @@ def _run_serve(runner: ExperimentRunner, args) -> None:
         asyncio.run(main())
     except KeyboardInterrupt:
         print("\nserver stopped")
+
+
+def _print_deployments(runner: ExperimentRunner, args) -> None:
+    """The `repro deployments` command: list/inspect the registry."""
+    models = args.models or ["lenet", "fang"]
+    registry, accuracies = runner.build_registry(models)
+    table = Table(
+        "Deployment registry - named models over one worker fabric",
+        ["name", "idx", "backend", "fingerprint", "input", "T",
+         "layers", "hw acc %"])
+    for row in registry.describe():
+        table.add_row(
+            row["name"], row["index"], row["backend"],
+            row["fingerprint"],
+            "x".join(str(d) for d in row["input_shape"]),
+            row["num_steps"], row["layers"],
+            f"{accuracies[row['name']] * 100:.2f}")
+    print(table.render())
+    print(f"\n{len(registry)} deployment(s), "
+          f"{len(registry.table())} distinct model(s) "
+          "(content-equal registrations share a warm engine slot)")
 
 
 def _run_loadgen(runner: ExperimentRunner, args) -> None:
@@ -222,8 +274,9 @@ def _run_loadgen_inprocess(runner: ExperimentRunner, args) -> None:
 
     async def main():
         async with server:
-            report = await LoadGenerator(server.submit,
-                                         rate_rps=args.rate).run(images)
+            report = await LoadGenerator(
+                server.submit, rate_rps=args.rate,
+                arrival=args.arrival, seed=args.seed).run(images)
             return report, server.snapshot()
 
     report, snapshot = asyncio.run(main())
@@ -259,15 +312,19 @@ def _run_loadgen_tcp(runner: ExperimentRunner, args) -> None:
 
     async def main():
         async with TcpClient(args.host, args.port) as client:
-            report = await LoadGenerator(client.infer,
-                                         rate_rps=args.rate).run(images)
-            metrics = await client.metrics()
+            report = await LoadGenerator(
+                client.infer, rate_rps=args.rate,
+                arrival=args.arrival, seed=args.seed,
+                deployment=args.deployment).run(images)
+            metrics = await client.metrics(deployment=args.deployment)
             return report, metrics
 
     report, metrics = asyncio.run(main())
+    target = args.deployment or "default deployment"
     print(_render_serve_report(
         metrics, report,
-        title=f"Load report - {args.host}:{args.port}").render())
+        title=f"Load report - {args.host}:{args.port} ({target})"
+    ).render())
 
 
 def _positive_int(raw: str) -> int:
@@ -312,12 +369,26 @@ def _parse_listen(raw: str) -> tuple[str, int]:
 
 def _run_worker(args) -> None:
     """Join the fabric: serve deploy/execute requests until Ctrl-C."""
-    from repro.runtime import WorkerServer
+    from repro.runtime import WorkerServer, join_fabric
+
+    if args.join is not None:
+        host, port = args.join
+        print(f"joining fabric at {host}:{port} "
+              f"({'token-authenticated' if args.token else 'no token'}; "
+              "trusted networks only); retrying until the driver "
+              "accepts; Ctrl-C to stop")
+        try:
+            join_fabric(host, port, token=args.token,
+                        retry_s=args.retry_s)
+        except KeyboardInterrupt:
+            print("\nworker stopped")
+        return
 
     host, port = args.listen
-    server = WorkerServer(host, port).start()
+    server = WorkerServer(host, port, token=args.token).start()
     print(f"engine worker listening on {server.host}:{server.port} "
-          "(trusted networks only); Ctrl-C to stop")
+          f"({'token-authenticated' if args.token else 'no token'}; "
+          "trusted networks only); Ctrl-C to stop")
     try:
         while True:
             time.sleep(3600)
@@ -347,10 +418,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "encoding", "dataflow",
-                 "figures", "sweep", "serve", "loadgen", "worker", "all"],
+                 "figures", "sweep", "serve", "loadgen", "worker",
+                 "deployments", "all"],
         help="which experiment to run")
     parser.add_argument("--no-vgg", action="store_true",
                         help="skip the VGG-11 row of table3")
+    parser.add_argument("--model", action="append", dest="models",
+                        metavar="NAME[:T]", default=None,
+                        help="serve/deployments: a named deployment "
+                             "(lenet[:T], fang[:T]); repeat for "
+                             "multi-model serving from one pool")
+    parser.add_argument("--token", default=None, metavar="SECRET",
+                        help="fabric shared secret: workers started "
+                             "with --token reject unauthenticated "
+                             "payloads; drivers attach it to remote "
+                             "lanes and join handshakes")
     parser.add_argument("--backend", choices=available_backends(),
                         default=None,
                         help="execution engine (default: reference for "
@@ -367,6 +449,23 @@ def main(argv: list[str] | None = None) -> int:
                         default=("127.0.0.1", 7601), metavar="HOST:PORT",
                         help="worker: bind address for the TCP engine "
                              "worker (default: 127.0.0.1:7601)")
+    parser.add_argument("--join", type=_parse_listen, default=None,
+                        metavar="HOST:PORT",
+                        help="worker: dial a driver accepting joiners "
+                             "(sweep --accept) and serve over the "
+                             "connection, retrying until it appears")
+    parser.add_argument("--retry-s", dest="retry_s", type=float,
+                        default=1.0, metavar="S",
+                        help="worker --join: reconnect period "
+                             "(default: 1.0)")
+    parser.add_argument("--accept", type=_parse_listen, default=None,
+                        metavar="HOST:PORT",
+                        help="sweep: accept `repro worker --join` hosts "
+                             "as lanes for the duration of the run")
+    parser.add_argument("--stream", default=None, metavar="PATH",
+                        help="sweep: append one JSON line per completed "
+                             "shard (deployment, range, cycles, top-1 "
+                             "so far) to PATH for live dashboards")
     parser.add_argument("--shard-size", type=_positive_int, default=64,
                         metavar="M",
                         help="images per sweep work unit (default: 64)")
@@ -411,6 +510,19 @@ def main(argv: list[str] | None = None) -> int:
                          metavar="RPS",
                          help="loadgen: offered load in requests/s "
                               "(default: 500)")
+    serving.add_argument("--arrival", choices=["even", "poisson"],
+                         default="even",
+                         help="loadgen: arrival discipline — evenly "
+                              "spaced, or seeded-Poisson gaps "
+                              "(default: even)")
+    serving.add_argument("--seed", type=int, default=0, metavar="N",
+                         help="loadgen: RNG seed for --arrival poisson; "
+                              "the same seed reproduces the identical "
+                              "offered-load trace (default: 0)")
+    serving.add_argument("--deployment", default=None, metavar="NAME",
+                         help="loadgen over TCP: route every request to "
+                              "this named deployment of a multi-model "
+                              "server")
     args = parser.parse_args(argv)
 
     # --backend drives the trace-level sims; accuracy scoring stays on
@@ -420,12 +532,29 @@ def main(argv: list[str] | None = None) -> int:
     score_backend = "vectorized"
     if args.experiment == "sweep" and args.backend:
         score_backend = args.backend
+    stream_fh = None
+    sweep_stream = None
+    if args.experiment == "sweep" and args.stream:
+        import json
+
+        stream_fh = open(args.stream, "w", encoding="utf-8")
+
+        def sweep_stream(record: dict) -> None:
+            stream_fh.write(json.dumps(record) + "\n")
+            stream_fh.flush()  # a dashboard tails this file live
+
     runner = ExperimentRunner(
         backend=args.backend or "reference",
         score_backend=score_backend,
         sweep_workers=args.workers,
         sweep_shard_size=args.shard_size,
+        sweep_stream=sweep_stream,
+        sweep_accept=args.accept,
+        fabric_token=args.token,
     )
+    if args.accept is not None and args.experiment == "sweep":
+        print(f"sweep accepting `repro worker --join "
+              f"{args.accept[0]}:{args.accept[1]}` hosts mid-run")
     dispatch = {
         "table1": lambda: _print_table1(runner),
         "table2": lambda: _print_table2(runner),
@@ -437,15 +566,23 @@ def main(argv: list[str] | None = None) -> int:
         "serve": lambda: _run_serve(runner, args),
         "loadgen": lambda: _run_loadgen(runner, args),
         "worker": lambda: _run_worker(args),
+        "deployments": lambda: _print_deployments(runner, args),
     }
-    if args.experiment == "all":
-        for name, fn in dispatch.items():
-            if name in ("sweep", "serve", "loadgen", "worker"):
-                continue  # sweep covered by table1; the rest are daemons
-            print(f"\n===== {name} =====")
-            fn()
-    else:
-        dispatch[args.experiment]()
+    try:
+        if args.experiment == "all":
+            for name, fn in dispatch.items():
+                if name in ("sweep", "serve", "loadgen", "worker",
+                            "deployments"):
+                    continue  # sweep covered by table1; deployments
+                    # re-trains serving models; the rest are daemons
+                print(f"\n===== {name} =====")
+                fn()
+        else:
+            dispatch[args.experiment]()
+    finally:
+        if stream_fh is not None:
+            stream_fh.close()
+            print(f"per-shard stream written to {args.stream}")
     return 0
 
 

@@ -34,6 +34,7 @@ from repro.core.engine.base import ExecutionEngine, create_engine, resolve_backe
 
 __all__ = [
     "clear_engine_cache",
+    "content_key",
     "engine_cache_stats",
     "network_fingerprint",
     "warm_compile",
@@ -82,14 +83,23 @@ def network_fingerprint(network) -> str:
     return digest.hexdigest()
 
 
-def _key(network, config: AcceleratorConfig,
-         calibration: LatencyCalibration | None = None) -> str:
+def content_key(network, config: AcceleratorConfig,
+                calibration: LatencyCalibration | None = None) -> str:
+    """The cache's content fingerprint over a deployment's inputs.
+
+    Public because the deployment registry keys named deployments by the
+    same fingerprint the warm cache uses — one definition, so "same
+    fingerprint" and "same warm engine" can never disagree.
+    """
     digest = hashlib.sha256()
     _feed(digest, network)
     _feed(digest, config)
     if calibration is not None:
         _feed(digest, calibration)
     return digest.hexdigest()
+
+
+_key = content_key
 
 
 def warm_compile(

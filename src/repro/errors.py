@@ -55,6 +55,26 @@ class RequestTimeoutError(ServeError):
     """Raised when a request's queue-wait deadline passes before dispatch."""
 
 
+class DeploymentError(ReproError):
+    """Raised when work is routed to a deployment that does not exist.
+
+    A :class:`~repro.runtime.WorkItem` names its deployment by table
+    index (and serving requests by registry name); an index outside the
+    registered table — or an unknown name — is a caller bug, surfaced as
+    this typed error on every executor (thread, process, remote TCP) so
+    multi-model routing mistakes never degrade to a bare ``IndexError``.
+    """
+
+
+class FabricAuthError(ReproError):
+    """Raised when a fabric message fails the shared-secret handshake.
+
+    Servers started with a token reject unauthenticated payloads with a
+    structured error carrying this type; clients resurrect it so a
+    missing/wrong ``--token`` reads as an auth failure, not a crash.
+    """
+
+
 class WorkerCrashError(ReproError):
     """Raised when a runtime worker (process or remote host) dies or hangs.
 

@@ -44,7 +44,7 @@ from repro.core import (
 )
 from repro.data import generate_cifar100, generate_mnist
 from repro.data.dataset import Dataset
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.harness.artifacts import ArtifactStore, default_store
 from repro.harness.sweep import (
     SweepDriver,
@@ -144,6 +144,9 @@ class ExperimentRunner:
         score_backend: str = "vectorized",
         sweep_workers: int | list = 1,
         sweep_shard_size: int = 64,
+        sweep_stream=None,
+        sweep_accept: tuple[str, int] | None = None,
+        fabric_token: str | None = None,
     ) -> None:
         self.settings = settings or ExperimentSettings.from_env()
         self.store = store or default_store()
@@ -151,6 +154,9 @@ class ExperimentRunner:
         self.score_backend = score_backend
         self.sweep_workers = sweep_workers
         self.sweep_shard_size = sweep_shard_size
+        self.sweep_stream = sweep_stream
+        self.sweep_accept = sweep_accept
+        self.fabric_token = fabric_token
         self._mnist: tuple[Dataset, Dataset] | None = None
         self._cifar: tuple[Dataset, Dataset] | None = None
         self._snn_cache: dict[str, tuple[SNNModel, float]] = {}
@@ -168,7 +174,10 @@ class ExperimentRunner:
         """A driver wired to this runner's store and worker settings."""
         return SweepDriver(workers=self.sweep_workers,
                            shard_size=self.sweep_shard_size,
-                           store=self.store)
+                           store=self.store,
+                           stream=self.sweep_stream,
+                           accept=self.sweep_accept,
+                           token=self.fabric_token)
 
     def _score_entries(
         self, entries: list[tuple[str, SNNModel, Dataset]]
@@ -616,6 +625,58 @@ class ExperimentRunner:
         return {"rows": rows, "table": table, "summary": summary}
 
     # ------------------------------------------------------------------
+    # Deployments (multi-model serving / `repro deployments`)
+    # ------------------------------------------------------------------
+    #: Model-spec grammar for `--model`: NAME[:T].  Each resolver
+    #: returns the trained+converted SNN plus its hardware accuracy.
+    MODEL_SPECS = {"lenet": 3, "fang": 4}  # name -> default T
+
+    def resolve_model(self, spec: str):
+        """``"lenet:3"`` / ``"fang:4"`` → (canonical name, snn, accuracy).
+
+        The accuracy is hardware-in-the-loop (scored by the sweep over
+        the model's full test set), so a registry row always carries the
+        number the paper tables report.
+        """
+        spec = str(spec).strip().lower()
+        name, _, t_raw = spec.partition(":")
+        if name not in self.MODEL_SPECS:
+            raise ConfigurationError(
+                f"unknown model {name!r}; available: "
+                + ", ".join(f"{m}[:T]" for m in self.MODEL_SPECS))
+        try:
+            num_steps = int(t_raw) if t_raw else self.MODEL_SPECS[name]
+        except ValueError:
+            raise ConfigurationError(
+                f"bad model spec {spec!r}; expected NAME[:T]") from None
+        if num_steps < 1:
+            raise ConfigurationError(
+                f"model spec {spec!r}: T must be >= 1")
+        if name == "lenet":
+            snn, accuracy = self.lenet_snn(num_steps)
+        else:
+            snn, accuracy = self.fang_snn(num_steps)
+        return f"{name}:{num_steps}", snn, accuracy
+
+    def build_registry(self, models):
+        """A deployment registry from ``--model`` specs.
+
+        Returns ``(registry, accuracies)`` — entries named by canonical
+        spec (``lenet:3``), all on the ``score_backend`` engine, plus
+        each model's hardware accuracy for reporting.
+        """
+        from repro.runtime import DeploymentRegistry
+
+        registry = DeploymentRegistry()
+        accuracies: dict[str, float] = {}
+        for spec in models:
+            name, snn, accuracy = self.resolve_model(spec)
+            registry.register(name, network=snn.network,
+                              backend=self.score_backend)
+            accuracies[name] = accuracy
+        return registry, accuracies
+
+    # ------------------------------------------------------------------
     # Serving (the `repro serve` / `repro loadgen` commands)
     # ------------------------------------------------------------------
     def build_server(self, num_steps: int = 3, **serve_kwargs):
@@ -633,6 +694,19 @@ class ExperimentRunner:
         serve_kwargs.setdefault("backend", self.score_backend)
         server = InferenceServer(snn.network, **serve_kwargs)
         return server, snn, accuracy
+
+    def build_multi_server(self, models, **serve_kwargs):
+        """A multi-model :class:`~repro.serve.InferenceServer`.
+
+        ``models`` is a list of ``--model`` specs; every named
+        deployment shares one engine pool with per-deployment batching
+        and metrics.  Returns ``(server, registry, accuracies)``.
+        """
+        from repro.serve import InferenceServer  # serving is optional
+
+        registry, accuracies = self.build_registry(models)
+        server = InferenceServer(registry, **serve_kwargs)
+        return server, registry, accuracies
 
     def save_serve_metrics(self, name: str, snapshot,
                            extra: dict | None = None) -> dict:

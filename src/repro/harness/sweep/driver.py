@@ -10,12 +10,32 @@ sizing, the persistent result store, progress reporting — while the
 fabric owns worker lifecycle: scheduling, work stealing between idle
 lanes, heartbeat liveness and crash requeueing.
 
-Determinism contract: for any lane mix and any shard size the merged
+Multi-model and elastic, since the deployment-registry refactor:
+
+* A heterogeneous work list (LeNet cells next to Fang or VGG cells, any
+  encoding) builds its deployment table **deduplicated by content
+  fingerprint** — tasks sharing a model share one warm engine slot on
+  every lane.
+* ``run(tasks, group=...)`` schedules onto an *external* live
+  :class:`~repro.runtime.WorkerGroup` (appending its deployments via
+  ``add_deployments``) instead of owning one — the same group can serve
+  inference traffic and sweep shards concurrently.
+* ``accept=(host, port)`` opens a
+  :class:`~repro.runtime.GroupListener` for the duration of the run, so
+  hosts running ``repro worker --join host:port`` enter the sweep
+  **mid-run** as new lanes.
+* ``stream=callable`` receives one JSON-ready record per completed
+  shard (deployment, image range, cycles, running top-1) — the live
+  feed ``repro sweep --stream out.jsonl`` writes for dashboards.
+
+Determinism contract: for any lane mix, any shard size **and any lane
+churn mid-run** (joins, removals, evictions, re-admissions) the merged
 predictions, accuracies and trace counters are bit-identical to a
-single-process run (``tests/test_sweep.py`` and ``tests/test_runtime.py``
-pin this; ``benchmarks/bench_runtime.py`` asserts it across a live TCP
-fabric).  Store keys include the backend name, so results computed under
-one engine can never be served to a run requesting another.
+single-process run (``tests/test_sweep.py``, ``tests/test_runtime.py``
+and ``tests/test_multimodel.py`` pin this; ``benchmarks/bench_runtime.py``
+asserts it across a live TCP fabric).  Store keys include the backend
+name, so results computed under one engine can never be served to a run
+requesting another.
 """
 
 from __future__ import annotations
@@ -39,6 +59,8 @@ from repro.harness.sweep.work import (
 )
 from repro.runtime import (
     Deployment,
+    DeploymentRegistry,
+    GroupListener,
     WorkItem,
     WorkerGroup,
     create_workers,
@@ -91,6 +113,13 @@ class SweepSummary:
     worker_crashes: int = 0
     #: Units an idle lane stole from a busy peer's queue.
     stolen_units: int = 0
+    #: Distinct deployment-table slots the task list deduplicated to.
+    num_deployments: int = 0
+    #: Lanes that joined the group mid-run (``repro worker --join`` or
+    #: ``add_lane``); their work merges identically by contract.
+    lanes_joined: int = 0
+    #: Evicted lanes re-admitted after a successful probation probe.
+    lanes_readmitted: int = 0
 
     @property
     def images_per_second(self) -> float:
@@ -135,6 +164,18 @@ class SweepDriver:
     progress:
         Optional callable receiving a :class:`SweepProgress` after every
         completed unit (throughput reporting).
+    stream:
+        Optional callable receiving one JSON-ready dict per completed
+        shard (task key, deployment fingerprint, image range, cycles,
+        running top-1) — fired live from the fabric's dispatcher
+        threads, serialized under a lock.
+    accept:
+        Optional ``(host, port)``: open a group listener for the run so
+        ``repro worker --join host:port`` hosts enter as lanes mid-run
+        (``port=0`` binds ephemeral; the bound port lands in
+        ``self.listener.port`` once the run is live).
+    token:
+        Fabric shared secret for remote lanes and joining hosts.
     """
 
     def __init__(
@@ -147,6 +188,9 @@ class SweepDriver:
         probe_images: int = 4,
         steal: bool = True,
         heartbeat_s: float = 2.0,
+        stream=None,
+        accept: tuple[str, int] | None = None,
+        token: str | None = None,
     ) -> None:
         if probe_images < 1:
             raise ConfigurationError(
@@ -160,6 +204,10 @@ class SweepDriver:
         self.heartbeat_s = heartbeat_s
         self.store = store
         self.progress = progress
+        self.stream = stream
+        self.accept = accept
+        self.token = token
+        self.listener: GroupListener | None = None  # live during a run
         self.last_summary: SweepSummary | None = None
 
     # ------------------------------------------------------------------
@@ -168,8 +216,16 @@ class SweepDriver:
         """Persistent-store key; includes the engine name by contract."""
         return sweep_store_key(task.key, task.backend)
 
-    def run(self, tasks) -> dict[str, TaskOutcome]:
-        """Execute a work list; returns ``{task key: merged outcome}``."""
+    def run(self, tasks, group: WorkerGroup | None = None
+            ) -> dict[str, TaskOutcome]:
+        """Execute a work list; returns ``{task key: merged outcome}``.
+
+        With ``group`` given (a *started* :class:`WorkerGroup`), the
+        sweep schedules onto that shared fabric instead of owning one:
+        its deployments are appended to the group's table (content-equal
+        entries reuse existing slots) and the group is left running —
+        serving traffic and other sweeps continue uninterrupted.
+        """
         tasks = list(tasks)
         if not tasks:
             raise ConfigurationError("sweep work list is empty")
@@ -191,8 +247,8 @@ class SweepDriver:
 
         units: list[WorkUnit] = []
         task_shard_sizes: dict | None = None
-        crashes = 0
-        stolen = 0
+        fabric = {"crashes": 0, "stolen": 0, "deployments": 0,
+                  "joined": 0, "readmitted": 0}
         if pending:
             sizes: int | list[int] = self.shard_size
             if self.adaptive:
@@ -200,7 +256,7 @@ class SweepDriver:
                 task_shard_sizes = {task.key: size for task, size
                                     in zip(pending, sizes)}
             units = shard_tasks(pending, sizes)
-            results, crashes, stolen = self._run_fabric(pending, units)
+            results = self._run_fabric(pending, units, fabric, group)
             for task, outcome in zip(pending,
                                      self._merge(pending, results)):
                 outcomes[task.key] = outcome
@@ -218,8 +274,11 @@ class SweepDriver:
             adaptive=self.adaptive,
             task_shard_sizes=task_shard_sizes,
             executors=tuple(self.worker_specs),
-            worker_crashes=crashes,
-            stolen_units=stolen)
+            worker_crashes=fabric["crashes"],
+            stolen_units=fabric["stolen"],
+            num_deployments=fabric["deployments"],
+            lanes_joined=fabric["joined"],
+            lanes_readmitted=fabric["readmitted"])
         return {key: outcomes[key] for key in keys}
 
     # ------------------------------------------------------------------
@@ -261,29 +320,85 @@ class SweepDriver:
     # ------------------------------------------------------------------
     # Execution: hand the units to the worker fabric
     # ------------------------------------------------------------------
-    def _run_fabric(self, tasks, units) -> tuple[list[ShardResult],
-                                                 int, int]:
+    @staticmethod
+    def _deployment_table(tasks) -> tuple[list[Deployment], list[int]]:
+        """Content-deduplicated deployments plus one index per task.
+
+        Two cells scoring the same model under the same config and
+        backend (a rate vs radix ablation re-using one network, a
+        dataset split) share a table slot — every lane then warms one
+        engine for both, and a joining host deploys the minimal table.
+        Dedup is the registry's (one definition of "same content");
+        task keys, unique by `run`'s validation, are the entry names.
+        """
+        registry = DeploymentRegistry()
+        task_indices = [
+            registry.register(task.key, Deployment(
+                network=task.network, config=task.config,
+                backend=task.backend,
+                calibration=task.calibration)).index
+            for task in tasks]
+        return registry.table(), task_indices
+
+    def _run_fabric(self, tasks, units, fabric: dict,
+                    group: WorkerGroup | None = None
+                    ) -> list[ShardResult]:
         """Run every unit through a WorkerGroup; returns shard results
-        in unit order plus the fabric's crash and steal counts."""
-        deployments = [Deployment(network=task.network, config=task.config,
-                                  backend=task.backend,
-                                  calibration=task.calibration)
-                       for task in tasks]
-        items = [WorkItem(item_id=index, deployment=unit.task_index,
+        in unit order and records the fabric's counters in ``fabric``."""
+        deployments, task_indices = self._deployment_table(tasks)
+        fabric["deployments"] = len(deployments)
+        tracker = _ProgressTracker(
+            self, tasks, units,
+            fingerprints=[deployments[i].fingerprint.split(":", 1)[1][:12]
+                          for i in task_indices])
+        own_group = group is None
+        if own_group:
+            group = WorkerGroup(
+                create_workers(self.worker_specs, token=self.token),
+                deployments=deployments, steal=self.steal,
+                heartbeat_s=self.heartbeat_s)
+            indices = task_indices
+        else:
+            if not group.started:
+                raise ConfigurationError(
+                    "external worker group must be started before "
+                    "run(tasks, group=...)")
+            slots = group.add_deployments(deployments)
+            indices = [slots[i] for i in task_indices]
+        items = [WorkItem(item_id=index,
+                          deployment=indices[unit.task_index],
                           images=tasks[unit.task_index]
                           .images[unit.start:unit.stop])
                  for index, unit in enumerate(units)]
-        tracker = _ProgressTracker(self, tasks, units)
-        group = WorkerGroup(create_workers(self.worker_specs),
-                            deployments=deployments, steal=self.steal,
-                            heartbeat_s=self.heartbeat_s)
-        with group:
+        metrics_before = group.metrics.to_dict() if not own_group else None
+        try:
+            if own_group:
+                group.start()
+            if self.accept is not None:
+                # Joiners are admitted whichever group runs the sweep.
+                # On an external (shared) group the lanes outlive the
+                # run — only the listener closes with it.
+                self.listener = GroupListener(
+                    group, self.accept[0], self.accept[1],
+                    token=self.token).start()
             work_results = group.run(
                 items,
                 result_callback=lambda result: tracker.tick(
-                    units[result.item_id]))
-            crashes = group.metrics.worker_crashes
-            stolen = group.metrics.stolen
+                    units[result.item_id], result))
+            after = group.metrics.to_dict()
+            before = metrics_before or {}
+            for key, field_name in (("crashes", "worker_crashes"),
+                                    ("stolen", "stolen"),
+                                    ("joined", "lanes_added"),
+                                    ("readmitted", "readmitted")):
+                fabric[key] = (after[field_name]
+                               - before.get(field_name, 0))
+        finally:
+            if self.listener is not None:
+                self.listener.close()
+                self.listener = None
+            if own_group:
+                group.stop()
         shard_results = []
         for unit, result in zip(units, work_results):
             task = tasks[unit.task_index]
@@ -297,7 +412,7 @@ class SweepDriver:
                 trace=result.merged_trace(),
                 elapsed_s=result.elapsed_s,
                 worker_pid=result.pid))
-        return shard_results, crashes, stolen
+        return shard_results
 
     # ------------------------------------------------------------------
     def _merge(self, tasks, results) -> list[TaskOutcome]:
@@ -323,30 +438,66 @@ class SweepDriver:
 
 
 class _ProgressTracker:
-    """Counts completed units/images and invokes the progress callback.
+    """Counts completed units/images; fires progress and stream hooks.
 
     Ticks arrive from the fabric's dispatcher threads, so the counters
-    are guarded by a lock and callbacks are serialized.
+    are guarded by a lock and callbacks are serialized.  The stream
+    record is the live per-shard feed (``repro sweep --stream``): one
+    JSON-ready dict per completed unit carrying the shard's identity,
+    its cycle cost and the task's running top-1 — everything a dashboard
+    needs without waiting for the merge.
     """
 
-    def __init__(self, driver: SweepDriver, tasks, units) -> None:
+    def __init__(self, driver: SweepDriver, tasks, units,
+                 fingerprints: list[str] | None = None) -> None:
         self.driver = driver
+        self.tasks = list(tasks)
+        self.fingerprints = fingerprints or [""] * len(self.tasks)
         self.total_units = len(units)
         self.total_images = sum(task.num_images for task in tasks)
         self.done_units = 0
         self.done_images = 0
+        # Running per-task tallies for the stream's "top-1 so far".
+        self._task_correct = [0] * len(self.tasks)
+        self._task_images = [0] * len(self.tasks)
         self.started = time.perf_counter()
         self._lock = threading.Lock()
 
-    def tick(self, unit: WorkUnit) -> None:
+    def tick(self, unit: WorkUnit, result) -> None:
         with self._lock:
             self.done_units += 1
             self.done_images += unit.stop - unit.start
+            elapsed = time.perf_counter() - self.started
+            if self.driver.stream is not None:
+                task = self.tasks[unit.task_index]
+                correct = int((result.predictions
+                               == task.labels[unit.start:unit.stop]).sum())
+                self._task_correct[unit.task_index] += correct
+                self._task_images[unit.task_index] += unit.num_images
+                merged = result.merged_trace()
+                self.driver.stream({
+                    "task_key": unit.task_key,
+                    "deployment": self.fingerprints[unit.task_index],
+                    "backend": task.backend,
+                    "shard_index": unit.shard_index,
+                    "start": unit.start,
+                    "stop": unit.stop,
+                    "images": unit.num_images,
+                    "correct": correct,
+                    "cycles": merged.total_cycles,
+                    "top1_so_far": (self._task_correct[unit.task_index]
+                                    / self._task_images[unit.task_index]),
+                    "worker": result.worker,
+                    "elapsed_s": result.elapsed_s,
+                    "done_units": self.done_units,
+                    "total_units": self.total_units,
+                    "wall_s": elapsed,
+                })
             if self.driver.progress is not None:
                 self.driver.progress(SweepProgress(
                     done_units=self.done_units,
                     total_units=self.total_units,
                     done_images=self.done_images,
                     total_images=self.total_images,
-                    elapsed_s=time.perf_counter() - self.started,
+                    elapsed_s=elapsed,
                     task_key=unit.task_key))

@@ -27,15 +27,24 @@ Quick tour::
 """
 
 from repro.runtime.codec import (
+    attach_token,
+    check_token,
     decode_array,
     decode_blob,
     decode_line,
     encode_array,
     encode_blob,
     encode_line,
+    fabric_auth,
 )
 from repro.runtime.group import GroupMetrics, WorkerGroup
-from repro.runtime.remote import RemoteWorker, WorkerServer
+from repro.runtime.registry import DeploymentRegistry, RegisteredDeployment
+from repro.runtime.remote import (
+    GroupListener,
+    RemoteWorker,
+    WorkerServer,
+    join_fabric,
+)
 from repro.runtime.work import Deployment, WorkItem, WorkResult, execute_item
 from repro.runtime.workers import (
     ProcessWorker,
@@ -47,8 +56,11 @@ from repro.runtime.workers import (
 
 __all__ = [
     "Deployment",
+    "DeploymentRegistry",
+    "GroupListener",
     "GroupMetrics",
     "ProcessWorker",
+    "RegisteredDeployment",
     "RemoteWorker",
     "ThreadWorker",
     "WorkItem",
@@ -56,6 +68,8 @@ __all__ = [
     "Worker",
     "WorkerGroup",
     "WorkerServer",
+    "attach_token",
+    "check_token",
     "create_workers",
     "decode_array",
     "decode_blob",
@@ -64,5 +78,7 @@ __all__ = [
     "encode_blob",
     "encode_line",
     "execute_item",
+    "fabric_auth",
+    "join_fabric",
     "normalize_worker_specs",
 ]

@@ -18,23 +18,36 @@ Numeric payloads ride inside the JSON as compact, bit-exact envelopes:
   as base64-wrapped pickle.  **Blobs are code-adjacent data: only
   exchange them between mutually trusted hosts.**  The worker fabric is
   a lab/cluster tool, not an internet-facing service.
+
+An optional shared secret softens that caveat: with a token configured
+(``repro worker --listen --token T``), every payload must carry a valid
+``auth`` field (:func:`attach_token`) or the server rejects it before
+any blob is unpickled (:func:`check_token`).  The auth value is an HMAC
+of the token, compared in constant time — a fabric membership proof
+against accidental or opportunistic connections, not a substitute for a
+trusted network (payloads are neither encrypted nor replay-protected).
 """
 
 from __future__ import annotations
 
 import base64
+import hashlib
+import hmac
 import json
 import pickle
 
 import numpy as np
 
 __all__ = [
+    "attach_token",
+    "check_token",
     "decode_array",
     "decode_blob",
     "decode_line",
     "encode_array",
     "encode_blob",
     "encode_line",
+    "fabric_auth",
 ]
 
 
@@ -77,3 +90,38 @@ def encode_blob(obj) -> str:
 def decode_blob(text: str) -> object:
     """Inverse of :func:`encode_blob` (trusted fabric only)."""
     return pickle.loads(base64.b64decode(text))
+
+
+# ----------------------------------------------------------------------
+# Shared-secret handshake (optional fabric authentication)
+# ----------------------------------------------------------------------
+_AUTH_CONTEXT = b"repro-fabric-v1"
+
+
+def fabric_auth(token: str) -> str:
+    """The ``auth`` proof a payload must carry for a given token."""
+    return hmac.new(token.encode(), _AUTH_CONTEXT,
+                    hashlib.sha256).hexdigest()
+
+
+def attach_token(payload: dict, token: str | None) -> dict:
+    """Return ``payload`` carrying the auth proof (no-op without token)."""
+    if token is None:
+        return payload
+    return dict(payload, auth=fabric_auth(token))
+
+
+def check_token(payload: dict, token: str | None) -> bool:
+    """Whether a payload satisfies the configured token (constant-time).
+
+    With no token configured every payload passes; with one, the payload
+    must carry a matching ``auth`` field.  Callers reject failing
+    payloads with :class:`~repro.errors.FabricAuthError` *before*
+    touching any pickled blob they carry.
+    """
+    if token is None:
+        return True
+    auth = payload.get("auth")
+    if not isinstance(auth, str):
+        return False
+    return hmac.compare_digest(auth, fabric_auth(token))

@@ -21,6 +21,19 @@ over it.  Mechanics:
 * **Heartbeats.**  A monitor thread pings idle lanes every
   ``heartbeat_s`` seconds; a lane that stops answering is evicted the
   same way, so a silently dead remote host cannot strand queued work.
+* **Elasticity.**  The lane set is not fixed at ``start()``:
+  :meth:`WorkerGroup.add_lane` admits a new worker (or a joining remote
+  host, via :class:`~repro.runtime.remote.GroupListener`) into a running
+  group, :meth:`WorkerGroup.remove_lane` drains one out (its queued work
+  requeues on peers; its in-flight item finishes first), and
+  :meth:`WorkerGroup.add_deployments` grows the deployment table
+  mid-run, re-registering it with every live lane.  An evicted lane is
+  not gone for good: the monitor keeps it on **probation** and, after a
+  successful probe (reconnect + redeploy + ping), re-admits it with a
+  fresh dispatcher — a host that rebooted rejoins by itself.  Lane churn
+  only ever moves *scheduling*; any mid-run join/leave/re-admission
+  merges bit-identically to a serial run (the fabric's acceptance
+  contract, extended).
 
 Results come back as :class:`concurrent.futures.Future` objects, which
 both the synchronous sweep driver (``future.result()``) and the asyncio
@@ -35,9 +48,10 @@ from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigurationError, WorkerCrashError
+from repro.errors import ConfigurationError, ReproError, WorkerCrashError
+from repro.runtime.registry import DeploymentRegistry
 from repro.runtime.work import Deployment, WorkItem, WorkResult
-from repro.runtime.workers import Worker
+from repro.runtime.workers import Worker, create_workers
 
 __all__ = ["GroupMetrics", "WorkerGroup"]
 
@@ -50,6 +64,9 @@ class GroupMetrics:
     stolen: int = 0                                # items taken from peers
     requeued: int = 0                              # items moved off a crash
     worker_crashes: int = 0                        # lanes evicted
+    lanes_added: int = 0                           # lanes admitted live
+    lanes_removed: int = 0                         # lanes drained out live
+    readmitted: int = 0                            # evictions undone
     last_heartbeat: dict = field(default_factory=dict)  # name -> monotonic
 
     def to_dict(self) -> dict:
@@ -58,6 +75,9 @@ class GroupMetrics:
             "stolen": self.stolen,
             "requeued": self.requeued,
             "worker_crashes": self.worker_crashes,
+            "lanes_added": self.lanes_added,
+            "lanes_removed": self.lanes_removed,
+            "readmitted": self.readmitted,
         }
 
 
@@ -82,7 +102,10 @@ class WorkerGroup:
         group starts them).  Build from specs with
         :func:`~repro.runtime.workers.create_workers`.
     deployments:
-        The deployment table registered with every lane at start.
+        The deployment table registered with every lane at start — a
+        plain list (positional indices, the sweep driver's contract) or
+        a :class:`~repro.runtime.registry.DeploymentRegistry` (named
+        multi-model routing; the group schedules against its table).
     steal:
         Idle lanes steal queued items from the busiest peer (default).
         ``False`` pins items to their assigned lane — the static-shard
@@ -92,16 +115,25 @@ class WorkerGroup:
         Liveness-probe period for idle lanes.
     max_attempts:
         Crash-requeue budget per item before it is failed as poison.
+    readmit:
+        Keep evicted lanes on probation and re-admit one whose probe
+        (restart + redeploy + ping) succeeds (default).  ``False``
+        restores permanent eviction.
+    probation_s:
+        Delay before the first re-admission probe of an evicted lane
+        (default: ``2 * heartbeat_s``); failed probes retry each period.
     """
 
     def __init__(
         self,
         workers: list[Worker],
-        deployments: list[Deployment] | tuple = (),
+        deployments: list[Deployment] | tuple | DeploymentRegistry = (),
         steal: bool = True,
         heartbeat_s: float = 2.0,
         ping_timeout_s: float = 5.0,
         max_attempts: int = 3,
+        readmit: bool = True,
+        probation_s: float | None = None,
     ) -> None:
         if not workers:
             raise ConfigurationError("worker group needs >= 1 worker")
@@ -110,11 +142,19 @@ class WorkerGroup:
             raise ConfigurationError(
                 f"worker names must be unique, got {names}")
         self.workers = list(workers)
-        self.deployments = list(deployments)
+        if isinstance(deployments, DeploymentRegistry):
+            self.registry: DeploymentRegistry | None = deployments
+            self._table = deployments.table()
+        else:
+            self.registry = None
+            self._table = list(deployments)
         self.steal = steal
         self.heartbeat_s = heartbeat_s
         self.ping_timeout_s = ping_timeout_s
         self.max_attempts = max_attempts
+        self.readmit = readmit
+        self.probation_s = (2 * heartbeat_s if probation_s is None
+                            else probation_s)
         self.metrics = GroupMetrics(
             executed={name: 0 for name in names})
 
@@ -123,10 +163,15 @@ class WorkerGroup:
         self._queues: list[deque] = [deque() for _ in self.workers]
         self._busy: list[_Pending | None] = [None] * len(self.workers)
         self._dead: set[int] = set()
+        self._removed: set[int] = set()      # drained out, never readmitted
+        self._probation_due: dict[int, float] = {}
         self._stopping = False
         self._threads: list[threading.Thread] = []
         self._monitor_stop = threading.Event()
         self._started = False
+        # Serializes table growth and lane admission against each other
+        # (both re-register the deployment table with live lanes).
+        self._elastic_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -138,6 +183,12 @@ class WorkerGroup:
     @property
     def size(self) -> int:
         return len(self.workers)
+
+    @property
+    def deployments(self) -> list[Deployment]:
+        """The current deployment table (snapshot, index order)."""
+        with self._lock:
+            return list(self._table)
 
     def alive_workers(self) -> list[str]:
         with self._lock:
@@ -153,26 +204,24 @@ class WorkerGroup:
         """
         if self._started:
             raise ConfigurationError("worker group already started")
+        table = self.deployments
         for index, worker in enumerate(self.workers):
             try:
                 worker.start()
-                worker.deploy(self.deployments)
+                worker.deploy(table)
             except WorkerCrashError:
                 with self._cond:
                     self._dead.add(index)
                     self.metrics.worker_crashes += 1
+                    self._probation_due[index] = (time.monotonic()
+                                                  + self.probation_s)
                 continue
             self.metrics.last_heartbeat[worker.name] = time.monotonic()
         if len(self._dead) == len(self.workers):
             raise WorkerCrashError(
                 "no worker in the group could be started")
         for index in range(len(self.workers)):
-            thread = threading.Thread(
-                target=self._dispatch, args=(index,),
-                name=f"repro-runtime-{self.workers[index].name}",
-                daemon=True)
-            thread.start()
-            self._threads.append(thread)
+            self._spawn_dispatcher(index)
         monitor = threading.Thread(target=self._monitor,
                                    name="repro-runtime-monitor",
                                    daemon=True)
@@ -180,6 +229,14 @@ class WorkerGroup:
         self._threads.append(monitor)
         self._started = True
         return self
+
+    def _spawn_dispatcher(self, index: int) -> None:
+        thread = threading.Thread(
+            target=self._dispatch, args=(index,),
+            name=f"repro-runtime-{self.workers[index].name}",
+            daemon=True)
+        thread.start()
+        self._threads.append(thread)
 
     def __enter__(self) -> "WorkerGroup":
         return self.start()
@@ -205,9 +262,136 @@ class WorkerGroup:
         for thread in self._threads:
             thread.join(timeout=5.0)
         self._threads.clear()
-        for worker in self.workers:
+        for worker in list(self.workers):
             worker.close()
         self._started = False
+
+    # ------------------------------------------------------------------
+    # Elasticity: lane churn and table growth on a live group
+    # ------------------------------------------------------------------
+    def add_lane(self, worker: Worker | str,
+                 token: str | None = None) -> str:
+        """Admit a worker into the (possibly running) group; returns its
+        group-unique name.
+
+        ``worker`` is a started-or-not :class:`Worker` or a spec string
+        (``"thread"``, ``"process"``, ``"host:port"``; ``token`` rides to
+        remote specs).  On a running group the lane is started, receives
+        the current deployment table and gets its own dispatcher; before
+        ``start()`` it simply joins the initial lane set.  Admission
+        failures (unreachable host, bad handshake) raise
+        :class:`~repro.errors.WorkerCrashError` without touching the
+        group.
+        """
+        if isinstance(worker, str):
+            worker = create_workers([worker], token=token)[0]
+        with self._elastic_lock:
+            existing = {peer.name for peer in self.workers}
+            if worker.name in existing:
+                base, suffix = worker.name, 2
+                while f"{base}~{suffix}" in existing:
+                    suffix += 1
+                worker.name = f"{base}~{suffix}"
+            if not self._started:
+                self.workers.append(worker)
+                self._queues.append(deque())
+                self._busy.append(None)
+                self.metrics.executed[worker.name] = 0
+                return worker.name
+            worker.start()
+            worker.deploy(self.deployments)
+            with self._cond:
+                if self._stopping:
+                    worker.close()
+                    raise ConfigurationError("worker group is stopped")
+                self.workers.append(worker)
+                self._queues.append(deque())
+                self._busy.append(None)
+                index = len(self.workers) - 1
+                self.metrics.executed[worker.name] = 0
+                self.metrics.lanes_added += 1
+                self.metrics.last_heartbeat[worker.name] = time.monotonic()
+                self._cond.notify_all()
+            self._spawn_dispatcher(index)
+        return worker.name
+
+    def remove_lane(self, name: str) -> None:
+        """Drain a lane out of a running group.
+
+        Its queued items requeue on live peers immediately; an item it
+        is executing right now completes normally (the result is kept —
+        removal is graceful, not an eviction).  The lane is closed once
+        its dispatcher parks and is never put on probation.  Removing
+        the last live lane is refused — a group must keep executing.
+        """
+        with self._cond:
+            matches = [i for i, worker in enumerate(self.workers)
+                       if worker.name == name]
+            if not matches:
+                raise ConfigurationError(
+                    f"no lane named {name!r} in the group")
+            index = matches[0]
+            if index in self._removed:
+                return
+            alive = [i for i in range(len(self.workers))
+                     if i not in self._dead and i != index]
+            if not alive:
+                raise ConfigurationError(
+                    f"cannot remove {name!r}: it is the last live lane")
+            already_dead = index in self._dead
+            self._dead.add(index)
+            self._removed.add(index)
+            self._probation_due.pop(index, None)
+            orphans = list(self._queues[index])
+            self._queues[index].clear()
+            if not already_dead:
+                self.metrics.lanes_removed += 1
+            for pending in orphans:
+                target = min(alive,
+                             key=lambda i: (len(self._queues[i]), i))
+                self._queues[target].append(pending)
+                self.metrics.requeued += 1
+            self._cond.notify_all()
+
+    def add_deployments(self, deployments) -> list[int]:
+        """Grow the deployment table mid-run; returns one table index per
+        input deployment (content-equal inputs share a slot).
+
+        The table is append-only, so indices already baked into queued
+        work items stay valid; genuinely new entries are re-registered
+        with every live lane before this returns (a lane that fails the
+        re-deploy is evicted exactly like a crashed one).  This is what
+        lets one shared group serve a heterogeneous stream of sweeps and
+        serving traffic: each caller appends its models and routes by
+        the returned indices.
+        """
+        deployments = list(deployments)
+        with self._elastic_lock:
+            with self._lock:
+                known = {dep.fingerprint: i
+                         for i, dep in enumerate(self._table)}
+                indices: list[int] = []
+                grew = False
+                for deployment in deployments:
+                    index = known.get(deployment.fingerprint)
+                    if index is None:
+                        index = len(self._table)
+                        self._table.append(deployment)
+                        known[deployment.fingerprint] = index
+                        grew = True
+                    indices.append(index)
+                table = list(self._table)
+            if grew and self._started:
+                for lane, worker in enumerate(list(self.workers)):
+                    with self._lock:
+                        dead = lane in self._dead
+                    if dead:
+                        continue
+                    try:
+                        worker.deploy(table)
+                    except WorkerCrashError as error:
+                        self._evict(lane, error)
+        return indices
 
     # ------------------------------------------------------------------
     # Submission
@@ -296,13 +480,22 @@ class WorkerGroup:
         while True:
             with self._cond:
                 pending = None
+                removed = False
                 while pending is None:
                     if self._stopping or index in self._dead:
-                        return
+                        removed = index in self._removed
+                        break
                     pending = self._next_pending(index)
                     if pending is None:
                         self._cond.wait(timeout=0.1)
-                self._busy[index] = pending
+                if pending is not None:
+                    self._busy[index] = pending
+            if pending is None:
+                if removed:
+                    # Graceful drain: the dispatcher owns the close (an
+                    # in-flight item was allowed to finish first).
+                    worker.close()
+                return
             pending.attempts += 1
             try:
                 result: WorkResult = worker.execute(pending.item)
@@ -346,6 +539,8 @@ class WorkerGroup:
             if first_report:
                 self._dead.add(index)
                 self.metrics.worker_crashes += 1
+                self._probation_due[index] = (time.monotonic()
+                                              + self.probation_s)
                 orphans = list(self._queues[index])
                 self._queues[index].clear()
             self._busy[index] = None
@@ -373,9 +568,9 @@ class WorkerGroup:
             worker.close()
 
     def _monitor(self) -> None:
-        """Ping idle lanes; evict the ones that stopped answering."""
+        """Ping idle lanes; evict the unresponsive, readmit the recovered."""
         while not self._monitor_stop.wait(self.heartbeat_s):
-            for index, worker in enumerate(self.workers):
+            for index, worker in list(enumerate(self.workers)):
                 with self._lock:
                     if (self._stopping or index in self._dead
                             or self._busy[index] is not None):
@@ -391,3 +586,70 @@ class WorkerGroup:
                 else:
                     self._evict(index, WorkerCrashError(
                         "heartbeat probe failed"))
+            if self.readmit:
+                self._probe_probation()
+
+    def _probe_probation(self) -> None:
+        """Try to re-admit evicted lanes whose probation delay elapsed.
+
+        A probe is a full bring-up: restart the executor, re-register
+        the current deployment table, answer a ping.  Success restores
+        the lane with a fresh dispatcher (``metrics.readmitted``);
+        failure closes it again and re-arms the probation timer — a host
+        that stays down just keeps failing cheap connect attempts.
+        """
+        now = time.monotonic()
+        with self._lock:
+            due = [index for index in self._dead
+                   if index not in self._removed
+                   and self.workers[index].restartable
+                   and self._probation_due.get(index, 0.0) <= now]
+        for index in due:
+            worker = self.workers[index]
+            # The slow bring-up (TCP connect, pickled-table deploy) runs
+            # WITHOUT the elastic lock — an unreachable host must not
+            # stall add_lane/add_deployments for its connect timeout.
+            try:
+                worker.close()
+                worker.start()
+                probed_table = self.deployments
+                worker.deploy(probed_table)
+                if not worker.ping(timeout_s=self.ping_timeout_s):
+                    raise WorkerCrashError("probation ping failed")
+            except (ReproError, OSError):
+                worker.close()
+                with self._lock:
+                    self._probation_due[index] = (time.monotonic()
+                                                  + self.probation_s)
+                continue
+            # Admission is serialized against table growth: if
+            # add_deployments ran mid-probe (it skips dead lanes), the
+            # probed table is stale and the lane would fail new-model
+            # items typed instead of requeueing — re-deploy the current
+            # table (append-only, so a length check suffices) before
+            # the lane goes live.
+            with self._elastic_lock:
+                current_table = self.deployments
+                if len(current_table) != len(probed_table):
+                    try:
+                        worker.deploy(current_table)
+                    except (ReproError, OSError):
+                        worker.close()
+                        with self._lock:
+                            self._probation_due[index] = (
+                                time.monotonic() + self.probation_s)
+                        continue
+                with self._cond:
+                    # remove_lane() may have decommissioned the lane
+                    # while the probe was in flight — removal wins.
+                    if (self._stopping or index not in self._dead
+                            or index in self._removed):
+                        worker.close()
+                        continue
+                    self._dead.discard(index)
+                    self._probation_due.pop(index, None)
+                    self.metrics.readmitted += 1
+                    self.metrics.last_heartbeat[worker.name] = \
+                        time.monotonic()
+                    self._cond.notify_all()
+                self._spawn_dispatcher(index)

@@ -1,0 +1,192 @@
+"""The deployment registry: named models as the public unit of the stack.
+
+Everything that runs work — the :class:`~repro.runtime.WorkerGroup`, the
+serving pool, the sweep driver — executes against a *deployment table*:
+a list of :class:`~repro.runtime.work.Deployment` entries that work
+items index into.  :class:`DeploymentRegistry` is the named, shared view
+of that table:
+
+* **Names are the API.**  Serving requests say ``deployment="lenet:3"``,
+  sweep cells and CLI flags name models the same way; indices stay an
+  internal fabric detail.
+* **Content-fingerprinted.**  Entries are keyed by the warm cache's
+  content fingerprint (:attr:`Deployment.fingerprint` — backend plus a
+  SHA-256 over weights, config and calibration).  Registering
+  content-identical deployments under two names aliases both names to
+  **one** table slot, so one warm engine serves both and the table never
+  carries duplicates.  Re-registering a name with *different* content is
+  an error — a name points at exactly one model.
+* **Append-only.**  Indices never shift, which is what lets a live
+  :class:`~repro.runtime.WorkerGroup` grow its table mid-run
+  (``add_deployments``) without invalidating queued work items.
+
+One registry instance is meant to be shared across layers: build it
+once, hand it to the server *and* the sweep driver, and both schedule
+onto the same worker lanes with per-deployment routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
+from repro.core.config import AcceleratorConfig
+from repro.errors import ConfigurationError, DeploymentError
+from repro.runtime.work import Deployment
+
+__all__ = ["DeploymentRegistry", "RegisteredDeployment"]
+
+
+@dataclass(frozen=True)
+class RegisteredDeployment:
+    """One named entry: the deployment plus its routing metadata.
+
+    ``index`` is the slot in the fabric's deployment table (shared by
+    every alias of the same content); ``max_queue`` optionally caps the
+    serving queue depth admitted for this name (``None`` = the server's
+    global depth).
+    """
+
+    name: str
+    index: int
+    deployment: Deployment
+    max_queue: int | None = None
+
+    @property
+    def fingerprint(self) -> str:
+        return self.deployment.fingerprint
+
+    def describe(self) -> dict:
+        """JSON-ready summary (the ``repro deployments`` row)."""
+        network = self.deployment.network
+        return {
+            "name": self.name,
+            "index": self.index,
+            "backend": self.deployment.backend,
+            "fingerprint": self.fingerprint.split(":", 1)[1][:12],
+            "input_shape": list(getattr(network, "input_shape", ())),
+            "num_steps": getattr(network, "num_steps", None),
+            "layers": len(getattr(network, "layers", ())),
+            "max_queue": self.max_queue,
+        }
+
+
+class DeploymentRegistry:
+    """Named deployments over one shared, append-only table."""
+
+    def __init__(self) -> None:
+        self._table: list[Deployment] = []       # unique content, by index
+        self._index_by_fp: dict[str, int] = {}
+        self._entries: dict[str, RegisteredDeployment] = {}  # insertion order
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        deployment: Deployment | None = None,
+        *,
+        network=None,
+        config: AcceleratorConfig | None = None,
+        backend: str = "vectorized",
+        calibration: LatencyCalibration = DEFAULT_LATENCY,
+        max_queue: int | None = None,
+    ) -> RegisteredDeployment:
+        """Register a named deployment; returns its entry (idempotent).
+
+        Pass a ready :class:`Deployment`, or its parts (``network`` is
+        unwrapped from an ``SNNModel`` if needed).  Registering the same
+        name with the same content returns the existing entry; the same
+        name with different content raises; new names over existing
+        content alias the existing table slot.
+        """
+        if not name or not isinstance(name, str):
+            raise ConfigurationError(
+                f"deployment name must be a non-empty string, got {name!r}")
+        if deployment is None:
+            if network is None:
+                raise ConfigurationError(
+                    f"deployment {name!r} needs a Deployment or a network")
+            network = getattr(network, "network", network)
+            deployment = Deployment(
+                network=network,
+                config=config or AcceleratorConfig.for_network(network),
+                backend=backend, calibration=calibration)
+        fingerprint = deployment.fingerprint
+        existing = self._entries.get(name)
+        if existing is not None:
+            if existing.fingerprint != fingerprint:
+                raise ConfigurationError(
+                    f"deployment name {name!r} is already registered "
+                    "with different content; names point at exactly one "
+                    "model")
+            return existing
+        index = self._index_by_fp.get(fingerprint)
+        if index is None:
+            index = len(self._table)
+            self._table.append(deployment)
+            self._index_by_fp[fingerprint] = index
+        entry = RegisteredDeployment(name=name, index=index,
+                                     deployment=self._table[index],
+                                     max_queue=max_queue)
+        self._entries[name] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def resolve(self, deployment: str | int | None = None
+                ) -> RegisteredDeployment:
+        """Entry for a name, a table index, or the default (first) entry.
+
+        Unknown names and out-of-table indices raise the same typed
+        :class:`~repro.errors.DeploymentError` the executors raise for
+        misrouted work items.
+        """
+        if not self._entries:
+            raise DeploymentError("no deployments registered")
+        if deployment is None:
+            return next(iter(self._entries.values()))
+        if isinstance(deployment, str):
+            entry = self._entries.get(deployment)
+            if entry is None:
+                raise DeploymentError(
+                    f"unknown deployment {deployment!r}; registered: "
+                    f"{', '.join(self.names()) or '(none)'}")
+            return entry
+        if not 0 <= int(deployment) < len(self._table):
+            raise DeploymentError(
+                f"deployment index {deployment} outside the table "
+                f"({len(self._table)} deployment(s))")
+        index = int(deployment)
+        for entry in self._entries.values():
+            if entry.index == index:
+                return entry
+        raise DeploymentError(
+            f"deployment index {index} has no registered name")
+
+    def names(self) -> list[str]:
+        return list(self._entries)
+
+    def entries(self) -> list[RegisteredDeployment]:
+        """All named entries, in registration order."""
+        return list(self._entries.values())
+
+    def table(self) -> list[Deployment]:
+        """The fabric's deployment table (unique content, index order)."""
+        return list(self._table)
+
+    def describe(self) -> list[dict]:
+        """JSON-ready rows for every entry (CLI listing, TCP op)."""
+        return [entry.describe() for entry in self.entries()]
+
+    def __len__(self) -> int:
+        """Number of *named* entries (aliases included)."""
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self):
+        return iter(self._entries.values())

@@ -1,10 +1,20 @@
 """Remote engine workers: the fabric over JSON-lines TCP.
 
-A host joins the fabric by running ``repro worker --listen host:port``
-(:class:`WorkerServer`); a driver attaches a :class:`RemoteWorker` lane
-to it.  The protocol reuses the serving transport's newline-delimited
-JSON framing (``repro.runtime.codec``), one request per line, answered
-in order::
+A host joins the fabric two ways:
+
+* **Listen** — run ``repro worker --listen host:port``
+  (:class:`WorkerServer`); a driver attaches a :class:`RemoteWorker`
+  lane to it.
+* **Join** — run ``repro worker --join host:port`` (:func:`join_fabric`)
+  against a driver whose :class:`~repro.runtime.WorkerGroup` opened a
+  :class:`GroupListener`: the connection is initiated *by the worker*,
+  which then serves the same protocol over it.  This is how a lane
+  enters a sweep or a serving pool **mid-run** — the listener admits the
+  socket as a new lane via ``WorkerGroup.add_lane``.
+
+The protocol reuses the serving transport's newline-delimited JSON
+framing (``repro.runtime.codec``), one request per line, answered in
+order::
 
     {"op": "ping"}                         -> {"ok": true, "pid": ...}
     {"op": "deploy", "blob": "<b64>"}      -> {"ok": true, "deployments": N}
@@ -15,14 +25,20 @@ in order::
                                                "elapsed_s": ..., "pid": ...}
 
 Task-level failures answer ``{"ok": false, "error": {"type", "message"}}``
-and keep the connection; transport-level failures (closed socket, blown
-timeout) surface as :class:`~repro.errors.WorkerCrashError` so the group
-evicts the lane and requeues its work.
+and keep the connection; a known type (``DeploymentError``,
+``FabricAuthError``) is resurrected client-side as the same typed
+exception.  Transport-level failures (closed socket, blown timeout)
+surface as :class:`~repro.errors.WorkerCrashError` so the group evicts
+the lane and requeues its work.
 
 Results are bit-identical to a local run: images and logits cross the
 wire through the exact array codec, traces as integer counters.  The
 ``deploy`` blob is pickled — **only attach workers you trust, over
 networks you trust**; this is a lab/cluster fabric, not a public API.
+An optional shared secret softens the caveat: a server started with a
+``token`` rejects every payload that does not carry the matching auth
+proof (:func:`~repro.runtime.codec.attach_token`) *before* unpickling
+anything, and the join handshake is verified in both directions.
 """
 
 from __future__ import annotations
@@ -31,10 +47,18 @@ import json
 import os
 import socket
 import threading
+import time
 
 from repro.core.engine.trace import TraceMerge
-from repro.errors import RemoteExecutionError, WorkerCrashError
+from repro.errors import (
+    DeploymentError,
+    FabricAuthError,
+    RemoteExecutionError,
+    WorkerCrashError,
+)
 from repro.runtime.codec import (
+    attach_token,
+    check_token,
     decode_array,
     decode_blob,
     encode_array,
@@ -44,7 +68,94 @@ from repro.runtime.codec import (
 from repro.runtime.work import Deployment, WorkItem, WorkResult, execute_item
 from repro.runtime.workers import Worker
 
-__all__ = ["RemoteWorker", "WorkerServer"]
+__all__ = ["GroupListener", "RemoteWorker", "WorkerServer", "join_fabric"]
+
+#: Error types a structured worker reply resurrects client-side;
+#: anything else degrades to :class:`RemoteExecutionError`.
+_REMOTE_ERROR_TYPES = {
+    "DeploymentError": DeploymentError,
+    "FabricAuthError": FabricAuthError,
+}
+
+
+def _error_reply(error: Exception) -> dict:
+    return {"ok": False,
+            "error": {"type": type(error).__name__,
+                      "message": str(error)}}
+
+
+def _configure_socket(sock: socket.socket) -> None:
+    """Keepalive so a host that vanished without a FIN/RST (power loss,
+    partition) surfaces as an OSError in about a minute instead of
+    blocking an untimed readline forever."""
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    for option, value in (("TCP_KEEPIDLE", 30),
+                          ("TCP_KEEPINTVL", 10),
+                          ("TCP_KEEPCNT", 3)):
+        if hasattr(socket, option):
+            sock.setsockopt(socket.IPPROTO_TCP,
+                            getattr(socket, option), value)
+
+
+# ----------------------------------------------------------------------
+# Worker-side protocol core — shared by --listen and --join
+# ----------------------------------------------------------------------
+def _handle_request(deployments: list[Deployment], line: bytes,
+                    token: str | None = None) -> dict:
+    """One request -> one reply dict (the worker side of the protocol)."""
+    message = json.loads(line)
+    if not isinstance(message, dict):
+        raise ValueError("request must be a JSON object")
+    if not check_token(message, token):
+        # Reject *before* touching any pickled blob the payload carries.
+        raise FabricAuthError(
+            "payload rejected: missing or invalid fabric token")
+    op = message.get("op")
+    if op == "ping":
+        return {"ok": True, "pid": os.getpid(),
+                "deployments": len(deployments)}
+    if op == "deploy":
+        table = decode_blob(message["blob"])
+        deployments[:] = list(table)
+        return {"ok": True, "deployments": len(deployments)}
+    if op == "execute":
+        item = WorkItem(
+            item_id=int(message["item_id"]),
+            deployment=int(message["deployment"]),
+            images=decode_array(message["images"]))
+        if not 0 <= item.deployment < len(deployments):
+            raise DeploymentError(
+                f"deployment {item.deployment} is not registered "
+                f"({len(deployments)} deployed); send a 'deploy' "
+                "request first")
+        result = execute_item(deployments, item)
+        return {
+            "ok": True,
+            "item_id": result.item_id,
+            "logits": encode_array(result.logits),
+            "traces": [t.to_dict() for t in result.image_traces],
+            "elapsed_s": result.elapsed_s,
+            "pid": result.pid,
+        }
+    raise ValueError(f"unknown op {op!r}")
+
+
+def _serve_requests(conn: socket.socket, reader,
+                    token: str | None = None) -> None:
+    """Answer requests on one connection until the peer goes away.
+
+    Every request must answer: an unpicklable blob, a version-skewed or
+    garbage frame, or a bad token is a *task* failure on a healthy host
+    — killing the connection would make the driver misread it as a lane
+    crash and requeue the item elsewhere.
+    """
+    deployments: list[Deployment] = []
+    for line in reader:
+        try:
+            reply = _handle_request(deployments, line, token)
+        except Exception as error:  # noqa: BLE001 — see docstring
+            reply = _error_reply(error)
+        conn.sendall(encode_line(reply))
 
 
 # ----------------------------------------------------------------------
@@ -57,12 +168,16 @@ class WorkerServer:
     warm cache, so repeated sweeps against the same worker recompile
     nothing.  Each connection carries its own deployment table (drivers
     deploy right after connecting); one handler thread per connection
-    keeps the protocol strictly request/response ordered.
+    keeps the protocol strictly request/response ordered.  With a
+    ``token``, payloads without the matching auth proof are rejected
+    before any blob is unpickled.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 token: str | None = None) -> None:
         self.host = host
         self.port = port
+        self.token = token
         self._sock: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         # Live handler threads and their sockets, pruned as connections
@@ -113,59 +228,15 @@ class WorkerServer:
             handler.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        deployments: list[Deployment] = []
         try:
             with conn, conn.makefile("rb") as reader:
-                for line in reader:
-                    try:
-                        reply = self._handle(deployments, line)
-                    except Exception as error:  # noqa: BLE001 — every
-                        # request must answer: an unpicklable blob or a
-                        # version-skewed payload is a *task* failure on
-                        # a healthy host, and killing the connection
-                        # would make the driver misread it as a lane
-                        # crash and requeue the item elsewhere.
-                        reply = _error_reply(error)
-                    conn.sendall(encode_line(reply))
+                _serve_requests(conn, reader, token=self.token)
         except (ConnectionError, OSError):
             pass  # peer vanished; nothing to answer
         finally:
             with self._conn_lock:
                 self._connections.discard(conn)
                 self._handlers.discard(threading.current_thread())
-
-    def _handle(self, deployments: list[Deployment], line: bytes) -> dict:
-        message = json.loads(line)
-        if not isinstance(message, dict):
-            raise ValueError("request must be a JSON object")
-        op = message.get("op")
-        if op == "ping":
-            return {"ok": True, "pid": os.getpid(),
-                    "deployments": len(deployments)}
-        if op == "deploy":
-            table = decode_blob(message["blob"])
-            deployments[:] = list(table)
-            return {"ok": True, "deployments": len(deployments)}
-        if op == "execute":
-            item = WorkItem(
-                item_id=int(message["item_id"]),
-                deployment=int(message["deployment"]),
-                images=decode_array(message["images"]))
-            if not 0 <= item.deployment < len(deployments):
-                raise RemoteExecutionError(
-                    f"deployment {item.deployment} is not registered "
-                    f"({len(deployments)} deployed); send a 'deploy' "
-                    "request first")
-            result = execute_item(deployments, item)
-            return {
-                "ok": True,
-                "item_id": result.item_id,
-                "logits": encode_array(result.logits),
-                "traces": [t.to_dict() for t in result.image_traces],
-                "elapsed_s": result.elapsed_s,
-                "pid": result.pid,
-            }
-        raise ValueError(f"unknown op {op!r}")
 
     def close(self) -> None:
         self._closing.set()
@@ -204,10 +275,177 @@ class WorkerServer:
             handler.join(timeout=1.0)
 
 
-def _error_reply(error: Exception) -> dict:
-    return {"ok": False,
-            "error": {"type": type(error).__name__,
-                      "message": str(error)}}
+# ----------------------------------------------------------------------
+# Joining side — what `repro worker --join` runs
+# ----------------------------------------------------------------------
+def join_fabric(
+    host: str,
+    port: int,
+    token: str | None = None,
+    name: str | None = None,
+    retry_s: float | None = None,
+    stop_event: threading.Event | None = None,
+    connect_timeout_s: float = 5.0,
+) -> None:
+    """Connect out to a live group's :class:`GroupListener` and serve.
+
+    The reverse of ``--listen``: the *worker* dials the driver, proves
+    the shared ``token`` in a ``join`` hello (and verifies the group's
+    counter-proof), and then answers deploy/execute requests over the
+    same socket until the group goes away.  With ``retry_s`` the worker
+    keeps re-dialing — before the listener exists and again after the
+    group stops — so a fleet of ``repro worker --join`` daemons finds
+    every run that opens a listener.  A failed handshake raises
+    :class:`~repro.errors.FabricAuthError` immediately (a wrong token
+    never heals by retrying).
+    """
+    worker_name = name or f"{socket.gethostname()}:{os.getpid()}"
+    while True:
+        if stop_event is not None and stop_event.is_set():
+            return
+        try:
+            sock = socket.create_connection((host, port),
+                                            timeout=connect_timeout_s)
+        except OSError:
+            if retry_s is None:
+                raise WorkerCrashError(
+                    f"cannot reach group listener {host}:{port}") from None
+            if stop_event is not None and stop_event.wait(retry_s):
+                return
+            time.sleep(0 if stop_event is not None else retry_s)
+            continue
+        try:
+            _configure_socket(sock)
+            sock.settimeout(connect_timeout_s)
+            sock.sendall(encode_line(attach_token(
+                {"op": "join", "name": worker_name}, token)))
+            reader = sock.makefile("rb")
+            line = reader.readline()
+            reply = json.loads(line) if line else {}
+            if not reply.get("ok") or not check_token(reply, token):
+                error = (reply.get("error") or {}).get(
+                    "message", "group refused the join handshake")
+                raise FabricAuthError(error)
+            sock.settimeout(None)
+            _serve_requests(sock, reader)  # blocks until the group hangs up
+        except (ConnectionError, OSError):
+            pass  # group went away mid-serve; maybe retry
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if retry_s is None:
+            return
+        if stop_event is not None and stop_event.wait(retry_s):
+            return
+        if stop_event is None:
+            time.sleep(retry_s)
+
+
+class GroupListener:
+    """Admits ``repro worker --join`` hosts into a live :class:`WorkerGroup`.
+
+    Owned by whoever owns the group (the sweep driver's ``accept=``
+    knob, or any caller): each accepted connection performs the join
+    handshake (token checked both ways) and, on success, becomes a
+    :class:`RemoteWorker` lane via ``group.add_lane`` — from that moment
+    it is a full fabric citizen: it steals work, answers heartbeats, and
+    its eviction requeues exactly like any other lane.
+    """
+
+    def __init__(self, group, host: str = "127.0.0.1", port: int = 0,
+                 token: str | None = None,
+                 handshake_timeout_s: float = 5.0) -> None:
+        self.group = group
+        self.host = host
+        self.port = port
+        self.token = token
+        self.handshake_timeout_s = handshake_timeout_s
+        self.joined: list[str] = []          # lane names, admission order
+        self._sock: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._closing = threading.Event()
+
+    @property
+    def running(self) -> bool:
+        return self._sock is not None
+
+    def start(self) -> "GroupListener":
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self.port))
+        sock.listen()
+        self.port = sock.getsockname()[1]
+        self._sock = sock
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-group-listener",
+            daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def __enter__(self) -> "GroupListener":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, peer = self._sock.accept()
+            except OSError:
+                return  # socket closed by close()
+            try:
+                self._admit(conn, peer)
+            except Exception:  # noqa: BLE001 — a bad joiner must not
+                # kill the accept loop; the group keeps running on its
+                # existing lanes.
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _admit(self, conn: socket.socket, peer) -> None:
+        """Handshake one joiner and hand its socket to the group."""
+        conn.settimeout(self.handshake_timeout_s)
+        reader = conn.makefile("rb")
+        hello = json.loads(reader.readline() or b"null")
+        if (not isinstance(hello, dict) or hello.get("op") != "join"
+                or not check_token(hello, self.token)):
+            conn.sendall(encode_line(_error_reply(FabricAuthError(
+                "join rejected: missing or invalid fabric token"))))
+            reader.close()
+            conn.close()
+            return
+        name = str(hello.get("name") or f"joined@{peer[0]}:{peer[1]}")
+        conn.sendall(encode_line(attach_token({"ok": True, "name": name},
+                                              self.token)))
+        conn.settimeout(None)
+        _configure_socket(conn)
+        worker = RemoteWorker.from_socket(conn, reader, name=name)
+        try:
+            lane_name = self.group.add_lane(worker)
+        except Exception:
+            worker.close()
+            raise
+        self.joined.append(lane_name)
+
+    def close(self) -> None:
+        self._closing.set()
+        if self._sock is not None:
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=1.0)
+            self._accept_thread = None
 
 
 # ----------------------------------------------------------------------
@@ -219,33 +457,52 @@ class RemoteWorker(Worker):
     kind = "remote"
 
     def __init__(self, host: str, port: int, name: str | None = None,
-                 connect_timeout_s: float = 5.0) -> None:
+                 connect_timeout_s: float = 5.0,
+                 token: str | None = None) -> None:
         super().__init__(name or f"remote@{host}:{port}")
         self.host = host
         self.port = port
         self.connect_timeout_s = connect_timeout_s
+        self.token = token
         self._sock: socket.socket | None = None
         self._reader = None
         # Serializes the request/response exchange: the group's monitor
         # may ping while the dispatcher thread owns the socket.
         self._io_lock = threading.Lock()
 
+    @classmethod
+    def from_socket(cls, sock: socket.socket, reader,
+                    name: str) -> "RemoteWorker":
+        """Wrap an already-connected socket (a joined host) as a lane.
+
+        The peer initiated this connection, so the lane cannot re-dial
+        it after a drop — ``restartable`` is False and probation is
+        skipped; a recovered host simply joins again.
+        """
+        try:
+            host, port = sock.getpeername()[:2]
+        except OSError:
+            host, port = "joined", 0
+        worker = cls(host, int(port), name=name)
+        worker._sock = sock
+        worker._reader = reader
+        worker.restartable = False
+        return worker
+
     def start(self) -> None:
+        if self._sock is not None:
+            return  # pre-connected (joined) lane
+        if not self.restartable:
+            raise WorkerCrashError(
+                f"worker {self.name!r} joined over its own connection "
+                "and cannot be re-dialed")
         try:
             self._sock = socket.create_connection(
                 (self.host, self.port), timeout=self.connect_timeout_s)
             # An execute without a per-item timeout blocks in readline;
-            # keepalive makes a host that vanished without a FIN/RST
-            # (power loss, network partition) surface as an OSError in
-            # about a minute instead of blocking forever.
-            self._sock.setsockopt(socket.SOL_SOCKET,
-                                  socket.SO_KEEPALIVE, 1)
-            for option, value in (("TCP_KEEPIDLE", 30),
-                                  ("TCP_KEEPINTVL", 10),
-                                  ("TCP_KEEPCNT", 3)):
-                if hasattr(socket, option):
-                    self._sock.setsockopt(socket.IPPROTO_TCP,
-                                          getattr(socket, option), value)
+            # keepalive bounds how long a silently vanished host can
+            # stall it (see _configure_socket).
+            _configure_socket(self._sock)
             self._reader = self._sock.makefile("rb")
         except OSError as error:
             raise WorkerCrashError(
@@ -265,7 +522,8 @@ class RemoteWorker(Worker):
                 f"worker {self.name!r} is not connected")
         try:
             self._sock.settimeout(timeout_s)
-            self._sock.sendall(encode_line(payload))
+            self._sock.sendall(encode_line(
+                attach_token(payload, self.token)))
             line = self._reader.readline()
         except (OSError, ValueError) as error:
             self.close()
@@ -279,15 +537,26 @@ class RemoteWorker(Worker):
         reply = json.loads(line)
         if not reply.get("ok"):
             error = reply.get("error") or {}
-            raise RemoteExecutionError(
+            cls = _REMOTE_ERROR_TYPES.get(error.get("type"),
+                                          RemoteExecutionError)
+            raise cls(
                 f"{error.get('type', 'Error')}: "
                 f"{error.get('message', 'remote worker failure')}")
         return reply
 
     def deploy(self, deployments: list[Deployment]) -> None:
-        self._request({"op": "deploy",
-                       "blob": encode_blob(list(deployments))},
-                      timeout_s=self.connect_timeout_s * 4)
+        try:
+            self._request({"op": "deploy",
+                           "blob": encode_blob(list(deployments))},
+                          timeout_s=self.connect_timeout_s * 4)
+        except FabricAuthError as error:
+            # An unauthenticated lane can never execute anything: treat
+            # the handshake failure as lane-level so the group degrades
+            # (dead lane, tolerated) instead of aborting the whole run.
+            self.close()
+            raise WorkerCrashError(
+                f"worker {self.name!r} rejected the fabric token: "
+                f"{error}") from error
 
     def execute(self, item: WorkItem) -> WorkResult:
         reply = self._request({
@@ -317,7 +586,7 @@ class RemoteWorker(Worker):
         try:
             self._request_locked({"op": "ping"}, timeout_s=timeout_s)
             return True
-        except (WorkerCrashError, RemoteExecutionError):
+        except (WorkerCrashError, RemoteExecutionError, FabricAuthError):
             return False
         finally:
             self._io_lock.release()

@@ -24,6 +24,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -31,6 +32,7 @@ from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
 from repro.core.config import AcceleratorConfig
 from repro.core.engine import warm_engine
 from repro.core.engine.trace import TraceMerge
+from repro.errors import DeploymentError
 
 __all__ = ["Deployment", "WorkItem", "WorkResult", "execute_item"]
 
@@ -53,6 +55,22 @@ class Deployment:
         """
         return warm_engine(self.network, self.config, self.backend,
                            self.calibration)
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Content fingerprint: the warm-cache key plus the backend name.
+
+        Two deployments with the same fingerprint produce bit-identical
+        results by the warm-cache contract — the registry and the group
+        use this to share one deployment-table slot between
+        content-equal registrations, however many names point at it.
+        (``cached_property`` writes straight into ``__dict__``, so the
+        hash over a VGG's weights is paid once per instance even though
+        the dataclass is frozen.)
+        """
+        from repro.core.engine.cache import content_key  # avoid cycle
+
+        return f"{self.backend}:{content_key(self.network, self.config, self.calibration)}"
 
 
 @dataclass(frozen=True)
@@ -100,7 +118,15 @@ def execute_item(deployments, item: WorkItem,
     Thread workers call this inline, process workers call it in the
     child, the TCP worker server calls it per request — one code path,
     so every executor produces byte-identical results by construction.
+    A deployment index outside the registered table raises a typed
+    :class:`~repro.errors.DeploymentError` (a task-level failure: the
+    lane stays healthy, only the misrouted item's future fails).
     """
+    if not 0 <= item.deployment < len(deployments):
+        raise DeploymentError(
+            f"work item {item.item_id} routed to deployment "
+            f"{item.deployment}, but the table holds "
+            f"{len(deployments)} deployment(s)")
     deployment = deployments[item.deployment]
     engine = deployment.engine()
     started = time.perf_counter()

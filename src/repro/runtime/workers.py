@@ -53,6 +53,12 @@ class Worker(abc.ABC):
     #: Executor kind ("thread" | "process" | "remote").
     kind: str = "abstract"
 
+    #: Whether an evicted lane can be brought back by ``close()`` +
+    #: ``start()`` (the group's probation re-admission).  Lanes built
+    #: around a connection *they* did not initiate (a joined host's
+    #: socket) set this False — the host re-joins on its own instead.
+    restartable: bool = True
+
     def __init__(self, name: str) -> None:
         self.name = name
 
@@ -251,8 +257,13 @@ def normalize_worker_specs(workers) -> list[str]:
     return specs
 
 
-def create_workers(workers) -> list[Worker]:
-    """Build (unstarted) workers from specs; names are group-unique."""
+def create_workers(workers, token: str | None = None) -> list[Worker]:
+    """Build (unstarted) workers from specs; names are group-unique.
+
+    ``token`` is the fabric's optional shared secret: it rides to every
+    remote lane, which attaches the auth proof to each payload (a host
+    started with ``repro worker --listen --token T`` rejects the rest).
+    """
     from repro.runtime.remote import RemoteWorker  # avoid module cycle
 
     built: list[Worker] = []
@@ -264,5 +275,6 @@ def create_workers(workers) -> list[Worker]:
         else:
             host, _, port = spec.rpartition(":")
             built.append(RemoteWorker(host, int(port),
-                                      name=f"remote-{index}@{spec}"))
+                                      name=f"remote-{index}@{spec}",
+                                      token=token))
     return built

@@ -26,6 +26,7 @@ image (``tests/test_serve.py``; ``benchmarks/bench_serve.py`` asserts it
 at runtime under load).
 """
 
+from repro.runtime import DeploymentRegistry  # the multi-model unit
 from repro.serve.batcher import (
     Batcher,
     BatchPolicy,
@@ -45,6 +46,7 @@ __all__ = [
     "Batcher",
     "BatchPolicy",
     "DeadlinePolicy",
+    "DeploymentRegistry",
     "EnginePool",
     "GreedyPolicy",
     "InferenceResult",

@@ -232,6 +232,18 @@ class Batcher:
         waiting, self._waiting = self._waiting, []
         return waiting
 
+    async def wait_for_work(self) -> None:
+        """Block until at least one request is waiting (without flushing).
+
+        The multi-model serve loop parks here *before* acquiring a
+        dispatch slot: a deployment with no traffic must hold no engine
+        capacity, or idle models would starve busy ones on a shared
+        pool.  The request pulled in here stays in the buffer and is
+        batched (or expired) by the next :meth:`next_batch`.
+        """
+        if not self._waiting:
+            self._waiting.append(await self.queue.get())
+
     def _drain_queue(self) -> None:
         while len(self._waiting) < self._capacity:
             try:
@@ -251,14 +263,28 @@ class Batcher:
                 keep.append(request)
         self._waiting = keep
 
-    async def next_batch(self) -> list:
+    async def next_batch(self, wait: bool = True) -> list | None:
+        """Form the next micro-batch; blocks until one exists.
+
+        ``wait=False`` never blocks on an *empty* buffer: if every
+        waiting request expired (or none ever arrived) it returns
+        ``None`` instead of parking on the queue.  The multi-model serve
+        loop calls it this way while holding a dispatch slot — parking
+        there would strand the slot and starve the other deployments
+        (coalescing waits are still taken, but those are bounded by the
+        policy's flush deadline).
+        """
         while True:
             if not self._waiting:
+                if not wait:
+                    return None
                 self._waiting.append(await self.queue.get())
             self._drain_queue()
             now = time.perf_counter()
             self._purge_expired(now)
             if not self._waiting:
+                if not wait:
+                    return None
                 continue
             if len(self._waiting) >= self.policy.max_batch:
                 break

@@ -1,15 +1,28 @@
 """Load generation: open-loop arrivals against any async submit callable.
 
 :class:`LoadGenerator` replays a fixed image sequence at a configured
-offered rate (requests/second) with evenly spaced arrival times — the
-deterministic open-loop shape benchmarkers prefer, because arrivals do
-not slow down when the server does.  Each arrival becomes its own task,
-so slow responses pile up as concurrency (and, through the server's
-bounded queue, as backpressure) exactly like independent clients would.
+offered rate (requests/second) — the deterministic open-loop shape
+benchmarkers prefer, because arrivals do not slow down when the server
+does.  Each arrival becomes its own task, so slow responses pile up as
+concurrency (and, through the server's bounded queue, as backpressure)
+exactly like independent clients would.
+
+Two arrival disciplines ship, both reproducible run to run:
+
+* ``"even"`` (default) — arrivals evenly spaced at ``1 / rate``; no
+  randomness at all.
+* ``"poisson"`` — exponential inter-arrival gaps, the memoryless shape
+  real traffic has.  The gaps come from an **explicitly seeded** RNG
+  (``seed``), so two runs with the same seed offer the *identical* load
+  trace — which is what makes a latency regression comparable across
+  runs (``repro loadgen --arrival poisson --seed 7``).
 
 The ``submit`` callable is either ``InferenceServer.submit`` (in-process
 measurement, no transport noise) or ``TcpClient.infer`` (end-to-end over
 the wire); the generator only assumes ``await submit(image) -> result``.
+On a multi-model server, ``deployment=`` routes every request of the run
+to one named model, so per-deployment load mixes are built from several
+generators running concurrently.
 """
 
 from __future__ import annotations
@@ -18,10 +31,14 @@ import asyncio
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.serve.metrics import _percentiles
 
 __all__ = ["LoadGenerator", "LoadReport"]
+
+_ARRIVALS = ("even", "poisson")
 
 
 @dataclass(frozen=True)
@@ -37,6 +54,9 @@ class LoadReport:
     client_latency_ms: dict[str, float]
     results: list  # per-request results in submission order (None = failed)
     errors: list   # exceptions, aligned with results
+    deployment: str | None = None
+    arrival: str = "even"
+    seed: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -47,37 +67,83 @@ class LoadReport:
             "failed": self.failed,
             "wall_s": self.wall_s,
             "client_latency_ms": dict(self.client_latency_ms),
+            "deployment": self.deployment,
+            "arrival": self.arrival,
+            "seed": self.seed,
         }
 
 
 class LoadGenerator:
-    """Replays images at a fixed offered rate and gathers the results."""
+    """Replays images at a fixed offered rate and gathers the results.
 
-    def __init__(self, submit, rate_rps: float) -> None:
+    Parameters
+    ----------
+    submit:
+        Async callable ``await submit(image, **kwargs) -> result``.
+    rate_rps:
+        Mean offered load in requests per second.
+    arrival:
+        ``"even"`` (fixed spacing) or ``"poisson"`` (seeded exponential
+        gaps around the same mean rate).
+    seed:
+        RNG seed for the ``poisson`` arrival trace — explicit so the
+        offered-load schedule is bit-reproducible across runs.
+    deployment:
+        Optional deployment name forwarded to every ``submit`` call
+        (multi-model servers and TCP clients accept it).
+    """
+
+    def __init__(self, submit, rate_rps: float, arrival: str = "even",
+                 seed: int = 0, deployment: str | None = None) -> None:
         if rate_rps <= 0:
             raise ConfigurationError(
                 f"offered rate must be > 0 rps, got {rate_rps}")
+        if arrival not in _ARRIVALS:
+            raise ConfigurationError(
+                f"arrival must be one of {_ARRIVALS}, got {arrival!r}")
         self.submit = submit
         self.rate_rps = rate_rps
+        self.arrival = arrival
+        self.seed = int(seed)
+        self.deployment = deployment
+
+    def arrival_offsets(self, count: int) -> np.ndarray:
+        """The run's arrival schedule: seconds offset of each request.
+
+        Pure function of ``(rate, arrival, seed, count)`` — two
+        generators configured alike produce byte-identical schedules,
+        which is the reproducibility contract ``repro loadgen --seed``
+        exposes (and ``tests/test_multimodel.py`` pins).
+        """
+        interval = 1.0 / self.rate_rps
+        if self.arrival == "even":
+            return np.arange(count, dtype=np.float64) * interval
+        gaps = np.random.default_rng(self.seed).exponential(
+            scale=interval, size=count)
+        offsets = np.cumsum(gaps)
+        return offsets - offsets[0] if count else offsets
 
     async def _timed_submit(self, image):
         started = time.perf_counter()
-        result = await self.submit(image)
+        if self.deployment is not None:
+            result = await self.submit(image, deployment=self.deployment)
+        else:
+            result = await self.submit(image)
         return result, (time.perf_counter() - started) * 1e3
 
     async def run(self, images) -> LoadReport:
-        """Offer every image at the configured rate; returns the report.
+        """Offer every image on the arrival schedule; returns the report.
 
         Requests that raise are recorded (``failed`` count plus the
         exception in ``errors``) without aborting the run — a load test
         should observe overload behaviour, not die of it.
         """
-        interval = 1.0 / self.rate_rps
+        images = list(images)
+        offsets = self.arrival_offsets(len(images))
         started = time.perf_counter()
         tasks = []
-        for index, image in enumerate(images):
-            due = started + index * interval
-            delay = due - time.perf_counter()
+        for image, offset in zip(images, offsets):
+            delay = started + offset - time.perf_counter()
             if delay > 0:
                 await asyncio.sleep(delay)
             tasks.append(asyncio.create_task(self._timed_submit(image)))
@@ -105,4 +171,7 @@ class LoadGenerator:
             client_latency_ms=_percentiles(latencies),
             results=results,
             errors=errors,
+            deployment=self.deployment,
+            arrival=self.arrival,
+            seed=self.seed,
         )

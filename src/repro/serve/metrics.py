@@ -59,10 +59,14 @@ class MetricsSnapshot:
     service_ms: dict[str, float]
     timed_out: int = 0        # requests expired before dispatch
     worker_crashes: int = 0   # engine lanes evicted by the runtime fabric
+    #: Per-deployment snapshots (``{name: snapshot dict}``) on a
+    #: multi-model server's aggregate snapshot; ``None`` on the
+    #: per-deployment snapshots themselves and single-model servers.
+    per_deployment: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-ready payload (histogram keys become strings)."""
-        return {
+        payload = {
             "completed": self.completed,
             "rejected": self.rejected,
             "timed_out": self.timed_out,
@@ -78,6 +82,9 @@ class MetricsSnapshot:
             "queue_wait_ms": dict(self.queue_wait_ms),
             "service_ms": dict(self.service_ms),
         }
+        if self.per_deployment is not None:
+            payload["per_deployment"] = dict(self.per_deployment)
+        return payload
 
 
 class ServerMetrics:
@@ -125,13 +132,15 @@ class ServerMetrics:
         self._batch_sizes.clear()
 
     def snapshot(self, queue_depth: int = 0,
-                 worker_crashes: int = 0) -> MetricsSnapshot:
+                 worker_crashes: int = 0,
+                 per_deployment: dict | None = None) -> MetricsSnapshot:
         """Freeze the current counters into a :class:`MetricsSnapshot`."""
         elapsed = time.perf_counter() - self.started_at
         mean_batch = (
             sum(size * count for size, count in self._batch_sizes.items())
             / self.completed if self.completed else 0.0)
         return MetricsSnapshot(
+            per_deployment=per_deployment,
             completed=self.completed,
             rejected=self.rejected,
             timed_out=self.timed_out,

@@ -2,20 +2,28 @@
 
 The server's asyncio loop must never block on a GEMM, so batch execution
 is pushed onto a :class:`~repro.runtime.WorkerGroup` of warm worker
-lanes; the pool itself only owns serving policy (one deployment, an
-in-flight cap enforced upstream by the server's dispatch slots) and the
-async bridge (``concurrent.futures.Future`` → ``await``).  Executor
+lanes; the pool itself only owns serving policy (the deployment table,
+an in-flight cap enforced upstream by the server's dispatch slots) and
+the async bridge (``concurrent.futures.Future`` → ``await``).  Executor
 kinds:
 
-* ``thread`` (default) — inline lanes over one shared warm-compiled
-  model.  numpy releases the GIL inside its kernels, so lanes overlap
-  real work; engines are stateless per ``run_batch`` call, which is what
-  makes sharing safe.
-* ``process`` — one forked child per lane, each holding a warm engine,
+* ``thread`` (default) — inline lanes over shared warm-compiled models.
+  numpy releases the GIL inside its kernels, so lanes overlap real work;
+  engines are stateless per ``run_batch`` call, which is what makes
+  sharing safe.
+* ``process`` — one forked child per lane, each holding warm engines,
   batches shipped as pickled arrays.  Sidesteps the GIL entirely.
 * ``workers=[...]`` — explicit lane specs, including ``"host:port"``
   remote TCP workers (a host running ``repro worker --listen``), so one
   server can fan micro-batches out across machines.
+
+Since the deployment-registry refactor one pool serves **many models**:
+construct it from a :class:`~repro.runtime.DeploymentRegistry` and pass
+``deployment=<table index>`` to :meth:`EnginePool.run_batch` — every
+lane holds the whole table, so any lane can run any model's batch and
+capacity flows to whichever deployment has traffic.  The single-model
+constructor (``network, config``) builds a one-entry registry and keeps
+its historical behavior.
 
 A lane dying mid-batch does not fail the request: the group evicts the
 lane, requeues the batch on a healthy one and counts the event — the
@@ -35,7 +43,12 @@ from repro.core.config import AcceleratorConfig
 from repro.core.engine import resolve_backend, warm_compile
 from repro.core.engine.trace import TraceMerge
 from repro.errors import ConfigurationError, ServeError
-from repro.runtime import Deployment, WorkItem, WorkerGroup, create_workers
+from repro.runtime import (
+    DeploymentRegistry,
+    WorkItem,
+    WorkerGroup,
+    create_workers,
+)
 
 __all__ = ["EnginePool"]
 
@@ -46,29 +59,49 @@ class EnginePool:
     ``size``/``mode`` build a homogeneous group (``size`` lanes of
     ``mode``); ``workers`` overrides both with explicit fabric specs
     (``"thread"``, ``"process"``, ``"host:port"``, multipliers like
-    ``"process:4"``).
+    ``"process:4"``).  ``registry`` replaces the single
+    ``network``/``config`` pair with a full deployment table; ``token``
+    is the fabric shared secret for remote lanes.
     """
 
     def __init__(
         self,
-        network,
-        config: AcceleratorConfig,
+        network=None,
+        config: AcceleratorConfig | None = None,
         backend: str = "vectorized",
         calibration: LatencyCalibration = DEFAULT_LATENCY,
         size: int = 1,
         mode: str = "thread",
         workers: list[str] | None = None,
+        registry: DeploymentRegistry | None = None,
+        token: str | None = None,
     ) -> None:
         if size < 1:
             raise ConfigurationError(f"pool size must be >= 1, got {size}")
         if mode not in ("thread", "process"):
             raise ConfigurationError(
                 f"pool mode must be 'thread' or 'process', got {mode!r}")
-        self.network = network
-        self.config = config
-        self.backend = resolve_backend(backend).name
-        self.calibration = calibration
+        if registry is None:
+            if network is None:
+                raise ConfigurationError(
+                    "engine pool needs a registry or a network")
+            registry = DeploymentRegistry()
+            registry.register(
+                "default", network=network,
+                config=config or AcceleratorConfig.for_network(
+                    getattr(network, "network", network)),
+                backend=resolve_backend(backend).name,
+                calibration=calibration)
+        self.registry = registry
+        default = registry.resolve()
+        # Single-model attributes kept for callers (and subclasses) that
+        # predate the registry: they name the default deployment.
+        self.network = default.deployment.network
+        self.config = default.deployment.config
+        self.backend = default.deployment.backend
+        self.calibration = default.deployment.calibration
         self.mode = mode
+        self.token = token
         self.worker_specs = (list(workers) if workers
                              else [mode] * size)
         self.size = len(self.worker_specs)
@@ -78,6 +111,11 @@ class EnginePool:
     @property
     def started(self) -> bool:
         return self._group is not None
+
+    @property
+    def group(self) -> WorkerGroup | None:
+        """The underlying lane group (elastic operations go through it)."""
+        return self._group
 
     @property
     def worker_crashes(self) -> int:
@@ -92,16 +130,15 @@ class EnginePool:
         """Warm-compile, build the lane group, start it; not idempotent."""
         if self.started:
             raise ServeError("engine pool already started")
-        # Warm the parent-process cache first: thread lanes share this
-        # compiled model; process lanes fork after it, so children
+        # Warm the parent-process cache first: thread lanes share these
+        # compiled models; process lanes fork after it, so children
         # inherit the compiled pages copy-on-write and their deploys hit
         # the warm cache instead of recompiling.
-        warm_compile(self.network, self.config)
-        deployment = Deployment(network=self.network, config=self.config,
-                                backend=self.backend,
-                                calibration=self.calibration)
-        self._group = WorkerGroup(create_workers(self.worker_specs),
-                                  deployments=[deployment])
+        for deployment in self.registry.table():
+            warm_compile(deployment.network, deployment.config)
+        self._group = WorkerGroup(
+            create_workers(self.worker_specs, token=self.token),
+            deployments=self.registry)
         try:
             self._group.start()
         except BaseException:
@@ -109,21 +146,46 @@ class EnginePool:
             raise
 
     async def run_batch(
-        self, images: np.ndarray, timeout_s: float | None = None
+        self, images: np.ndarray, deployment: int = 0,
+        timeout_s: float | None = None,
     ) -> tuple[np.ndarray, list[TraceMerge]]:
         """Execute one micro-batch on the next free warm lane.
 
+        ``deployment`` is the registry *table index* the batch runs
+        against (the server resolves names to indices before calling).
         Returns ``(logits, per-image TraceMerge list)``; a crashed lane
         is evicted and the batch re-runs on a healthy one before this
         resolves.
         """
         if not self.started:
             raise ServeError("engine pool is not started")
-        item = WorkItem(item_id=next(self._item_ids), deployment=0,
+        item = WorkItem(item_id=next(self._item_ids),
+                        deployment=deployment,
                         images=images, timeout_s=timeout_s)
         future = self._group.submit(item)
         result = await asyncio.wrap_future(future)
         return result.logits, result.image_traces
+
+    def add_lane(self, worker_or_spec) -> str:
+        """Admit a lane into the running pool (elastic capacity).
+
+        ``size`` tracks the live lane count so capacity-derived budgets
+        (the server's dispatch slots) can follow; prefer
+        ``InferenceServer.add_engine_lane`` from a running server — it
+        grows the in-flight budget in the same step.
+        """
+        if not self.started:
+            raise ServeError("engine pool is not started")
+        name = self._group.add_lane(worker_or_spec, token=self.token)
+        self.size += 1
+        return name
+
+    def remove_lane(self, name: str) -> None:
+        """Drain a lane out of the running pool."""
+        if not self.started:
+            raise ServeError("engine pool is not started")
+        self._group.remove_lane(name)
+        self.size -= 1
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the lane group; ``wait=False`` tears down off-thread

@@ -1,12 +1,22 @@
 """The asyncio inference server: coalesce, execute, account, respond.
 
 :class:`InferenceServer` accepts single-image requests (``submit`` /
-``submit_many``), parks them in a bounded queue (backpressure), lets a
+``submit_many``), parks them in bounded per-deployment queues
+(backpressure and admission limits), lets a per-deployment
 :class:`~repro.serve.batcher.Batcher` coalesce them into micro-batches
-under the configured policy, executes each batch on a pool of warm
-engines (:class:`~repro.serve.pool.EnginePool`), and resolves every
+under the configured policy, executes each batch on a shared pool of
+warm engines (:class:`~repro.serve.pool.EnginePool`), and resolves every
 request's future with an :class:`InferenceResult` — the prediction plus
 the per-request slice of the batch's hardware accounting.
+
+**Multi-model serving.**  Construct the server from a
+:class:`~repro.runtime.DeploymentRegistry` and requests route by name:
+``submit(image, deployment="fang:4")``.  Every deployment gets its own
+queue, batcher, policy instance and metrics — batches never mix models —
+while all of them share one worker-lane pool, so capacity flows to
+whichever model has traffic (an idle deployment holds no engine slot).
+The single-model constructor (a bare network) registers it under the
+name ``"default"`` and behaves exactly as before.
 
 Determinism contract: batching is a pure re-grouping.  The engines
 return one :class:`~repro.core.engine.trace.ExecutionTrace` per image
@@ -14,7 +24,8 @@ whatever the batch shape, so a request's prediction, cycle count and
 energy are identical whether it ran alone or inside a 64-deep
 micro-batch (``tests/test_serve.py`` pins this, and the load generator
 asserts predictions against direct ``Accelerator.run_logits`` output at
-runtime).
+runtime; ``tests/test_multimodel.py`` pins it per deployment on a
+shared pool).
 """
 
 from __future__ import annotations
@@ -31,10 +42,12 @@ from repro.core.energy import trace_energy
 from repro.core.engine.trace import TraceMerge
 from repro.errors import (
     BackpressureError,
+    DeploymentError,
     RequestTimeoutError,
     ServeError,
     ShapeError,
 )
+from repro.runtime import DeploymentRegistry, RegisteredDeployment
 from repro.serve.batcher import Batcher, BatchPolicy, create_policy
 from repro.serve.metrics import MetricsSnapshot, ServerMetrics
 from repro.serve.pool import EnginePool
@@ -49,7 +62,8 @@ class InferenceResult:
     ``trace`` is the request's own single-image
     :class:`~repro.core.engine.trace.TraceMerge` — sliced out of the
     micro-batch it rode in, so summing the traces of N requests equals
-    the merged trace of one N-image batch run exactly.
+    the merged trace of one N-image batch run exactly.  ``deployment``
+    names the model that served the request.
     """
 
     request_id: int
@@ -63,6 +77,7 @@ class InferenceResult:
     service_ms: float
     latency_ms: float
     batch_size: int
+    deployment: str = "default"
 
     def to_dict(self) -> dict:
         """JSON-ready summary (logits and trace collapse to scalars)."""
@@ -77,6 +92,7 @@ class InferenceResult:
             "service_ms": self.service_ms,
             "latency_ms": self.latency_ms,
             "batch_size": self.batch_size,
+            "deployment": self.deployment,
         }
 
 
@@ -99,6 +115,33 @@ class _Request:
     deadline: float | None = None
 
 
+class _DeploymentLane:
+    """One deployment's serving state: queue, batcher, policy, metrics.
+
+    A lane owns everything that must never be shared across models —
+    batches form inside one lane only — while execution capacity (the
+    engine pool's worker lanes) stays shared across all of them.
+    """
+
+    def __init__(self, entry: RegisteredDeployment, policy: BatchPolicy,
+                 queue_depth: int, expire) -> None:
+        self.entry = entry
+        self.policy = policy
+        self.queue: asyncio.Queue = asyncio.Queue(
+            maxsize=entry.max_queue or queue_depth)
+        self.batcher = Batcher(self.queue, policy, expire=expire)
+        self.metrics = ServerMetrics()
+        self.loop_task: asyncio.Task | None = None
+
+    @property
+    def name(self) -> str:
+        return self.entry.name
+
+    @property
+    def depth(self) -> int:
+        return self.queue.qsize() + self.batcher.waiting
+
+
 class InferenceServer:
     """Async micro-batching front-end over the functional hardware model.
 
@@ -106,23 +149,31 @@ class InferenceServer:
     ----------
     network:
         A :class:`~repro.snn.spec.QuantizedNetwork` (or an object with a
-        ``.network`` attribute, e.g. :class:`~repro.snn.model.SNNModel`).
+        ``.network`` attribute, e.g. :class:`~repro.snn.model.SNNModel`)
+        — served as the single deployment ``"default"`` — **or** a
+        :class:`~repro.runtime.DeploymentRegistry` of named deployments
+        for multi-model serving.
     config:
-        Accelerator configuration; defaults to
+        Accelerator configuration (single-model form only); defaults to
         ``AcceleratorConfig.for_network(network)``.
     policy:
         Batching policy name (``greedy`` | ``deadline``) or a
-        :class:`~repro.serve.batcher.BatchPolicy` instance.
+        :class:`~repro.serve.batcher.BatchPolicy` instance.  A name
+        builds one independent instance per deployment (adaptive state
+        never mixes models); an instance is shared as given.
     max_batch / max_wait_ms / slo_ms:
         Policy knobs (each policy uses the subset it cares about).
     queue_depth:
-        Bounded-queue capacity; ``submit(wait=True)`` blocks when full,
-        ``submit(wait=False)`` raises :class:`BackpressureError`.
-    engines / mode / workers:
+        Bounded-queue capacity per deployment (a registry entry's
+        ``max_queue`` overrides it — the per-model admission limit);
+        ``submit(wait=True)`` blocks when full, ``submit(wait=False)``
+        raises :class:`BackpressureError`.
+    engines / mode / workers / token:
         Warm-engine pool shape: ``engines`` lanes of ``mode`` (``thread``
         | ``process``), or explicit runtime fabric specs via ``workers``
         (e.g. ``["thread", "host:7601"]`` to add a remote TCP engine
-        worker); see :class:`~repro.serve.pool.EnginePool`.
+        worker, authenticated with ``token`` if the host requires one);
+        see :class:`~repro.serve.pool.EnginePool`.
     """
 
     def __init__(
@@ -139,20 +190,33 @@ class InferenceServer:
         engines: int = 1,
         mode: str = "thread",
         workers: list[str] | None = None,
+        token: str | None = None,
     ) -> None:
-        network = getattr(network, "network", network)
-        self.network = network
-        self.config = config or AcceleratorConfig.for_network(network)
-        self.policy = create_policy(policy, max_batch=max_batch,
-                                    max_wait_ms=max_wait_ms, slo_ms=slo_ms)
+        if isinstance(network, DeploymentRegistry):
+            self.registry = network
+        else:
+            network = getattr(network, "network", network)
+            self.registry = DeploymentRegistry()
+            self.registry.register(
+                "default", network=network,
+                config=config or AcceleratorConfig.for_network(network),
+                backend=backend, calibration=calibration)
+        default = self.registry.resolve()
+        # Single-model views, kept stable for existing callers: the
+        # default (first-registered) deployment.
+        self.network = default.deployment.network
+        self.config = default.deployment.config
+        self._policy_spec = policy
+        self._policy_kwargs = {"max_batch": max_batch,
+                               "max_wait_ms": max_wait_ms,
+                               "slo_ms": slo_ms}
+        self.policy = create_policy(policy, **self._policy_kwargs)
         self.queue_depth = queue_depth
-        self.pool = EnginePool(network, self.config, backend=backend,
-                               calibration=calibration, size=engines,
-                               mode=mode, workers=workers)
-        self.metrics = ServerMetrics()
-        self._queue: asyncio.Queue | None = None
-        self._batcher: Batcher | None = None
-        self._loop_task: asyncio.Task | None = None
+        self.pool = EnginePool(registry=self.registry, size=engines,
+                               mode=mode, workers=workers, token=token)
+        self.metrics = ServerMetrics()       # aggregate across deployments
+        self._lanes: dict[str, _DeploymentLane] = {}
+        self._dispatch_slots: asyncio.Semaphore | None = None
         self._dispatch_tasks: set[asyncio.Task] = set()
         self._open_requests = 0
         self._idle: asyncio.Event | None = None
@@ -164,15 +228,36 @@ class InferenceServer:
     # ------------------------------------------------------------------
     @property
     def running(self) -> bool:
-        return self._loop_task is not None and not self._loop_task.done()
+        return any(lane.loop_task is not None
+                   and not lane.loop_task.done()
+                   for lane in self._lanes.values())
+
+    def deployments(self) -> list[dict]:
+        """JSON-ready rows describing every served deployment."""
+        return self.registry.describe()
+
+    def _lane_policy(self, entry: RegisteredDeployment) -> BatchPolicy:
+        """The default entry keeps ``self.policy`` (instance injection
+        and pre-registry callers observe it); other deployments get
+        fresh instances so adaptive state never crosses models — unless
+        the caller handed in a shared instance explicitly."""
+        if entry.name == self.registry.resolve().name:
+            return self.policy
+        if isinstance(self._policy_spec, BatchPolicy):
+            return self._policy_spec
+        return create_policy(self._policy_spec, **self._policy_kwargs)
 
     async def start(self) -> "InferenceServer":
         """Warm the engine pool and begin serving; returns self."""
         if self.running:
             raise ServeError("server already running")
-        self._queue = asyncio.Queue(maxsize=self.queue_depth)
-        self._batcher = Batcher(self._queue, self.policy,
-                                expire=self._expire_request)
+        self._lanes = {}
+        for entry in self.registry.entries():
+            lane = _DeploymentLane(
+                entry, self._lane_policy(entry), self.queue_depth,
+                expire=None)
+            lane.batcher.expire = self._make_expire(lane)
+            self._lanes[entry.name] = lane
         self._dispatch_slots = asyncio.Semaphore(self.pool.size)
         self._idle = asyncio.Event()
         self._idle.set()
@@ -180,23 +265,27 @@ class InferenceServer:
         self.pool.start()
         self.metrics.reset()
         self._closed = False
-        self._loop_task = asyncio.create_task(self._serve_loop(),
-                                              name="repro-serve-loop")
+        for lane in self._lanes.values():
+            lane.loop_task = asyncio.create_task(
+                self._serve_loop(lane),
+                name=f"repro-serve-loop-{lane.name}")
         return self
 
     async def stop(self, drain: bool = True) -> None:
         """Stop serving; with ``drain`` (default) finish queued work first."""
-        if self._loop_task is None:
+        lanes = [lane for lane in self._lanes.values()
+                 if lane.loop_task is not None]
+        if not lanes:
             return
         self._closed = True  # refuse new submits immediately
         if drain:
             await self._idle.wait()
-        self._loop_task.cancel()
-        try:
-            await self._loop_task
-        except asyncio.CancelledError:
-            pass
-        self._loop_task = None
+        for lane in lanes:
+            lane.loop_task.cancel()
+        await asyncio.gather(*(lane.loop_task for lane in lanes),
+                             return_exceptions=True)
+        for lane in lanes:
+            lane.loop_task = None
         for task in list(self._dispatch_tasks):
             task.cancel()
         if self._dispatch_tasks:
@@ -209,15 +298,18 @@ class InferenceServer:
         # this loop.  Only reachable with drain=False (a drain already
         # waited the open count down to zero).
         while self._open_requests > 0:
-            leftovers = self._batcher.drain_waiting()
-            while not self._queue.empty():
-                leftovers.append(self._queue.get_nowait())
+            leftovers = []
+            for lane in lanes:
+                leftovers.extend(lane.batcher.drain_waiting())
+                while not lane.queue.empty():
+                    leftovers.append(lane.queue.get_nowait())
             for request in leftovers:
                 if not request.future.done():
                     request.future.set_exception(
                         ServeError("server stopped before request ran"))
                 self._request_done()
             await asyncio.sleep(0)  # let woken putters deposit
+        self._dispatch_slots = None
         self.pool.shutdown()
 
     async def __aenter__(self) -> "InferenceServer":
@@ -229,25 +321,46 @@ class InferenceServer:
     # ------------------------------------------------------------------
     # Request intake
     # ------------------------------------------------------------------
-    def _check_image(self, image: np.ndarray) -> np.ndarray:
+    def _check_image(self, lane: _DeploymentLane,
+                     image: np.ndarray) -> np.ndarray:
         image = np.asarray(image, dtype=np.float64)
-        expected = self.network.input_shape
+        expected = lane.entry.deployment.network.input_shape
         if image.shape != expected:
             raise ShapeError(
-                f"expected one image shaped {expected}, got {image.shape}"
-                " (submit() takes single images; batching is the"
-                " server's job)")
+                f"deployment {lane.name!r} expects one image shaped "
+                f"{expected}, got {image.shape} (submit() takes single"
+                " images; batching is the server's job)")
         return image
+
+    def _resolve_lane(self, deployment: str | int | None
+                      ) -> _DeploymentLane:
+        entry = self.registry.resolve(deployment)
+        lane = self._lanes.get(entry.name)
+        if lane is None:
+            # Registered into the (public, growable) registry after
+            # start(): the typed error keeps the TCP handler answering
+            # instead of leaking a KeyError past its except clause.
+            raise DeploymentError(
+                f"deployment {entry.name!r} was registered after the "
+                "server started; serving lanes are built at start() — "
+                "restart the server to pick it up")
+        return lane
 
     async def submit(self, image: np.ndarray,
                      wait: bool = True,
                      timeout_ms: float | None = None,
-                     priority: int = 0) -> InferenceResult:
+                     priority: int = 0,
+                     deployment: str | int | None = None
+                     ) -> InferenceResult:
         """Infer one ``(C, H, W)`` image; resolves when its batch ran.
 
-        ``wait=True`` applies backpressure by awaiting queue space;
-        ``wait=False`` raises :class:`BackpressureError` when the queue
-        is full (and counts the rejection in the metrics).
+        ``deployment`` names the model (default: the first-registered
+        one); an unknown name raises the typed
+        :class:`~repro.errors.DeploymentError`.  ``wait=True`` applies
+        backpressure by awaiting space in that deployment's bounded
+        queue; ``wait=False`` raises :class:`BackpressureError` when it
+        is full (and counts the rejection in both the aggregate and the
+        deployment's metrics).
 
         ``timeout_ms`` bounds the queue wait: a request still waiting
         for a batch slot when the deadline passes fails with
@@ -260,7 +373,8 @@ class InferenceServer:
         if timeout_ms is not None and timeout_ms <= 0:
             raise ServeError(
                 f"timeout_ms must be > 0, got {timeout_ms}")
-        image = self._check_image(image)
+        lane = self._resolve_lane(deployment)
+        image = self._check_image(lane, image)
         loop = asyncio.get_running_loop()
         request = _Request(request_id=self._next_id, image=image,
                            future=loop.create_future(),
@@ -272,15 +386,17 @@ class InferenceServer:
         self._request_opened()
         try:
             if wait:
-                await self._queue.put(request)
+                await lane.queue.put(request)
             else:
                 try:
-                    self._queue.put_nowait(request)
+                    lane.queue.put_nowait(request)
                 except asyncio.QueueFull:
                     self.metrics.record_rejected()
+                    lane.metrics.record_rejected()
                     raise BackpressureError(
-                        f"request queue full ({self.queue_depth} deep); "
-                        "retry, or submit(wait=True) for backpressure"
+                        f"deployment {lane.name!r} queue full "
+                        f"({lane.queue.maxsize} deep); retry, or "
+                        "submit(wait=True) for backpressure"
                     ) from None
         except BaseException:
             self._request_done()
@@ -290,7 +406,9 @@ class InferenceServer:
     async def submit_many(self, images: np.ndarray,
                           wait: bool = True,
                           timeout_ms: float | None = None,
-                          priority: int = 0) -> list[InferenceResult]:
+                          priority: int = 0,
+                          deployment: str | int | None = None
+                          ) -> list[InferenceResult]:
         """Submit a pre-formed group of images; order-preserving.
 
         All submissions settle before this returns; if any failed (e.g.
@@ -300,20 +418,74 @@ class InferenceServer:
         """
         settled = await asyncio.gather(
             *(self.submit(image, wait=wait, timeout_ms=timeout_ms,
-                          priority=priority) for image in images),
+                          priority=priority, deployment=deployment)
+              for image in images),
             return_exceptions=True)
         for outcome in settled:
             if isinstance(outcome, BaseException):
                 raise outcome
         return list(settled)
 
-    def snapshot(self) -> MetricsSnapshot:
-        """Metrics snapshot including the live queue depth."""
-        depth = self._queue.qsize() if self._queue is not None else 0
-        if self._batcher is not None:
-            depth += self._batcher.waiting
+    # ------------------------------------------------------------------
+    # Elastic serving capacity
+    # ------------------------------------------------------------------
+    async def add_engine_lane(self, worker_or_spec) -> str:
+        """Grow serving capacity on the running server; returns the lane
+        name.
+
+        Admits the lane into the engine pool *and* releases one dispatch
+        slot, so the new capacity is actually used — in-flight batches
+        are capped at the live lane count, not the start-time size.
+        The admission handshake (a TCP connect plus a pickled-table
+        deploy, for remote lanes) runs on a worker thread so in-flight
+        serving never stalls behind it.
+        """
+        if self._dispatch_slots is None:
+            raise ServeError("server is not running (call start())")
+        name = await asyncio.get_running_loop().run_in_executor(
+            None, self.pool.add_lane, worker_or_spec)
+        if self._dispatch_slots is None:   # stopped while admitting
+            raise ServeError("server stopped during lane admission")
+        self._dispatch_slots.release()
+        return name
+
+    async def remove_engine_lane(self, name: str) -> None:
+        """Drain one lane out of the running server.
+
+        Waits for a dispatch slot first (shrinking the in-flight budget
+        by one), then removes the lane — its queued batches requeue on
+        the survivors, an executing batch finishes normally.
+        """
+        if self._dispatch_slots is None:
+            raise ServeError("server is not running (call start())")
+        await self._dispatch_slots.acquire()
+        try:
+            self.pool.remove_lane(name)
+        except BaseException:
+            self._dispatch_slots.release()
+            raise
+
+    def snapshot(self, deployment: str | int | None = None
+                 ) -> MetricsSnapshot:
+        """Metrics snapshot including the live queue depth.
+
+        With ``deployment`` given, that model's own snapshot; otherwise
+        the aggregate — which, on a multi-model server, carries every
+        deployment's snapshot under ``per_deployment``.
+        """
+        if deployment is not None:
+            lane = self._resolve_lane(deployment)
+            return lane.metrics.snapshot(queue_depth=lane.depth)
+        depth = sum(lane.depth for lane in self._lanes.values())
+        per_deployment = None
+        if len(self.registry) > 1:
+            per_deployment = {
+                lane.name: lane.metrics.snapshot(
+                    queue_depth=lane.depth).to_dict()
+                for lane in self._lanes.values()}
         return self.metrics.snapshot(
-            queue_depth=depth, worker_crashes=self.pool.worker_crashes)
+            queue_depth=depth, worker_crashes=self.pool.worker_crashes,
+            per_deployment=per_deployment)
 
     # ------------------------------------------------------------------
     # Serving internals
@@ -327,30 +499,43 @@ class InferenceServer:
         if self._open_requests <= 0:
             self._idle.set()
 
-    def _expire_request(self, request: _Request) -> None:
-        """Batcher hook: a request's queue-wait deadline passed."""
-        self.metrics.record_timeout()
-        if not request.future.done():
-            request.future.set_exception(RequestTimeoutError(
-                f"request {request.request_id} timed out after "
-                f"{request.timeout_ms:.0f} ms waiting for dispatch"))
-        self._request_done()
+    def _make_expire(self, lane: _DeploymentLane):
+        def expire(request: _Request) -> None:
+            """Batcher hook: a request's queue-wait deadline passed."""
+            self.metrics.record_timeout()
+            lane.metrics.record_timeout()
+            if not request.future.done():
+                request.future.set_exception(RequestTimeoutError(
+                    f"request {request.request_id} timed out after "
+                    f"{request.timeout_ms:.0f} ms waiting for dispatch"))
+            self._request_done()
+        return expire
 
-    async def _serve_loop(self) -> None:
+    async def _serve_loop(self, lane: _DeploymentLane) -> None:
         # In-flight batches are capped at the engine-pool size *before*
         # the next batch forms: while every engine is busy, requests
         # stay in the bounded queue (where submit() feels the
         # backpressure) instead of draining into parked dispatch tasks.
-        # The queue keeps filling during execution, so the next
-        # next_batch() still coalesces everything that arrived.
+        # The slot is only acquired once this deployment actually has
+        # work (wait_for_work), so an idle model holds no capacity and
+        # the pool flows to whichever deployments have traffic.
         while True:
+            await lane.batcher.wait_for_work()
             await self._dispatch_slots.acquire()
             try:
-                batch = await self._batcher.next_batch()
+                # wait=False: if every request this lane was holding
+                # expired while we waited for the slot, hand the slot
+                # back and re-park instead of blocking on an empty
+                # queue with the slot held — that would starve every
+                # other deployment of the pool.
+                batch = await lane.batcher.next_batch(wait=False)
             except BaseException:
                 self._dispatch_slots.release()
                 raise
-            task = asyncio.create_task(self._execute(batch))
+            if batch is None:
+                self._dispatch_slots.release()
+                continue
+            task = asyncio.create_task(self._execute(lane, batch))
             self._dispatch_tasks.add(task)
             task.add_done_callback(self._finish_dispatch)
 
@@ -358,11 +543,13 @@ class InferenceServer:
         self._dispatch_tasks.discard(task)
         self._dispatch_slots.release()
 
-    async def _execute(self, batch: list[_Request]) -> None:
+    async def _execute(self, lane: _DeploymentLane,
+                       batch: list[_Request]) -> None:
         images = np.stack([request.image for request in batch])
         started = time.perf_counter()
         try:
-            logits, traces = await self.pool.run_batch(images)
+            logits, traces = await self.pool.run_batch(
+                images, deployment=lane.entry.index)
         except BaseException as error:
             # Fail the whole batch but keep serving — and on
             # cancellation (stop(drain=False) tears down in-flight
@@ -378,8 +565,9 @@ class InferenceServer:
             return
         finished = time.perf_counter()
         service_ms = (finished - started) * 1e3
-        self.policy.observe(len(batch), finished - started)
-        weight_bits = self.network.weight_bits
+        lane.policy.observe(len(batch), finished - started)
+        deployment = lane.entry.deployment
+        weight_bits = deployment.network.weight_bits
         for i, request in enumerate(batch):
             trace = traces[i]  # already a per-image TraceMerge
             cycles = trace.total_cycles
@@ -393,16 +581,18 @@ class InferenceServer:
                 cycles=cycles,
                 energy_pj=trace_energy(trace,
                                        weight_bits=weight_bits).total_pj,
-                model_latency_us=cycles * self.config.cycle_time_us,
+                model_latency_us=cycles * deployment.config.cycle_time_us,
                 queue_wait_ms=queue_wait_ms,
                 service_ms=service_ms,
                 latency_ms=latency_ms,
                 batch_size=len(batch),
+                deployment=lane.name,
             )
-            self.metrics.record(latency_ms=latency_ms,
-                                queue_wait_ms=queue_wait_ms,
-                                service_ms=service_ms,
-                                batch_size=len(batch))
+            for metrics in (self.metrics, lane.metrics):
+                metrics.record(latency_ms=latency_ms,
+                               queue_wait_ms=queue_wait_ms,
+                               service_ms=service_ms,
+                               batch_size=len(batch))
             if not request.future.done():
                 request.future.set_result(result)
             self._request_done()

@@ -2,12 +2,18 @@
 
 One request per line (the same framing the runtime worker fabric uses —
 ``repro.runtime.codec``).  An inference request carries the image
-(nested lists, the network's ``(C, H, W)`` shape) plus optional serving
-knobs; control requests carry an ``op`` field::
+(nested lists, the target deployment's ``(C, H, W)`` shape) plus
+optional serving knobs — including ``deployment``, the registry name
+that routes a request on a multi-model server; control requests carry
+an ``op`` field::
 
     {"id": 7, "image": [[[0.1, ...]]],
+     "deployment": "fang:4",
      "timeout_ms": 50, "priority": 2}        -> inference
-    {"op": "metrics"}                        -> server metrics snapshot
+    {"op": "metrics"}                        -> aggregate server metrics
+    {"op": "metrics",
+     "deployment": "fang:4"}                 -> one deployment's metrics
+    {"op": "deployments"}                    -> registry listing
     {"op": "ping"}                           -> liveness probe
 
 Responses echo the client's ``id`` so clients may pipeline: every
@@ -38,6 +44,7 @@ import numpy as np
 
 from repro.errors import (
     BackpressureError,
+    DeploymentError,
     ReproError,
     RequestTimeoutError,
     ServeError,
@@ -51,6 +58,7 @@ __all__ = ["TcpClient", "start_tcp_server"]
 #: else degrades to plain :class:`ServeError`.
 _ERROR_TYPES = {
     "BackpressureError": BackpressureError,
+    "DeploymentError": DeploymentError,
     "RequestTimeoutError": RequestTimeoutError,
 }
 
@@ -85,8 +93,14 @@ async def _handle_connection(server: InferenceServer,
                 await respond({"id": request_id, "ok": True})
                 return
             if message.get("op") == "metrics":
+                snapshot = server.snapshot(
+                    deployment=message.get("deployment"))
                 await respond({"id": request_id,
-                               "metrics": server.snapshot().to_dict()})
+                               "metrics": snapshot.to_dict()})
+                return
+            if message.get("op") == "deployments":
+                await respond({"id": request_id,
+                               "deployments": server.deployments()})
                 return
             if "image" not in message:
                 raise ServeError(
@@ -97,7 +111,8 @@ async def _handle_connection(server: InferenceServer,
                 image,
                 timeout_ms=(float(timeout_ms) if timeout_ms is not None
                             else None),
-                priority=int(message.get("priority", 0)))
+                priority=int(message.get("priority", 0)),
+                deployment=message.get("deployment"))
             payload = result.to_dict()
             payload["id"] = request_id
             await respond(payload)
@@ -232,22 +247,34 @@ class TcpClient:
 
     async def infer(self, image: np.ndarray,
                     timeout_ms: float | None = None,
-                    priority: int = 0) -> dict:
+                    priority: int = 0,
+                    deployment: str | None = None) -> dict:
         """One inference round-trip; returns the response payload.
 
         ``timeout_ms``/``priority`` ride to the server's batch policies;
-        a server-side timeout comes back as
-        :class:`~repro.errors.RequestTimeoutError`.
+        ``deployment`` routes to a named model on a multi-model server
+        (an unknown name comes back as
+        :class:`~repro.errors.DeploymentError`); a server-side timeout
+        comes back as :class:`~repro.errors.RequestTimeoutError`.
         """
         payload = {"image": np.asarray(image, dtype=np.float64).tolist()}
         if timeout_ms is not None:
             payload["timeout_ms"] = timeout_ms
         if priority:
             payload["priority"] = int(priority)
+        if deployment is not None:
+            payload["deployment"] = deployment
         return await self._request(payload)
 
-    async def metrics(self) -> dict:
-        return (await self._request({"op": "metrics"}))["metrics"]
+    async def metrics(self, deployment: str | None = None) -> dict:
+        payload = {"op": "metrics"}
+        if deployment is not None:
+            payload["deployment"] = deployment
+        return (await self._request(payload))["metrics"]
+
+    async def deployments(self) -> list[dict]:
+        """The server's registry listing (name, backend, fingerprint)."""
+        return (await self._request({"op": "deployments"}))["deployments"]
 
     async def ping(self) -> bool:
         return bool((await self._request({"op": "ping"})).get("ok"))

@@ -27,7 +27,7 @@ import pytest
 from repro.core import AcceleratorConfig
 from repro.errors import (
     ConfigurationError,
-    RemoteExecutionError,
+    DeploymentError,
     WorkerCrashError,
 )
 from repro.harness.sweep import SweepDriver, SweepTask
@@ -296,12 +296,13 @@ class TestCrashRecovery:
 
 class TestRemoteProtocol:
     def test_execute_before_deploy_is_task_error(self, rng):
+        """Misrouted work answers with the typed DeploymentError."""
         deployment = tiny_deployment(rng)
         with WorkerServer() as server:
             worker = RemoteWorker("127.0.0.1", server.port)
             worker.start()
             try:
-                with pytest.raises(RemoteExecutionError):
+                with pytest.raises(DeploymentError):
                     worker.execute(make_items(rng, deployment, 1)[0])
                 # The lane survives a task error and deploys fine after.
                 worker.deploy([deployment])

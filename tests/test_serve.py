@@ -492,9 +492,9 @@ class _GatedPool(EnginePool):
         super().__init__(*args, **kwargs)
         self.gate = None  # created inside the running loop
 
-    async def run_batch(self, images):
+    async def run_batch(self, images, **kwargs):
         await self.gate.wait()
-        return await super().run_batch(images)
+        return await super().run_batch(images, **kwargs)
 
 
 class TestBackpressureAndLifecycle:
