@@ -1,16 +1,21 @@
-"""Backend benchmark — reference vs vectorized wall clock, batch scaling.
+"""Backend benchmark — reference vs vectorized vs sparse wall clock.
 
-Times batched LeNet-5 inference on both execution engines, checks the
+Times batched LeNet-5 inference on the execution engines, checks the
 backends agree on predictions and cycle totals while measuring, and
 records the numbers (per-image seconds per backend, batch-size scaling of
-the vectorized engine, and the headline speedup) to
+the vectorized engine, and the headline speedups) to
 ``artifacts/bench_backends.json`` so the performance trajectory is
-tracked across PRs.  The acceptance bar is a >= 10x wall-clock speedup
-for batched inference; in practice the vectorized engine lands orders of
-magnitude beyond that.  The timed kernel is one vectorized batch run.
+tracked across PRs.  Two gates:
+
+* the vectorized engine must be >= 10x faster than reference for
+  batched inference (in practice it lands orders of magnitude beyond);
+* the sparse engine must beat the vectorized engine at paper-level
+  input sparsity — event-style frames where half the planes are silent
+  and the rest carry one small active blob — while staying bit-equal
+  on logits *and* traces.  On dense input sparse is allowed to lose
+  (its per-hook density checks fall back to the dense kernels).
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -19,12 +24,16 @@ import numpy as np
 from repro.core import Accelerator, AcceleratorConfig
 from repro.harness import Table
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import FAST_MODE, print_table, write_artifact
 
 RESULTS_PATH = (Path(__file__).resolve().parent.parent
                 / "artifacts" / "bench_backends.json")
 REFERENCE_IMAGES = 2          # the reference engine is minutes/batch beyond this
 BATCH_SIZES = (1, 8, 32, 128)
+SPARSE_BATCH = 16 if FAST_MODE else 64
+SPARSE_ROUNDS = 3 if FAST_MODE else 7
+SPARSE_BLOB = 6               # active patch edge, in pixels
+SPARSE_SILENT_FRAC = 0.5      # fraction of fully silent frames
 
 
 def _time(fn):
@@ -74,6 +83,71 @@ def run_backend_comparison(runner) -> dict:
     }
 
 
+def _event_batch(rng, shape, batch: int) -> np.ndarray:
+    """Event-style frames at paper-level sparsity.
+
+    Half the frames are fully silent; the rest carry one bright
+    ``SPARSE_BLOB``-square blob on a dark plane, mirroring the
+    address-event workloads whose zeros the sparse engine exists to
+    skip.
+    """
+    images = np.zeros((batch,) + tuple(shape), dtype=np.float64)
+    h, w = shape[-2], shape[-1]
+    for i in range(batch):
+        if rng.random() < SPARSE_SILENT_FRAC:
+            continue
+        r = int(rng.integers(0, h - SPARSE_BLOB))
+        c = int(rng.integers(0, w - SPARSE_BLOB))
+        images[i, ..., r:r + SPARSE_BLOB, c:c + SPARSE_BLOB] = \
+            rng.uniform(0.5, 1.0, size=(SPARSE_BLOB, SPARSE_BLOB))
+    return images
+
+
+def run_sparsity_comparison(runner, rng) -> dict:
+    """Time vectorized vs sparse on sparse frames; returns JSON payload."""
+    snn, _ = runner.lenet_snn(3)
+    _, test = runner.mnist()
+    config = AcceleratorConfig.for_network(snn.network, num_conv_units=2)
+    images = _event_batch(rng, test.images.shape[1:], SPARSE_BATCH)
+
+    engines = {}
+    for backend in ("vectorized", "sparse"):
+        accelerator = Accelerator(config, backend=backend)
+        accelerator.deploy(snn, name="LeNet-5")
+        engines[backend] = accelerator
+        accelerator.run_logits(images[:2])    # warm caches / compile
+
+    seconds = {}
+    outputs = {}
+    for backend, accelerator in engines.items():
+        best = float("inf")
+        for _ in range(SPARSE_ROUNDS):
+            (logits, traces), elapsed = _time(
+                lambda: accelerator.run_logits(images))
+            best = min(best, elapsed)
+        seconds[backend] = best
+        outputs[backend] = (logits, traces)
+
+    # Bit-equality rides along with every measurement: logits AND traces.
+    vec_logits, vec_traces = outputs["vectorized"]
+    sp_logits, sp_traces = outputs["sparse"]
+    np.testing.assert_array_equal(sp_logits, vec_logits)
+    for vec_trace, sp_trace in zip(vec_traces, sp_traces):
+        assert vec_trace.total_cycles == sp_trace.total_cycles
+        assert vec_trace.total_adder_ops == sp_trace.total_adder_ops
+
+    return {
+        "workload": (f"LeNet-5, T=3, event frames "
+                     f"(blob={SPARSE_BLOB}, "
+                     f"silent_frac={SPARSE_SILENT_FRAC})"),
+        "batch": SPARSE_BATCH,
+        "input_density": float(np.count_nonzero(images) / images.size),
+        "vectorized_s_per_batch": seconds["vectorized"],
+        "sparse_s_per_batch": seconds["sparse"],
+        "speedup_sparse_input": seconds["vectorized"] / seconds["sparse"],
+    }
+
+
 def _render(results: dict) -> Table:
     table = Table(
         "Execution backends - wall clock per image (LeNet-5, T=3)",
@@ -87,16 +161,31 @@ def _render(results: dict) -> Table:
     return table
 
 
+def _render_sparse(results: dict) -> Table:
+    table = Table(
+        "Sparse engine - event frames at paper-level sparsity",
+        ["backend", "batch", "s/batch", "speedup"])
+    table.add_row("vectorized", results["batch"],
+                  f"{results['vectorized_s_per_batch']:.4f}", "1.0x")
+    table.add_row("sparse", results["batch"],
+                  f"{results['sparse_s_per_batch']:.4f}",
+                  f"{results['speedup_sparse_input']:.2f}x")
+    return table
+
+
 def test_backend_speedup_report(runner, benchmark, rng):
     results = run_backend_comparison(runner)
     print_table(_render(results))
+    sparse_results = run_sparsity_comparison(runner, rng)
+    print_table(_render_sparse(sparse_results))
 
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
-    print(f"wrote {RESULTS_PATH}")
+    write_artifact(RESULTS_PATH,
+                   {**results, "sparse_input": sparse_results})
 
     assert results["speedup_batched"] >= 10.0, \
         "vectorized backend must be >= 10x faster for batched inference"
+    assert sparse_results["speedup_sparse_input"] > 1.0, \
+        "sparse backend must beat vectorized at paper-level input sparsity"
 
     snn, _ = runner.lenet_snn(3)
     _, test = runner.mnist()
@@ -113,8 +202,11 @@ def test_backend_speedup_report(runner, benchmark, rng):
 if __name__ == "__main__":
     from repro.harness import ExperimentRunner
 
-    bench_results = run_backend_comparison(ExperimentRunner())
+    main_runner = ExperimentRunner()
+    bench_results = run_backend_comparison(main_runner)
     print(_render(bench_results).render())
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(bench_results, indent=2) + "\n")
-    print(f"wrote {RESULTS_PATH}")
+    sparse_bench = run_sparsity_comparison(
+        main_runner, np.random.default_rng(0))
+    print(_render_sparse(sparse_bench).render())
+    write_artifact(RESULTS_PATH,
+                   {**bench_results, "sparse_input": sparse_bench})

@@ -20,7 +20,6 @@ trajectory is tracked across PRs alongside the batching
 (``bench_serve.json``) axes.
 """
 
-import json
 import os
 
 # Pin BLAS to one thread per process *before* numpy initializes: the
@@ -48,11 +47,15 @@ from repro.runtime import (
 )
 from repro.serve import InferenceServer
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import (
+    FAST_MODE as FAST,
+    multicore,
+    print_table,
+    write_artifact,
+)
 
 RESULTS_PATH = (Path(__file__).resolve().parent.parent
                 / "artifacts" / "bench_runtime.json")
-FAST = bool(os.environ.get("REPRO_FAST"))
 HEAVY_ITEMS = 8 if FAST else 12
 HEAVY_BATCH = 96 if FAST else 128
 LIGHT_ITEMS = HEAVY_ITEMS
@@ -172,8 +175,6 @@ def run_remote_equivalence(rng) -> dict:
 
 def run_bench(rng) -> dict:
     return {
-        "cpu_count": os.cpu_count(),
-        "fast": FAST,
         "steal": run_steal_comparison(rng),
         "remote": run_remote_equivalence(rng),
     }
@@ -184,7 +185,7 @@ def _render(payload: dict) -> Table:
     remote = payload["remote"]
     table = Table(
         "Runtime fabric - work stealing and remote workers "
-        f"({payload['cpu_count']} cores)",
+        f"({os.cpu_count()} cores)",
         ["metric", "value"])
     table.add_row("skewed workload",
                   f"{steal['heavy_items']}x{steal['heavy_batch']} heavy + "
@@ -205,7 +206,7 @@ def _render(payload: dict) -> Table:
 def check_gates(payload: dict) -> None:
     """Acceptance bars, shared by the pytest and __main__ paths."""
     assert payload["remote"]["bit_identical"]
-    if (os.cpu_count() or 1) >= 2:
+    if multicore(2):
         speedup = payload["steal"]["steal_speedup"]
         assert speedup >= STEAL_GATE, \
             (f"work stealing must be >= {STEAL_GATE}x vs static shards "
@@ -219,11 +220,7 @@ def check_gates(payload: dict) -> None:
 def test_runtime_fabric(rng, benchmark):
     payload = run_bench(rng)
     print_table(_render(payload))
-
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {RESULTS_PATH}")
-
+    write_artifact(RESULTS_PATH, payload)
     check_gates(payload)
 
     deployment = _deployment(rng)
@@ -241,7 +238,5 @@ if __name__ == "__main__":
     bench_rng = np.random.default_rng(7)
     bench_payload = run_bench(bench_rng)
     print(_render(bench_payload).render())
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(bench_payload, indent=2) + "\n")
-    print(f"wrote {RESULTS_PATH}")
+    write_artifact(RESULTS_PATH, bench_payload)
     check_gates(bench_payload)

@@ -21,7 +21,6 @@ throughput and latency do not depend on the weight values, and skipping
 training keeps the benchmark self-contained and fast.
 """
 
-import json
 import os
 
 # Pin BLAS before numpy initializes its thread pool (see bench_sweep.py):
@@ -44,9 +43,11 @@ from repro.models import performance_network
 from repro.serve import InferenceServer, LoadGenerator
 from repro.snn import SNNModel
 
+from benchmarks.conftest import FAST_MODE, print_table, write_artifact
+
 RESULTS_PATH = (Path(__file__).resolve().parent.parent
                 / "artifacts" / "bench_serve.json")
-NUM_REQUESTS = 256 if os.environ.get("REPRO_FAST") else 1024
+NUM_REQUESTS = 256 if FAST_MODE else 1024
 MAX_BATCH = 32
 SLO_MS = 75.0
 #: Offered-load multipliers (of the engine's single-image rate) for the
@@ -152,7 +153,6 @@ def run_bench() -> dict:
     return {
         "workload": (f"LeNet-5 T=3, vectorized, {NUM_REQUESTS} requests, "
                      f"max_batch {MAX_BATCH}"),
-        "cpu_count": os.cpu_count(),
         "single_image_rps": base_rps,
         "head_to_head_offered_rps": offered,
         "batch1": batch1,
@@ -166,7 +166,7 @@ def run_bench() -> dict:
 def _render(payload: dict) -> Table:
     table = Table(
         f"Serving - coalesced micro-batching vs batch-1 "
-        f"({payload['workload']}, {payload['cpu_count']} cores)",
+        f"({payload['workload']}, {os.cpu_count()} cores)",
         ["configuration", "offered rps", "achieved rps", "mean batch",
          "p50 ms", "p99 ms"])
 
@@ -202,13 +202,8 @@ def check_serve_bars(payload: dict) -> None:
 
 def test_serve_coalescing(benchmark):
     payload = run_bench()
-    from benchmarks.conftest import print_table
     print_table(_render(payload))
-
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {RESULTS_PATH}")
-
+    write_artifact(RESULTS_PATH, payload)
     check_serve_bars(payload)
 
     network = _lenet_network()
@@ -227,7 +222,5 @@ def test_serve_coalescing(benchmark):
 if __name__ == "__main__":
     bench_payload = run_bench()
     print(_render(bench_payload).render())
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(bench_payload, indent=2) + "\n")
-    print(f"wrote {RESULTS_PATH}")
+    write_artifact(RESULTS_PATH, bench_payload)
     check_serve_bars(bench_payload)

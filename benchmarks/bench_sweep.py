@@ -13,7 +13,6 @@ the numbers are still measured and recorded, with the core count in the
 payload so the trajectory reader can interpret them.
 """
 
-import json
 import os
 
 # Pin BLAS to one thread per process *before* numpy initializes OpenBLAS
@@ -34,13 +33,18 @@ import numpy as np
 from repro.core import AcceleratorConfig
 from repro.harness import SweepDriver, SweepTask, Table
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import (
+    FAST_MODE,
+    multicore,
+    print_table,
+    write_artifact,
+)
 
 RESULTS_PATH = (Path(__file__).resolve().parent.parent
                 / "artifacts" / "bench_sweep.json")
 WORKER_COUNTS = (1, 2, 4)
 SHARD_SIZE = 32
-NUM_IMAGES = 192 if os.environ.get("REPRO_FAST") else 512
+NUM_IMAGES = 192 if FAST_MODE else 512
 
 
 def _workload(runner) -> SweepTask:
@@ -80,7 +84,6 @@ def run_worker_scaling(runner) -> tuple[dict, dict]:
     lo, hi = WORKER_COUNTS[0], WORKER_COUNTS[-1]
     payload = {
         "workload": f"LeNet-5, T=3, vectorized, {task.num_images} images",
-        "cpu_count": os.cpu_count(),
         "shard_size": SHARD_SIZE,
         "num_images": task.num_images,
         "images_per_second_by_workers": images_per_second,
@@ -92,7 +95,7 @@ def run_worker_scaling(runner) -> tuple[dict, dict]:
 def _render(payload: dict) -> Table:
     table = Table(
         "Sweep driver - images/s versus worker processes "
-        f"({payload['workload']}, {payload['cpu_count']} cores)",
+        f"({payload['workload']}, {os.cpu_count()} cores)",
         ["workers", "images/s", "speedup"])
     base = payload["images_per_second_by_workers"][WORKER_COUNTS[0]]
     for workers, ips in payload["images_per_second_by_workers"].items():
@@ -102,7 +105,7 @@ def _render(payload: dict) -> Table:
 
 def check_scaling_bar(payload: dict) -> None:
     """The acceptance gate, shared by the pytest and __main__ paths."""
-    if (os.cpu_count() or 1) >= 4:
+    if multicore(4):
         assert payload["speedup_4_vs_1"] >= 2.0, \
             "4 workers must be >= 2x the single-process throughput"
     else:
@@ -113,11 +116,7 @@ def check_scaling_bar(payload: dict) -> None:
 def test_sweep_worker_scaling(runner, benchmark):
     payload, _ = run_worker_scaling(runner)
     print_table(_render(payload))
-
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {RESULTS_PATH}")
-
+    write_artifact(RESULTS_PATH, payload)
     check_scaling_bar(payload)
 
     task = _workload(runner)
@@ -133,7 +132,5 @@ if __name__ == "__main__":
 
     bench_payload, _ = run_worker_scaling(ExperimentRunner())
     print(_render(bench_payload).render())
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(bench_payload, indent=2) + "\n")
-    print(f"wrote {RESULTS_PATH}")
+    write_artifact(RESULTS_PATH, bench_payload)
     check_scaling_bar(bench_payload)

@@ -1,17 +1,60 @@
-"""Shared fixtures for the benchmark suite.
+"""Shared fixtures and helpers for the benchmark suite.
 
 The session-scoped runner trains each workload model once (results are
 cached in ``<repo>/artifacts``, so later sessions skip training) and every
 benchmark prints its paper-table next to the timing numbers.  ``rng``
 mirrors the test suite's deterministic per-test generator so stochastic
 benchmark inputs reproduce.
+
+Every ``bench_*.json`` artifact goes through :func:`write_artifact`,
+which stamps the host context (``cpu_count``, ``fast_mode``) so a
+number in an artifact can always be interpreted: a speedup measured on
+one core or under ``REPRO_FAST=1`` smoke scale is not comparable to a
+full run on a wide box.  Parallel speedup gates use
+:func:`skip_unless_multicore` / :func:`multicore` so single-core hosts
+skip uniformly instead of failing (or silently passing) gates that
+cannot be meaningful there.
 """
+
+import json
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.harness import ExperimentRunner
 from tests.conftest import seed_for
+
+#: Smoke-scale mode (CI): smaller workloads, same artifact schema.
+FAST_MODE = bool(os.environ.get("REPRO_FAST"))
+
+
+def host_stamp() -> dict:
+    """Host context recorded into every benchmark artifact."""
+    return {"cpu_count": os.cpu_count(), "fast_mode": FAST_MODE}
+
+
+def write_artifact(path: Path, results: dict) -> None:
+    """Write a ``bench_*.json`` artifact with the uniform host stamp."""
+    payload = dict(results)
+    payload.update(host_stamp())
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def multicore(needed: int = 2) -> bool:
+    """Whether the host can make a ``needed``-way parallel gate meaningful."""
+    return (os.cpu_count() or 1) >= needed
+
+
+def skip_unless_multicore(needed: int = 2,
+                          what: str = "parallel speedup gate") -> None:
+    """Uniform 1-core skip for gates that require real parallelism."""
+    if not multicore(needed):
+        pytest.skip(f"{os.cpu_count() or 1} core(s) visible: "
+                    f"{what} needs >= {needed}")
 
 
 @pytest.fixture(scope="session")

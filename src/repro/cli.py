@@ -379,13 +379,14 @@ def _run_worker(args) -> None:
               "accepts; Ctrl-C to stop")
         try:
             join_fabric(host, port, token=args.token,
-                        retry_s=args.retry_s)
+                        retry_s=args.retry_s, frames=args.frames)
         except KeyboardInterrupt:
             print("\nworker stopped")
         return
 
     host, port = args.listen
-    server = WorkerServer(host, port, token=args.token).start()
+    server = WorkerServer(host, port, token=args.token,
+                          frames=args.frames).start()
     print(f"engine worker listening on {server.host}:{server.port} "
           f"({'token-authenticated' if args.token else 'no token'}; "
           "trusted networks only); Ctrl-C to stop")
@@ -458,6 +459,12 @@ def main(argv: list[str] | None = None) -> int:
                         default=1.0, metavar="S",
                         help="worker --join: reconnect period "
                              "(default: 1.0)")
+    parser.add_argument("--frames", choices=["binary", "json"],
+                        default="binary",
+                        help="worker: wire framing — 'binary' "
+                             "negotiates zero-copy array frames with "
+                             "capable peers, 'json' pins the v1 "
+                             "JSON-lines protocol (default: binary)")
     parser.add_argument("--accept", type=_parse_listen, default=None,
                         metavar="HOST:PORT",
                         help="sweep: accept `repro worker --join` hosts "

@@ -40,6 +40,7 @@ from repro.core.conv_unit import ConvUnit
 from repro.core.engine import (
     ExecutionEngine,
     ReferenceEngine,
+    SparseEngine,
     VectorizedEngine,
     available_backends,
     clear_engine_cache,
@@ -118,6 +119,7 @@ __all__ = [
     "PowerCalibration",
     "PowerModel",
     "ReferenceEngine",
+    "SparseEngine",
     "ResourceCalibration",
     "ResourceEstimate",
     "ResourceModel",

@@ -5,7 +5,10 @@ Importing this package registers the built-in backends:
 * ``reference`` — :class:`~repro.core.engine.reference.ReferenceEngine`,
   the shift-register/adder-array hardware model (slow, per-image);
 * ``vectorized`` — :class:`~repro.core.engine.vectorized.VectorizedEngine`,
-  batched numpy tensor ops with identical integer semantics and traces.
+  batched numpy tensor ops with identical integer semantics and traces;
+* ``sparse`` — :class:`~repro.core.engine.sparse.SparseEngine`,
+  the vectorized semantics restricted to active spike planes: all-zero
+  images/patches/taps are skipped, bits and traces unchanged.
 
 Select one with ``Accelerator(config, backend="vectorized")`` or
 ``create_engine("vectorized", compiled)``.
@@ -26,6 +29,7 @@ from repro.core.engine.cache import (
     warm_engine,
 )
 from repro.core.engine.reference import ReferenceEngine
+from repro.core.engine.sparse import SparseEngine
 from repro.core.engine.trace import ExecutionTrace, LayerTrace, TraceMerge
 from repro.core.engine.vectorized import VectorizedEngine
 
@@ -35,6 +39,7 @@ __all__ = [
     "LayerTrace",
     "TraceMerge",
     "ReferenceEngine",
+    "SparseEngine",
     "VectorizedEngine",
     "available_backends",
     "clear_engine_cache",

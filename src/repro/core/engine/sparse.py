@@ -1,0 +1,145 @@
+"""The sparse backend: skip silent spike planes, keep every bit and charge.
+
+Radix-coded SNN activations are mostly zero: a quantized input pixel
+that never spikes across the ``T`` steps is a zero in the collapsed
+integer tensor, and whole receptive-field patches — often whole images
+mid-sweep — carry no spikes at all.  The dense GEMMs in the vectorized
+engine multiply all of those zeros anyway.  This backend subclasses
+:class:`~repro.core.engine.vectorized.VectorizedEngine` and overrides
+only its four compute hooks to gather the *active* work:
+
+* images whose activation tensor is entirely zero skip the layer's
+  arithmetic outright (their outputs are exact zeros);
+* convolutions run an im2col-GEMM over only the patch rows with at
+  least one spike, and only the kernel columns some patch touches;
+* linear layers drop all-zero input columns before the matmul;
+* adder-operation popcounts are computed over the nonzero entries only
+  (``np.nonzero`` + ``np.bincount``) instead of ``T`` full-tensor
+  passes.
+
+Why this is bit-exact rather than merely close: every accumulator here
+is an integer-valued float64 sum with magnitude far below ``2**53``,
+so float64 arithmetic is *exact* — dropping terms that are identically
+zero, or reordering the remaining ones, cannot change a single bit.
+The trace side needs no argument at all: all cycle and memory-traffic
+charges in the parent are closed-form in the layer geometry (the
+accelerator's units sweep every plane whether or not it spikes), and
+the data-dependent adder counters count exactly the same spikes — so
+traces are identical by construction.  The equivalence suite pins both
+claims against the reference engine.
+
+When a layer's activations are actually dense the gather bookkeeping
+is pure overhead, so each hook falls back to the parent's dense kernel
+above :data:`DENSE_FALLBACK_DENSITY` active rows/columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine.base import register_engine
+from repro.core.engine.vectorized import VectorizedEngine, _popcount
+from repro.nn import functional as F
+
+__all__ = ["SparseEngine", "DENSE_FALLBACK_DENSITY"]
+
+#: Above this fraction of active rows/columns, gather/scatter loses to
+#: the dense GEMM and the hooks defer to the parent implementation.
+DENSE_FALLBACK_DENSITY = 0.85
+
+
+@register_engine
+class SparseEngine(VectorizedEngine):
+    """Sparsity-aware execution: identical bits, only the live work."""
+
+    name = "sparse"
+
+    # -- compute hooks -------------------------------------------------
+    def _conv_acc(self, spec, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        c_out, h_out, w_out = spec.out_shape
+        live = x.reshape(n, -1).any(axis=1)
+        acc = np.zeros((n, c_out, h_out, w_out), dtype=np.int64)
+        if not live.any():
+            return acc
+        if live.all():
+            if (np.count_nonzero(x)
+                    > x.size * DENSE_FALLBACK_DENSITY):
+                return super()._conv_acc(spec, x)
+            xs = x  # all live: skip the gather copy
+        else:
+            xs = x[live]
+        cols = F.im2col(xs.astype(np.float64), spec.kernel_size,
+                        spec.stride, spec.padding)
+        m, p, k = cols.shape
+        flat = cols.reshape(m * p, k)
+        active = flat.any(axis=1)
+        flat_k = spec.weights.reshape(c_out, -1).astype(np.float64)
+        if active.mean() > DENSE_FALLBACK_DENSITY:
+            prod = np.rint(flat @ flat_k.T).astype(np.int64)
+        else:
+            prod = np.zeros((m * p, c_out), dtype=np.int64)
+            rows = np.nonzero(active)[0]
+            if rows.size:
+                sub = flat[rows]
+                taps = sub.any(axis=0)
+                prod[rows] = np.rint(
+                    sub[:, taps] @ flat_k[:, taps].T).astype(np.int64)
+        acc[live] = (prod.reshape(m, p, c_out).transpose(0, 2, 1)
+                     .reshape(m, c_out, h_out, w_out))
+        return acc
+
+    def _pool_sums(self, spec, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        live = x.reshape(n, -1).any(axis=1)
+        if live.all():
+            return super()._pool_sums(spec, x)
+        sums = np.zeros((n,) + tuple(spec.out_shape), dtype=np.int64)
+        if live.any():
+            sums[live] = super()._pool_sums(spec, x[live])
+        return sums
+
+    def _linear_acc(self, spec, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        live = x.any(axis=1)
+        if not live.any():
+            return np.zeros((n, spec.out_features), dtype=np.int64)
+        xs = x if live.all() else x[live]
+        taps = xs.any(axis=0)
+        if taps.mean() > DENSE_FALLBACK_DENSITY:
+            out = super()._linear_acc(spec, xs)
+        else:
+            out = np.rint(
+                xs[:, taps].astype(np.float64)
+                @ spec.weights[:, taps].T.astype(np.float64)
+            ).astype(np.int64)
+        if live.all():
+            return out
+        acc = np.zeros((n, spec.out_features), dtype=np.int64)
+        acc[live] = out
+        return acc
+
+    def _popcount_sum(self, x: np.ndarray, t: int,
+                      weights: np.ndarray | None = None,
+                      axis: int | None = None) -> np.ndarray:
+        n = x.shape[0]
+        flat = x.reshape(n, -1)
+        # The gather (nonzero + fancy indexing) costs about one dense
+        # pass; with T passes saved on the zeros it wins only while
+        # most entries are zero.
+        if np.count_nonzero(flat) * 2 > flat.size:
+            return super()._popcount_sum(x, t, weights, axis)
+        idx_n, idx_f = np.nonzero(flat)
+        if idx_n.size == 0:
+            return np.zeros(n, dtype=np.int64)
+        pops = _popcount(flat[idx_n, idx_f], t)
+        if weights is not None:
+            inner = 1
+            for extent in x.shape[axis + 1:]:
+                inner *= extent
+            coord = (idx_f // inner) % x.shape[axis]
+            pops = pops * weights[coord]
+        # bincount's float64 accumulation is exact here: the weighted
+        # popcounts are integers and their sums stay far below 2**53.
+        return np.bincount(idx_n, weights=pops,
+                           minlength=n).astype(np.int64)

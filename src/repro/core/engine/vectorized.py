@@ -17,6 +17,17 @@ into closed forms; the data-dependent adder-operation counters are
 recovered from spike popcounts (a spike train's per-step bits of value
 ``v`` sum to ``popcount(v)``).  The equivalence suite pins every trace
 field against the reference engine.
+
+The arithmetic itself is factored into four overridable hooks —
+:meth:`VectorizedEngine._conv_acc`, :meth:`~VectorizedEngine._pool_sums`,
+:meth:`~VectorizedEngine._linear_acc` and
+:meth:`~VectorizedEngine._popcount_sum` — so alternative compute
+strategies (see :mod:`repro.core.engine.sparse`) can swap the tensor
+kernels while inheriting every cycle/traffic charge unchanged.  The
+charges are closed-form in the layer geometry (data-independent), so any
+subclass that only overrides the hooks produces identical traces by
+construction; the logits contract is that each hook returns the exact
+integer the dense formula returns.
 """
 
 from __future__ import annotations
@@ -123,16 +134,54 @@ class VectorizedEngine(ExecutionEngine):
         return logits, traces
 
     # ------------------------------------------------------------------
+    # Compute hooks: the arithmetic, separable from the trace charges.
+    # Subclasses may override these (and only these) — each must return
+    # the exact integers of the dense formula (float64 GEMMs on integer
+    # operands are exact, so term order / dropped zero terms don't
+    # change a single bit).
+    # ------------------------------------------------------------------
+    def _conv_acc(self, spec, x: np.ndarray) -> np.ndarray:
+        """Pre-bias convolution accumulator, ``(N, C_out, H_out, W_out)``."""
+        acc, _ = F.conv2d(x.astype(np.float64),
+                          spec.weights.astype(np.float64),
+                          None, spec.stride, spec.padding)
+        return np.rint(acc).astype(np.int64)
+
+    def _pool_sums(self, spec, x: np.ndarray) -> np.ndarray:
+        """Integer window sums (pre-shift), ``(N,) + spec.out_shape``."""
+        return np.rint(
+            F.avg_pool2d(x.astype(np.float64), spec.size, spec.stride)
+            * spec.size * spec.size).astype(np.int64)
+
+    def _linear_acc(self, spec, x: np.ndarray) -> np.ndarray:
+        """Pre-bias matmul accumulator, ``(N, out_features)``."""
+        return np.rint(
+            x.astype(np.float64) @ spec.weights.T.astype(np.float64)
+        ).astype(np.int64)
+
+    def _popcount_sum(self, x: np.ndarray, t: int,
+                      weights: np.ndarray | None = None,
+                      axis: int | None = None) -> np.ndarray:
+        """Per-image weighted spike count, ``(N,)`` int64.
+
+        ``weights`` (if given) is a 1-D integer cover applied along
+        ``axis`` of ``x``; with no weights every spike counts once.
+        """
+        pops = _popcount(x, t)
+        if weights is not None:
+            shape = [1] * x.ndim
+            shape[axis] = -1
+            pops = pops * weights.reshape(shape)
+        return pops.reshape(x.shape[0], -1).sum(axis=1)
+
+    # ------------------------------------------------------------------
     # Layer executors: batched compute + closed-form trace charges
     # ------------------------------------------------------------------
     def _run_conv(self, program: LayerProgram, x: np.ndarray,
                   t: int) -> _LayerResult:
         spec = program.spec
         cal = self.calibration
-        acc, _ = F.conv2d(x.astype(np.float64),
-                          spec.weights.astype(np.float64),
-                          None, spec.stride, spec.padding)
-        acc = np.rint(acc).astype(np.int64) + spec.bias.reshape(1, -1, 1, 1)
+        acc = self._conv_acc(spec, x) + spec.bias.reshape(1, -1, 1, 1)
         out = requantize(acc, spec.scales, t, channel_axis=1)
 
         c_in, h_in, w_in = spec.in_shape
@@ -160,8 +209,7 @@ class VectorizedEngine(ExecutionEngine):
         for j in range(kc):
             cover[np.arange(w_out) * spec.stride + j] += 1
         inner = cover[spec.padding:spec.padding + w_in]
-        spikes = (_popcount(x, t)
-                  * inner.reshape(1, 1, 1, -1)).sum(axis=(1, 2, 3))
+        spikes = self._popcount_sum(x, t, inner, axis=3)
         adder_ops = kr * c_out * spikes
         return _LayerResult(out, cycles, adder_ops, traffic)
 
@@ -169,10 +217,7 @@ class VectorizedEngine(ExecutionEngine):
                   t: int) -> _LayerResult:
         spec = program.spec
         cal = self.calibration
-        window_sum = np.rint(
-            F.avg_pool2d(x.astype(np.float64), spec.size, spec.stride)
-            * spec.size * spec.size).astype(np.int64)
-        out = window_sum >> spec.shift
+        out = self._pool_sums(spec, x) >> spec.shift
 
         c, h_in, w_in = spec.in_shape
         _, h_out, w_out = spec.out_shape
@@ -188,8 +233,7 @@ class VectorizedEngine(ExecutionEngine):
         cover = np.zeros(h_in, dtype=np.int64)
         for oy in range(h_out):
             cover[oy * spec.stride:oy * spec.stride + spec.size] += 1
-        adder_ops = (_popcount(x, t)
-                     * cover.reshape(1, 1, -1, 1)).sum(axis=(1, 2, 3))
+        adder_ops = self._popcount_sum(x, t, cover, axis=2)
         return _LayerResult(out, cycles, adder_ops, traffic)
 
     def _run_flatten(self, program: LayerProgram, x: np.ndarray,
@@ -207,9 +251,7 @@ class VectorizedEngine(ExecutionEngine):
                     t: int) -> _LayerResult:
         spec = program.spec
         cal = self.calibration
-        acc = np.rint(
-            x.astype(np.float64) @ spec.weights.T.astype(np.float64)
-        ).astype(np.int64) + spec.bias.reshape(1, -1)
+        acc = self._linear_acc(spec, x) + spec.bias.reshape(1, -1)
         if spec.is_output:
             out = acc
         else:
@@ -226,5 +268,5 @@ class VectorizedEngine(ExecutionEngine):
             kernel_read_values=t * spec.in_features * spec.out_features,
         )
         # Each input spike gates one add in every parallel output's adder.
-        adder_ops = _popcount(x, t).sum(axis=1) * spec.out_features
+        adder_ops = self._popcount_sum(x, t) * spec.out_features
         return _LayerResult(out, cycles, adder_ops, traffic)

@@ -66,6 +66,17 @@ class DeploymentError(ReproError):
     """
 
 
+class CodecError(ReproError):
+    """Raised when a wire frame fails structural validation.
+
+    The binary frame codec validates the magic, the declared lengths and
+    every array descriptor (whitelisted dtype, shape/byte accounting)
+    *before* allocating or copying any buffer, so a truncated header, an
+    oversized length prefix or a smuggled dtype is rejected as this
+    typed error instead of an allocation, an overflow or an unpickle.
+    """
+
+
 class FabricAuthError(ReproError):
     """Raised when a fabric message fails the shared-secret handshake.
 

@@ -4,7 +4,8 @@
 A :class:`Worker` executes :class:`WorkItem` batches on warm engines and
 returns logits plus per-image trace aggregates; three interchangeable
 executors ship (``thread``, ``process``, ``remote`` — the last over
-JSON-lines TCP to a host running ``repro worker --listen``); a
+TCP to a host running ``repro worker --listen``, negotiating zero-copy
+binary frames with a JSON-lines fallback for old peers); a
 :class:`WorkerGroup` schedules items across any mix of them with work
 stealing, heartbeat liveness tracking and crash requeueing.
 
@@ -31,11 +32,15 @@ from repro.runtime.codec import (
     check_token,
     decode_array,
     decode_blob,
+    decode_frame,
     decode_line,
     encode_array,
     encode_blob,
+    encode_frame,
     encode_line,
     fabric_auth,
+    parse_frame_prefix,
+    read_frame,
 )
 from repro.runtime.group import GroupMetrics, WorkerGroup
 from repro.runtime.registry import DeploymentRegistry, RegisteredDeployment
@@ -45,6 +50,7 @@ from repro.runtime.remote import (
     WorkerServer,
     join_fabric,
 )
+from repro.runtime.shm import ShmArena, shm_available
 from repro.runtime.work import Deployment, WorkItem, WorkResult, execute_item
 from repro.runtime.workers import (
     ProcessWorker,
@@ -62,6 +68,7 @@ __all__ = [
     "ProcessWorker",
     "RegisteredDeployment",
     "RemoteWorker",
+    "ShmArena",
     "ThreadWorker",
     "WorkItem",
     "WorkResult",
@@ -73,12 +80,17 @@ __all__ = [
     "create_workers",
     "decode_array",
     "decode_blob",
+    "decode_frame",
     "decode_line",
     "encode_array",
     "encode_blob",
+    "encode_frame",
     "encode_line",
     "execute_item",
     "fabric_auth",
     "join_fabric",
     "normalize_worker_specs",
+    "parse_frame_prefix",
+    "read_frame",
+    "shm_available",
 ]

@@ -1,10 +1,37 @@
 """Wire codecs shared by the worker fabric and the serving transport.
 
-Everything that crosses a socket in this repo is **newline-delimited
-JSON** — one message per line, encoded by :func:`encode_line` and parsed
-by :func:`decode_line`.  The serving front-end (``repro.serve.transport``)
-and the runtime worker protocol (``repro.runtime.remote``) share these
-helpers, so the two wire surfaces can never drift apart in framing.
+Two framings cross sockets in this repo, both defined here so the wire
+surfaces can never drift apart:
+
+* **JSON lines** (the v1 framing, and the negotiation fallback) — one
+  JSON object per line, encoded by :func:`encode_line` and parsed by
+  :func:`decode_line`, arrays riding as base64 envelopes
+  (:func:`encode_array`).
+* **Binary frames** (negotiated per connection) — a length-prefixed
+  frame carrying a small JSON header plus the raw ndarray buffers
+  appended verbatim: :func:`encode_frame` / :func:`decode_frame` /
+  :func:`read_frame`.  No base64, no pickle for arrays; decoding maps
+  each buffer back with ``np.frombuffer`` (zero copies), and arrays
+  whose contents are mostly zeros — spike-sparse workloads, the paper's
+  whole premise — ship as lossless COO (flat indices + values) when
+  that is smaller.  Either representation rebuilds the array
+  byte-for-byte, so binary lanes stay inside the fabric's bit-exactness
+  contract.
+
+Frame layout (all integers little-endian)::
+
+    magic   4 bytes  b"RBF1"
+    hlen    4 bytes  uint32   header length
+    blen    8 bytes  uint64   body length
+    header  hlen bytes        JSON: {"payload": {...}, "arrays": {...}}
+    body    blen bytes        concatenated raw buffers
+
+Every structural property — magic, both lengths against hard caps, each
+array descriptor's dtype (whitelist), shape and byte accounting — is
+validated **before any buffer is allocated or copied**; violations raise
+:class:`~repro.errors.CodecError`.  A hostile peer can therefore make a
+connection fail typed, but cannot make it allocate gigabytes or
+interpret bytes as objects.
 
 Numeric payloads ride inside the JSON as compact, bit-exact envelopes:
 
@@ -35,19 +62,28 @@ import hashlib
 import hmac
 import json
 import pickle
+import struct
 
 import numpy as np
 
+from repro.errors import CodecError
+
 __all__ = [
+    "FRAME_MAGIC",
+    "FRAME_PREFIX_LEN",
     "attach_token",
     "check_token",
     "decode_array",
     "decode_blob",
+    "decode_frame",
     "decode_line",
     "encode_array",
     "encode_blob",
+    "encode_frame",
     "encode_line",
     "fabric_auth",
+    "parse_frame_prefix",
+    "read_frame",
 ]
 
 
@@ -75,10 +111,18 @@ def encode_array(array: np.ndarray) -> dict:
 
 
 def decode_array(payload: dict) -> np.ndarray:
-    """Rebuild an array bit-identically from its wire envelope."""
+    """Rebuild an array bit-identically from its wire envelope.
+
+    The returned array is a **read-only** view over the decoded buffer:
+    wrapping the base64 output directly (instead of the historical
+    ``frombuffer(...).copy()``) saves one full-buffer copy per message.
+    Fabric consumers only ever read decoded arrays (engines quantize
+    into fresh tensors, result handling argmaxes/merges); a caller that
+    needs to mutate one copies explicitly.
+    """
     raw = base64.b64decode(payload["data"])
     array = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
-    return array.reshape(tuple(payload["shape"])).copy()
+    return array.reshape(tuple(payload["shape"]))
 
 
 def encode_blob(obj) -> str:
@@ -90,6 +134,232 @@ def encode_blob(obj) -> str:
 def decode_blob(text: str) -> object:
     """Inverse of :func:`encode_blob` (trusted fabric only)."""
     return pickle.loads(base64.b64decode(text))
+
+
+# ----------------------------------------------------------------------
+# Binary frames — the negotiated zero-copy framing
+# ----------------------------------------------------------------------
+FRAME_MAGIC = b"RBF1"
+FRAME_PREFIX_LEN = 16                    # magic + uint32 hlen + uint64 blen
+_PREFIX_STRUCT = struct.Struct("<4sIQ")
+
+#: Hard caps enforced before any allocation.  Generous for this fabric
+#: (the largest legitimate frames are sweep shards of float64 images)
+#: yet small enough that a hostile length prefix cannot OOM the host.
+MAX_HEADER_BYTES = 1 << 20               # 1 MiB of JSON header
+MAX_BODY_BYTES = 1 << 31                 # 2 GiB of array buffers
+
+#: The only dtypes allowed on the wire.  Names are matched as exact
+#: strings *before* ``np.dtype`` ever sees attacker input, so a frame
+#: cannot smuggle object/void/structured dtypes (arbitrary-code or
+#: arbitrary-width surprises) through the decoder.
+_WIRE_DTYPES = frozenset({
+    "bool",
+    "int8", "int16", "int32", "int64",
+    "uint8", "uint16", "uint32", "uint64",
+    "float16", "float32", "float64",
+})
+
+#: Below this density a numeric array ships as COO (indices + values);
+#: chosen so the sparse form is only used when it is actually smaller
+#: (uint32 index + value per element vs. itemsize per element, plus
+#: slack for the longer descriptor).
+_SPARSE_MIN_ELEMENTS = 256
+
+
+def _sparse_wins(array: np.ndarray, nnz: int) -> bool:
+    """Whether COO encoding beats the raw buffer for this array."""
+    if array.size < _SPARSE_MIN_ELEMENTS or array.size >= 1 << 32:
+        return False
+    coo_bytes = nnz * (4 + array.itemsize)
+    return coo_bytes < array.nbytes * 0.9
+
+
+def encode_frame(payload: dict,
+                 arrays: dict[str, np.ndarray] | None = None) -> bytes:
+    """One binary frame: JSON header + raw array buffers.
+
+    ``arrays`` ride outside the JSON as contiguous buffers (or lossless
+    COO index/value pairs when mostly zero); ``payload`` must be
+    JSON-serializable.  The inverse is :func:`decode_frame`.
+    """
+    descriptors: dict[str, dict] = {}
+    buffers: list[bytes | memoryview] = []
+    offset = 0
+
+    def _append(buffer) -> tuple[int, int]:
+        nonlocal offset
+        view = memoryview(buffer).cast("B")
+        start, nbytes = offset, view.nbytes
+        buffers.append(view)
+        offset += nbytes
+        return start, nbytes
+
+    for name, array in (arrays or {}).items():
+        array = np.ascontiguousarray(array)
+        dtype = str(array.dtype)
+        if dtype not in _WIRE_DTYPES:
+            raise CodecError(
+                f"array {name!r} has non-wire dtype {dtype!r}")
+        descriptor = {"dtype": dtype, "shape": list(array.shape)}
+        flat = array.reshape(-1)
+        nnz = int(np.count_nonzero(flat)) if array.size else 0
+        if _sparse_wins(array, nnz):
+            indices = np.flatnonzero(flat).astype(np.uint32)
+            values = np.ascontiguousarray(flat[indices])
+            descriptor["enc"] = "coo"
+            descriptor["count"] = int(indices.size)
+            (descriptor["index_offset"],
+             descriptor["index_nbytes"]) = _append(indices)
+            descriptor["offset"], descriptor["nbytes"] = _append(values)
+        else:
+            descriptor["enc"] = "raw"
+            descriptor["offset"], descriptor["nbytes"] = _append(array)
+        descriptors[name] = descriptor
+
+    header = json.dumps({"payload": payload,
+                         "arrays": descriptors}).encode()
+    if len(header) > MAX_HEADER_BYTES:
+        raise CodecError(f"frame header is {len(header)} bytes "
+                         f"(cap {MAX_HEADER_BYTES})")
+    if offset > MAX_BODY_BYTES:
+        raise CodecError(f"frame body is {offset} bytes "
+                         f"(cap {MAX_BODY_BYTES})")
+    prefix = _PREFIX_STRUCT.pack(FRAME_MAGIC, len(header), offset)
+    return b"".join([prefix, header, *buffers])
+
+
+def parse_frame_prefix(prefix: bytes) -> tuple[int, int]:
+    """Validate a 16-byte frame prefix; returns ``(hlen, blen)``.
+
+    This is the pre-allocation gate: callers check the declared lengths
+    against the caps *before* reading (or even reserving) the rest of
+    the frame, so a hostile length prefix is rejected typed without a
+    single oversized allocation.
+    """
+    if len(prefix) != FRAME_PREFIX_LEN:
+        raise CodecError(
+            f"truncated frame prefix ({len(prefix)}/{FRAME_PREFIX_LEN} "
+            "bytes)")
+    magic, header_len, body_len = _PREFIX_STRUCT.unpack(prefix)
+    if magic != FRAME_MAGIC:
+        raise CodecError(f"bad frame magic {magic!r}")
+    if header_len == 0 or header_len > MAX_HEADER_BYTES:
+        raise CodecError(f"frame header length {header_len} outside "
+                         f"(0, {MAX_HEADER_BYTES}]")
+    if body_len > MAX_BODY_BYTES:
+        raise CodecError(f"frame body length {body_len} exceeds cap "
+                         f"{MAX_BODY_BYTES}")
+    return header_len, body_len
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise CodecError(message)
+
+
+def _decode_descriptor(name: str, descriptor, body: memoryview
+                       ) -> np.ndarray:
+    """One validated array from its descriptor + the body buffer."""
+    _require(isinstance(descriptor, dict),
+             f"array descriptor {name!r} must be an object")
+    dtype_name = descriptor.get("dtype")
+    _require(dtype_name in _WIRE_DTYPES,
+             f"array {name!r} smuggles dtype {dtype_name!r}")
+    dtype = np.dtype(dtype_name)
+    shape = descriptor.get("shape")
+    _require(isinstance(shape, list)
+             and all(isinstance(s, int) and s >= 0 for s in shape),
+             f"array {name!r} has a malformed shape")
+    size = 1
+    for extent in shape:
+        size *= extent
+    _require(size * dtype.itemsize <= MAX_BODY_BYTES,
+             f"array {name!r} declares {size} elements (over cap)")
+
+    def _slice(offset, nbytes) -> memoryview:
+        _require(isinstance(offset, int) and isinstance(nbytes, int)
+                 and offset >= 0 and nbytes >= 0
+                 and offset + nbytes <= body.nbytes,
+                 f"array {name!r} buffer [{offset}, +{nbytes}] falls "
+                 f"outside the {body.nbytes}-byte body")
+        return body[offset:offset + nbytes]
+
+    encoding = descriptor.get("enc")
+    if encoding == "raw":
+        raw = _slice(descriptor.get("offset"), descriptor.get("nbytes"))
+        _require(raw.nbytes == size * dtype.itemsize,
+                 f"array {name!r} buffer holds {raw.nbytes} bytes but "
+                 f"shape {shape} needs {size * dtype.itemsize}")
+        return np.frombuffer(raw, dtype=dtype).reshape(shape)
+    if encoding == "coo":
+        count = descriptor.get("count")
+        _require(isinstance(count, int) and 0 <= count <= size,
+                 f"array {name!r} declares {count!r} sparse entries "
+                 f"for {size} elements")
+        raw_idx = _slice(descriptor.get("index_offset"),
+                         descriptor.get("index_nbytes"))
+        raw_val = _slice(descriptor.get("offset"),
+                         descriptor.get("nbytes"))
+        _require(raw_idx.nbytes == count * 4
+                 and raw_val.nbytes == count * dtype.itemsize,
+                 f"array {name!r} sparse buffers disagree with its "
+                 f"entry count {count}")
+        indices = np.frombuffer(raw_idx, dtype=np.uint32)
+        _require(count == 0 or int(indices.max()) < size,
+                 f"array {name!r} sparse index out of range")
+        flat = np.zeros(size, dtype=dtype)
+        flat[indices] = np.frombuffer(raw_val, dtype=dtype)
+        return flat.reshape(shape)
+    raise CodecError(f"array {name!r} uses unknown encoding "
+                     f"{encoding!r}")
+
+
+def decode_frame(header: bytes | memoryview,
+                 body: bytes | memoryview
+                 ) -> tuple[dict, dict[str, np.ndarray]]:
+    """Rebuild ``(payload, arrays)`` from a frame's header + body.
+
+    Raw-encoded arrays are **read-only zero-copy views** into ``body``;
+    COO arrays are scattered into fresh buffers.  Both are bit-identical
+    to what :func:`encode_frame` was given.
+    """
+    try:
+        parsed = json.loads(bytes(header))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise CodecError(f"frame header is not valid JSON: {error}") \
+            from error
+    _require(isinstance(parsed, dict)
+             and isinstance(parsed.get("payload"), dict)
+             and isinstance(parsed.get("arrays"), dict),
+             "frame header must carry 'payload' and 'arrays' objects")
+    body_view = memoryview(body).cast("B")
+    arrays = {str(name): _decode_descriptor(str(name), descriptor,
+                                            body_view)
+              for name, descriptor in parsed["arrays"].items()}
+    return parsed["payload"], arrays
+
+
+def read_frame(reader) -> tuple[dict, dict[str, np.ndarray]] | None:
+    """Read one frame from a blocking binary file object.
+
+    Returns ``None`` on clean EOF (peer hung up between frames); raises
+    :class:`~repro.errors.CodecError` on a truncated or hostile frame.
+    The declared lengths are validated against the caps *before* the
+    header/body reads, so no oversized buffer is ever allocated.
+    """
+    prefix = reader.read(FRAME_PREFIX_LEN)
+    if not prefix:
+        return None
+    header_len, body_len = parse_frame_prefix(prefix)
+    header = reader.read(header_len)
+    _require(len(header) == header_len,
+             f"frame truncated in header ({len(header)}/{header_len} "
+             "bytes)")
+    body = reader.read(body_len)
+    _require(len(body) == body_len,
+             f"frame truncated in body ({len(body)}/{body_len} bytes)")
+    return decode_frame(header, body)
 
 
 # ----------------------------------------------------------------------

@@ -67,6 +67,7 @@ class GroupMetrics:
     lanes_added: int = 0                           # lanes admitted live
     lanes_removed: int = 0                         # lanes drained out live
     readmitted: int = 0                            # evictions undone
+    batched: int = 0                               # items shipped in chunks
     last_heartbeat: dict = field(default_factory=dict)  # name -> monotonic
 
     def to_dict(self) -> dict:
@@ -78,6 +79,7 @@ class GroupMetrics:
             "lanes_added": self.lanes_added,
             "lanes_removed": self.lanes_removed,
             "readmitted": self.readmitted,
+            "batched": self.batched,
         }
 
 
@@ -122,6 +124,12 @@ class WorkerGroup:
     probation_s:
         Delay before the first re-admission probe of an evicted lane
         (default: ``2 * heartbeat_s``); failed probes retry each period.
+    max_batch_items:
+        How many queued items a dispatcher may drain from its **own**
+        queue into one ``execute_many`` chunk (one wire frame / child
+        round-trip per chunk).  ``1`` restores strict item-at-a-time
+        dispatch.  Stolen items always execute alone — batching never
+        changes which lane runs what, so results stay bit-identical.
     """
 
     def __init__(
@@ -134,6 +142,7 @@ class WorkerGroup:
         max_attempts: int = 3,
         readmit: bool = True,
         probation_s: float | None = None,
+        max_batch_items: int = 8,
     ) -> None:
         if not workers:
             raise ConfigurationError("worker group needs >= 1 worker")
@@ -155,13 +164,19 @@ class WorkerGroup:
         self.readmit = readmit
         self.probation_s = (2 * heartbeat_s if probation_s is None
                             else probation_s)
+        if max_batch_items < 1:
+            raise ConfigurationError(
+                f"max_batch_items must be >= 1, got {max_batch_items}")
+        self.max_batch_items = max_batch_items
         self.metrics = GroupMetrics(
             executed={name: 0 for name in names})
 
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._queues: list[deque] = [deque() for _ in self.workers]
-        self._busy: list[_Pending | None] = [None] * len(self.workers)
+        # Per lane: the list of _Pending items currently in flight
+        # (None when idle; a chunk is the whole list).
+        self._busy: list[list[_Pending] | None] = [None] * len(self.workers)
         self._dead: set[int] = set()
         self._removed: set[int] = set()      # drained out, never readmitted
         self._probation_due: dict[int, float] = {}
@@ -415,6 +430,36 @@ class WorkerGroup:
             self._cond.notify_all()
         return pending.future
 
+    def submit_many(self, items) -> list[Future]:
+        """Enqueue a whole batch under one lock pass; returns futures.
+
+        Items spread across live lanes by current load, landing as
+        contiguous runs per lane — which is exactly what lets each
+        dispatcher drain its queue into ``execute_many`` chunks (one
+        wire frame per chunk) instead of paying per-item framing.
+        """
+        pendings = [_Pending(item) for item in items]
+        if not pendings:
+            return []
+        with self._cond:
+            if self._stopping:
+                raise ConfigurationError("worker group is stopped")
+            alive = [i for i in range(len(self.workers))
+                     if i not in self._dead]
+            if not alive:
+                for pending in pendings:
+                    pending.future.set_exception(WorkerCrashError(
+                        "no healthy worker left in the group"))
+                return [pending.future for pending in pendings]
+            loads = {i: len(self._queues[i]) for i in alive}
+            for pending in pendings:
+                target = min(alive, key=lambda i: (
+                    loads[i], self._busy[i] is not None, i))
+                self._queues[target].append(pending)
+                loads[target] += 1
+            self._cond.notify_all()
+        return [pending.future for pending in pendings]
+
     def run(self, items, assignment=None, result_callback=None) -> list:
         """Execute a batch of items; returns results in input order.
 
@@ -426,17 +471,16 @@ class WorkerGroup:
         if assignment is not None and len(assignment) != len(items):
             raise ConfigurationError(
                 f"{len(items)} items but {len(assignment)} assignments")
-        futures = []
-        for position, item in enumerate(items):
-            future = self.submit(
-                item,
-                worker=None if assignment is None
-                else assignment[position])
-            if result_callback is not None:
+        if assignment is None:
+            futures = self.submit_many(items)
+        else:
+            futures = [self.submit(item, worker=assignment[position])
+                       for position, item in enumerate(items)]
+        if result_callback is not None:
+            for future in futures:
                 future.add_done_callback(
                     lambda f: (result_callback(f.result())
                                if f.exception() is None else None))
-            futures.append(future)
         return [future.result() for future in futures]
 
     def _pick_lane(self, explicit: int | None) -> int | None:
@@ -488,51 +532,97 @@ class WorkerGroup:
                     pending = self._next_pending(index)
                     if pending is None:
                         self._cond.wait(timeout=0.1)
+                batch = None
                 if pending is not None:
-                    self._busy[index] = pending
-            if pending is None:
+                    # Chunking: drain more of the OWN queue behind the
+                    # first item (a stolen item arrives alone — its
+                    # donor's queue is not ours to drain).  With
+                    # stealing on and live peers around, take at most
+                    # half the backlog: a chunk must amortize framing,
+                    # not vacuum up the queue idle peers would have
+                    # stolen from.
+                    batch = [pending]
+                    queue = self._queues[index]
+                    budget = self.max_batch_items - 1
+                    if self.steal and any(
+                            i != index and i not in self._dead
+                            for i in range(len(self.workers))):
+                        budget = min(budget, (len(queue) + 1) // 2)
+                    while queue and budget > 0:
+                        batch.append(queue.popleft())
+                        budget -= 1
+                    self._busy[index] = batch
+            if batch is None:
                 if removed:
                     # Graceful drain: the dispatcher owns the close (an
                     # in-flight item was allowed to finish first).
                     worker.close()
                 return
-            pending.attempts += 1
+            for pending in batch:
+                pending.attempts += 1
             try:
-                result: WorkResult = worker.execute(pending.item)
+                if len(batch) == 1:
+                    outcomes: list = [worker.execute(batch[0].item)]
+                else:
+                    outcomes = worker.execute_many(
+                        [pending.item for pending in batch])
+                    if (not isinstance(outcomes, list)
+                            or len(outcomes) != len(batch)):
+                        raise WorkerCrashError(
+                            f"worker {worker.name!r} answered "
+                            "a misaligned chunk")
             except WorkerCrashError as error:
-                self._evict(index, error, in_flight=pending)
+                self._evict(index, error, in_flight=batch)
                 return
-            except Exception as error:  # noqa: BLE001 — fail the item,
+            except Exception as error:  # noqa: BLE001 — fail the items,
                 # not the group: a task-level error (bad shapes, an
                 # engine bug) leaves the lane healthy.
                 with self._cond:
                     self._busy[index] = None
-                if not pending.future.done():
-                    pending.future.set_exception(error)
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(error)
             else:
+                completed = sum(1 for outcome in outcomes
+                                if isinstance(outcome, WorkResult))
                 with self._cond:
                     self._busy[index] = None
-                    self.metrics.executed[worker.name] += 1
+                    self.metrics.executed[worker.name] += completed
+                    if len(batch) > 1:
+                        self.metrics.batched += len(batch)
                     self.metrics.last_heartbeat[worker.name] = \
                         time.monotonic()
-                if not pending.future.done():
-                    pending.future.set_result(result)
+                for pending, outcome in zip(batch, outcomes):
+                    if pending.future.done():
+                        continue
+                    if isinstance(outcome, WorkResult):
+                        pending.future.set_result(outcome)
+                    elif isinstance(outcome, Exception):
+                        pending.future.set_exception(outcome)
+                    else:
+                        pending.future.set_exception(WorkerCrashError(
+                            f"worker {worker.name!r} returned no "
+                            f"result for item {pending.item.item_id}"))
 
     # ------------------------------------------------------------------
     # Crash handling + heartbeats
     # ------------------------------------------------------------------
     def _evict(self, index: int, error: Exception,
-               in_flight: _Pending | None = None) -> None:
+               in_flight: _Pending | list[_Pending] | None = None) -> None:
         """Mark a lane dead; requeue its work on healthy lanes.
 
         Monitor (heartbeat) and dispatcher (failed execute) can both
         report the same death; the first caller evicts and drains the
-        queue, but the dispatcher's ``in_flight`` item must be placed
-        either way — dropping it would leave its future unresolved
-        forever, which is exactly the deadlock eviction exists to
-        prevent.
+        queue, but the dispatcher's ``in_flight`` item — or whole chunk
+        — must be placed either way: dropping one would leave its
+        future unresolved forever, which is exactly the deadlock
+        eviction exists to prevent.
         """
         worker = self.workers[index]
+        if in_flight is None:
+            in_flight = []
+        elif isinstance(in_flight, _Pending):
+            in_flight = [in_flight]
         with self._cond:
             first_report = index not in self._dead
             orphans: list[_Pending] = []
@@ -544,8 +634,7 @@ class WorkerGroup:
                 orphans = list(self._queues[index])
                 self._queues[index].clear()
             self._busy[index] = None
-            if in_flight is not None:
-                orphans.insert(0, in_flight)
+            orphans[:0] = in_flight
             alive = [i for i in range(len(self.workers))
                      if i not in self._dead]
             failures = []

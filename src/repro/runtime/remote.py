@@ -12,10 +12,10 @@ A host joins the fabric two ways:
   enters a sweep or a serving pool **mid-run** — the listener admits the
   socket as a new lane via ``WorkerGroup.add_lane``.
 
-The protocol reuses the serving transport's newline-delimited JSON
-framing (``repro.runtime.codec``), one request per line, answered in
-order::
+The protocol starts as newline-delimited JSON (``repro.runtime.codec``),
+one request per line, answered in order::
 
+    {"op": "hello", "frames": ["binary"]}  -> {"ok": true, "frames": "..."}
     {"op": "ping"}                         -> {"ok": true, "pid": ...}
     {"op": "deploy", "blob": "<b64>"}      -> {"ok": true, "deployments": N}
     {"op": "execute", "item_id": 7,
@@ -23,6 +23,19 @@ order::
                                                "logits": {...},
                                                "traces": [...],
                                                "elapsed_s": ..., "pid": ...}
+    {"op": "execute_many",
+     "items": [{"item_id", "deployment"},
+               ...], "images:0": {...}}    -> {"ok": true, "results": [...],
+                                               "logits:0": {...}, ...}
+
+``hello`` negotiates the framing: a client that offers ``"binary"`` to a
+server that allows it flips **both directions** of the connection to the
+zero-copy binary frames of :func:`repro.runtime.codec.encode_frame`
+(arrays as raw buffers, no base64) right after the JSON hello reply.  An
+old server answers ``hello`` as an unknown op, an old client never sends
+it — either peer falls back to JSON lines, so mixed-version fabrics keep
+working.  ``execute_many`` ships one whole dispatch chunk per frame to
+amortize framing and round-trips.
 
 Task-level failures answer ``{"ok": false, "error": {"type", "message"}}``
 and keep the connection; a known type (``DeploymentError``,
@@ -49,8 +62,11 @@ import socket
 import threading
 import time
 
+import numpy as np
+
 from repro.core.engine.trace import TraceMerge
 from repro.errors import (
+    CodecError,
     DeploymentError,
     FabricAuthError,
     RemoteExecutionError,
@@ -63,7 +79,9 @@ from repro.runtime.codec import (
     decode_blob,
     encode_array,
     encode_blob,
+    encode_frame,
     encode_line,
+    read_frame,
 )
 from repro.runtime.work import Deployment, WorkItem, WorkResult, execute_item
 from repro.runtime.workers import Worker
@@ -100,62 +118,160 @@ def _configure_socket(sock: socket.socket) -> None:
 # ----------------------------------------------------------------------
 # Worker-side protocol core — shared by --listen and --join
 # ----------------------------------------------------------------------
-def _handle_request(deployments: list[Deployment], line: bytes,
-                    token: str | None = None) -> dict:
-    """One request -> one reply dict (the worker side of the protocol)."""
-    message = json.loads(line)
-    if not isinstance(message, dict):
-        raise ValueError("request must be a JSON object")
+def _as_array(value) -> np.ndarray:
+    """An array field as it arrives: raw ndarray (binary frames) or the
+    base64 envelope of the JSON framing."""
+    if isinstance(value, np.ndarray):
+        return value
+    return decode_array(value)
+
+
+def _inline_arrays(payload: dict, arrays: dict) -> dict:
+    """Fold arrays into a JSON-lines payload as base64 envelopes."""
+    if not arrays:
+        return payload
+    merged = dict(payload)
+    for key, array in arrays.items():
+        merged[key] = encode_array(array)
+    return merged
+
+
+def _execute_one(deployments: list[Deployment], item_id, deployment,
+                 images) -> WorkResult:
+    item = WorkItem(item_id=int(item_id), deployment=int(deployment),
+                    images=_as_array(images))
+    if not 0 <= item.deployment < len(deployments):
+        raise DeploymentError(
+            f"deployment {item.deployment} is not registered "
+            f"({len(deployments)} deployed); send a 'deploy' "
+            "request first")
+    return execute_item(deployments, item)
+
+
+def _handle_request(deployments: list[Deployment], message: dict,
+                    token: str | None = None,
+                    state: dict | None = None,
+                    frames: str = "binary") -> tuple[dict, dict]:
+    """One decoded request -> ``(reply payload, reply arrays)``.
+
+    ``state`` is the connection's mutable framing state (a ``hello``
+    that lands on binary flips it); ``frames="json"`` pins the
+    connection to JSON lines however eagerly the client offers.
+    """
     if not check_token(message, token):
         # Reject *before* touching any pickled blob the payload carries.
         raise FabricAuthError(
             "payload rejected: missing or invalid fabric token")
     op = message.get("op")
+    if op == "hello":
+        offered = message.get("frames") or []
+        chosen = ("binary" if frames == "binary"
+                  and isinstance(offered, list) and "binary" in offered
+                  else "json")
+        if chosen == "binary" and state is not None:
+            state["binary"] = True
+        return {"ok": True, "frames": chosen, "pid": os.getpid()}, {}
     if op == "ping":
         return {"ok": True, "pid": os.getpid(),
-                "deployments": len(deployments)}
+                "deployments": len(deployments)}, {}
     if op == "deploy":
         table = decode_blob(message["blob"])
         deployments[:] = list(table)
-        return {"ok": True, "deployments": len(deployments)}
+        return {"ok": True, "deployments": len(deployments)}, {}
     if op == "execute":
-        item = WorkItem(
-            item_id=int(message["item_id"]),
-            deployment=int(message["deployment"]),
-            images=decode_array(message["images"]))
-        if not 0 <= item.deployment < len(deployments):
-            raise DeploymentError(
-                f"deployment {item.deployment} is not registered "
-                f"({len(deployments)} deployed); send a 'deploy' "
-                "request first")
-        result = execute_item(deployments, item)
+        result = _execute_one(deployments, message["item_id"],
+                              message["deployment"], message["images"])
         return {
             "ok": True,
             "item_id": result.item_id,
-            "logits": encode_array(result.logits),
             "traces": [t.to_dict() for t in result.image_traces],
             "elapsed_s": result.elapsed_s,
             "pid": result.pid,
-        }
+        }, {"logits": result.logits}
+    if op == "execute_many":
+        specs = message.get("items")
+        if not isinstance(specs, list):
+            raise ValueError("execute_many needs an 'items' list")
+        results: list[dict] = []
+        arrays: dict[str, np.ndarray] = {}
+        for position, spec in enumerate(specs):
+            try:
+                result = _execute_one(deployments, spec["item_id"],
+                                      spec["deployment"],
+                                      message[f"images:{position}"])
+            except Exception as error:  # noqa: BLE001 — per-item
+                # failure inside a healthy chunk: the sibling items'
+                # results must still come back.
+                results.append(_error_reply(error))
+                continue
+            results.append({
+                "ok": True,
+                "item_id": result.item_id,
+                "traces": [t.to_dict() for t in result.image_traces],
+                "elapsed_s": result.elapsed_s,
+                "pid": result.pid,
+            })
+            arrays[f"logits:{position}"] = result.logits
+        return {"ok": True, "results": results}, arrays
     raise ValueError(f"unknown op {op!r}")
 
 
 def _serve_requests(conn: socket.socket, reader,
-                    token: str | None = None) -> None:
+                    token: str | None = None,
+                    frames: str = "binary",
+                    binary: bool = False) -> None:
     """Answer requests on one connection until the peer goes away.
 
     Every request must answer: an unpicklable blob, a version-skewed or
     garbage frame, or a bad token is a *task* failure on a healthy host
     — killing the connection would make the driver misread it as a lane
-    crash and requeue the item elsewhere.
+    crash and requeue the item elsewhere.  The one exception is a
+    corrupt **binary** frame: with length-prefixed framing there is no
+    newline to resynchronize on, so the server answers once and hangs
+    up.  ``frames="json"`` refuses binary negotiation outright;
+    ``binary=True`` starts the connection already in binary mode (the
+    join handshake negotiates before handing the socket over).
     """
     deployments: list[Deployment] = []
-    for line in reader:
+    state = {"binary": binary}
+    while True:
+        if state["binary"]:
+            try:
+                decoded = read_frame(reader)
+            except CodecError as error:
+                try:
+                    conn.sendall(encode_frame(_error_reply(error)))
+                except OSError:
+                    pass
+                return
+            if decoded is None:
+                return
+            message, in_arrays = decoded
+            message = dict(message)
+            message.update(in_arrays)
+        else:
+            line = reader.readline()
+            if not line:
+                return
+            try:
+                message = json.loads(line)
+                if not isinstance(message, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as error:
+                conn.sendall(encode_line(_error_reply(error)))
+                continue
+        was_binary = state["binary"]
         try:
-            reply = _handle_request(deployments, line, token)
+            reply, out_arrays = _handle_request(
+                deployments, message, token, state=state, frames=frames)
         except Exception as error:  # noqa: BLE001 — see docstring
-            reply = _error_reply(error)
-        conn.sendall(encode_line(reply))
+            reply, out_arrays = _error_reply(error), {}
+        # A hello that negotiated binary still answers on the framing it
+        # arrived on; everything after flows as binary frames.
+        if was_binary:
+            conn.sendall(encode_frame(reply, out_arrays))
+        else:
+            conn.sendall(encode_line(_inline_arrays(reply, out_arrays)))
 
 
 # ----------------------------------------------------------------------
@@ -170,14 +286,23 @@ class WorkerServer:
     deploy right after connecting); one handler thread per connection
     keeps the protocol strictly request/response ordered.  With a
     ``token``, payloads without the matching auth proof are rejected
-    before any blob is unpickled.
+    before any blob is unpickled.  ``frames`` selects the best framing
+    this server will negotiate: ``"binary"`` (default) accepts the
+    zero-copy binary frames, ``"json"`` pins every connection to the v1
+    JSON-lines protocol (interop testing, ``repro worker --frames
+    json``).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 token: str | None = None) -> None:
+                 token: str | None = None,
+                 frames: str = "binary") -> None:
+        if frames not in ("binary", "json"):
+            raise ValueError(f"frames must be 'binary' or 'json', "
+                             f"got {frames!r}")
         self.host = host
         self.port = port
         self.token = token
+        self.frames = frames
         self._sock: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         # Live handler threads and their sockets, pruned as connections
@@ -230,7 +355,8 @@ class WorkerServer:
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
             with conn, conn.makefile("rb") as reader:
-                _serve_requests(conn, reader, token=self.token)
+                _serve_requests(conn, reader, token=self.token,
+                                frames=self.frames)
         except (ConnectionError, OSError):
             pass  # peer vanished; nothing to answer
         finally:
@@ -286,6 +412,7 @@ def join_fabric(
     retry_s: float | None = None,
     stop_event: threading.Event | None = None,
     connect_timeout_s: float = 5.0,
+    frames: str = "binary",
 ) -> None:
     """Connect out to a live group's :class:`GroupListener` and serve.
 
@@ -297,8 +424,12 @@ def join_fabric(
     group stops — so a fleet of ``repro worker --join`` daemons finds
     every run that opens a listener.  A failed handshake raises
     :class:`~repro.errors.FabricAuthError` immediately (a wrong token
-    never heals by retrying).
+    never heals by retrying).  ``frames="json"`` withholds the binary
+    offer, pinning the connection to JSON lines.
     """
+    if frames not in ("binary", "json"):
+        raise ValueError(f"frames must be 'binary' or 'json', "
+                         f"got {frames!r}")
     worker_name = name or f"{socket.gethostname()}:{os.getpid()}"
     while True:
         if stop_event is not None and stop_event.is_set():
@@ -318,7 +449,9 @@ def join_fabric(
             _configure_socket(sock)
             sock.settimeout(connect_timeout_s)
             sock.sendall(encode_line(attach_token(
-                {"op": "join", "name": worker_name}, token)))
+                {"op": "join", "name": worker_name,
+                 "frames": ["binary"] if frames == "binary" else []},
+                token)))
             reader = sock.makefile("rb")
             line = reader.readline()
             reply = json.loads(line) if line else {}
@@ -327,7 +460,11 @@ def join_fabric(
                     "message", "group refused the join handshake")
                 raise FabricAuthError(error)
             sock.settimeout(None)
-            _serve_requests(sock, reader)  # blocks until the group hangs up
+            # The handshake doubles as the framing negotiation: an old
+            # group's reply has no "frames" field -> JSON lines.
+            _serve_requests(sock, reader,
+                            binary=reply.get("frames") == "binary")
+            # blocks until the group hangs up
         except (ConnectionError, OSError):
             pass  # group went away mid-serve; maybe retry
         finally:
@@ -356,11 +493,13 @@ class GroupListener:
 
     def __init__(self, group, host: str = "127.0.0.1", port: int = 0,
                  token: str | None = None,
-                 handshake_timeout_s: float = 5.0) -> None:
+                 handshake_timeout_s: float = 5.0,
+                 frames: str = "binary") -> None:
         self.group = group
         self.host = host
         self.port = port
         self.token = token
+        self.frames = frames
         self.handshake_timeout_s = handshake_timeout_s
         self.joined: list[str] = []          # lane names, admission order
         self._sock: socket.socket | None = None
@@ -419,11 +558,16 @@ class GroupListener:
             conn.close()
             return
         name = str(hello.get("name") or f"joined@{peer[0]}:{peer[1]}")
-        conn.sendall(encode_line(attach_token({"ok": True, "name": name},
-                                              self.token)))
+        offered = hello.get("frames") or []
+        chosen = ("binary" if self.frames == "binary"
+                  and isinstance(offered, list) and "binary" in offered
+                  else "json")
+        conn.sendall(encode_line(attach_token(
+            {"ok": True, "name": name, "frames": chosen}, self.token)))
         conn.settimeout(None)
         _configure_socket(conn)
-        worker = RemoteWorker.from_socket(conn, reader, name=name)
+        worker = RemoteWorker.from_socket(conn, reader, name=name,
+                                          binary=chosen == "binary")
         try:
             lane_name = self.group.add_lane(worker)
         except Exception:
@@ -458,12 +602,21 @@ class RemoteWorker(Worker):
 
     def __init__(self, host: str, port: int, name: str | None = None,
                  connect_timeout_s: float = 5.0,
-                 token: str | None = None) -> None:
+                 token: str | None = None,
+                 frames: str = "binary") -> None:
+        if frames not in ("binary", "json"):
+            raise ValueError(f"frames must be 'binary' or 'json', "
+                             f"got {frames!r}")
         super().__init__(name or f"remote@{host}:{port}")
         self.host = host
         self.port = port
         self.connect_timeout_s = connect_timeout_s
         self.token = token
+        #: Best framing to negotiate ("binary") or "json" to skip the
+        #: hello and speak the v1 protocol (old servers, interop tests).
+        self.frames = frames
+        #: Whether THIS connection negotiated binary frames.
+        self.binary = False
         self._sock: socket.socket | None = None
         self._reader = None
         # Serializes the request/response exchange: the group's monitor
@@ -471,13 +624,14 @@ class RemoteWorker(Worker):
         self._io_lock = threading.Lock()
 
     @classmethod
-    def from_socket(cls, sock: socket.socket, reader,
-                    name: str) -> "RemoteWorker":
+    def from_socket(cls, sock: socket.socket, reader, name: str,
+                    binary: bool = False) -> "RemoteWorker":
         """Wrap an already-connected socket (a joined host) as a lane.
 
         The peer initiated this connection, so the lane cannot re-dial
         it after a drop — ``restartable`` is False and probation is
-        skipped; a recovered host simply joins again.
+        skipped; a recovered host simply joins again.  ``binary``
+        records the framing the join handshake negotiated.
         """
         try:
             host, port = sock.getpeername()[:2]
@@ -486,6 +640,7 @@ class RemoteWorker(Worker):
         worker = cls(host, int(port), name=name)
         worker._sock = sock
         worker._reader = reader
+        worker.binary = binary
         worker.restartable = False
         return worker
 
@@ -508,33 +663,71 @@ class RemoteWorker(Worker):
             raise WorkerCrashError(
                 f"cannot reach worker {self.host}:{self.port}: "
                 f"{error}") from error
+        if self.frames == "binary":
+            self._negotiate()
+
+    def _negotiate(self) -> None:
+        """Offer binary frames; any refusal falls back to JSON lines.
+
+        An old server answers ``hello`` as an unknown op
+        (``RemoteExecutionError``) and a token mismatch answers
+        ``FabricAuthError`` — both leave the lane on the v1 framing (the
+        auth failure resurfaces on ``deploy``, where the group already
+        knows how to degrade it).  Only a dead connection propagates.
+        """
+        with self._io_lock:
+            try:
+                reply = self._request_locked(
+                    {"op": "hello", "frames": ["binary"]},
+                    timeout_s=self.connect_timeout_s)
+            except (RemoteExecutionError, FabricAuthError):
+                self.binary = False
+                return
+            self.binary = reply.get("frames") == "binary"
 
     def _request(self, payload: dict,
-                 timeout_s: float | None = None) -> dict:
+                 timeout_s: float | None = None,
+                 arrays: dict | None = None) -> dict:
         with self._io_lock:
-            return self._request_locked(payload, timeout_s)
+            return self._request_locked(payload, timeout_s, arrays)
 
     def _request_locked(self, payload: dict,
-                        timeout_s: float | None = None) -> dict:
-        """One exchange; caller must hold ``_io_lock``."""
+                        timeout_s: float | None = None,
+                        arrays: dict | None = None) -> dict:
+        """One exchange; caller must hold ``_io_lock``.
+
+        ``arrays`` travel as raw buffers on a binary lane or inline
+        base64 envelopes on a JSON lane; either way the reply comes back
+        as one dict whose array fields :func:`_as_array` can read.
+        """
         if self._sock is None:
             raise WorkerCrashError(
                 f"worker {self.name!r} is not connected")
         try:
             self._sock.settimeout(timeout_s)
-            self._sock.sendall(encode_line(
-                attach_token(payload, self.token)))
-            line = self._reader.readline()
-        except (OSError, ValueError) as error:
+            if self.binary:
+                self._sock.sendall(encode_frame(
+                    attach_token(payload, self.token), arrays or {}))
+                decoded = read_frame(self._reader)
+            else:
+                self._sock.sendall(encode_line(_inline_arrays(
+                    attach_token(payload, self.token), arrays or {})))
+                decoded = self._reader.readline()
+        except (OSError, ValueError, CodecError) as error:
             self.close()
             raise WorkerCrashError(
                 f"worker {self.name!r} connection failed: "
                 f"{error}") from error
-        if not line:
+        if not decoded:
             self.close()
             raise WorkerCrashError(
                 f"worker {self.name!r} closed the connection")
-        reply = json.loads(line)
+        if self.binary:
+            reply, reply_arrays = decoded
+            reply = dict(reply)
+            reply.update(reply_arrays)
+        else:
+            reply = json.loads(decoded)
         if not reply.get("ok"):
             error = reply.get("error") or {}
             cls = _REMOTE_ERROR_TYPES.get(error.get("type"),
@@ -558,22 +751,70 @@ class RemoteWorker(Worker):
                 f"worker {self.name!r} rejected the fabric token: "
                 f"{error}") from error
 
-    def execute(self, item: WorkItem) -> WorkResult:
-        reply = self._request({
-            "op": "execute",
-            "item_id": item.item_id,
-            "deployment": item.deployment,
-            "images": encode_array(item.images),
-        }, timeout_s=item.timeout_s)
+    def _result_from(self, reply: dict, logits) -> WorkResult:
         return WorkResult(
             item_id=int(reply["item_id"]),
-            logits=decode_array(reply["logits"]),
+            logits=_as_array(logits),
             image_traces=[TraceMerge.from_dict(t)
                           for t in reply["traces"]],
             elapsed_s=float(reply["elapsed_s"]),
             worker=self.name,
             pid=int(reply.get("pid", 0)),
         )
+
+    def execute(self, item: WorkItem) -> WorkResult:
+        reply = self._request({
+            "op": "execute",
+            "item_id": item.item_id,
+            "deployment": item.deployment,
+        }, timeout_s=item.timeout_s, arrays={"images": item.images})
+        return self._result_from(reply, reply["logits"])
+
+    def execute_many(self, items: list[WorkItem]) -> list:
+        """One framed round-trip for a whole dispatch chunk.
+
+        Returns one :class:`WorkResult` or :class:`Exception` per item
+        (aligned); the chunk shares a single wire exchange, so framing
+        and negotiation overhead is paid once.  The exchange's timeout
+        is the sum of the items' budgets (unbounded if any is).
+        """
+        if len(items) == 1:
+            try:
+                return [self.execute(items[0])]
+            except WorkerCrashError:
+                raise
+            except Exception as error:  # noqa: BLE001 — task failure
+                return [error]
+        timeouts = [item.timeout_s for item in items]
+        timeout_s = (None if any(t is None for t in timeouts)
+                     else float(sum(timeouts)))
+        reply = self._request({
+            "op": "execute_many",
+            "items": [{"item_id": item.item_id,
+                       "deployment": item.deployment}
+                      for item in items],
+        }, timeout_s=timeout_s,
+            arrays={f"images:{position}": item.images
+                    for position, item in enumerate(items)})
+        entries = reply.get("results")
+        if not isinstance(entries, list) or len(entries) != len(items):
+            raise WorkerCrashError(
+                f"worker {self.name!r} answered "
+                f"{len(entries) if isinstance(entries, list) else 0} "
+                f"results for a {len(items)}-item chunk")
+        outcomes: list = []
+        for position, entry in enumerate(entries):
+            if entry.get("ok"):
+                outcomes.append(self._result_from(
+                    entry, reply[f"logits:{position}"]))
+            else:
+                error = entry.get("error") or {}
+                cls = _REMOTE_ERROR_TYPES.get(error.get("type"),
+                                              RemoteExecutionError)
+                outcomes.append(cls(
+                    f"{error.get('type', 'Error')}: "
+                    f"{error.get('message', 'remote worker failure')}"))
+        return outcomes
 
     def ping(self, timeout_s: float = 5.0) -> bool:
         # A lane busy executing is alive by definition; never block the
@@ -592,6 +833,7 @@ class RemoteWorker(Worker):
             self._io_lock.release()
 
     def close(self) -> None:
+        self.binary = False   # a re-dial renegotiates from scratch
         if self._reader is not None:
             try:
                 self._reader.close()

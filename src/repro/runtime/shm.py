@@ -1,0 +1,203 @@
+"""Shared-memory lanes for local process workers.
+
+A :class:`ProcessWorker` used to pickle every image batch into its child
+and every logit tensor back out — two full serializations per item on a
+transport that never leaves the machine.  This module gives each worker
+a small **arena**: one ``multiprocessing.shared_memory`` segment, owned
+by the parent, into which image buffers are written once and mapped by
+the child with ``np.frombuffer`` (zero copies, no pickle for arrays).
+A reply region reserved behind the inputs carries the logits back the
+same way.
+
+Design constraints that keep this simple and safe:
+
+* One batch in flight per worker (the worker's ``_exec_lock``), so the
+  arena can be reused wholesale between batches — no free lists.
+* The segment only grows (capacity doubles; a new segment replaces the
+  old under a fresh name), so descriptors never dangle: the child
+  attaches segments by name on demand and drops stale attachments when
+  the name changes.
+* Everything degrades: if shared memory is unavailable (locked-down
+  ``/dev/shm``, exotic platforms) or ``REPRO_NO_SHM=1`` is set, callers
+  fall back to the pickle path — same results, fabric contract intact.
+
+Children are forked, so they share the parent's ``resource_tracker``
+process: the parent's create-time registration and unlink-time
+unregistration balance on their own (a child's attach-time register is
+an idempotent set-add in the shared tracker).  Children therefore must
+NOT unregister segments themselves — that would cancel the parent's
+entry and make the parent's unlink trip a tracker ``KeyError``.  For
+the sharing to hold, the tracker must exist *before* the fork:
+``ProcessWorker.start`` ensures it is running before its pool spawns
+children, else each child's first attach would launch a private
+tracker holding a registration nobody balances.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ShmArena", "ShmView", "attach_view", "shm_available"]
+
+_MIN_CAPACITY = 1 << 20          # 1 MiB floor; doubles as needed
+_ALIGN = 64                      # cache-line align each buffer
+
+_available: bool | None = None
+
+
+def shm_available() -> bool:
+    """Whether shared-memory lanes can be used on this host."""
+    global _available
+    if os.environ.get("REPRO_NO_SHM"):
+        return False
+    if _available is None:
+        try:
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+            _available = True
+        except (OSError, ValueError):
+            _available = False
+    return _available
+
+
+@dataclass(frozen=True)
+class ShmView:
+    """A picklable pointer to one array inside a named segment."""
+
+    segment: str
+    offset: int
+    dtype: str
+    shape: tuple
+
+    @property
+    def nbytes(self) -> int:
+        size = 1
+        for extent in self.shape:
+            size *= extent
+        return size * np.dtype(self.dtype).itemsize
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+class ShmArena:
+    """A grow-only scratch segment owned by the parent process.
+
+    ``place`` lays arrays out back to back (aligned) and returns one
+    :class:`ShmView` per array plus a reply view sized by the caller;
+    ``read`` maps a view of the *current* segment back to an array.
+    The parent must copy anything it wants to keep out of a view before
+    the next ``place`` reuses the space.
+    """
+
+    def __init__(self) -> None:
+        self._shm: shared_memory.SharedMemory | None = None
+
+    @property
+    def segment(self) -> str | None:
+        return self._shm.name if self._shm is not None else None
+
+    def _reserve(self, nbytes: int) -> shared_memory.SharedMemory:
+        if self._shm is not None and self._shm.size >= nbytes:
+            return self._shm
+        capacity = _MIN_CAPACITY
+        while capacity < nbytes:
+            capacity *= 2
+        self.close()
+        self._shm = shared_memory.SharedMemory(
+            name=f"repro-arena-{os.getpid()}-{secrets.token_hex(4)}",
+            create=True, size=capacity)
+        return self._shm
+
+    def place(self, arrays: list[np.ndarray],
+              reply_nbytes: int = 0) -> tuple[list[ShmView], ShmView]:
+        """Write arrays into the arena; returns their views + the reply
+        view (a raw byte region the child may answer through)."""
+        arrays = [np.ascontiguousarray(array) for array in arrays]
+        offsets: list[int] = []
+        cursor = 0
+        for array in arrays:
+            offsets.append(cursor)
+            cursor = _align(cursor + array.nbytes)
+        reply_offset = cursor
+        shm = self._reserve(cursor + reply_nbytes)
+        views: list[ShmView] = []
+        for array, offset in zip(arrays, offsets):
+            target = np.frombuffer(shm.buf, dtype=array.dtype,
+                                   count=array.size, offset=offset)
+            target[:] = array.reshape(-1)
+            views.append(ShmView(shm.name, offset, str(array.dtype),
+                                 tuple(array.shape)))
+        reply = ShmView(shm.name, reply_offset, "uint8",
+                        (reply_nbytes,))
+        return views, reply
+
+    def read(self, view: ShmView) -> np.ndarray:
+        """Map a view of the current segment (zero-copy, read-only use).
+
+        The caller copies out what it keeps; the buffer is recycled by
+        the next ``place``.
+        """
+        if self._shm is None or view.segment != self._shm.name:
+            raise ValueError(
+                f"view references segment {view.segment!r} but the "
+                f"arena holds {self.segment!r}")
+        dtype = np.dtype(view.dtype)
+        count = 1
+        for extent in view.shape:
+            count *= extent
+        return np.frombuffer(self._shm.buf, dtype=dtype, count=count,
+                             offset=view.offset).reshape(view.shape)
+
+    def close(self) -> None:
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except (OSError, BufferError):
+                pass
+            try:
+                self._shm.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+            self._shm = None
+
+
+# ----------------------------------------------------------------------
+# Child side: attach segments by name, cache the mapping
+# ----------------------------------------------------------------------
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach(segment: str) -> shared_memory.SharedMemory:
+    shm = _ATTACHED.get(segment)
+    if shm is not None:
+        return shm
+    # The parent replaced the arena (growth): old names are dead; drop
+    # their mappings so a long-lived child doesn't accumulate segments.
+    for name, stale in list(_ATTACHED.items()):
+        try:
+            stale.close()
+        except (OSError, BufferError):
+            pass
+        del _ATTACHED[name]
+    shm = shared_memory.SharedMemory(name=segment)
+    _ATTACHED[segment] = shm
+    return shm
+
+
+def attach_view(view: ShmView) -> np.ndarray:
+    """Map a :class:`ShmView` in the child (zero-copy, read-only use)."""
+    shm = _attach(view.segment)
+    dtype = np.dtype(view.dtype)
+    count = 1
+    for extent in view.shape:
+        count *= extent
+    return np.frombuffer(shm.buf, dtype=dtype, count=count,
+                         offset=view.offset).reshape(view.shape)

@@ -10,8 +10,11 @@ work.WorkItem` at a time.  Three kinds ship:
   process-wide warm-engine cache.  Also the ``workers=1`` determinism
   baseline every other executor mix is compared against.
 * :class:`ProcessWorker` — one dedicated forked (or spawned) child
-  process holding warm engines, fed over pickled numpy arrays.
-  Sidesteps the GIL; a killed child surfaces as
+  process holding warm engines.  Image and logit tensors travel through
+  a shared-memory arena (``repro.runtime.shm``) instead of pickle when
+  the host allows it (``REPRO_NO_SHM=1`` forces the pickle path), so
+  the per-item serialization tax is a few hundred bytes of work-item
+  metadata.  Sidesteps the GIL; a killed child surfaces as
   :class:`~repro.errors.WorkerCrashError`, which the group turns into
   eviction + requeue instead of a deadlock.
 * ``RemoteWorker`` (``repro.runtime.remote``) — the same protocol over a
@@ -32,10 +35,15 @@ import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 
 import multiprocessing as mp
+from multiprocessing import resource_tracker
+
+import numpy as np
 
 from repro.errors import ConfigurationError, WorkerCrashError
+from repro.runtime.shm import ShmArena, ShmView, attach_view, shm_available
 from repro.runtime.work import Deployment, WorkItem, WorkResult, execute_item
 
 __all__ = [
@@ -77,6 +85,27 @@ class Worker(abc.ABC):
         any other :class:`~repro.errors.ReproError` is a task-level
         failure on a healthy lane."""
 
+    def execute_many(self, items: list[WorkItem]) -> list:
+        """Run a dispatch chunk; returns one :class:`WorkResult` **or**
+        :class:`Exception` per item, aligned with ``items``.
+
+        Task-level failures are returned in place so sibling items in a
+        healthy chunk still complete; a lane death raises
+        :class:`WorkerCrashError` for the whole chunk (results would be
+        lost with the lane anyway — the group requeues everything).
+        Executors that can amortize per-chunk overhead (one wire frame,
+        one child round-trip) override this; the default just loops.
+        """
+        outcomes: list = []
+        for item in items:
+            try:
+                outcomes.append(self.execute(item))
+            except WorkerCrashError:
+                raise
+            except Exception as error:  # noqa: BLE001 — task failure
+                outcomes.append(error)
+        return outcomes
+
     def ping(self, timeout_s: float = 5.0) -> bool:
         """Liveness probe; ``False``/``WorkerCrashError`` marks the lane
         dead.  In-process lanes are alive by definition."""
@@ -111,6 +140,27 @@ class ThreadWorker(Worker):
 # ----------------------------------------------------------------------
 _CHILD_DEPLOYMENTS: list[Deployment] = []
 
+#: Logits wider than this per-image bound fall back to pickled replies
+#: (the shm reply region is pre-sized before the class count is known).
+_REPLY_CLASSES_CAP = 256
+
+
+@dataclass
+class _WireItem:
+    """The picklable skeleton of one item crossing into the child.
+
+    Exactly one of ``images`` (pickle path) or ``view`` (shared-memory
+    path) is set; ``reply`` is the shm region the child may answer
+    through when it is big enough for the logits.
+    """
+
+    item_id: int
+    deployment: int
+    timeout_s: float | None
+    images: np.ndarray | None = None
+    view: ShmView | None = None
+    reply: ShmView | None = None
+
 
 def _child_deploy(deployments: list[Deployment]) -> int:
     global _CHILD_DEPLOYMENTS
@@ -118,8 +168,35 @@ def _child_deploy(deployments: list[Deployment]) -> int:
     return os.getpid()
 
 
-def _child_execute(item: WorkItem) -> WorkResult:
-    return execute_item(_CHILD_DEPLOYMENTS, item)
+def _child_execute_batch(wire_items: list[_WireItem]) -> list:
+    """Run a chunk in the child; one ``(logits_view, result)`` or
+    ``Exception`` per item.  Logits that fit the item's reply region are
+    written there (``result.logits`` comes back ``None``); otherwise
+    they ride home pickled."""
+    outcomes: list = []
+    for wire in wire_items:
+        try:
+            images = (attach_view(wire.view) if wire.view is not None
+                      else wire.images)
+            item = WorkItem(item_id=wire.item_id,
+                            deployment=wire.deployment,
+                            images=images, timeout_s=wire.timeout_s)
+            result = execute_item(_CHILD_DEPLOYMENTS, item)
+            logits_view = None
+            if (wire.reply is not None
+                    and result.logits.nbytes <= wire.reply.nbytes):
+                logits = np.ascontiguousarray(result.logits)
+                region = attach_view(wire.reply)
+                region[:logits.nbytes] = logits.reshape(-1).view(np.uint8)
+                logits_view = ShmView(wire.reply.segment,
+                                      wire.reply.offset,
+                                      str(logits.dtype), logits.shape)
+                result.logits = None
+            outcomes.append((logits_view, result))
+        except Exception as error:  # noqa: BLE001 — task failure; the
+            # chunk's sibling items must still answer
+            outcomes.append(error)
+    return outcomes
 
 
 class ProcessWorker(Worker):
@@ -131,14 +208,25 @@ class ProcessWorker(Worker):
         super().__init__(name)
         self._pool: ProcessPoolExecutor | None = None
         self.pid: int | None = None
+        self._arena: ShmArena | None = None
         # Held while a batch runs in the child.  The group's monitor
         # pings "idle" lanes, but a batch may start between its idle
         # check and the ping; a ping queued behind a long batch on this
         # single-child pool would time out and falsely evict a healthy
         # lane, so ping only probes when it can take this lock.
+        # One batch in flight at a time is also what makes arena reuse
+        # safe (repro.runtime.shm).
         self._exec_lock = threading.Lock()
 
     def start(self) -> None:
+        # Spawn the resource tracker *before* the pool forks children:
+        # a child whose first shm attach finds no inherited tracker
+        # would start a private one, whose lone registration nobody
+        # unregisters (leak warnings at shutdown).  With the tracker
+        # alive pre-fork, every register/unregister lands in the one
+        # shared tracker and balances (see repro.runtime.shm).
+        if shm_available():
+            resource_tracker.ensure_running()
         methods = mp.get_all_start_methods()
         context = mp.get_context("fork" if "fork" in methods else None)
         self._pool = ProcessPoolExecutor(max_workers=1,
@@ -164,18 +252,77 @@ class ProcessWorker(Worker):
     def deploy(self, deployments: list[Deployment]) -> None:
         self.pid = self._submit(_child_deploy, list(deployments))
 
-    def execute(self, item: WorkItem) -> WorkResult:
-        # Strip caller-side metadata before pickling: it is documented
-        # as never crossing the boundary (and may be unpicklable).
-        wire_item = WorkItem(item_id=item.item_id,
-                             deployment=item.deployment,
-                             images=item.images,
-                             timeout_s=item.timeout_s)
-        with self._exec_lock:
-            result = self._submit(_child_execute, wire_item,
-                                  timeout_s=item.timeout_s)
+    def _pack(self, items: list[WorkItem]) -> list[_WireItem]:
+        """Wire items for a chunk: shm-backed when available.
+
+        All image buffers are placed in one arena write; each item gets
+        an aligned slice of a shared reply region sized for
+        ``_REPLY_CLASSES_CAP`` classes.  Any shm hiccup (exhausted
+        ``/dev/shm``, races with teardown) falls back to pickling —
+        slower, never wrong.  Caller-side ``meta`` is stripped here: it
+        is documented as never crossing the boundary (and may be
+        unpicklable).
+        """
+        wires = [_WireItem(item_id=item.item_id,
+                           deployment=item.deployment,
+                           timeout_s=item.timeout_s)
+                 for item in items]
+        if shm_available():
+            if self._arena is None:
+                self._arena = ShmArena()
+            caps = [max(4096, -(-item.num_images
+                                * _REPLY_CLASSES_CAP * 8 // 64) * 64)
+                    for item in items]
+            try:
+                views, reply = self._arena.place(
+                    [item.images for item in items],
+                    reply_nbytes=sum(caps))
+            except (OSError, ValueError):
+                views = None
+            if views is not None:
+                cursor = reply.offset
+                for wire, view, cap in zip(wires, views, caps):
+                    wire.view = view
+                    wire.reply = ShmView(reply.segment, cursor,
+                                         "uint8", (cap,))
+                    cursor += cap
+                return wires
+        for wire, item in zip(wires, items):
+            wire.images = np.ascontiguousarray(item.images)
+        return wires
+
+    def _unpack(self, outcome):
+        """One child outcome -> WorkResult or Exception (parent side)."""
+        if isinstance(outcome, Exception):
+            return outcome
+        logits_view, result = outcome
+        if logits_view is not None:
+            # Copy out before the lock is released: the arena region is
+            # recycled by the next batch.
+            result.logits = np.array(self._arena.read(logits_view),
+                                     copy=True)
         result.worker = self.name
         return result
+
+    def execute(self, item: WorkItem) -> WorkResult:
+        outcome = self.execute_many([item])[0]
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    def execute_many(self, items: list[WorkItem]) -> list:
+        timeouts = [item.timeout_s for item in items]
+        timeout_s = (None if any(t is None for t in timeouts)
+                     else float(sum(timeouts)))
+        with self._exec_lock:
+            wires = self._pack(items)
+            outcomes = self._submit(_child_execute_batch, wires,
+                                    timeout_s=timeout_s)
+            if (not isinstance(outcomes, list)
+                    or len(outcomes) != len(items)):
+                raise WorkerCrashError(
+                    f"worker {self.name!r} answered a malformed chunk")
+            return [self._unpack(outcome) for outcome in outcomes]
 
     def ping(self, timeout_s: float = 5.0) -> bool:
         # A lane mid-batch is alive by definition; never queue a probe
@@ -194,6 +341,9 @@ class ProcessWorker(Worker):
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
 
 
 # ----------------------------------------------------------------------

@@ -1,11 +1,21 @@
-"""TCP front-end: newline-delimited JSON over asyncio streams.
+"""TCP front-end: JSON-lines control plane, zero-copy binary data plane.
 
-One request per line (the same framing the runtime worker fabric uses —
-``repro.runtime.codec``).  An inference request carries the image
-(nested lists, the target deployment's ``(C, H, W)`` shape) plus
-optional serving knobs — including ``deployment``, the registry name
-that routes a request on a multi-model server; control requests carry
-an ``op`` field::
+Connections start as newline-delimited JSON (the same framing the
+runtime worker fabric uses — ``repro.runtime.codec``).  A client that
+supports it sends ``{"op": "hello", "frames": ["binary"]}`` as its
+first request; a willing server answers ``{"ok": true, "frames":
+"binary"}`` and both sides switch to the length-prefixed binary frame
+type from :mod:`repro.runtime.codec` — images and logits then travel
+as raw ndarray buffers instead of nested JSON lists.  Anything else
+(old clients, old servers, ``frames="json"``) stays on JSON lines:
+the hello is answered on the framing it arrived on, and an error reply
+to the hello just means "speak JSON".
+
+An inference request carries the image (nested lists in JSON mode, a
+raw ``image`` array in binary mode; the target deployment's
+``(C, H, W)`` shape) plus optional serving knobs — including
+``deployment``, the registry name that routes a request on a
+multi-model server; control requests carry an ``op`` field::
 
     {"id": 7, "image": [[[0.1, ...]]],
      "deployment": "fang:4",
@@ -44,10 +54,17 @@ import numpy as np
 
 from repro.errors import (
     BackpressureError,
+    CodecError,
     DeploymentError,
     ReproError,
     RequestTimeoutError,
     ServeError,
+)
+from repro.runtime.codec import (
+    FRAME_PREFIX_LEN,
+    decode_frame,
+    encode_frame,
+    parse_frame_prefix,
 )
 from repro.runtime.codec import encode_line as _encode
 from repro.serve.server import InferenceServer
@@ -75,18 +92,45 @@ def _raise_remote_error(error) -> Exception:
     return ServeError(str(error))
 
 
+async def _read_frame_async(reader: asyncio.StreamReader):
+    """One binary frame off an asyncio stream; ``None`` on clean EOF."""
+    try:
+        prefix = await reader.readexactly(FRAME_PREFIX_LEN)
+    except asyncio.IncompleteReadError as error:
+        if error.partial:
+            raise CodecError("connection closed mid-frame") from None
+        return None
+    header_len, body_len = parse_frame_prefix(prefix)
+    try:
+        header = await reader.readexactly(header_len)
+        body = await reader.readexactly(body_len)
+    except asyncio.IncompleteReadError:
+        raise CodecError("connection closed mid-frame") from None
+    return decode_frame(header, body)
+
+
 async def _handle_connection(server: InferenceServer,
                              reader: asyncio.StreamReader,
-                             writer: asyncio.StreamWriter) -> None:
+                             writer: asyncio.StreamWriter,
+                             frames: str = "binary") -> None:
     write_lock = asyncio.Lock()
     pending: set[asyncio.Task] = set()
+    binary = False  # every connection starts on JSON lines
 
-    async def respond(payload: dict) -> None:
+    async def respond(payload: dict, arrays: dict | None = None) -> None:
         async with write_lock:
-            writer.write(_encode(payload))
+            if binary:
+                writer.write(encode_frame(payload, arrays or {}))
+            else:
+                if arrays:
+                    payload = dict(payload)
+                    for name, array in arrays.items():
+                        payload[name] = np.asarray(array).tolist()
+                writer.write(_encode(payload))
             await writer.drain()
 
-    async def serve_one(message: dict) -> None:
+    async def serve_one(message: dict,
+                        in_arrays: dict | None = None) -> None:
         request_id = message.get("id")
         try:
             if message.get("op") == "ping":
@@ -102,10 +146,13 @@ async def _handle_connection(server: InferenceServer,
                 await respond({"id": request_id,
                                "deployments": server.deployments()})
                 return
-            if "image" not in message:
+            if in_arrays and "image" in in_arrays:
+                image = in_arrays["image"]
+            elif "image" in message:
+                image = np.asarray(message["image"], dtype=np.float64)
+            else:
                 raise ServeError(
                     "request needs an 'image' field or a known 'op'")
-            image = np.asarray(message["image"], dtype=np.float64)
             timeout_ms = message.get("timeout_ms")
             result = await server.submit(
                 image,
@@ -115,7 +162,8 @@ async def _handle_connection(server: InferenceServer,
                 deployment=message.get("deployment"))
             payload = result.to_dict()
             payload["id"] = request_id
-            await respond(payload)
+            payload.pop("logits", None)
+            await respond(payload, {"logits": np.asarray(result.logits)})
         except (ReproError, ValueError, TypeError) as error:
             # TypeError covers unconvertible 'image' payloads (null,
             # objects): every failure must answer, or a pipelining
@@ -127,23 +175,49 @@ async def _handle_connection(server: InferenceServer,
 
     try:
         while True:
-            line = await reader.readline()
-            if not line:
-                break
-            try:
-                message = json.loads(line)
-            except json.JSONDecodeError as error:
-                await respond({"id": None,
-                               "error": {"type": "ServeError",
-                                         "message": f"bad JSON: {error}"}})
-                continue
+            in_arrays: dict | None = None
+            if binary:
+                # No newline to resync on: a malformed frame answers
+                # once and hangs up.
+                try:
+                    frame = await _read_frame_async(reader)
+                except CodecError as error:
+                    await respond({"id": None,
+                                   "error": {"type": "CodecError",
+                                             "message": str(error)}})
+                    break
+                if frame is None:
+                    break
+                message, in_arrays = frame
+            else:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = json.loads(line)
+                except json.JSONDecodeError as error:
+                    await respond(
+                        {"id": None,
+                         "error": {"type": "ServeError",
+                                   "message": f"bad JSON: {error}"}})
+                    continue
             if not isinstance(message, dict):
                 await respond({"id": None,
                                "error": {"type": "ServeError",
                                          "message": "request must be a "
                                                     "JSON object"}})
                 continue
-            task = asyncio.create_task(serve_one(message))
+            if message.get("op") == "hello":
+                # Negotiation is handled inline (not as a task): the
+                # very next bytes on the wire depend on the answer.
+                offered = message.get("frames") or []
+                chosen = ("binary" if frames == "binary"
+                          and "binary" in offered else "json")
+                await respond({"id": message.get("id"), "ok": True,
+                               "frames": chosen})
+                binary = chosen == "binary"
+                continue
+            task = asyncio.create_task(serve_one(message, in_arrays))
             pending.add(task)
             task.add_done_callback(pending.discard)
     finally:
@@ -160,16 +234,23 @@ async def start_tcp_server(
     server: InferenceServer,
     host: str = "127.0.0.1",
     port: int = 0,
+    frames: str = "binary",
 ) -> tuple[asyncio.AbstractServer, int]:
     """Expose a running :class:`InferenceServer` over TCP.
 
     ``port=0`` binds an ephemeral port; the bound port is returned so
-    callers (and tests) can hand it to clients.
+    callers (and tests) can hand it to clients.  ``frames="binary"``
+    (the default) lets clients negotiate the zero-copy frame type;
+    ``frames="json"`` pins every connection to JSON lines.
     """
+    if frames not in ("binary", "json"):
+        raise ServeError(
+            f"frames must be 'binary' or 'json', got {frames!r}")
     if not server.running:
         raise ServeError("start the InferenceServer before the transport")
     tcp = await asyncio.start_server(
-        lambda r, w: _handle_connection(server, r, w), host, port)
+        lambda r, w: _handle_connection(server, r, w, frames=frames),
+        host, port)
     bound_port = tcp.sockets[0].getsockname()[1]
     return tcp, bound_port
 
@@ -180,11 +261,22 @@ class TcpClient:
     ``infer`` may be called concurrently from many tasks: requests are
     matched to responses by id, so in-flight requests overlap — which is
     exactly what lets a single client drive the server's coalescing.
+
+    ``frames="binary"`` (the default) negotiates the zero-copy frame
+    type during :meth:`connect`; a server that declines (or predates
+    the negotiation) keeps the connection on JSON lines.  ``binary``
+    reports what was agreed.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 frames: str = "binary") -> None:
+        if frames not in ("binary", "json"):
+            raise ServeError(
+                f"frames must be 'binary' or 'json', got {frames!r}")
         self.host = host
         self.port = port
+        self.frames = frames
+        self.binary = False
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._reader_task: asyncio.Task | None = None
@@ -195,6 +287,25 @@ class TcpClient:
     async def connect(self) -> "TcpClient":
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port)
+        if self.frames == "binary":
+            # Negotiate before the read loop exists: the framing of
+            # every subsequent byte depends on this one reply.
+            hello_id = self._next_id
+            self._next_id += 1
+            try:
+                self._writer.write(_encode({"op": "hello", "id": hello_id,
+                                            "frames": ["binary"]}))
+                await self._writer.drain()
+                line = await self._reader.readline()
+                reply = json.loads(line) if line else None
+            except (json.JSONDecodeError, ConnectionError, OSError):
+                reply = None
+            # Anything but an explicit "binary" answer — an error reply
+            # (old server), garbage, or a dropped connection — keeps
+            # the wire on JSON; a dead socket then fails the first
+            # request, same as before negotiation existed.
+            self.binary = (isinstance(reply, dict)
+                           and reply.get("frames") == "binary")
         self._reader_task = asyncio.create_task(self._read_loop())
         return self
 
@@ -207,10 +318,18 @@ class TcpClient:
     async def _read_loop(self) -> None:
         try:
             while True:
-                line = await self._reader.readline()
-                if not line:
-                    break
-                payload = json.loads(line)
+                if self.binary:
+                    frame = await _read_frame_async(self._reader)
+                    if frame is None:
+                        break
+                    payload, arrays = frame
+                    for name, array in arrays.items():
+                        payload[name] = array.tolist()
+                else:
+                    line = await self._reader.readline()
+                    if not line:
+                        break
+                    payload = json.loads(line)
                 future = self._pending.pop(payload.get("id"), None)
                 if future is not None and not future.done():
                     if "error" in payload:
@@ -218,6 +337,8 @@ class TcpClient:
                             _raise_remote_error(payload["error"]))
                     else:
                         future.set_result(payload)
+        except (CodecError, ConnectionError, OSError):
+            pass  # fall through: every pending request fails below
         finally:
             for future in self._pending.values():
                 if not future.done():
@@ -225,7 +346,8 @@ class TcpClient:
                         ServeError("connection closed mid-request"))
             self._pending.clear()
 
-    async def _request(self, payload: dict) -> dict:
+    async def _request(self, payload: dict,
+                       arrays: dict | None = None) -> dict:
         if self._writer is None:
             raise ServeError("client is not connected")
         request_id = self._next_id
@@ -240,8 +362,16 @@ class TcpClient:
         if self._reader_task is None or self._reader_task.done():
             self._pending.pop(request_id, None)
             raise ServeError("connection closed")
+        if self.binary:
+            data = encode_frame(payload, arrays or {})
+        else:
+            if arrays:
+                payload = dict(payload)
+                for name, array in arrays.items():
+                    payload[name] = np.asarray(array).tolist()
+            data = _encode(payload)
         async with self._write_lock:
-            self._writer.write(_encode(payload))
+            self._writer.write(data)
             await self._writer.drain()
         return await future
 
@@ -257,14 +387,15 @@ class TcpClient:
         :class:`~repro.errors.DeploymentError`); a server-side timeout
         comes back as :class:`~repro.errors.RequestTimeoutError`.
         """
-        payload = {"image": np.asarray(image, dtype=np.float64).tolist()}
+        payload: dict = {}
         if timeout_ms is not None:
             payload["timeout_ms"] = timeout_ms
         if priority:
             payload["priority"] = int(priority)
         if deployment is not None:
             payload["deployment"] = deployment
-        return await self._request(payload)
+        return await self._request(
+            payload, {"image": np.asarray(image, dtype=np.float64)})
 
     async def metrics(self, deployment: str | None = None) -> dict:
         payload = {"op": "metrics"}

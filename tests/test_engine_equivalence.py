@@ -51,14 +51,24 @@ def assert_traces_identical(ref_trace, vec_trace):
 
 
 def run_both(net, config, images):
-    """Run a batch on both backends; returns (logits, traces) pairs."""
+    """Run a batch on every backend; returns (logits, traces) pairs.
+
+    The ``sparse`` backend is asserted bit- and trace-identical to the
+    reference inline, so every caller's scenario covers it; the return
+    keeps the historical (reference, vectorized) two-way unpacking.
+    """
     snn = SNNModel(net)
-    results = []
-    for backend in ("reference", "vectorized"):
+    results = {}
+    for backend in ("reference", "vectorized", "sparse"):
         accelerator = Accelerator(config, backend=backend)
         accelerator.deploy(snn)
-        results.append(accelerator.run_logits(images))
-    return results
+        results[backend] = accelerator.run_logits(images)
+    ref_logits, ref_traces = results["reference"]
+    sparse_logits, sparse_traces = results["sparse"]
+    np.testing.assert_array_equal(ref_logits, sparse_logits)
+    for ref_trace, sparse_trace in zip(ref_traces, sparse_traces):
+        assert_traces_identical(ref_trace, sparse_trace)
+    return [results["reference"], results["vectorized"]]
 
 
 LAYER_STACKS = {

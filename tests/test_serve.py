@@ -778,3 +778,75 @@ class TestTcpTransport:
             await tcp.wait_closed()
 
         asyncio.run(main())
+
+
+class TestTcpFrameNegotiation:
+    """Binary frames on the serving transport: negotiated, optional,
+    invisible in the results."""
+
+    def test_binary_negotiated_and_matches_json_client(self, rng):
+        net = tiny_network(rng)
+        images = tiny_images(rng, net, 4)
+        logits, _ = direct_run(net, images)
+
+        async def main():
+            async with InferenceServer(net, max_batch=4) as server:
+                tcp, port = await start_tcp_server(server)
+                try:
+                    async with TcpClient(port=port) as fast, \
+                            TcpClient(port=port, frames="json") as slow:
+                        assert fast.binary is True
+                        assert slow.binary is False
+                        fast_replies = await asyncio.gather(
+                            *(fast.infer(image) for image in images))
+                        slow_replies = await asyncio.gather(
+                            *(slow.infer(image) for image in images))
+                        return fast_replies, slow_replies
+                finally:
+                    tcp.close()
+                    await tcp.wait_closed()
+
+        fast_replies, slow_replies = asyncio.run(main())
+        for fast_reply, slow_reply, expected in zip(
+                fast_replies, slow_replies, logits):
+            assert fast_reply["logits"] == slow_reply["logits"]
+            np.testing.assert_array_equal(fast_reply["logits"], expected)
+            assert fast_reply["prediction"] == int(expected.argmax())
+
+    def test_json_pinned_server_declines_binary(self, rng):
+        net = tiny_network(rng)
+        image = tiny_images(rng, net, 1)[0]
+        logits, _ = direct_run(net, image[np.newaxis])
+
+        async def main():
+            async with InferenceServer(net) as server:
+                tcp, port = await start_tcp_server(server, frames="json")
+                try:
+                    async with TcpClient(port=port) as client:
+                        assert client.binary is False
+                        return await client.infer(image)
+                finally:
+                    tcp.close()
+                    await tcp.wait_closed()
+
+        reply = asyncio.run(main())
+        np.testing.assert_array_equal(reply["logits"], logits[0])
+
+    def test_binary_errors_still_typed(self, rng):
+        """Typed server errors survive the binary framing."""
+        net = tiny_network(rng)
+
+        async def main():
+            async with InferenceServer(net) as server:
+                tcp, port = await start_tcp_server(server)
+                try:
+                    async with TcpClient(port=port) as client:
+                        assert client.binary is True
+                        with pytest.raises(ServeError):
+                            await client.infer(np.zeros((2, 2)))
+                        assert await client.ping()
+                finally:
+                    tcp.close()
+                    await tcp.wait_closed()
+
+        asyncio.run(main())
