@@ -13,6 +13,7 @@ Usage::
     python -m repro loadgen           # drive a server, report latency SLOs
     python -m repro worker            # TCP engine worker (join a fabric)
     python -m repro deployments       # inspect the deployment registry
+    python -m repro rollout           # blue/green alias flip on a server
     python -m repro all               # everything above (except daemons)
 
 Models are trained on first use and cached under ``artifacts/``; set
@@ -45,7 +46,13 @@ on the trained LeNet by default, or on several named deployments at
 once: ``--model lenet:3 --model fang:4`` serves both from one engine
 pool with per-deployment batching, metrics and admission limits
 (requests route with a ``deployment`` field; ``repro deployments``
-prints the registry).  ``loadgen`` offers an open-loop request stream
+prints the registry).  ``--replicas N`` runs every request N times on
+distinct fabric lanes and runtime-asserts the answers bit-identical
+before replying (``--quorum Q`` tolerates ``N - Q`` replica failures
+under lane churn).  ``rollout`` flips a serving alias between named
+deployments on a *running* server over TCP — the atomic blue/green
+step — e.g. ``repro rollout --port 7700 --alias prod --to lenet:4``.
+``loadgen`` offers an open-loop request stream
 (in-process by default, ``--port`` for a running server; ``--arrival
 poisson --seed N`` makes the offered-load trace random yet exactly
 reproducible), prints the latency/throughput report, persists it to the
@@ -154,6 +161,8 @@ def _serve_kwargs(args) -> dict:
         "queue_depth": args.queue_depth,
         "engines": args.engines,
         "token": args.token,
+        "replicas": args.replicas,
+        "quorum": args.quorum,
     }
     if isinstance(args.workers, list):
         # An explicit lane mix extends serving onto the fabric too:
@@ -214,6 +223,11 @@ def _run_serve(runner: ExperimentRunner, args) -> None:
                                                   **_serve_kwargs(args))
         banner = [f"serving LeNet-5 T={t} "
                   f"(hardware accuracy {accuracy * 100:.2f}%)"]
+    if args.replicas > 1:
+        banner.append(
+            f"replicated serving: {args.replicas} replicas per request "
+            f"(quorum {args.quorum or args.replicas}), answers "
+            "runtime-asserted bit-identical")
 
     async def main() -> None:
         async with server:
@@ -367,8 +381,29 @@ def _parse_listen(raw: str) -> tuple[str, int]:
             f"expected HOST:PORT, got {raw!r}") from None
 
 
+def _run_rollout(args) -> None:
+    """The `repro rollout` command: blue/green alias flip over TCP."""
+    if not args.port:
+        raise SystemExit("rollout needs --port (a running repro serve)")
+    if not args.alias or not args.to:
+        raise SystemExit("rollout needs --alias NAME and --to NAME")
+
+    async def main() -> dict:
+        async with TcpClient(args.host, args.port) as client:
+            return await client.rollout(args.alias, args.to,
+                                        drain=not args.no_drain)
+
+    outcome = asyncio.run(main())
+    previous = outcome.get("from") or "(new alias)"
+    print(f"alias {outcome['alias']!r}: {previous} -> {outcome['to']!r} "
+          f"(atomic flip; old lane "
+          f"{'drained' if outcome.get('drained') else 'not drained'})")
+
+
 def _run_worker(args) -> None:
     """Join the fabric: serve deploy/execute requests until Ctrl-C."""
+    import threading
+
     from repro.runtime import WorkerServer, join_fabric
 
     if args.join is not None:
@@ -377,10 +412,29 @@ def _run_worker(args) -> None:
               f"({'token-authenticated' if args.token else 'no token'}; "
               "trusted networks only); retrying until the driver "
               "accepts; Ctrl-C to stop")
+        # Run the join loop on a thread so Ctrl-C lands here and a
+        # stop_event exit hands the JoinStats back for the sign-off
+        # line (an exception would lose them).
+        stop = threading.Event()
+        stats_box: list = []
+        daemon = threading.Thread(
+            target=lambda: stats_box.append(join_fabric(
+                host, port, token=args.token, retry_s=args.retry_s,
+                frames=args.frames, stop_event=stop)),
+            name="repro-join", daemon=True)
+        daemon.start()
         try:
-            join_fabric(host, port, token=args.token,
-                        retry_s=args.retry_s, frames=args.frames)
+            while daemon.is_alive():
+                daemon.join(timeout=0.5)
         except KeyboardInterrupt:
+            stop.set()
+            daemon.join(timeout=10.0)
+        if stats_box:
+            stats = stats_box[0]
+            print(f"\nworker stopped: {stats.attempts} dial attempt(s), "
+                  f"{stats.connects} serve session(s), "
+                  f"{stats.disconnects} disconnect(s)")
+        else:
             print("\nworker stopped")
         return
 
@@ -420,7 +474,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=["table1", "table2", "table3", "encoding", "dataflow",
                  "figures", "sweep", "serve", "loadgen", "worker",
-                 "deployments", "all"],
+                 "deployments", "rollout", "all"],
         help="which experiment to run")
     parser.add_argument("--no-vgg", action="store_true",
                         help="skip the VGG-11 row of table3")
@@ -510,6 +564,25 @@ def main(argv: list[str] | None = None) -> int:
                          help="warm thread-lane engines in the serving "
                               "pool (default: 1; --workers overrides "
                               "with explicit fabric lanes)")
+    serving.add_argument("--replicas", type=_positive_int, default=1,
+                         metavar="N",
+                         help="serve: execute every request N times on "
+                              "distinct lanes and runtime-assert the "
+                              "answers bit-identical (default: 1)")
+    serving.add_argument("--quorum", type=_positive_int, default=None,
+                         metavar="Q",
+                         help="serve --replicas: how many replicas must "
+                              "answer; tolerates N-Q replica failures "
+                              "(default: all N)")
+    serving.add_argument("--alias", default=None, metavar="NAME",
+                         help="rollout: the serving alias to flip")
+    serving.add_argument("--to", dest="to", default=None, metavar="NAME",
+                         help="rollout: the deployment the alias should "
+                              "point at (must already be serving)")
+    serving.add_argument("--no-drain", action="store_true",
+                         help="rollout: return right after the atomic "
+                              "flip instead of waiting for the old "
+                              "lane's queue to empty")
     serving.add_argument("--requests", type=_positive_int, default=256,
                          metavar="N",
                          help="loadgen: requests to offer (default: 256)")
@@ -574,12 +647,13 @@ def main(argv: list[str] | None = None) -> int:
         "loadgen": lambda: _run_loadgen(runner, args),
         "worker": lambda: _run_worker(args),
         "deployments": lambda: _print_deployments(runner, args),
+        "rollout": lambda: _run_rollout(args),
     }
     try:
         if args.experiment == "all":
             for name, fn in dispatch.items():
                 if name in ("sweep", "serve", "loadgen", "worker",
-                            "deployments"):
+                            "deployments", "rollout"):
                     continue  # sweep covered by table1; deployments
                     # re-trains serving models; the rest are daemons
                 print(f"\n===== {name} =====")

@@ -86,6 +86,26 @@ class FabricAuthError(ReproError):
     """
 
 
+class ReplicaDivergenceError(ServeError):
+    """Raised when replicas of one deployment disagree bit-for-bit.
+
+    The engines are deterministic, so two replicas of the same
+    fingerprint answering different logits or traces means silent
+    corruption somewhere in the stack — the replicated-serving path
+    runtime-asserts bit-identity across replicas and surfaces any
+    divergence as this error instead of picking a winner.
+    """
+
+
+class RolloutError(ServeError):
+    """Raised when a blue/green rollout cannot be performed.
+
+    Flipping an alias to a deployment that is not registered (or not
+    yet serving) would drop requests; the rollout path refuses with
+    this typed error instead.
+    """
+
+
 class WorkerCrashError(ReproError):
     """Raised when a runtime worker (process or remote host) dies or hangs.
 

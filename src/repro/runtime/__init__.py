@@ -42,16 +42,25 @@ from repro.runtime.codec import (
     parse_frame_prefix,
     read_frame,
 )
+from repro.runtime.chaos import ChaosEvent, ChaosPolicy
 from repro.runtime.group import GroupMetrics, WorkerGroup
 from repro.runtime.registry import DeploymentRegistry, RegisteredDeployment
 from repro.runtime.remote import (
     GroupListener,
+    JoinStats,
     RemoteWorker,
     WorkerServer,
     join_fabric,
 )
 from repro.runtime.shm import ShmArena, shm_available
-from repro.runtime.work import Deployment, WorkItem, WorkResult, execute_item
+from repro.runtime.work import (
+    Deployment,
+    ResultLedger,
+    WorkItem,
+    WorkResult,
+    execute_item,
+    next_idempotency_key,
+)
 from repro.runtime.workers import (
     ProcessWorker,
     ThreadWorker,
@@ -61,13 +70,17 @@ from repro.runtime.workers import (
 )
 
 __all__ = [
+    "ChaosEvent",
+    "ChaosPolicy",
     "Deployment",
     "DeploymentRegistry",
     "GroupListener",
     "GroupMetrics",
+    "JoinStats",
     "ProcessWorker",
     "RegisteredDeployment",
     "RemoteWorker",
+    "ResultLedger",
     "ShmArena",
     "ThreadWorker",
     "WorkItem",
@@ -89,6 +102,7 @@ __all__ = [
     "execute_item",
     "fabric_auth",
     "join_fabric",
+    "next_idempotency_key",
     "normalize_worker_specs",
     "parse_frame_prefix",
     "read_frame",

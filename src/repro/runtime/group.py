@@ -49,8 +49,10 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, ReproError, WorkerCrashError
+from repro.runtime.chaos import ChaosPolicy
 from repro.runtime.registry import DeploymentRegistry
-from repro.runtime.work import Deployment, WorkItem, WorkResult
+from repro.runtime.work import (Deployment, ResultLedger, WorkItem,
+                                WorkResult)
 from repro.runtime.workers import Worker, create_workers
 
 __all__ = ["GroupMetrics", "WorkerGroup"]
@@ -63,6 +65,9 @@ class GroupMetrics:
     executed: dict = field(default_factory=dict)   # worker name -> items
     stolen: int = 0                                # items taken from peers
     requeued: int = 0                              # items moved off a crash
+    retries: int = 0                               # re-executions (attempt>1)
+    poisoned: int = 0                              # retry budget exhausted
+    deduped: int = 0                               # answered from the ledger
     worker_crashes: int = 0                        # lanes evicted
     lanes_added: int = 0                           # lanes admitted live
     lanes_removed: int = 0                         # lanes drained out live
@@ -75,6 +80,9 @@ class GroupMetrics:
             "executed": dict(self.executed),
             "stolen": self.stolen,
             "requeued": self.requeued,
+            "retries": self.retries,
+            "poisoned": self.poisoned,
+            "deduped": self.deduped,
             "worker_crashes": self.worker_crashes,
             "lanes_added": self.lanes_added,
             "lanes_removed": self.lanes_removed,
@@ -130,6 +138,19 @@ class WorkerGroup:
         round-trip per chunk).  ``1`` restores strict item-at-a-time
         dispatch.  Stolen items always execute alone — batching never
         changes which lane runs what, so results stay bit-identical.
+    chaos:
+        Optional :class:`~repro.runtime.chaos.ChaosPolicy` consulted at
+        the group's injection sites (dispatch kills, heartbeat
+        corruption) and propagated to every lane (remote lanes consult
+        it per wire exchange).  A kill or corrupted heartbeat is only
+        honored while at least one *other* healthy lane exists — chaos
+        degrades the group, it never totals it.
+    ledger:
+        Completed-result ledger keyed by :attr:`WorkItem.key` (one is
+        created when omitted).  Re-submissions, crash-requeues and
+        duplicated frames whose key already completed are answered from
+        the ledger instead of executing again — the exactly-once
+        guarantee (``metrics.deduped`` counts those answers).
     """
 
     def __init__(
@@ -143,6 +164,8 @@ class WorkerGroup:
         readmit: bool = True,
         probation_s: float | None = None,
         max_batch_items: int = 8,
+        chaos: ChaosPolicy | None = None,
+        ledger: ResultLedger | None = None,
     ) -> None:
         if not workers:
             raise ConfigurationError("worker group needs >= 1 worker")
@@ -168,6 +191,10 @@ class WorkerGroup:
             raise ConfigurationError(
                 f"max_batch_items must be >= 1, got {max_batch_items}")
         self.max_batch_items = max_batch_items
+        self.chaos = chaos
+        self.ledger = ledger if ledger is not None else ResultLedger()
+        for worker in self.workers:
+            worker.chaos = chaos
         self.metrics = GroupMetrics(
             executed={name: 0 for name in names})
 
@@ -300,6 +327,7 @@ class WorkerGroup:
         """
         if isinstance(worker, str):
             worker = create_workers([worker], token=token)[0]
+        worker.chaos = self.chaos
         with self._elastic_lock:
             existing = {peer.name for peer in self.workers}
             if worker.name in existing:
@@ -416,8 +444,18 @@ class WorkerGroup:
 
         ``worker`` pins the item to a lane index (static assignment);
         the default picks the live lane with the shortest queue.
+
+        An item whose idempotency key already completed here is
+        answered from the result ledger without touching a lane — a
+        re-submitted (retried, duplicated) request costs one lookup.
         """
         pending = _Pending(item)
+        recorded = self.ledger.get(item.key)
+        if recorded is not None:
+            with self._cond:
+                self.metrics.deduped += 1
+            pending.future.set_result(recorded)
+            return pending.future
         with self._cond:
             if self._stopping:
                 raise ConfigurationError("worker group is stopped")
@@ -441,18 +479,26 @@ class WorkerGroup:
         pendings = [_Pending(item) for item in items]
         if not pendings:
             return []
+        fresh = []
+        for pending in pendings:
+            recorded = self.ledger.get(pending.item.key)
+            if recorded is not None:
+                pending.future.set_result(recorded)
+            else:
+                fresh.append(pending)
         with self._cond:
             if self._stopping:
                 raise ConfigurationError("worker group is stopped")
+            self.metrics.deduped += len(pendings) - len(fresh)
             alive = [i for i in range(len(self.workers))
                      if i not in self._dead]
             if not alive:
-                for pending in pendings:
+                for pending in fresh:
                     pending.future.set_exception(WorkerCrashError(
                         "no healthy worker left in the group"))
                 return [pending.future for pending in pendings]
             loads = {i: len(self._queues[i]) for i in alive}
-            for pending in pendings:
+            for pending in fresh:
                 target = min(alive, key=lambda i: (
                     loads[i], self._busy[i] is not None, i))
                 self._queues[target].append(pending)
@@ -533,6 +579,7 @@ class WorkerGroup:
                     if pending is None:
                         self._cond.wait(timeout=0.1)
                 batch = None
+                ledgered: list[tuple[_Pending, WorkResult]] = []
                 if pending is not None:
                     # Chunking: drain more of the OWN queue behind the
                     # first item (a stolen item arrives alone — its
@@ -541,7 +588,7 @@ class WorkerGroup:
                     # half the backlog: a chunk must amortize framing,
                     # not vacuum up the queue idle peers would have
                     # stolen from.
-                    batch = [pending]
+                    candidates = [pending]
                     queue = self._queues[index]
                     budget = self.max_batch_items - 1
                     if self.steal and any(
@@ -549,17 +596,45 @@ class WorkerGroup:
                             for i in range(len(self.workers))):
                         budget = min(budget, (len(queue) + 1) // 2)
                     while queue and budget > 0:
-                        batch.append(queue.popleft())
+                        candidates.append(queue.popleft())
                         budget -= 1
-                    self._busy[index] = batch
+                    # Exactly-once: an already-answered item (resolved
+                    # by a peer while this copy sat queued) or a key the
+                    # ledger has completed never reaches the lane.
+                    batch = []
+                    for candidate in candidates:
+                        if candidate.future.done():
+                            continue
+                        recorded = self.ledger.get(candidate.item.key)
+                        if recorded is not None:
+                            self.metrics.deduped += 1
+                            ledgered.append((candidate, recorded))
+                        else:
+                            batch.append(candidate)
+                    self._busy[index] = batch if batch else None
+            for stale, recorded in ledgered:
+                if not stale.future.done():
+                    stale.future.set_result(recorded)
             if batch is None:
                 if removed:
                     # Graceful drain: the dispatcher owns the close (an
                     # in-flight item was allowed to finish first).
                     worker.close()
                 return
-            for pending in batch:
-                pending.attempts += 1
+            if not batch:
+                continue
+            with self._cond:
+                for pending in batch:
+                    pending.attempts += 1
+                    if pending.attempts > 1:
+                        self.metrics.retries += 1
+            if (self.chaos is not None and self._others_alive(index)
+                    and self.chaos.dispatch_fate(worker.name) == "kill"):
+                # Hard-kill the executor, then dispatch anyway: the
+                # execute below fails with the lane's *real* crash
+                # signature (broken child pool, dead socket), driving
+                # the genuine evict → requeue → probation path.
+                worker.kill()
             try:
                 if len(batch) == 1:
                     outcomes: list = [worker.execute(batch[0].item)]
@@ -593,6 +668,8 @@ class WorkerGroup:
                     self.metrics.last_heartbeat[worker.name] = \
                         time.monotonic()
                 for pending, outcome in zip(batch, outcomes):
+                    if isinstance(outcome, WorkResult):
+                        self.ledger.record(pending.item.key, outcome)
                     if pending.future.done():
                         continue
                     if isinstance(outcome, WorkResult):
@@ -638,23 +715,47 @@ class WorkerGroup:
             alive = [i for i in range(len(self.workers))
                      if i not in self._dead]
             failures = []
+            ledgered = []
             for pending in orphans:
-                if not alive or pending.attempts >= self.max_attempts:
-                    failures.append(pending)
+                recorded = (None if pending.future.done()
+                            else self.ledger.get(pending.item.key))
+                if recorded is not None:
+                    # The dying lane (or a peer) already completed this
+                    # key — answer from the ledger, don't re-execute.
+                    self.metrics.deduped += 1
+                    ledgered.append((pending, recorded))
+                elif pending.attempts >= self.max_attempts:
+                    self.metrics.poisoned += 1
+                    failures.append((pending, WorkerCrashError(
+                        f"item {pending.item.item_id} crashed "
+                        f"{pending.attempts} lane(s) — retry budget "
+                        f"(max_attempts={self.max_attempts}) exhausted; "
+                        f"last: worker {worker.name!r} died ({error})")))
+                elif not alive:
+                    failures.append((pending, WorkerCrashError(
+                        f"worker {worker.name!r} died "
+                        f"({error}) and no healthy worker could take "
+                        f"item {pending.item.item_id}")))
                 else:
                     target = min(alive,
                                  key=lambda i: (len(self._queues[i]), i))
                     self._queues[target].append(pending)
                     self.metrics.requeued += 1
             self._cond.notify_all()
-        for pending in failures:
+        for pending, recorded in ledgered:
             if not pending.future.done():
-                pending.future.set_exception(WorkerCrashError(
-                    f"worker {worker.name!r} died "
-                    f"({error}) and no healthy worker could take item "
-                    f"{pending.item.item_id}"))
+                pending.future.set_result(recorded)
+        for pending, failure in failures:
+            if not pending.future.done():
+                pending.future.set_exception(failure)
         if first_report:
             worker.close()
+
+    def _others_alive(self, index: int) -> bool:
+        """Whether any healthy lane other than ``index`` exists."""
+        with self._lock:
+            return any(i != index and i not in self._dead
+                       for i in range(len(self.workers)))
 
     def _monitor(self) -> None:
         """Ping idle lanes; evict the unresponsive, readmit the recovered."""
@@ -667,6 +768,12 @@ class WorkerGroup:
                 try:
                     alive = worker.ping(timeout_s=self.ping_timeout_s)
                 except WorkerCrashError:
+                    alive = False
+                if (alive and self.chaos is not None
+                        and self._others_alive(index)
+                        and self.chaos.corrupt_heartbeat(worker.name)):
+                    # A corrupted probe reads as a dead lane: evict a
+                    # healthy host and make probation earn it back.
                     alive = False
                 if alive:
                     with self._lock:

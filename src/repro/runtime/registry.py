@@ -27,11 +27,12 @@ onto the same worker lanes with per-deployment routing.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
 from repro.core.config import AcceleratorConfig
-from repro.errors import ConfigurationError, DeploymentError
+from repro.errors import ConfigurationError, DeploymentError, RolloutError
 from repro.runtime.work import Deployment
 
 __all__ = ["DeploymentRegistry", "RegisteredDeployment"]
@@ -51,6 +52,11 @@ class RegisteredDeployment:
     index: int
     deployment: Deployment
     max_queue: int | None = None
+    #: How many independent executions answer each request for this
+    #: name.  ``1`` = plain serving; ``N > 1`` makes the pool run every
+    #: request N times (distinct lanes when possible), runtime-assert
+    #: the answers bit-identical, and only then reply.
+    replicas: int = 1
 
     @property
     def fingerprint(self) -> str:
@@ -68,6 +74,7 @@ class RegisteredDeployment:
             "num_steps": getattr(network, "num_steps", None),
             "layers": len(getattr(network, "layers", ())),
             "max_queue": self.max_queue,
+            "replicas": self.replicas,
         }
 
 
@@ -78,6 +85,10 @@ class DeploymentRegistry:
         self._table: list[Deployment] = []       # unique content, by index
         self._index_by_fp: dict[str, int] = {}
         self._entries: dict[str, RegisteredDeployment] = {}  # insertion order
+        self._aliases: dict[str, str] = {}       # alias -> registered name
+        # Aliases flip while requests resolve concurrently (blue/green
+        # under live load) — every read/write of the maps is atomic.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Registration
@@ -92,6 +103,7 @@ class DeploymentRegistry:
         backend: str = "vectorized",
         calibration: LatencyCalibration = DEFAULT_LATENCY,
         max_queue: int | None = None,
+        replicas: int = 1,
     ) -> RegisteredDeployment:
         """Register a named deployment; returns its entry (idempotent).
 
@@ -104,6 +116,9 @@ class DeploymentRegistry:
         if not name or not isinstance(name, str):
             raise ConfigurationError(
                 f"deployment name must be a non-empty string, got {name!r}")
+        if replicas < 1:
+            raise ConfigurationError(
+                f"deployment {name!r} needs replicas >= 1, got {replicas}")
         if deployment is None:
             if network is None:
                 raise ConfigurationError(
@@ -114,24 +129,71 @@ class DeploymentRegistry:
                 config=config or AcceleratorConfig.for_network(network),
                 backend=backend, calibration=calibration)
         fingerprint = deployment.fingerprint
-        existing = self._entries.get(name)
-        if existing is not None:
-            if existing.fingerprint != fingerprint:
+        with self._lock:
+            if name in self._aliases:
                 raise ConfigurationError(
-                    f"deployment name {name!r} is already registered "
-                    "with different content; names point at exactly one "
-                    "model")
-            return existing
-        index = self._index_by_fp.get(fingerprint)
-        if index is None:
-            index = len(self._table)
-            self._table.append(deployment)
-            self._index_by_fp[fingerprint] = index
-        entry = RegisteredDeployment(name=name, index=index,
-                                     deployment=self._table[index],
-                                     max_queue=max_queue)
-        self._entries[name] = entry
-        return entry
+                    f"{name!r} is an alias (-> {self._aliases[name]!r}); "
+                    "aliases and deployment names share one namespace")
+            existing = self._entries.get(name)
+            if existing is not None:
+                if existing.fingerprint != fingerprint:
+                    raise ConfigurationError(
+                        f"deployment name {name!r} is already registered "
+                        "with different content; names point at exactly "
+                        "one model")
+                return existing
+            index = self._index_by_fp.get(fingerprint)
+            if index is None:
+                index = len(self._table)
+                self._table.append(deployment)
+                self._index_by_fp[fingerprint] = index
+            entry = RegisteredDeployment(name=name, index=index,
+                                         deployment=self._table[index],
+                                         max_queue=max_queue,
+                                         replicas=replicas)
+            self._entries[name] = entry
+            return entry
+
+    # ------------------------------------------------------------------
+    # Aliases — the blue/green unit
+    # ------------------------------------------------------------------
+    def alias(self, alias: str, target: str) -> str | None:
+        """Point ``alias`` at the registered name ``target``; returns
+        the alias's previous target (``None`` if new).
+
+        The flip is atomic under the registry lock: every request that
+        resolves the alias sees either the old target or the new one,
+        never neither — which is what makes a blue/green rollout a
+        zero-drop operation.  An alias over a registered deployment
+        name, or at an unregistered/aliased target, is refused with
+        :class:`~repro.errors.RolloutError`.
+        """
+        if not alias or not isinstance(alias, str):
+            raise ConfigurationError(
+                f"alias must be a non-empty string, got {alias!r}")
+        with self._lock:
+            if alias in self._entries:
+                raise RolloutError(
+                    f"cannot alias {alias!r}: a deployment is registered "
+                    "under that name")
+            if target not in self._entries:
+                raise RolloutError(
+                    f"cannot alias {alias!r} -> {target!r}: target is "
+                    f"not a registered deployment (registered: "
+                    f"{', '.join(self._entries) or '(none)'})")
+            previous = self._aliases.get(alias)
+            self._aliases[alias] = target
+            return previous
+
+    def alias_target(self, alias: str) -> str | None:
+        """The registered name an alias points at (None = no alias)."""
+        with self._lock:
+            return self._aliases.get(alias)
+
+    def aliases(self) -> dict[str, str]:
+        """Snapshot of the alias map (alias -> registered name)."""
+        with self._lock:
+            return dict(self._aliases)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -142,51 +204,60 @@ class DeploymentRegistry:
 
         Unknown names and out-of-table indices raise the same typed
         :class:`~repro.errors.DeploymentError` the executors raise for
-        misrouted work items.
+        misrouted work items.  A name that is an **alias** resolves to
+        its current target (one hop, read atomically — the blue/green
+        contract).
         """
-        if not self._entries:
-            raise DeploymentError("no deployments registered")
-        if deployment is None:
-            return next(iter(self._entries.values()))
-        if isinstance(deployment, str):
-            entry = self._entries.get(deployment)
-            if entry is None:
-                raise DeploymentError(
-                    f"unknown deployment {deployment!r}; registered: "
-                    f"{', '.join(self.names()) or '(none)'}")
-            return entry
-        if not 0 <= int(deployment) < len(self._table):
-            raise DeploymentError(
-                f"deployment index {deployment} outside the table "
-                f"({len(self._table)} deployment(s))")
-        index = int(deployment)
-        for entry in self._entries.values():
-            if entry.index == index:
+        with self._lock:
+            if not self._entries:
+                raise DeploymentError("no deployments registered")
+            if deployment is None:
+                return next(iter(self._entries.values()))
+            if isinstance(deployment, str):
+                entry = self._entries.get(deployment)
+                if entry is None and deployment in self._aliases:
+                    entry = self._entries.get(self._aliases[deployment])
+                if entry is None:
+                    raise DeploymentError(
+                        f"unknown deployment {deployment!r}; registered: "
+                        f"{', '.join(self.names()) or '(none)'}")
                 return entry
-        raise DeploymentError(
-            f"deployment index {index} has no registered name")
+            if not 0 <= int(deployment) < len(self._table):
+                raise DeploymentError(
+                    f"deployment index {deployment} outside the table "
+                    f"({len(self._table)} deployment(s))")
+            index = int(deployment)
+            for entry in self._entries.values():
+                if entry.index == index:
+                    return entry
+            raise DeploymentError(
+                f"deployment index {index} has no registered name")
 
     def names(self) -> list[str]:
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def entries(self) -> list[RegisteredDeployment]:
         """All named entries, in registration order."""
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     def table(self) -> list[Deployment]:
         """The fabric's deployment table (unique content, index order)."""
-        return list(self._table)
+        with self._lock:
+            return list(self._table)
 
     def describe(self) -> list[dict]:
         """JSON-ready rows for every entry (CLI listing, TCP op)."""
         return [entry.describe() for entry in self.entries()]
 
     def __len__(self) -> int:
-        """Number of *named* entries (aliases included)."""
+        """Number of *named* entries (aliases not counted)."""
         return len(self._entries)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._entries
+        with self._lock:
+            return name in self._entries or name in self._aliases
 
     def __iter__(self):
         return iter(self._entries.values())

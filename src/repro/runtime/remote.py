@@ -58,9 +58,11 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import socket
 import threading
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -86,7 +88,8 @@ from repro.runtime.codec import (
 from repro.runtime.work import Deployment, WorkItem, WorkResult, execute_item
 from repro.runtime.workers import Worker
 
-__all__ = ["GroupListener", "RemoteWorker", "WorkerServer", "join_fabric"]
+__all__ = ["GroupListener", "JoinStats", "RemoteWorker", "WorkerServer",
+           "join_fabric"]
 
 #: Error types a structured worker reply resurrects client-side;
 #: anything else degrades to :class:`RemoteExecutionError`.
@@ -219,7 +222,8 @@ def _handle_request(deployments: list[Deployment], message: dict,
 def _serve_requests(conn: socket.socket, reader,
                     token: str | None = None,
                     frames: str = "binary",
-                    binary: bool = False) -> None:
+                    binary: bool = False,
+                    chaos=None, lane: str = "conn") -> None:
     """Answer requests on one connection until the peer goes away.
 
     Every request must answer: an unpicklable blob, a version-skewed or
@@ -231,6 +235,10 @@ def _serve_requests(conn: socket.socket, reader,
     up.  ``frames="json"`` refuses binary negotiation outright;
     ``binary=True`` starts the connection already in binary mode (the
     join handshake negotiates before handing the socket over).
+    ``chaos`` is an optional
+    :class:`~repro.runtime.chaos.ChaosPolicy` consulted after each
+    answered request — a ``server_conn`` hangup fault closes the
+    connection so the driver sees a vanished host.
     """
     deployments: list[Deployment] = []
     state = {"binary": binary}
@@ -272,6 +280,8 @@ def _serve_requests(conn: socket.socket, reader,
             conn.sendall(encode_frame(reply, out_arrays))
         else:
             conn.sendall(encode_line(_inline_arrays(reply, out_arrays)))
+        if chaos is not None and chaos.server_hangup(lane):
+            return  # injected hangup: the reply landed, then we vanish
 
 
 # ----------------------------------------------------------------------
@@ -295,7 +305,8 @@ class WorkerServer:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  token: str | None = None,
-                 frames: str = "binary") -> None:
+                 frames: str = "binary",
+                 chaos=None) -> None:
         if frames not in ("binary", "json"):
             raise ValueError(f"frames must be 'binary' or 'json', "
                              f"got {frames!r}")
@@ -303,6 +314,8 @@ class WorkerServer:
         self.port = port
         self.token = token
         self.frames = frames
+        #: Optional ChaosPolicy: injected server_conn hangups per reply.
+        self.chaos = chaos
         self._sock: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         # Live handler threads and their sockets, pruned as connections
@@ -356,7 +369,8 @@ class WorkerServer:
         try:
             with conn, conn.makefile("rb") as reader:
                 _serve_requests(conn, reader, token=self.token,
-                                frames=self.frames)
+                                frames=self.frames, chaos=self.chaos,
+                                lane=f"{self.host}:{self.port}")
         except (ConnectionError, OSError):
             pass  # peer vanished; nothing to answer
         finally:
@@ -404,6 +418,27 @@ class WorkerServer:
 # ----------------------------------------------------------------------
 # Joining side — what `repro worker --join` runs
 # ----------------------------------------------------------------------
+@dataclass
+class JoinStats:
+    """What a :func:`join_fabric` daemon did, surfaced to the caller."""
+
+    attempts: int = 0        # dial attempts (successful or not)
+    connects: int = 0        # handshakes that became serve sessions
+    disconnects: int = 0     # sessions ended by the group going away
+
+    def to_dict(self) -> dict:
+        return {"attempts": self.attempts, "connects": self.connects,
+                "disconnects": self.disconnects}
+
+
+def _backoff_delay(base: float, streak: int, cap: float) -> float:
+    """Jittered exponential backoff: ``base * 2^(streak-1)`` capped at
+    ``cap``, scaled by a uniform jitter in [0.5, 1.0) so a fleet of
+    daemons losing one driver does not re-dial in lockstep."""
+    delay = min(cap, base * (2 ** min(max(streak - 1, 0), 16)))
+    return delay * (0.5 + random.random() * 0.5)
+
+
 def join_fabric(
     host: str,
     port: int,
@@ -413,7 +448,8 @@ def join_fabric(
     stop_event: threading.Event | None = None,
     connect_timeout_s: float = 5.0,
     frames: str = "binary",
-) -> None:
+    max_retry_s: float = 30.0,
+) -> JoinStats:
     """Connect out to a live group's :class:`GroupListener` and serve.
 
     The reverse of ``--listen``: the *worker* dials the driver, proves
@@ -422,28 +458,42 @@ def join_fabric(
     same socket until the group goes away.  With ``retry_s`` the worker
     keeps re-dialing — before the listener exists and again after the
     group stops — so a fleet of ``repro worker --join`` daemons finds
-    every run that opens a listener.  A failed handshake raises
-    :class:`~repro.errors.FabricAuthError` immediately (a wrong token
-    never heals by retrying).  ``frames="json"`` withholds the binary
-    offer, pinning the connection to JSON lines.
+    every run that opens a listener.  Consecutive failed dials back off
+    exponentially from ``retry_s`` up to ``max_retry_s`` with jitter
+    (see :func:`_backoff_delay`); a session that actually served resets
+    the backoff, so a briefly-restarting driver is re-joined at the base
+    delay while a gone-for-good one is probed ever more lazily.  A
+    failed handshake raises :class:`~repro.errors.FabricAuthError`
+    immediately (a wrong token never heals by retrying).
+    ``frames="json"`` withholds the binary offer, pinning the connection
+    to JSON lines.  Returns a :class:`JoinStats` with dial/serve/
+    disconnect counts once the loop exits.
     """
     if frames not in ("binary", "json"):
         raise ValueError(f"frames must be 'binary' or 'json', "
                          f"got {frames!r}")
     worker_name = name or f"{socket.gethostname()}:{os.getpid()}"
+    stats = JoinStats()
+    streak = 0               # consecutive failures since the last serve
     while True:
         if stop_event is not None and stop_event.is_set():
-            return
+            return stats
+        stats.attempts += 1
         try:
             sock = socket.create_connection((host, port),
                                             timeout=connect_timeout_s)
         except OSError:
             if retry_s is None:
                 raise WorkerCrashError(
-                    f"cannot reach group listener {host}:{port}") from None
-            if stop_event is not None and stop_event.wait(retry_s):
-                return
-            time.sleep(0 if stop_event is not None else retry_s)
+                    f"cannot reach group listener {host}:{port} "
+                    f"(attempt {stats.attempts})") from None
+            streak += 1
+            delay = _backoff_delay(retry_s, streak, max_retry_s)
+            if stop_event is not None:
+                if stop_event.wait(delay):
+                    return stats
+            else:
+                time.sleep(delay)
             continue
         try:
             _configure_socket(sock)
@@ -460,24 +510,35 @@ def join_fabric(
                     "message", "group refused the join handshake")
                 raise FabricAuthError(error)
             sock.settimeout(None)
+            stats.connects += 1
+            streak = 0       # a real session: back to the base delay
             # The handshake doubles as the framing negotiation: an old
             # group's reply has no "frames" field -> JSON lines.
             _serve_requests(sock, reader,
                             binary=reply.get("frames") == "binary")
-            # blocks until the group hangs up
+            # Clean EOF: the group hung up (run finished or driver
+            # stopped) — counted the same as a mid-serve drop.
+            stats.disconnects += 1
         except (ConnectionError, OSError):
-            pass  # group went away mid-serve; maybe retry
+            # The group went away MID-serve (reset, partition, driver
+            # killed): record the disconnect and let the retry loop
+            # decide — the explicit path the old silent fall-through
+            # used to hide.
+            stats.disconnects += 1
+            streak += 1
         finally:
             try:
                 sock.close()
             except OSError:
                 pass
         if retry_s is None:
-            return
-        if stop_event is not None and stop_event.wait(retry_s):
-            return
-        if stop_event is None:
-            time.sleep(retry_s)
+            return stats
+        delay = _backoff_delay(retry_s, streak, max_retry_s)
+        if stop_event is not None:
+            if stop_event.wait(delay):
+                return stats
+        else:
+            time.sleep(delay)
 
 
 class GroupListener:
@@ -703,6 +764,13 @@ class RemoteWorker(Worker):
         if self._sock is None:
             raise WorkerCrashError(
                 f"worker {self.name!r} is not connected")
+        if (self.chaos is not None
+                and self.chaos.exchange_fate(self.name) == "sever"):
+            # Injected partition: drop the socket mid-protocol so the
+            # group sees the real dead-lane signature and evicts us.
+            self.close()
+            raise WorkerCrashError(
+                f"worker {self.name!r} connection severed (chaos)")
         try:
             self._sock.settimeout(timeout_s)
             if self.binary:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import abc
 import os
+import signal
 import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
@@ -66,6 +67,11 @@ class Worker(abc.ABC):
     #: around a connection *they* did not initiate (a joined host's
     #: socket) set this False — the host re-joins on its own instead.
     restartable: bool = True
+
+    #: Optional :class:`~repro.runtime.chaos.ChaosPolicy` the owning
+    #: group injects; executors that model connection faults consult it
+    #: per exchange.  ``None`` = no chaos.
+    chaos = None
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -111,6 +117,18 @@ class Worker(abc.ABC):
         dead.  In-process lanes are alive by definition."""
         return True
 
+    def kill(self) -> None:
+        """Hard-kill the lane mid-run (chaos injection).
+
+        Unlike :meth:`close`, this models a *failure*, not a shutdown:
+        the executor dies the way a real one would (SIGKILLed child,
+        severed socket) so the next ``execute``/``ping`` surfaces
+        :class:`WorkerCrashError` and the group's eviction + requeue
+        machinery runs for real.  Default: ``close()`` — good enough
+        for lanes whose next use fails once resources are gone.
+        """
+        self.close()
+
     def close(self) -> None:
         """Release the lane's resources; idempotent."""
 
@@ -123,15 +141,28 @@ class ThreadWorker(Worker):
     def __init__(self, name: str = "thread") -> None:
         super().__init__(name)
         self._deployments: list[Deployment] = []
+        self._killed = False
 
     def start(self) -> None:
-        pass
+        # A probation restart revives a chaos-killed inline lane.
+        self._killed = False
 
     def deploy(self, deployments: list[Deployment]) -> None:
         self._deployments = list(deployments)
 
     def execute(self, item: WorkItem) -> WorkResult:
+        if self._killed:
+            raise WorkerCrashError(
+                f"worker {self.name!r} was killed (chaos)")
         return execute_item(self._deployments, item, worker=self.name)
+
+    def ping(self, timeout_s: float = 5.0) -> bool:
+        return not self._killed
+
+    def kill(self) -> None:
+        # An inline lane has no process to SIGKILL; the flag makes the
+        # next execute/ping crash the same way a dead one would.
+        self._killed = True
 
 
 # ----------------------------------------------------------------------
@@ -336,6 +367,19 @@ class ProcessWorker(Worker):
             return False
         finally:
             self._exec_lock.release()
+
+    def kill(self) -> None:
+        # The real failure mode: SIGKILL the child, leaving the broken
+        # pool in place so the next execute raises BrokenProcessPool →
+        # WorkerCrashError and the group's crash path runs end to end.
+        if self.pid is not None:
+            try:
+                os.kill(self.pid, getattr(signal, "SIGKILL",
+                                          signal.SIGTERM))
+            except OSError:
+                pass
+        else:
+            self.close()
 
     def close(self) -> None:
         if self._pool is not None:

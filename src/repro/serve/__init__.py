@@ -26,7 +26,7 @@ image (``tests/test_serve.py``; ``benchmarks/bench_serve.py`` asserts it
 at runtime under load).
 """
 
-from repro.runtime import DeploymentRegistry  # the multi-model unit
+from repro.runtime import ChaosPolicy, DeploymentRegistry  # fabric units
 from repro.serve.batcher import (
     Batcher,
     BatchPolicy,
@@ -45,6 +45,7 @@ from repro.serve.transport import TcpClient, start_tcp_server
 __all__ = [
     "Batcher",
     "BatchPolicy",
+    "ChaosPolicy",
     "DeadlinePolicy",
     "DeploymentRegistry",
     "EnginePool",

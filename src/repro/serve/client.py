@@ -23,6 +23,12 @@ the wire); the generator only assumes ``await submit(image) -> result``.
 On a multi-model server, ``deployment=`` routes every request of the run
 to one named model, so per-deployment load mixes are built from several
 generators running concurrently.
+
+For chaos drills, pair the generator with ``TcpClient(retries=N,
+chaos=...)``: every ``infer`` carries an idempotency key, so a request
+that dies with its connection is re-sent after reconnect and answered
+exactly once from the server's result ledger — the ``failed`` count in
+the report then measures genuine capacity loss, not transport noise.
 """
 
 from __future__ import annotations

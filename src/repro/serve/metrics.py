@@ -59,10 +59,16 @@ class MetricsSnapshot:
     service_ms: dict[str, float]
     timed_out: int = 0        # requests expired before dispatch
     worker_crashes: int = 0   # engine lanes evicted by the runtime fabric
+    deduped: int = 0          # requests answered from the result ledger
+    replica_divergences: int = 0  # replicated answers that disagreed
     #: Per-deployment snapshots (``{name: snapshot dict}``) on a
     #: multi-model server's aggregate snapshot; ``None`` on the
     #: per-deployment snapshots themselves and single-model servers.
     per_deployment: dict | None = None
+    #: The runtime fabric's scheduling counters (``GroupMetrics.to_dict``
+    #: — executed/stolen/requeued/retries/poisoned/deduped/...) on the
+    #: aggregate snapshot of a running server; ``None`` elsewhere.
+    fabric: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-ready payload (histogram keys become strings)."""
@@ -71,6 +77,8 @@ class MetricsSnapshot:
             "rejected": self.rejected,
             "timed_out": self.timed_out,
             "worker_crashes": self.worker_crashes,
+            "deduped": self.deduped,
+            "replica_divergences": self.replica_divergences,
             "queue_depth": self.queue_depth,
             "elapsed_s": self.elapsed_s,
             "throughput_rps": self.throughput_rps,
@@ -84,6 +92,8 @@ class MetricsSnapshot:
         }
         if self.per_deployment is not None:
             payload["per_deployment"] = dict(self.per_deployment)
+        if self.fabric is not None:
+            payload["fabric"] = dict(self.fabric)
         return payload
 
 
@@ -97,6 +107,8 @@ class ServerMetrics:
         self.completed = 0
         self.rejected = 0
         self.timed_out = 0
+        self.deduped = 0
+        self.replica_divergences = 0
         self._latency_ms: deque = deque(maxlen=window)
         self._queue_wait_ms: deque = deque(maxlen=window)
         self._service_ms: deque = deque(maxlen=window)
@@ -120,12 +132,22 @@ class ServerMetrics:
         """A request's deadline passed before its batch dispatched."""
         self.timed_out += 1
 
+    def record_deduped(self) -> None:
+        """A duplicate submission answered from the result ledger."""
+        self.deduped += 1
+
+    def record_divergence(self) -> None:
+        """A replicated request's answers disagreed (runtime assert)."""
+        self.replica_divergences += 1
+
     def reset(self) -> None:
         """Restart the measurement window (load-phase boundaries)."""
         self.started_at = time.perf_counter()
         self.completed = 0
         self.rejected = 0
         self.timed_out = 0
+        self.deduped = 0
+        self.replica_divergences = 0
         self._latency_ms.clear()
         self._queue_wait_ms.clear()
         self._service_ms.clear()
@@ -133,7 +155,8 @@ class ServerMetrics:
 
     def snapshot(self, queue_depth: int = 0,
                  worker_crashes: int = 0,
-                 per_deployment: dict | None = None) -> MetricsSnapshot:
+                 per_deployment: dict | None = None,
+                 fabric: dict | None = None) -> MetricsSnapshot:
         """Freeze the current counters into a :class:`MetricsSnapshot`."""
         elapsed = time.perf_counter() - self.started_at
         mean_batch = (
@@ -141,10 +164,13 @@ class ServerMetrics:
             / self.completed if self.completed else 0.0)
         return MetricsSnapshot(
             per_deployment=per_deployment,
+            fabric=fabric,
             completed=self.completed,
             rejected=self.rejected,
             timed_out=self.timed_out,
             worker_crashes=worker_crashes,
+            deduped=self.deduped,
+            replica_divergences=self.replica_divergences,
             queue_depth=queue_depth,
             elapsed_s=elapsed,
             throughput_rps=self.completed / elapsed if elapsed else 0.0,

@@ -42,9 +42,14 @@ from repro.core.calibration import DEFAULT_LATENCY, LatencyCalibration
 from repro.core.config import AcceleratorConfig
 from repro.core.engine import resolve_backend, warm_compile
 from repro.core.engine.trace import TraceMerge
-from repro.errors import ConfigurationError, ServeError
+from repro.errors import (
+    ConfigurationError,
+    ReplicaDivergenceError,
+    ServeError,
+)
 from repro.runtime import (
     DeploymentRegistry,
+    RegisteredDeployment,
     WorkItem,
     WorkerGroup,
     create_workers,
@@ -75,6 +80,7 @@ class EnginePool:
         workers: list[str] | None = None,
         registry: DeploymentRegistry | None = None,
         token: str | None = None,
+        chaos=None,
     ) -> None:
         if size < 1:
             raise ConfigurationError(f"pool size must be >= 1, got {size}")
@@ -102,6 +108,8 @@ class EnginePool:
         self.calibration = default.deployment.calibration
         self.mode = mode
         self.token = token
+        #: Optional ChaosPolicy handed to the WorkerGroup (fault drills).
+        self.chaos = chaos
         self.worker_specs = (list(workers) if workers
                              else [mode] * size)
         self.size = len(self.worker_specs)
@@ -138,16 +146,39 @@ class EnginePool:
             warm_compile(deployment.network, deployment.config)
         self._group = WorkerGroup(
             create_workers(self.worker_specs, token=self.token),
-            deployments=self.registry)
+            deployments=self.registry, chaos=self.chaos)
         try:
             self._group.start()
         except BaseException:
             self._group = None
             raise
 
+    def ledger_metrics(self) -> dict:
+        """The exactly-once result ledger's counters (diagnostics)."""
+        return self._group.ledger.to_dict() if self._group else {}
+
+    def add_deployment(self, name: str, deployment=None,
+                       **register_kwargs) -> RegisteredDeployment:
+        """Register a deployment and push it to the **live** lane group.
+
+        The blue/green entry point: the new model is warm-compiled,
+        appended to the registry and re-registered with every running
+        lane before this returns, so a subsequent alias flip lands on
+        lanes that already hold it.  Safe before ``start()`` too (the
+        group picks the table up when it starts).
+        """
+        entry = self.registry.register(name, deployment,
+                                       **register_kwargs)
+        if self.started:
+            warm_compile(entry.deployment.network,
+                         entry.deployment.config)
+            self._group.add_deployments([entry.deployment])
+        return entry
+
     async def run_batch(
         self, images: np.ndarray, deployment: int = 0,
         timeout_s: float | None = None,
+        key: str | None = None,
     ) -> tuple[np.ndarray, list[TraceMerge]]:
         """Execute one micro-batch on the next free warm lane.
 
@@ -155,16 +186,82 @@ class EnginePool:
         against (the server resolves names to indices before calling).
         Returns ``(logits, per-image TraceMerge list)``; a crashed lane
         is evicted and the batch re-runs on a healthy one before this
-        resolves.
+        resolves.  ``key`` pins the batch's idempotency key (a retried
+        batch carrying the same key is answered from the group's result
+        ledger instead of executing again); omitted, a fresh key is
+        generated.
         """
         if not self.started:
             raise ServeError("engine pool is not started")
-        item = WorkItem(item_id=next(self._item_ids),
-                        deployment=deployment,
-                        images=images, timeout_s=timeout_s)
+        if key is None:
+            item = WorkItem(item_id=next(self._item_ids),
+                            deployment=deployment,
+                            images=images, timeout_s=timeout_s)
+        else:
+            item = WorkItem(item_id=next(self._item_ids),
+                            deployment=deployment,
+                            images=images, timeout_s=timeout_s, key=key)
         future = self._group.submit(item)
         result = await asyncio.wrap_future(future)
         return result.logits, result.image_traces
+
+    async def run_batch_replicated(
+        self, images: np.ndarray, deployment: int = 0,
+        replicas: int = 2, quorum: int | None = None,
+        timeout_s: float | None = None,
+    ) -> tuple[np.ndarray, list[TraceMerge]]:
+        """Execute one batch ``replicas`` times and runtime-assert the
+        answers bit-identical before returning one of them.
+
+        Every replica is a distinct submission (fresh idempotency keys,
+        so the ledger cannot collapse them) that the group spreads over
+        its lanes.  ``quorum`` (default: all replicas) is how many must
+        *answer*: with lanes dying mid-drill, up to ``replicas -
+        quorum`` replica failures are tolerated.  Any two successful
+        replicas disagreeing on logits or traces — impossible unless
+        something corrupted state — raises
+        :class:`~repro.errors.ReplicaDivergenceError`.
+        """
+        if replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be >= 1, got {replicas}")
+        need = replicas if quorum is None else quorum
+        if not 1 <= need <= replicas:
+            raise ConfigurationError(
+                f"quorum must be in [1, {replicas}], got {quorum}")
+        if replicas == 1:
+            return await self.run_batch(images, deployment=deployment,
+                                        timeout_s=timeout_s)
+        if not self.started:
+            raise ServeError("engine pool is not started")
+        items = [WorkItem(item_id=next(self._item_ids),
+                          deployment=deployment,
+                          images=images, timeout_s=timeout_s)
+                 for _ in range(replicas)]
+        futures = [asyncio.wrap_future(f)
+                   for f in self._group.submit_many(items)]
+        settled = await asyncio.gather(*futures, return_exceptions=True)
+        results = [r for r in settled if not isinstance(r, BaseException)]
+        if len(results) < need:
+            failures = [r for r in settled
+                        if isinstance(r, BaseException)]
+            raise ServeError(
+                f"replicated batch lost quorum: {len(results)}/"
+                f"{replicas} replicas answered (need {need}); first "
+                f"failure: {failures[0]!r}") from (
+                    failures[0] if failures else None)
+        reference = results[0]
+        for position, result in enumerate(results[1:], start=2):
+            if not np.array_equal(reference.logits, result.logits) or \
+                    [t.to_dict() for t in reference.image_traces] != \
+                    [t.to_dict() for t in result.image_traces]:
+                raise ReplicaDivergenceError(
+                    f"replica {position}/{len(results)} (worker "
+                    f"{result.worker!r}) disagrees with replica 1 "
+                    f"(worker {reference.worker!r}) on a "
+                    f"deployment-{deployment} batch — deterministic "
+                    "engines diverged, refusing to pick a winner")
+        return reference.logits, reference.image_traces
 
     def add_lane(self, worker_or_spec) -> str:
         """Admit a lane into the running pool (elastic capacity).

@@ -43,11 +43,14 @@ from repro.core.engine.trace import TraceMerge
 from repro.errors import (
     BackpressureError,
     DeploymentError,
+    ReplicaDivergenceError,
     RequestTimeoutError,
+    RolloutError,
     ServeError,
     ShapeError,
 )
 from repro.runtime import DeploymentRegistry, RegisteredDeployment
+from repro.runtime.work import ResultLedger
 from repro.serve.batcher import Batcher, BatchPolicy, create_policy
 from repro.serve.metrics import MetricsSnapshot, ServerMetrics
 from repro.serve.pool import EnginePool
@@ -113,6 +116,9 @@ class _Request:
     priority: int = 0
     timeout_ms: float | None = None
     deadline: float | None = None
+    #: Client idempotency key (exactly-once): a completed key answers
+    #: re-submissions from the server's result ledger.
+    key: str | None = None
 
 
 class _DeploymentLane:
@@ -124,9 +130,11 @@ class _DeploymentLane:
     """
 
     def __init__(self, entry: RegisteredDeployment, policy: BatchPolicy,
-                 queue_depth: int, expire) -> None:
+                 queue_depth: int, expire,
+                 replicas: int = 1) -> None:
         self.entry = entry
         self.policy = policy
+        self.replicas = max(1, replicas)
         self.queue: asyncio.Queue = asyncio.Queue(
             maxsize=entry.max_queue or queue_depth)
         self.batcher = Batcher(self.queue, policy, expire=expire)
@@ -191,6 +199,9 @@ class InferenceServer:
         mode: str = "thread",
         workers: list[str] | None = None,
         token: str | None = None,
+        replicas: int = 1,
+        quorum: int | None = None,
+        chaos=None,
     ) -> None:
         if isinstance(network, DeploymentRegistry):
             self.registry = network
@@ -212,9 +223,25 @@ class InferenceServer:
                                "slo_ms": slo_ms}
         self.policy = create_policy(policy, **self._policy_kwargs)
         self.queue_depth = queue_depth
+        if replicas < 1:
+            raise ServeError(f"replicas must be >= 1, got {replicas}")
+        if quorum is not None and not 1 <= quorum <= replicas:
+            raise ServeError(
+                f"quorum must be in [1, {replicas}], got {quorum}")
+        #: Default replica count for every deployment (a registry
+        #: entry's own ``replicas`` wins when larger).
+        self.replicas = replicas
+        self.quorum = quorum
         self.pool = EnginePool(registry=self.registry, size=engines,
-                               mode=mode, workers=workers, token=token)
+                               mode=mode, workers=workers, token=token,
+                               chaos=chaos)
         self.metrics = ServerMetrics()       # aggregate across deployments
+        # Server-side exactly-once: completed InferenceResults by client
+        # idempotency key, plus the keys whose first execution is still
+        # in flight (a duplicate arriving mid-flight awaits that future
+        # instead of re-executing).
+        self._request_ledger = ResultLedger()
+        self._inflight_keys: dict[str, asyncio.Future] = {}
         self._lanes: dict[str, _DeploymentLane] = {}
         self._dispatch_slots: asyncio.Semaphore | None = None
         self._dispatch_tasks: set[asyncio.Task] = set()
@@ -247,16 +274,20 @@ class InferenceServer:
             return self._policy_spec
         return create_policy(self._policy_spec, **self._policy_kwargs)
 
+    def _build_lane(self, entry: RegisteredDeployment) -> _DeploymentLane:
+        lane = _DeploymentLane(
+            entry, self._lane_policy(entry), self.queue_depth,
+            expire=None, replicas=max(entry.replicas, self.replicas))
+        lane.batcher.expire = self._make_expire(lane)
+        return lane
+
     async def start(self) -> "InferenceServer":
         """Warm the engine pool and begin serving; returns self."""
         if self.running:
             raise ServeError("server already running")
         self._lanes = {}
         for entry in self.registry.entries():
-            lane = _DeploymentLane(
-                entry, self._lane_policy(entry), self.queue_depth,
-                expire=None)
-            lane.batcher.expire = self._make_expire(lane)
+            lane = self._build_lane(entry)
             self._lanes[entry.name] = lane
         self._dispatch_slots = asyncio.Semaphore(self.pool.size)
         self._idle = asyncio.Event()
@@ -342,15 +373,17 @@ class InferenceServer:
             # instead of leaking a KeyError past its except clause.
             raise DeploymentError(
                 f"deployment {entry.name!r} was registered after the "
-                "server started; serving lanes are built at start() — "
-                "restart the server to pick it up")
+                "server started but is not serving; register live "
+                "models through server.add_deployment() (or the TCP "
+                "'deploy' op) so they get a serving lane")
         return lane
 
     async def submit(self, image: np.ndarray,
                      wait: bool = True,
                      timeout_ms: float | None = None,
                      priority: int = 0,
-                     deployment: str | int | None = None
+                     deployment: str | int | None = None,
+                     key: str | None = None,
                      ) -> InferenceResult:
         """Infer one ``(C, H, W)`` image; resolves when its batch ran.
 
@@ -367,6 +400,14 @@ class InferenceServer:
         :class:`~repro.errors.RequestTimeoutError` (counted in
         ``timed_out``) instead of lingering.  ``priority`` biases batch
         selection — higher values dispatch first, FIFO within a level.
+
+        ``key`` is an optional client idempotency key (exactly-once): a
+        key that already completed is answered from the server's result
+        ledger without executing anything; a key whose first submission
+        is still in flight awaits that submission's answer instead of
+        executing a second copy.  Duplicated frames and client retries
+        after a reconnect therefore cost one lookup, never one
+        inference.
         """
         if self._closed:
             raise ServeError("server is not running (call start())")
@@ -374,16 +415,32 @@ class InferenceServer:
             raise ServeError(
                 f"timeout_ms must be > 0, got {timeout_ms}")
         lane = self._resolve_lane(deployment)
+        if key:
+            recorded = self._request_ledger.get(key)
+            if recorded is not None:
+                self.metrics.record_deduped()
+                lane.metrics.record_deduped()
+                return recorded
+            inflight = self._inflight_keys.get(key)
+            if inflight is not None and not inflight.done():
+                self.metrics.record_deduped()
+                lane.metrics.record_deduped()
+                # shield: the duplicate caller going away must not
+                # cancel the original submission's execution.
+                return await asyncio.shield(inflight)
         image = self._check_image(lane, image)
         loop = asyncio.get_running_loop()
         request = _Request(request_id=self._next_id, image=image,
                            future=loop.create_future(),
                            priority=int(priority),
-                           timeout_ms=timeout_ms)
+                           timeout_ms=timeout_ms,
+                           key=key or None)
         if timeout_ms is not None:
             request.deadline = request.enqueued_at + timeout_ms / 1e3
         self._next_id += 1
         self._request_opened()
+        if request.key:
+            self._inflight_keys[request.key] = request.future
         try:
             if wait:
                 await lane.queue.put(request)
@@ -399,9 +456,18 @@ class InferenceServer:
                         "submit(wait=True) for backpressure"
                     ) from None
         except BaseException:
+            if request.key:
+                self._inflight_keys.pop(request.key, None)
             self._request_done()
             raise
-        return await request.future
+        try:
+            return await asyncio.shield(request.future)
+        except asyncio.CancelledError:
+            # Only shielded keyed requests keep running for duplicate
+            # awaiters; an unkeyed caller's cancellation propagates.
+            if not request.key and not request.future.done():
+                request.future.cancel()
+            raise
 
     async def submit_many(self, images: np.ndarray,
                           wait: bool = True,
@@ -465,13 +531,77 @@ class InferenceServer:
             self._dispatch_slots.release()
             raise
 
+    async def add_deployment(self, name: str, network=None,
+                             deployment=None,
+                             **register_kwargs) -> dict:
+        """Register a deployment and serve it on the RUNNING server.
+
+        The blue/green registration step: the model is warm-compiled
+        and pushed to every live engine lane (off-loop — in-flight
+        serving never stalls behind the deploy), then gets its own
+        serving lane (queue, batcher, metrics, loop) — all without
+        pausing traffic on existing deployments.  Returns the new
+        entry's description.  Idempotent for same-content re-adds.
+        """
+        if self._closed:
+            raise ServeError("server is not running (call start())")
+        if network is not None:
+            register_kwargs["network"] = network
+        entry = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.pool.add_deployment(
+                name, deployment, **register_kwargs))
+        if self._closed:
+            raise ServeError("server stopped during deployment "
+                             "registration")
+        if entry.name not in self._lanes:
+            lane = self._build_lane(entry)
+            self._lanes[entry.name] = lane
+            lane.loop_task = asyncio.create_task(
+                self._serve_loop(lane),
+                name=f"repro-serve-loop-{lane.name}")
+        return entry.describe()
+
+    async def rollout(self, alias: str, to: str,
+                      drain: bool = True) -> dict:
+        """Blue/green: atomically point ``alias`` at deployment ``to``.
+
+        The flip is atomic in the registry, so every request sees the
+        old target or the new one — none see neither, none are dropped.
+        Requests already queued on the old target finish there; with
+        ``drain`` (default) this waits until the old lane's queue is
+        empty before returning, so callers know the old model is idle
+        and safe to retire.  ``to`` must already be serving (see
+        :meth:`add_deployment`) — flipping to a non-serving name is
+        refused with :class:`~repro.errors.RolloutError` instead of
+        blackholing traffic.
+        """
+        if self._closed:
+            raise ServeError("server is not running (call start())")
+        if to not in self._lanes:
+            raise RolloutError(
+                f"cannot roll {alias!r} to {to!r}: target is not "
+                f"serving (serving: {', '.join(self._lanes) or '(none)'}"
+                "); add_deployment() it first")
+        previous = self.registry.alias(alias, to)
+        drained = None
+        if drain and previous and previous != to:
+            old = self._lanes.get(previous)
+            if old is not None:
+                while old.depth > 0:
+                    await asyncio.sleep(0.005)
+                drained = previous
+        return {"alias": alias, "from": previous, "to": to,
+                "drained": drained}
+
     def snapshot(self, deployment: str | int | None = None
                  ) -> MetricsSnapshot:
         """Metrics snapshot including the live queue depth.
 
         With ``deployment`` given, that model's own snapshot; otherwise
         the aggregate — which, on a multi-model server, carries every
-        deployment's snapshot under ``per_deployment``.
+        deployment's snapshot under ``per_deployment`` and the runtime
+        fabric's scheduling counters (requeued / retries / poisoned /
+        deduped, plus the result-ledger state) under ``fabric``.
         """
         if deployment is not None:
             lane = self._resolve_lane(deployment)
@@ -483,9 +613,14 @@ class InferenceServer:
                 lane.name: lane.metrics.snapshot(
                     queue_depth=lane.depth).to_dict()
                 for lane in self._lanes.values()}
+        fabric = None
+        if self.pool.started:
+            fabric = self.pool.group_metrics()
+            fabric["ledger"] = self.pool.ledger_metrics()
+            fabric["request_ledger"] = self._request_ledger.to_dict()
         return self.metrics.snapshot(
             queue_depth=depth, worker_crashes=self.pool.worker_crashes,
-            per_deployment=per_deployment)
+            per_deployment=per_deployment, fabric=fabric)
 
     # ------------------------------------------------------------------
     # Serving internals
@@ -504,6 +639,9 @@ class InferenceServer:
             """Batcher hook: a request's queue-wait deadline passed."""
             self.metrics.record_timeout()
             lane.metrics.record_timeout()
+            if request.key:
+                # No result to ledger: a retry of this key re-executes.
+                self._inflight_keys.pop(request.key, None)
             if not request.future.done():
                 request.future.set_exception(RequestTimeoutError(
                     f"request {request.request_id} timed out after "
@@ -548,14 +686,24 @@ class InferenceServer:
         images = np.stack([request.image for request in batch])
         started = time.perf_counter()
         try:
-            logits, traces = await self.pool.run_batch(
-                images, deployment=lane.entry.index)
+            if lane.replicas > 1:
+                logits, traces = await self.pool.run_batch_replicated(
+                    images, deployment=lane.entry.index,
+                    replicas=lane.replicas, quorum=self.quorum)
+            else:
+                logits, traces = await self.pool.run_batch(
+                    images, deployment=lane.entry.index)
         except BaseException as error:
             # Fail the whole batch but keep serving — and on
             # cancellation (stop(drain=False) tears down in-flight
             # dispatches) still resolve every future so concurrent
             # submit() callers unblock instead of hanging forever.
+            if isinstance(error, ReplicaDivergenceError):
+                self.metrics.record_divergence()
+                lane.metrics.record_divergence()
             for request in batch:
+                if request.key:
+                    self._inflight_keys.pop(request.key, None)
                 if not request.future.done():
                     request.future.set_exception(
                         ServeError(f"batch execution failed: {error!r}"))
@@ -593,6 +741,11 @@ class InferenceServer:
                                queue_wait_ms=queue_wait_ms,
                                service_ms=service_ms,
                                batch_size=len(batch))
+            if request.key:
+                # Record BEFORE resolving: a duplicate racing in after
+                # the future resolves must find the ledger entry.
+                self._request_ledger.record(request.key, result)
+                self._inflight_keys.pop(request.key, None)
             if not request.future.done():
                 request.future.set_result(result)
             self._request_done()

@@ -15,15 +15,20 @@ An inference request carries the image (nested lists in JSON mode, a
 raw ``image`` array in binary mode; the target deployment's
 ``(C, H, W)`` shape) plus optional serving knobs — including
 ``deployment``, the registry name that routes a request on a
-multi-model server; control requests carry an ``op`` field::
+multi-model server, and ``key``, an idempotency key: re-submitting the
+same key (a client retry after a dropped connection, a duplicated
+frame) is answered from the server's result ledger instead of executing
+again.  Control requests carry an ``op`` field::
 
     {"id": 7, "image": [[[0.1, ...]]],
-     "deployment": "fang:4",
+     "deployment": "fang:4", "key": "ab-3",
      "timeout_ms": 50, "priority": 2}        -> inference
     {"op": "metrics"}                        -> aggregate server metrics
     {"op": "metrics",
      "deployment": "fang:4"}                 -> one deployment's metrics
     {"op": "deployments"}                    -> registry listing
+    {"op": "rollout", "alias": "prod",
+     "to": "fang:8"}                         -> blue/green alias flip
     {"op": "ping"}                           -> liveness probe
 
 Responses echo the client's ``id`` so clients may pipeline: every
@@ -56,8 +61,10 @@ from repro.errors import (
     BackpressureError,
     CodecError,
     DeploymentError,
+    ReplicaDivergenceError,
     ReproError,
     RequestTimeoutError,
+    RolloutError,
     ServeError,
 )
 from repro.runtime.codec import (
@@ -67,6 +74,8 @@ from repro.runtime.codec import (
     parse_frame_prefix,
 )
 from repro.runtime.codec import encode_line as _encode
+from repro.runtime.remote import _backoff_delay
+from repro.runtime.work import next_idempotency_key
 from repro.serve.server import InferenceServer
 
 __all__ = ["TcpClient", "start_tcp_server"]
@@ -76,8 +85,20 @@ __all__ = ["TcpClient", "start_tcp_server"]
 _ERROR_TYPES = {
     "BackpressureError": BackpressureError,
     "DeploymentError": DeploymentError,
+    "ReplicaDivergenceError": ReplicaDivergenceError,
     "RequestTimeoutError": RequestTimeoutError,
+    "RolloutError": RolloutError,
 }
+
+#: Read-only (or naturally idempotent) control ops a disconnected client
+#: may re-send without a key.
+_IDEMPOTENT_OPS = frozenset({"ping", "metrics", "deployments",
+                             "rollout"})
+
+
+class _ConnectionLost(ServeError):
+    """Client-side connection failure — retryable, unlike a structured
+    error the server answered with."""
 
 
 def _error_payload(error: Exception) -> dict:
@@ -112,10 +133,12 @@ async def _read_frame_async(reader: asyncio.StreamReader):
 async def _handle_connection(server: InferenceServer,
                              reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter,
-                             frames: str = "binary") -> None:
+                             frames: str = "binary",
+                             chaos=None) -> None:
     write_lock = asyncio.Lock()
     pending: set[asyncio.Task] = set()
     binary = False  # every connection starts on JSON lines
+    peer = str(writer.get_extra_info("peername"))
 
     async def respond(payload: dict, arrays: dict | None = None) -> None:
         async with write_lock:
@@ -146,6 +169,12 @@ async def _handle_connection(server: InferenceServer,
                 await respond({"id": request_id,
                                "deployments": server.deployments()})
                 return
+            if message.get("op") == "rollout":
+                outcome = await server.rollout(
+                    str(message.get("alias")), str(message.get("to")),
+                    drain=bool(message.get("drain", True)))
+                await respond({"id": request_id, "rollout": outcome})
+                return
             if in_arrays and "image" in in_arrays:
                 image = in_arrays["image"]
             elif "image" in message:
@@ -154,12 +183,14 @@ async def _handle_connection(server: InferenceServer,
                 raise ServeError(
                     "request needs an 'image' field or a known 'op'")
             timeout_ms = message.get("timeout_ms")
+            key = message.get("key")
             result = await server.submit(
                 image,
                 timeout_ms=(float(timeout_ms) if timeout_ms is not None
                             else None),
                 priority=int(message.get("priority", 0)),
-                deployment=message.get("deployment"))
+                deployment=message.get("deployment"),
+                key=(str(key) if key is not None else None))
             payload = result.to_dict()
             payload["id"] = request_id
             payload.pop("logits", None)
@@ -220,6 +251,11 @@ async def _handle_connection(server: InferenceServer,
             task = asyncio.create_task(serve_one(message, in_arrays))
             pending.add(task)
             task.add_done_callback(pending.discard)
+            if chaos is not None and chaos.server_hangup(peer):
+                # Hang up mid-conversation: in-flight requests on this
+                # connection die unanswered and the client's reconnect /
+                # re-submission machinery has to recover them.
+                break
     finally:
         for task in pending:
             task.cancel()
@@ -235,13 +271,17 @@ async def start_tcp_server(
     host: str = "127.0.0.1",
     port: int = 0,
     frames: str = "binary",
+    chaos=None,
 ) -> tuple[asyncio.AbstractServer, int]:
     """Expose a running :class:`InferenceServer` over TCP.
 
     ``port=0`` binds an ephemeral port; the bound port is returned so
     callers (and tests) can hand it to clients.  ``frames="binary"``
     (the default) lets clients negotiate the zero-copy frame type;
-    ``frames="json"`` pins every connection to JSON lines.
+    ``frames="json"`` pins every connection to JSON lines.  ``chaos``
+    (a :class:`~repro.runtime.ChaosPolicy`) makes the transport hang
+    connections up per its ``server_hangup`` schedule — the fault drill
+    for client reconnects.
     """
     if frames not in ("binary", "json"):
         raise ServeError(
@@ -249,7 +289,8 @@ async def start_tcp_server(
     if not server.running:
         raise ServeError("start the InferenceServer before the transport")
     tcp = await asyncio.start_server(
-        lambda r, w: _handle_connection(server, r, w, frames=frames),
+        lambda r, w: _handle_connection(server, r, w, frames=frames,
+                                        chaos=chaos),
         host, port)
     bound_port = tcp.sockets[0].getsockname()[1]
     return tcp, bound_port
@@ -266,21 +307,43 @@ class TcpClient:
     type during :meth:`connect`; a server that declines (or predates
     the negotiation) keeps the connection on JSON lines.  ``binary``
     reports what was agreed.
+
+    ``retries`` (default 0: historical fail-fast behavior) turns on
+    reconnect-and-resubmit: a request that dies with the connection is
+    re-sent — after a jittered exponential backoff and a fresh
+    ``connect`` — up to ``retries`` extra times.  Only *safe* requests
+    retry: inferences (every ``infer`` carries an idempotency ``key``,
+    so a re-send the server already executed is answered from its
+    result ledger, never run twice) and idempotent control ops; a
+    structured error the server answered with is never retried.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 frames: str = "binary") -> None:
+                 frames: str = "binary", retries: int = 0,
+                 retry_base_s: float = 0.05, retry_cap_s: float = 2.0,
+                 chaos=None) -> None:
         if frames not in ("binary", "json"):
             raise ServeError(
                 f"frames must be 'binary' or 'json', got {frames!r}")
+        if retries < 0:
+            raise ServeError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
         self.frames = frames
         self.binary = False
+        self.retries = int(retries)
+        self.retry_base_s = retry_base_s
+        self.retry_cap_s = retry_cap_s
+        #: Optional ChaosPolicy: outbound frames consult ``frame_fate``
+        #: (drop / dup / delay) — the client-side fault drill.
+        self.chaos = chaos
+        self.reconnects = 0   # successful re-connections
+        self.resends = 0      # requests re-submitted after a drop
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._reader_task: asyncio.Task | None = None
         self._write_lock = asyncio.Lock()
+        self._connect_lock = asyncio.Lock()
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 0
 
@@ -343,11 +406,22 @@ class TcpClient:
             for future in self._pending.values():
                 if not future.done():
                     future.set_exception(
-                        ServeError("connection closed mid-request"))
+                        _ConnectionLost("connection closed mid-request"))
             self._pending.clear()
 
-    async def _request(self, payload: dict,
-                       arrays: dict | None = None) -> dict:
+    async def _ensure_connected(self) -> None:
+        """Reconnect if the read loop died; concurrent retriers share
+        one reconnection instead of racing each other."""
+        async with self._connect_lock:
+            if (self._reader_task is not None
+                    and not self._reader_task.done()):
+                return
+            await self.close()
+            await self.connect()
+            self.reconnects += 1
+
+    async def _request_once(self, payload: dict,
+                            arrays: dict | None = None) -> dict:
         if self._writer is None:
             raise ServeError("client is not connected")
         request_id = self._next_id
@@ -361,7 +435,7 @@ class TcpClient:
         # dead connection.
         if self._reader_task is None or self._reader_task.done():
             self._pending.pop(request_id, None)
-            raise ServeError("connection closed")
+            raise _ConnectionLost("connection closed")
         if self.binary:
             data = encode_frame(payload, arrays or {})
         else:
@@ -370,15 +444,66 @@ class TcpClient:
                 for name, array in arrays.items():
                     payload[name] = np.asarray(array).tolist()
             data = _encode(payload)
-        async with self._write_lock:
-            self._writer.write(data)
-            await self._writer.drain()
+        fate = (self.chaos.frame_fate(f"{self.host}:{self.port}")
+                if self.chaos is not None else None)
+        if fate == "drop":
+            # The frame never reaches the wire; fail exactly like a cut
+            # connection so the retry path (key in hand) recovers it.
+            self._pending.pop(request_id, None)
+            raise _ConnectionLost("outbound frame dropped (chaos)")
+        if fate == "delay":
+            await asyncio.sleep(self.chaos.delay_s)
+        try:
+            async with self._write_lock:
+                self._writer.write(data)
+                if fate == "dup":
+                    # Same id, same key: the server answers both, the
+                    # ledger guarantees it executed once; the second
+                    # reply finds no pending future and is dropped.
+                    self._writer.write(data)
+                await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            self._pending.pop(request_id, None)
+            raise _ConnectionLost(f"connection lost mid-send: "
+                                  f"{error}") from None
         return await future
+
+    async def _request(self, payload: dict,
+                       arrays: dict | None = None) -> dict:
+        """One request with the retry envelope around it.
+
+        Connection-level failures (never structured server errors) are
+        retried up to ``self.retries`` times, each attempt behind a
+        jittered exponential backoff and a shared reconnect — but only
+        for requests that are safe to re-send: keyed inferences and
+        idempotent control ops.
+        """
+        safe = ("key" in payload
+                or payload.get("op") in _IDEMPOTENT_OPS)
+        attempts = 1 + (self.retries if safe else 0)
+        last_error: Exception = ServeError("request never attempted")
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                await asyncio.sleep(_backoff_delay(
+                    self.retry_base_s, attempt - 1, self.retry_cap_s))
+                try:
+                    await self._ensure_connected()
+                except (ConnectionError, OSError) as error:
+                    last_error = _ConnectionLost(
+                        f"reconnect failed: {error}")
+                    continue
+                self.resends += 1
+            try:
+                return await self._request_once(payload, arrays)
+            except _ConnectionLost as error:
+                last_error = error
+        raise last_error
 
     async def infer(self, image: np.ndarray,
                     timeout_ms: float | None = None,
                     priority: int = 0,
-                    deployment: str | None = None) -> dict:
+                    deployment: str | None = None,
+                    key: str | None = None) -> dict:
         """One inference round-trip; returns the response payload.
 
         ``timeout_ms``/``priority`` ride to the server's batch policies;
@@ -386,8 +511,13 @@ class TcpClient:
         (an unknown name comes back as
         :class:`~repro.errors.DeploymentError`); a server-side timeout
         comes back as :class:`~repro.errors.RequestTimeoutError`.
+        ``key`` is the request's idempotency key (auto-generated when
+        omitted): it is what makes a reconnect re-send safe — the
+        server's ledger answers a key it already completed instead of
+        executing it again.
         """
-        payload: dict = {}
+        payload: dict = {"key": key if key is not None
+                         else next_idempotency_key()}
         if timeout_ms is not None:
             payload["timeout_ms"] = timeout_ms
         if priority:
@@ -396,6 +526,18 @@ class TcpClient:
             payload["deployment"] = deployment
         return await self._request(
             payload, {"image": np.asarray(image, dtype=np.float64)})
+
+    async def rollout(self, alias: str, to: str,
+                      drain: bool = True) -> dict:
+        """Blue/green flip: point ``alias`` at deployment ``to``.
+
+        Server-side this is atomic (no request sees a missing target);
+        a refused flip (unknown target, name collision) comes back as
+        :class:`~repro.errors.RolloutError`.
+        """
+        return (await self._request(
+            {"op": "rollout", "alias": alias, "to": to,
+             "drain": bool(drain)}))["rollout"]
 
     async def metrics(self, deployment: str | None = None) -> dict:
         payload = {"op": "metrics"}

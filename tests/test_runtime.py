@@ -230,6 +230,19 @@ class TestCrashRecovery:
                 future.result(timeout=60)
             assert group.metrics.worker_crashes == 1
 
+    def test_healthy_run_reports_zero_fault_counters(self, rng):
+        """The fault-path counters exist (and stay zero) on a clean
+        run, so dashboards can key on them unconditionally."""
+        deployment = tiny_deployment(rng)
+        items = make_items(rng, deployment, count=4)
+        _, metrics = run_group([ThreadWorker(name="a"),
+                                ThreadWorker(name="b")],
+                               deployment, items)
+        payload = metrics.to_dict()
+        for counter in ("requeued", "retries", "poisoned", "deduped"):
+            assert payload[counter] == 0
+        assert metrics.worker_crashes == 0
+
     def test_heartbeat_evicts_silently_dead_remote(self, rng):
         """An idle lane whose host vanished is evicted by the monitor."""
         deployment = tiny_deployment(rng)

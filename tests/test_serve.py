@@ -484,6 +484,25 @@ class TestServingOnFabric:
             summed.merge(result.trace)
         assert summed == TraceMerge.from_traces(traces)
 
+    def test_snapshot_surfaces_fabric_counters_and_ledger(self, rng):
+        """A fabric-backed server's snapshot carries the scheduling
+        counters and the exactly-once ledger state under ``fabric``."""
+        net = tiny_network(rng)
+        images = tiny_images(rng, net, 4)
+
+        async def main():
+            async with InferenceServer(net, max_batch=2,
+                                       workers=["thread"]) as inference:
+                await inference.submit_many(images)
+                return inference.snapshot().to_dict()
+
+        payload = asyncio.run(main())
+        fabric = payload["fabric"]
+        for counter in ("requeued", "retries", "poisoned", "deduped"):
+            assert fabric[counter] == 0
+        assert fabric["ledger"]["capacity"] >= 1
+        assert fabric["ledger"]["duplicates"] == 0
+
 
 class _GatedPool(EnginePool):
     """An engine pool that holds every batch until the test opens it."""

@@ -1,0 +1,160 @@
+"""Shared-memory degraded paths: every fallback is bit-identical.
+
+``repro.runtime.shm`` promises that shared-memory transport is an
+optimization, never a semantic: when it is disabled (``REPRO_NO_SHM``),
+unavailable (locked-down ``/dev/shm``) or the arena grows mid-flight
+(segment replaced under a new name), process lanes fall back to — or
+recover through — the pickle path and produce results bit-identical to
+a plain thread lane.
+"""
+
+import numpy as np
+import pytest
+
+import repro.runtime.shm as shm_module
+from repro.core import AcceleratorConfig
+from repro.models import performance_network
+from repro.runtime import (
+    Deployment,
+    ProcessWorker,
+    ThreadWorker,
+    WorkItem,
+    WorkerGroup,
+    shm_available,
+)
+from repro.runtime.shm import ShmArena
+
+
+def tiny_deployment(rng):
+    net = performance_network(
+        [("conv", 4, 3, 1, 1), ("pool", 2), ("flatten",), ("linear", 5)],
+        input_shape=(1, 8, 8), num_steps=3,
+        seed=int(rng.integers(1 << 16)))
+    return Deployment(network=net,
+                      config=AcceleratorConfig.for_network(net))
+
+
+def make_items(rng, deployment, count=3, images_each=3):
+    shape = deployment.network.input_shape
+    return [WorkItem(item_id=i, deployment=0,
+                     images=rng.random((images_each,) + shape))
+            for i in range(count)]
+
+
+def run_on(worker, deployment, items):
+    with WorkerGroup([worker], deployments=[deployment]) as group:
+        return group.run([WorkItem(item_id=i.item_id, deployment=0,
+                                   images=i.images)
+                          for i in items])
+
+
+def assert_bit_identical(baseline, results):
+    for base, other in zip(baseline, results):
+        np.testing.assert_array_equal(base.logits, other.logits)
+        assert base.merged_trace() == other.merged_trace()
+
+
+class TestAvailabilityProbe:
+    def test_repro_no_shm_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        assert shm_available() is False
+
+    def test_unavailable_dev_shm_probe_caches_false(self, monkeypatch):
+        class _Broken:
+            def SharedMemory(self, *args, **kwargs):
+                raise OSError("no /dev/shm on this host")
+
+        monkeypatch.delenv("REPRO_NO_SHM", raising=False)
+        monkeypatch.setattr(shm_module, "shared_memory", _Broken())
+        monkeypatch.setattr(shm_module, "_available", None)
+        assert shm_module.shm_available() is False
+        # The probe result is cached: a second call never re-probes
+        # (the broken factory would raise if it did anything).
+        assert shm_module.shm_available() is False
+
+
+class TestDegradedExecution:
+    def test_no_shm_env_falls_back_to_pickle_bit_identical(
+            self, rng, monkeypatch):
+        deployment = tiny_deployment(rng)
+        items = make_items(rng, deployment)
+        baseline = run_on(ThreadWorker(), deployment, items)
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        results = run_on(ProcessWorker(), deployment, items)
+        assert_bit_identical(baseline, results)
+
+    def test_unavailable_shm_falls_back_bit_identical(
+            self, rng, monkeypatch):
+        """A host without usable shared memory still honors the fabric
+        contract through the pickle path."""
+        deployment = tiny_deployment(rng)
+        items = make_items(rng, deployment)
+        baseline = run_on(ThreadWorker(), deployment, items)
+
+        monkeypatch.delenv("REPRO_NO_SHM", raising=False)
+        monkeypatch.setattr(shm_module, "_available", False)
+        assert shm_available() is False
+        results = run_on(ProcessWorker(), deployment, items)
+        assert_bit_identical(baseline, results)
+
+    @pytest.mark.skipif(not shm_available(),
+                        reason="no shared memory on this host")
+    def test_arena_grow_mid_flight_bit_identical(self, rng,
+                                                 monkeypatch):
+        """A batch outgrowing the arena replaces the segment under a
+        new name mid-run; the child re-attaches and results hold."""
+        monkeypatch.setattr(shm_module, "_MIN_CAPACITY", 4096)
+        deployment = tiny_deployment(rng)
+        shape = deployment.network.input_shape
+        small = [WorkItem(item_id=0, deployment=0,
+                          images=rng.random((2,) + shape))]
+        # 32 images * 512 B each overflows the 4 KiB floor.
+        big = [WorkItem(item_id=1, deployment=0,
+                        images=rng.random((32,) + shape))]
+        base_small = run_on(ThreadWorker(), deployment, small)
+        base_big = run_on(ThreadWorker(), deployment, big)
+
+        worker = ProcessWorker()
+        with WorkerGroup([worker], deployments=[deployment]) as group:
+            got_small = group.run([WorkItem(item_id=0, deployment=0,
+                                            images=small[0].images)])
+            got_big = group.run([WorkItem(item_id=1, deployment=0,
+                                          images=big[0].images)])
+        assert_bit_identical(base_small, got_small)
+        assert_bit_identical(base_big, got_big)
+
+
+class TestArena:
+    def test_growth_replaces_segment_and_stales_old_views(
+            self, monkeypatch):
+        if not shm_available():
+            pytest.skip("no shared memory on this host")
+        monkeypatch.setattr(shm_module, "_MIN_CAPACITY", 1024)
+        arena = ShmArena()
+        try:
+            [small_view], _ = arena.place(
+                [np.arange(16, dtype=np.float64)])
+            first_segment = small_view.segment
+            np.testing.assert_array_equal(
+                arena.read(small_view), np.arange(16, dtype=np.float64))
+            big = np.arange(1024, dtype=np.float64)   # 8 KiB > floor
+            [big_view], _ = arena.place([big])
+            assert big_view.segment != first_segment
+            np.testing.assert_array_equal(arena.read(big_view), big)
+            with pytest.raises(ValueError):
+                arena.read(small_view)   # old segment is gone
+        finally:
+            arena.close()
+
+    def test_reply_region_sits_behind_inputs(self):
+        if not shm_available():
+            pytest.skip("no shared memory on this host")
+        arena = ShmArena()
+        try:
+            views, reply = arena.place(
+                [np.ones(8), np.zeros(8)], reply_nbytes=64)
+            assert reply.segment == views[0].segment
+            assert reply.offset >= views[-1].offset + views[-1].nbytes
+            assert reply.nbytes == 64
+        finally:
+            arena.close()
