@@ -36,9 +36,13 @@ def host_stamp() -> dict:
 
 
 def write_artifact(path: Path, results: dict) -> None:
-    """Write a ``bench_*.json`` artifact with the uniform host stamp."""
+    """Write a ``bench_*.json`` artifact with the uniform host stamp
+    plus the run's telemetry rollup (span totals, per-stage time)."""
+    from repro.telemetry import telemetry_summary
+
     payload = dict(results)
     payload.update(host_stamp())
+    payload["telemetry"] = telemetry_summary()
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {path}")

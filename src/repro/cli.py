@@ -14,6 +14,7 @@ Usage::
     python -m repro worker            # TCP engine worker (join a fabric)
     python -m repro deployments       # inspect the deployment registry
     python -m repro rollout           # blue/green alias flip on a server
+    python -m repro top               # live stats off a running server
     python -m repro all               # everything above (except daemons)
 
 Models are trained on first use and cached under ``artifacts/``; set
@@ -229,6 +230,19 @@ def _run_serve(runner: ExperimentRunner, args) -> None:
             f"(quorum {args.quorum or args.replicas}), answers "
             "runtime-asserted bit-identical")
 
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.telemetry import configure
+        from repro.telemetry.exposition import MetricsServer
+
+        configure(tracing=True)  # the scrape plane implies tracing
+        metrics_server = MetricsServer(
+            host=args.host, port=args.metrics_port,
+            snapshot_fn=lambda: server.snapshot().to_dict()).start()
+        banner.append(f"telemetry: {metrics_server.url}/metrics "
+                      "(Prometheus), /metrics.json, /traces; "
+                      "tracing enabled")
+
     async def main() -> None:
         async with server:
             tcp, port = await start_tcp_server(server, args.host,
@@ -249,6 +263,9 @@ def _run_serve(runner: ExperimentRunner, args) -> None:
         asyncio.run(main())
     except KeyboardInterrupt:
         print("\nserver stopped")
+    finally:
+        if metrics_server is not None:
+            metrics_server.stop()
 
 
 def _print_deployments(runner: ExperimentRunner, args) -> None:
@@ -290,7 +307,8 @@ def _run_loadgen_inprocess(runner: ExperimentRunner, args) -> None:
         async with server:
             report = await LoadGenerator(
                 server.submit, rate_rps=args.rate,
-                arrival=args.arrival, seed=args.seed).run(images)
+                arrival=args.arrival, seed=args.seed,
+                latency_out=args.latency_out).run(images)
             return report, server.snapshot()
 
     report, snapshot = asyncio.run(main())
@@ -329,7 +347,8 @@ def _run_loadgen_tcp(runner: ExperimentRunner, args) -> None:
             report = await LoadGenerator(
                 client.infer, rate_rps=args.rate,
                 arrival=args.arrival, seed=args.seed,
-                deployment=args.deployment).run(images)
+                deployment=args.deployment,
+                latency_out=args.latency_out).run(images)
             metrics = await client.metrics(deployment=args.deployment)
             return report, metrics
 
@@ -339,6 +358,19 @@ def _run_loadgen_tcp(runner: ExperimentRunner, args) -> None:
         metrics, report,
         title=f"Load report - {args.host}:{args.port} ({target})"
     ).render())
+    if args.latency_out:
+        print(f"per-request latency records appended to "
+              f"{args.latency_out}")
+
+
+def _run_top(args) -> None:
+    """The `repro top` command: live stats off a running server."""
+    from repro.telemetry.top import run_top
+
+    if not args.port:
+        raise SystemExit("top needs --port (a running repro serve)")
+    run_top(args.host, args.port, interval_s=args.interval,
+            once=args.once, deployment=args.deployment)
 
 
 def _positive_int(raw: str) -> int:
@@ -474,7 +506,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=["table1", "table2", "table3", "encoding", "dataflow",
                  "figures", "sweep", "serve", "loadgen", "worker",
-                 "deployments", "rollout", "all"],
+                 "deployments", "rollout", "top", "all"],
         help="which experiment to run")
     parser.add_argument("--no-vgg", action="store_true",
                         help="skip the VGG-11 row of table3")
@@ -603,6 +635,24 @@ def main(argv: list[str] | None = None) -> int:
                          help="loadgen over TCP: route every request to "
                               "this named deployment of a multi-model "
                               "server")
+    serving.add_argument("--metrics-port", dest="metrics_port",
+                         type=int, default=None, metavar="P",
+                         help="serve: expose Prometheus /metrics, "
+                              "/metrics.json and /traces over HTTP on "
+                              "this port (0 = ephemeral) and enable "
+                              "request tracing")
+    serving.add_argument("--latency-out", dest="latency_out",
+                         default=None, metavar="PATH",
+                         help="loadgen: append one JSON line per "
+                              "request (index, latency_ms, deployment, "
+                              "trace_id) to PATH")
+    serving.add_argument("--once", action="store_true",
+                         help="top: print a single frame and exit "
+                              "(scripting / CI smoke)")
+    serving.add_argument("--interval", type=float, default=2.0,
+                         metavar="S",
+                         help="top: refresh period in seconds "
+                              "(default: 2.0)")
     args = parser.parse_args(argv)
 
     # --backend drives the trace-level sims; accuracy scoring stays on
@@ -648,12 +698,13 @@ def main(argv: list[str] | None = None) -> int:
         "worker": lambda: _run_worker(args),
         "deployments": lambda: _print_deployments(runner, args),
         "rollout": lambda: _run_rollout(args),
+        "top": lambda: _run_top(args),
     }
     try:
         if args.experiment == "all":
             for name, fn in dispatch.items():
                 if name in ("sweep", "serve", "loadgen", "worker",
-                            "deployments", "rollout"):
+                            "deployments", "rollout", "top"):
                     continue  # sweep covered by table1; deployments
                     # re-trains serving models; the rest are daemons
                 print(f"\n===== {name} =====")

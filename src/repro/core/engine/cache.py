@@ -114,6 +114,7 @@ def warm_compile(
     :class:`CompiledModel` may be shared between callers; engines never
     mutate it.
     """
+    register_cache_sampler()
     key = _key(network, config)
     with _LOCK:
         compiled = _COMPILED.get(key)
@@ -158,6 +159,24 @@ def engine_cache_stats() -> dict:
     with _LOCK:
         return dict(_STATS, compiled_entries=len(_COMPILED),
                     engine_entries=len(_ENGINES))
+
+
+def _sample_cache_gauges() -> None:
+    """Scrape-time sampler: mirror the cache stats into the registry."""
+    from repro.telemetry import get_registry
+    gauge = get_registry().gauge(
+        "repro_engine_cache",
+        "Warm compile/engine cache counters, by stat",
+        labelnames=("stat",))
+    for stat, value in engine_cache_stats().items():
+        gauge.labels(stat=stat).set(value)
+
+
+def register_cache_sampler() -> None:
+    """Attach the cache sampler to the process-wide registry (idempotent
+    — ``register_sampler`` dedups by function identity)."""
+    from repro.telemetry import get_registry
+    get_registry().register_sampler(_sample_cache_gauges)
 
 
 def clear_engine_cache() -> None:

@@ -166,6 +166,17 @@ class ChaosPolicy:
                 draw: int) -> None:
         self.events.append(ChaosEvent(site=site, lane=lane,
                                       action=action, draw=draw))
+        # Mirror every fault into the unified telemetry plane: a counter
+        # series per (site, action) and a flight-recorder event, so
+        # ``repro top`` and the scrape endpoint see the drill live.
+        from repro.telemetry import get_registry, get_tracer
+        get_registry().counter(
+            "repro_chaos_faults_total",
+            "Faults injected by the chaos policy, by site and action",
+            labelnames=("site", "action"),
+        ).labels(site=site, action=action).inc()
+        get_tracer().event("chaos_fault", site=site, lane=lane,
+                           action=action, draw=draw)
 
     def _decide(self, site: str, lane: str, prob: float,
                 schedule: dict | None, action: str) -> bool:

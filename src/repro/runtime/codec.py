@@ -87,9 +87,30 @@ __all__ = [
 ]
 
 
+#: Cached telemetry children, one per (direction, encoding) — allocated
+#: lazily on first use, so the codec stays import-cheap and the hot path
+#: pays one dict lookup + one counter add per message.
+_BYTE_COUNTERS: dict[tuple[str, str], object] = {}
+
+
+def _count_bytes(direction: str, encoding: str, nbytes: int) -> None:
+    child = _BYTE_COUNTERS.get((direction, encoding))
+    if child is None:
+        from repro.telemetry import get_registry
+        child = get_registry().counter(
+            "repro_codec_bytes_total",
+            "Bytes crossing the wire codecs, by direction and encoding",
+            labelnames=("direction", "encoding"),
+        ).labels(direction=direction, encoding=encoding)
+        _BYTE_COUNTERS[(direction, encoding)] = child
+    child.inc(nbytes)
+
+
 def encode_line(payload: dict) -> bytes:
     """One JSON message, newline-terminated (the shared framing)."""
-    return (json.dumps(payload) + "\n").encode()
+    data = (json.dumps(payload) + "\n").encode()
+    _count_bytes("sent", "json", len(data))
+    return data
 
 
 def decode_line(line: bytes | str) -> dict:
@@ -97,6 +118,7 @@ def decode_line(line: bytes | str) -> dict:
     message = json.loads(line)
     if not isinstance(message, dict):
         raise ValueError("message must be a JSON object")
+    _count_bytes("received", "json", len(line))
     return message
 
 
@@ -226,6 +248,8 @@ def encode_frame(payload: dict,
         raise CodecError(f"frame body is {offset} bytes "
                          f"(cap {MAX_BODY_BYTES})")
     prefix = _PREFIX_STRUCT.pack(FRAME_MAGIC, len(header), offset)
+    _count_bytes("sent", "binary",
+                 FRAME_PREFIX_LEN + len(header) + offset)
     return b"".join([prefix, header, *buffers])
 
 
@@ -337,6 +361,8 @@ def decode_frame(header: bytes | memoryview,
     arrays = {str(name): _decode_descriptor(str(name), descriptor,
                                             body_view)
               for name, descriptor in parsed["arrays"].items()}
+    _count_bytes("received", "binary",
+                 FRAME_PREFIX_LEN + len(header) + body_view.nbytes)
     return parsed["payload"], arrays
 
 

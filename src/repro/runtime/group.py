@@ -50,12 +50,25 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, ReproError, WorkerCrashError
 from repro.runtime.chaos import ChaosPolicy
+from repro.telemetry import get_registry
+from repro.telemetry import get_tracer as _get_tracer
 from repro.runtime.registry import DeploymentRegistry
 from repro.runtime.work import (Deployment, ResultLedger, WorkItem,
                                 WorkResult)
 from repro.runtime.workers import Worker, create_workers
 
 __all__ = ["GroupMetrics", "WorkerGroup"]
+
+
+def _fabric_executed(kind: str, lane: str, completed: int) -> None:
+    """Feed the unified registry's fabric counter (one cached child per
+    lane — never a per-item allocation)."""
+    if completed:
+        get_registry().counter(
+            "repro_fabric_items_executed_total",
+            "Work items completed by the fabric, by lane",
+            labelnames=("lane", "kind"),
+        ).labels(lane=lane, kind=kind).inc(completed)
 
 
 @dataclass
@@ -76,6 +89,10 @@ class GroupMetrics:
     last_heartbeat: dict = field(default_factory=dict)  # name -> monotonic
 
     def to_dict(self) -> dict:
+        # last_heartbeat holds raw time.monotonic() readings — opaque
+        # outside this process — so liveness is exported as an *age* in
+        # seconds per lane, which a snapshot reader can act on directly.
+        now = time.monotonic()
         return {
             "executed": dict(self.executed),
             "stolen": self.stolen,
@@ -88,6 +105,9 @@ class GroupMetrics:
             "lanes_removed": self.lanes_removed,
             "readmitted": self.readmitted,
             "batched": self.batched,
+            "heartbeat_age_s": {
+                name: round(max(0.0, now - seen), 3)
+                for name, seen in self.last_heartbeat.items()},
         }
 
 
@@ -667,6 +687,16 @@ class WorkerGroup:
                         self.metrics.batched += len(batch)
                     self.metrics.last_heartbeat[worker.name] = \
                         time.monotonic()
+                # Lane-side spans (lane_execute, remote exchange) come
+                # home on the results; merge them so the submitter's
+                # flight recorder holds the whole tree.  No-ops unless
+                # this process has tracing on.
+                tracer = _get_tracer()
+                if tracer.enabled:
+                    for outcome in outcomes:
+                        if isinstance(outcome, WorkResult):
+                            tracer.record_foreign(outcome.spans)
+                _fabric_executed(worker.kind, worker.name, completed)
                 for pending, outcome in zip(batch, outcomes):
                     if isinstance(outcome, WorkResult):
                         self.ledger.record(pending.item.key, outcome)

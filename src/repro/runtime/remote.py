@@ -140,9 +140,9 @@ def _inline_arrays(payload: dict, arrays: dict) -> dict:
 
 
 def _execute_one(deployments: list[Deployment], item_id, deployment,
-                 images) -> WorkResult:
+                 images, trace: dict | None = None) -> WorkResult:
     item = WorkItem(item_id=int(item_id), deployment=int(deployment),
-                    images=_as_array(images))
+                    images=_as_array(images), trace=trace)
     if not 0 <= item.deployment < len(deployments):
         raise DeploymentError(
             f"deployment {item.deployment} is not registered "
@@ -183,13 +183,15 @@ def _handle_request(deployments: list[Deployment], message: dict,
         return {"ok": True, "deployments": len(deployments)}, {}
     if op == "execute":
         result = _execute_one(deployments, message["item_id"],
-                              message["deployment"], message["images"])
+                              message["deployment"], message["images"],
+                              trace=message.get("trace"))
         return {
             "ok": True,
             "item_id": result.item_id,
             "traces": [t.to_dict() for t in result.image_traces],
             "elapsed_s": result.elapsed_s,
             "pid": result.pid,
+            "spans": result.spans,
         }, {"logits": result.logits}
     if op == "execute_many":
         specs = message.get("items")
@@ -201,7 +203,8 @@ def _handle_request(deployments: list[Deployment], message: dict,
             try:
                 result = _execute_one(deployments, spec["item_id"],
                                       spec["deployment"],
-                                      message[f"images:{position}"])
+                                      message[f"images:{position}"],
+                                      trace=spec.get("trace"))
             except Exception as error:  # noqa: BLE001 — per-item
                 # failure inside a healthy chunk: the sibling items'
                 # results must still come back.
@@ -213,6 +216,7 @@ def _handle_request(deployments: list[Deployment], message: dict,
                 "traces": [t.to_dict() for t in result.image_traces],
                 "elapsed_s": result.elapsed_s,
                 "pid": result.pid,
+                "spans": result.spans,
             })
             arrays[f"logits:{position}"] = result.logits
         return {"ok": True, "results": results}, arrays
@@ -820,6 +824,16 @@ class RemoteWorker(Worker):
                 f"{error}") from error
 
     def _result_from(self, reply: dict, logits) -> WorkResult:
+        spans = list(reply.get("spans") or [])
+        # The server side executes with no knowledge of what this group
+        # calls its lane, so its lane_execute spans come back with an
+        # empty worker attribute.  Stamp the client-edge lane identity
+        # here — the one place that knows both the spans and the name —
+        # so traces attribute remote execution to ``remote@host:port``.
+        for span in spans:
+            attrs = span.get("attrs")
+            if isinstance(attrs, dict) and not attrs.get("worker"):
+                attrs["worker"] = self.name
         return WorkResult(
             item_id=int(reply["item_id"]),
             logits=_as_array(logits),
@@ -828,15 +842,33 @@ class RemoteWorker(Worker):
             elapsed_s=float(reply["elapsed_s"]),
             worker=self.name,
             pid=int(reply.get("pid", 0)),
+            spans=spans,
         )
 
     def execute(self, item: WorkItem) -> WorkResult:
-        reply = self._request({
+        payload = {
             "op": "execute",
             "item_id": item.item_id,
             "deployment": item.deployment,
-        }, timeout_s=item.timeout_s, arrays={"images": item.images})
-        return self._result_from(reply, reply["logits"])
+        }
+        exchange = None
+        if item.trace:
+            # The wire-side span: everything between handing the images
+            # to the codec and having the reply decoded — serialization
+            # plus network plus remote service.  The remote's own
+            # lane_execute span (returned in the reply) nests inside it.
+            from repro.telemetry import Span
+            exchange = Span.child_of(item.trace, "exchange")
+            payload["trace"] = exchange.context()
+        reply = self._request(payload, timeout_s=item.timeout_s,
+                              arrays={"images": item.images})
+        result = self._result_from(reply, reply["logits"])
+        if exchange is not None:
+            exchange.set(worker=self.name, framing=(
+                "binary" if self.binary else "json"),
+                num_images=item.num_images)
+            result.spans = [exchange.finish().to_dict(), *result.spans]
+        return result
 
     def execute_many(self, items: list[WorkItem]) -> list:
         """One framed round-trip for a whole dispatch chunk.
@@ -856,11 +888,25 @@ class RemoteWorker(Worker):
         timeouts = [item.timeout_s for item in items]
         timeout_s = (None if any(t is None for t in timeouts)
                      else float(sum(timeouts)))
+        # One wire round-trip serves the whole chunk, but each traced
+        # item still gets its own exchange span (all covering the same
+        # shared window, like the serve layer's shared execute spans) so
+        # every request's tree keeps the request -> ... -> exchange ->
+        # lane_execute shape regardless of how dispatch chunked it.
+        exchange_spans: dict = {}
+        wire_items = []
+        for item in items:
+            entry = {"item_id": item.item_id,
+                     "deployment": item.deployment}
+            if item.trace:
+                from repro.telemetry import Span
+                span = Span.child_of(item.trace, "exchange")
+                exchange_spans[item.item_id] = span
+                entry["trace"] = span.context()
+            wire_items.append(entry)
         reply = self._request({
             "op": "execute_many",
-            "items": [{"item_id": item.item_id,
-                       "deployment": item.deployment}
-                      for item in items],
+            "items": wire_items,
         }, timeout_s=timeout_s,
             arrays={f"images:{position}": item.images
                     for position, item in enumerate(items)})
@@ -882,6 +928,20 @@ class RemoteWorker(Worker):
                 outcomes.append(cls(
                     f"{error.get('type', 'Error')}: "
                     f"{error.get('message', 'remote worker failure')}"))
+        if exchange_spans:
+            framing = "binary" if self.binary else "json"
+            shared = len(items) > 1
+            for position, item in enumerate(items):
+                span = exchange_spans.get(item.item_id)
+                if span is None:
+                    continue
+                outcome = outcomes[position]
+                span.set(worker=self.name, framing=framing,
+                         num_images=item.num_images, shared=shared)
+                finished = span.finish(
+                    ok=isinstance(outcome, WorkResult)).to_dict()
+                if isinstance(outcome, WorkResult):
+                    outcome.spans = [finished, *outcome.spans]
         return outcomes
 
     def ping(self, timeout_s: float = 5.0) -> bool:

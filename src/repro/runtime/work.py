@@ -100,6 +100,11 @@ class WorkItem:
     images: np.ndarray                   # (N, C, H, W) floats in [0, 1]
     timeout_s: float | None = None       # per-item execution budget
     meta: dict = field(default_factory=dict)  # caller-side only
+    #: Trace propagation context (``{"trace_id", "span_id"}``) — unlike
+    #: ``meta`` this *does* cross process and host boundaries, so the
+    #: lane-side execute span lands in the submitter's trace whether the
+    #: lane is a thread, a forked child or a remote TCP worker.
+    trace: dict | None = None
     #: Idempotency key — stable across re-submissions of the *same*
     #: logical item, unique across distinct ones.  The group's result
     #: ledger dedups on it, so a duplicated or retried item is answered
@@ -121,6 +126,11 @@ class WorkResult:
     elapsed_s: float
     worker: str = ""                     # group-unique worker name
     pid: int = 0                         # executing process id
+    #: Lane-side span dicts for a traced item (empty when the submitter
+    #: did not trace).  Rides the pickle back from process children and
+    #: the ``spans`` reply field back from remote workers, then merges
+    #: into the submitter's flight recorder.
+    spans: list = field(default_factory=list)
 
     @property
     def predictions(self) -> np.ndarray:
@@ -220,13 +230,34 @@ def execute_item(deployments, item: WorkItem,
             f"{len(deployments)} deployment(s)")
     deployment = deployments[item.deployment]
     engine = deployment.engine()
+    span = None
+    if item.trace:
+        # Trace on request: the item carries context, so the lane-side
+        # execute span is created whether or not *this* process has
+        # tracing switched on (remote daemons usually don't).
+        from repro.telemetry import Span
+        span = Span.child_of(item.trace, "lane_execute")
     started = time.perf_counter()
     logits, image_traces = engine.run_merged(item.images)
+    elapsed_s = time.perf_counter() - started
+    spans: list = []
+    if span is not None:
+        from repro.core.energy import trace_energy
+        merged = TraceMerge()
+        for trace in image_traces:
+            merged.merge(trace)
+        span.set(worker=worker, backend=deployment.backend,
+                 deployment=item.deployment, num_images=item.num_images,
+                 cycles=int(merged.total_cycles),
+                 spikes=int(merged.total_adder_ops),
+                 energy_pj=float(trace_energy(merged).total_pj))
+        spans.append(span.finish().to_dict())
     return WorkResult(
         item_id=item.item_id,
         logits=logits,
         image_traces=image_traces,
-        elapsed_s=time.perf_counter() - started,
+        elapsed_s=elapsed_s,
         worker=worker,
         pid=os.getpid(),
+        spans=spans,
     )

@@ -191,6 +191,7 @@ class _WireItem:
     images: np.ndarray | None = None
     view: ShmView | None = None
     reply: ShmView | None = None
+    trace: dict | None = None
 
 
 def _child_deploy(deployments: list[Deployment]) -> int:
@@ -211,7 +212,8 @@ def _child_execute_batch(wire_items: list[_WireItem]) -> list:
                       else wire.images)
             item = WorkItem(item_id=wire.item_id,
                             deployment=wire.deployment,
-                            images=images, timeout_s=wire.timeout_s)
+                            images=images, timeout_s=wire.timeout_s,
+                            trace=wire.trace)
             result = execute_item(_CHILD_DEPLOYMENTS, item)
             logits_view = None
             if (wire.reply is not None
@@ -296,7 +298,8 @@ class ProcessWorker(Worker):
         """
         wires = [_WireItem(item_id=item.item_id,
                            deployment=item.deployment,
-                           timeout_s=item.timeout_s)
+                           timeout_s=item.timeout_s,
+                           trace=item.trace)
                  for item in items]
         if shm_available():
             if self._arena is None:
@@ -333,6 +336,13 @@ class ProcessWorker(Worker):
             result.logits = np.array(self._arena.read(logits_view),
                                      copy=True)
         result.worker = self.name
+        # The child executed without knowing its lane name; stamp it on
+        # the spans here so forked-lane lane_execute spans are
+        # attributable, exactly like the remote client edge does.
+        for span in result.spans:
+            attrs = span.get("attrs")
+            if isinstance(attrs, dict) and not attrs.get("worker"):
+                attrs["worker"] = self.name
         return result
 
     def execute(self, item: WorkItem) -> WorkResult:

@@ -34,6 +34,7 @@ the report then measures genuine capacity loss, not transport noise.
 from __future__ import annotations
 
 import asyncio
+import json
 import time
 from dataclasses import dataclass
 
@@ -97,10 +98,17 @@ class LoadGenerator:
     deployment:
         Optional deployment name forwarded to every ``submit`` call
         (multi-model servers and TCP clients accept it).
+    latency_out:
+        Optional path; when set, :meth:`run` appends one JSON line per
+        request — submission index, latency, deployment, outcome and
+        the request's ``trace_id`` (when the server returned one) — so
+        a latency record can be joined against the server's flight
+        recorder trace by id.
     """
 
     def __init__(self, submit, rate_rps: float, arrival: str = "even",
-                 seed: int = 0, deployment: str | None = None) -> None:
+                 seed: int = 0, deployment: str | None = None,
+                 latency_out: str | None = None) -> None:
         if rate_rps <= 0:
             raise ConfigurationError(
                 f"offered rate must be > 0 rps, got {rate_rps}")
@@ -112,6 +120,7 @@ class LoadGenerator:
         self.arrival = arrival
         self.seed = int(seed)
         self.deployment = deployment
+        self.latency_out = latency_out
 
     def arrival_offsets(self, count: int) -> np.ndarray:
         """The run's arrival schedule: seconds offset of each request.
@@ -136,6 +145,32 @@ class LoadGenerator:
         else:
             result = await self.submit(image)
         return result, (time.perf_counter() - started) * 1e3
+
+    @staticmethod
+    def _trace_id_of(result) -> str | None:
+        """The server-assigned trace id, whichever shape the result has
+        (:class:`~repro.serve.server.InferenceResult` in-process, a
+        reply dict over TCP)."""
+        if isinstance(result, dict):
+            return result.get("trace_id")
+        return getattr(result, "trace_id", None)
+
+    def _write_latency_records(self, results, errors, settled) -> None:
+        """Append one JSON line per request to ``latency_out``."""
+        with open(self.latency_out, "a", encoding="utf-8") as sink:
+            for index, (result, error, outcome) in enumerate(
+                    zip(results, errors, settled)):
+                record = {
+                    "index": index,
+                    "deployment": self.deployment,
+                    "ok": error is None,
+                    "latency_ms": (round(outcome[1], 4)
+                                   if error is None else None),
+                    "trace_id": self._trace_id_of(result),
+                }
+                if error is not None:
+                    record["error"] = type(error).__name__
+                sink.write(json.dumps(record) + "\n")
 
     async def run(self, images) -> LoadReport:
         """Offer every image on the arrival schedule; returns the report.
@@ -167,6 +202,8 @@ class LoadGenerator:
                 errors.append(None)
                 latencies.append(latency_ms)
         completed = len(latencies)
+        if self.latency_out:
+            self._write_latency_records(results, errors, settled)
         return LoadReport(
             offered_rps=self.rate_rps,
             achieved_rps=completed / wall if wall else 0.0,

@@ -27,6 +27,43 @@ import numpy as np
 __all__ = ["MetricsSnapshot", "ServerMetrics"]
 
 
+def _registry_instruments(deployment: str) -> dict:
+    """Cached registry children for one deployment's serving counters."""
+    from repro.telemetry import get_registry
+    from repro.telemetry.metrics import DEFAULT_LATENCY_BUCKETS_MS
+
+    registry = get_registry()
+    labels = {"deployment": deployment}
+    return {
+        "requests": registry.counter(
+            "repro_requests_total",
+            "Requests completed, per deployment",
+            labelnames=("deployment",)).labels(**labels),
+        "latency": registry.histogram(
+            "repro_request_latency_ms",
+            "End-to-end request latency (enqueue to result), ms",
+            labelnames=("deployment",),
+            buckets=DEFAULT_LATENCY_BUCKETS_MS).labels(**labels),
+        "queue_wait": registry.histogram(
+            "repro_request_queue_wait_ms",
+            "Coalescing delay before the batch dispatched, ms",
+            labelnames=("deployment",),
+            buckets=DEFAULT_LATENCY_BUCKETS_MS).labels(**labels),
+        "rejected": registry.counter(
+            "repro_requests_rejected_total",
+            "Requests bounced off the bounded queue, per deployment",
+            labelnames=("deployment",)).labels(**labels),
+        "timed_out": registry.counter(
+            "repro_requests_timed_out_total",
+            "Requests expired before dispatch, per deployment",
+            labelnames=("deployment",)).labels(**labels),
+        "deduped": registry.counter(
+            "repro_requests_deduped_total",
+            "Duplicate submissions answered from the ledger, per deployment",
+            labelnames=("deployment",)).labels(**labels),
+    }
+
+
 def _percentiles(samples) -> dict[str, float]:
     """p50/p95/p99 plus mean and max of a latency series, in ms."""
     if not samples:
@@ -99,9 +136,18 @@ class MetricsSnapshot:
 
 class ServerMetrics:
     """Accumulates per-request observations; cheap to feed, exact to read
-    (percentiles over the most recent ``window`` requests)."""
+    (percentiles over the most recent ``window`` requests).
 
-    def __init__(self, window: int = 100_000) -> None:
+    With a ``deployment`` name the collector *also* feeds the unified
+    telemetry registry (``repro.telemetry``) under that label — the
+    instruments are allocated once here, never per request, and every
+    existing snapshot shape is untouched.  The aggregate collector on a
+    multi-model server passes no name: its numbers are the sum of the
+    labeled series, so feeding it too would double-count.
+    """
+
+    def __init__(self, window: int = 100_000,
+                 deployment: str | None = None) -> None:
         self.window = window
         self.started_at = time.perf_counter()
         self.completed = 0
@@ -113,6 +159,8 @@ class ServerMetrics:
         self._queue_wait_ms: deque = deque(maxlen=window)
         self._service_ms: deque = deque(maxlen=window)
         self._batch_sizes: dict[int, int] = {}
+        self._prom = (None if deployment is None
+                      else _registry_instruments(deployment))
 
     def record(self, latency_ms: float, queue_wait_ms: float,
                service_ms: float, batch_size: int) -> None:
@@ -123,18 +171,28 @@ class ServerMetrics:
         self._service_ms.append(service_ms)
         self._batch_sizes[batch_size] = \
             self._batch_sizes.get(batch_size, 0) + 1
+        if self._prom is not None:
+            self._prom["requests"].inc()
+            self._prom["latency"].observe(latency_ms)
+            self._prom["queue_wait"].observe(queue_wait_ms)
 
     def record_rejected(self) -> None:
         """A submit bounced off the bounded queue (backpressure)."""
         self.rejected += 1
+        if self._prom is not None:
+            self._prom["rejected"].inc()
 
     def record_timeout(self) -> None:
         """A request's deadline passed before its batch dispatched."""
         self.timed_out += 1
+        if self._prom is not None:
+            self._prom["timed_out"].inc()
 
     def record_deduped(self) -> None:
         """A duplicate submission answered from the result ledger."""
         self.deduped += 1
+        if self._prom is not None:
+            self._prom["deduped"].inc()
 
     def record_divergence(self) -> None:
         """A replicated request's answers disagreed (runtime assert)."""

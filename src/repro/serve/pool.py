@@ -179,6 +179,7 @@ class EnginePool:
         self, images: np.ndarray, deployment: int = 0,
         timeout_s: float | None = None,
         key: str | None = None,
+        trace: dict | None = None,
     ) -> tuple[np.ndarray, list[TraceMerge]]:
         """Execute one micro-batch on the next free warm lane.
 
@@ -189,18 +190,22 @@ class EnginePool:
         resolves.  ``key`` pins the batch's idempotency key (a retried
         batch carrying the same key is answered from the group's result
         ledger instead of executing again); omitted, a fresh key is
-        generated.
+        generated.  ``trace`` is an optional propagation context — the
+        lane that executes the batch emits its span into that trace,
+        whatever kind of lane it is.
         """
         if not self.started:
             raise ServeError("engine pool is not started")
         if key is None:
             item = WorkItem(item_id=next(self._item_ids),
                             deployment=deployment,
-                            images=images, timeout_s=timeout_s)
+                            images=images, timeout_s=timeout_s,
+                            trace=trace)
         else:
             item = WorkItem(item_id=next(self._item_ids),
                             deployment=deployment,
-                            images=images, timeout_s=timeout_s, key=key)
+                            images=images, timeout_s=timeout_s,
+                            trace=trace, key=key)
         future = self._group.submit(item)
         result = await asyncio.wrap_future(future)
         return result.logits, result.image_traces
@@ -209,6 +214,7 @@ class EnginePool:
         self, images: np.ndarray, deployment: int = 0,
         replicas: int = 2, quorum: int | None = None,
         timeout_s: float | None = None,
+        trace: dict | None = None,
     ) -> tuple[np.ndarray, list[TraceMerge]]:
         """Execute one batch ``replicas`` times and runtime-assert the
         answers bit-identical before returning one of them.
@@ -231,12 +237,13 @@ class EnginePool:
                 f"quorum must be in [1, {replicas}], got {quorum}")
         if replicas == 1:
             return await self.run_batch(images, deployment=deployment,
-                                        timeout_s=timeout_s)
+                                        timeout_s=timeout_s, trace=trace)
         if not self.started:
             raise ServeError("engine pool is not started")
         items = [WorkItem(item_id=next(self._item_ids),
                           deployment=deployment,
-                          images=images, timeout_s=timeout_s)
+                          images=images, timeout_s=timeout_s,
+                          trace=trace)
                  for _ in range(replicas)]
         futures = [asyncio.wrap_future(f)
                    for f in self._group.submit_many(items)]

@@ -54,6 +54,7 @@ from repro.runtime.work import ResultLedger
 from repro.serve.batcher import Batcher, BatchPolicy, create_policy
 from repro.serve.metrics import MetricsSnapshot, ServerMetrics
 from repro.serve.pool import EnginePool
+from repro.telemetry import get_registry, get_tracer
 
 __all__ = ["InferenceResult", "InferenceServer"]
 
@@ -81,10 +82,13 @@ class InferenceResult:
     latency_ms: float
     batch_size: int
     deployment: str = "default"
+    #: The request's trace id when it was served traced (None otherwise)
+    #: — the handle ``repro top`` / the flight recorder look it up by.
+    trace_id: str | None = None
 
     def to_dict(self) -> dict:
         """JSON-ready summary (logits and trace collapse to scalars)."""
-        return {
+        payload = {
             "request_id": self.request_id,
             "prediction": self.prediction,
             "logits": [int(v) for v in self.logits],
@@ -97,6 +101,9 @@ class InferenceResult:
             "batch_size": self.batch_size,
             "deployment": self.deployment,
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        return payload
 
 
 @dataclass
@@ -119,6 +126,13 @@ class _Request:
     #: Client idempotency key (exactly-once): a completed key answers
     #: re-submissions from the server's result ledger.
     key: str | None = None
+    #: The request's root span (a real Span only when tracing is on —
+    #: the disabled path never touches these fields).
+    span: object = None
+    #: perf_counter right after the queue admitted the request; with
+    #: ``enqueued_at`` and the batch timestamps this yields *contiguous*
+    #: stage spans whose durations sum to the end-to-end latency.
+    t_admitted: float | None = None
 
 
 class _DeploymentLane:
@@ -138,7 +152,10 @@ class _DeploymentLane:
         self.queue: asyncio.Queue = asyncio.Queue(
             maxsize=entry.max_queue or queue_depth)
         self.batcher = Batcher(self.queue, policy, expire=expire)
-        self.metrics = ServerMetrics()
+        # The lane's collector also feeds the unified registry under a
+        # deployment label (the aggregate collector does not — labeled
+        # series sum to the aggregate, double-feeding would double it).
+        self.metrics = ServerMetrics(deployment=entry.name)
         self.loop_task: asyncio.Task | None = None
 
     @property
@@ -295,6 +312,9 @@ class InferenceServer:
         self._open_requests = 0
         self.pool.start()
         self.metrics.reset()
+        # Queue depth mirrors live state, so it refreshes at scrape
+        # time instead of being fed per request.
+        get_registry().register_sampler(self._sample_registry)
         self._closed = False
         for lane in self._lanes.values():
             lane.loop_task = asyncio.create_task(
@@ -384,6 +404,7 @@ class InferenceServer:
                      priority: int = 0,
                      deployment: str | int | None = None,
                      key: str | None = None,
+                     trace: dict | None = None,
                      ) -> InferenceResult:
         """Infer one ``(C, H, W)`` image; resolves when its batch ran.
 
@@ -408,6 +429,12 @@ class InferenceServer:
         executing a second copy.  Duplicated frames and client retries
         after a reconnect therefore cost one lookup, never one
         inference.
+
+        ``trace`` is an optional propagation context (``{"trace_id",
+        "span_id"}`` off the wire): with tracing enabled the request's
+        whole server-side story — admission, batch wait, dispatch,
+        execute (including the fabric lane that ran it), reply — lands
+        in that trace; disabled, the field is ignored at zero cost.
         """
         if self._closed:
             raise ServeError("server is not running (call start())")
@@ -437,6 +464,13 @@ class InferenceServer:
                            key=key or None)
         if timeout_ms is not None:
             request.deadline = request.enqueued_at + timeout_ms / 1e3
+        tracer = get_tracer()
+        if tracer.enabled:
+            request.span = tracer.span(
+                "request", context=trace,
+                attrs={"deployment": lane.name,
+                       "request_id": request.request_id},
+                started_at=request.enqueued_at)
         self._next_id += 1
         self._request_opened()
         if request.key:
@@ -458,8 +492,13 @@ class InferenceServer:
         except BaseException:
             if request.key:
                 self._inflight_keys.pop(request.key, None)
+            if request.span:
+                request.span.set(rejected=True)
+                request.span.finish(ok=False)
             self._request_done()
             raise
+        if request.span:
+            request.t_admitted = time.perf_counter()
         try:
             return await asyncio.shield(request.future)
         except asyncio.CancelledError:
@@ -622,6 +661,21 @@ class InferenceServer:
             queue_depth=depth, worker_crashes=self.pool.worker_crashes,
             per_deployment=per_deployment, fabric=fabric)
 
+    def _sample_registry(self) -> None:
+        """Scrape-time gauge refresh (registered as a registry sampler):
+        per-deployment queue depth plus the tracer's span total."""
+        registry = get_registry()
+        depth = registry.gauge(
+            "repro_queue_depth",
+            "Requests queued or waiting in the batcher, per deployment",
+            labelnames=("deployment",))
+        for lane in list(self._lanes.values()):
+            depth.labels(deployment=lane.name).set(lane.depth)
+        registry.gauge(
+            "repro_spans_finished",
+            "Spans recorded by the process-wide tracer",
+        ).set(get_tracer().spans_finished)
+
     # ------------------------------------------------------------------
     # Serving internals
     # ------------------------------------------------------------------
@@ -642,6 +696,9 @@ class InferenceServer:
             if request.key:
                 # No result to ledger: a retry of this key re-executes.
                 self._inflight_keys.pop(request.key, None)
+            if request.span:
+                request.span.set(timed_out=True)
+                request.span.finish(ok=False)
             if not request.future.done():
                 request.future.set_exception(RequestTimeoutError(
                     f"request {request.request_id} timed out after "
@@ -683,16 +740,38 @@ class InferenceServer:
 
     async def _execute(self, lane: _DeploymentLane,
                        batch: list[_Request]) -> None:
+        t_dispatch = time.perf_counter()
         images = np.stack([request.image for request in batch])
         started = time.perf_counter()
+        # One traced request leads the batch: the batch-level execute
+        # span lives in ITS trace and its context rides down into the
+        # fabric (WorkItem.trace), so the lane that runs the batch —
+        # thread, forked child or remote host — appends its own span to
+        # the same tree.  Sibling traced requests get their own
+        # (retroactive) execute stage spans after the batch returns.
+        tracer = get_tracer()
+        lead = None
+        exec_span = None
+        batch_trace = None
+        if tracer.enabled:
+            lead = next((r for r in batch if r.span), None)
+            if lead is not None:
+                exec_span = tracer.span(
+                    "execute", parent=lead.span,
+                    attrs={"batch_size": len(batch),
+                           "deployment": lane.name},
+                    started_at=started)
+                batch_trace = exec_span.context()
         try:
             if lane.replicas > 1:
                 logits, traces = await self.pool.run_batch_replicated(
                     images, deployment=lane.entry.index,
-                    replicas=lane.replicas, quorum=self.quorum)
+                    replicas=lane.replicas, quorum=self.quorum,
+                    trace=batch_trace)
             else:
                 logits, traces = await self.pool.run_batch(
-                    images, deployment=lane.entry.index)
+                    images, deployment=lane.entry.index,
+                    trace=batch_trace)
         except BaseException as error:
             # Fail the whole batch but keep serving — and on
             # cancellation (stop(drain=False) tears down in-flight
@@ -701,9 +780,15 @@ class InferenceServer:
             if isinstance(error, ReplicaDivergenceError):
                 self.metrics.record_divergence()
                 lane.metrics.record_divergence()
+            if exec_span is not None:
+                exec_span.set(error=repr(error))
+                exec_span.finish(ok=False)
             for request in batch:
                 if request.key:
                     self._inflight_keys.pop(request.key, None)
+                if request.span:
+                    request.span.set(error=repr(error))
+                    request.span.finish(ok=False)
                 if not request.future.done():
                     request.future.set_exception(
                         ServeError(f"batch execution failed: {error!r}"))
@@ -714,6 +799,9 @@ class InferenceServer:
         finished = time.perf_counter()
         service_ms = (finished - started) * 1e3
         lane.policy.observe(len(batch), finished - started)
+        if exec_span is not None:
+            exec_span.set(service_ms=service_ms)
+            exec_span.finish(at=finished)
         deployment = lane.entry.deployment
         weight_bits = deployment.network.weight_bits
         for i, request in enumerate(batch):
@@ -735,12 +823,20 @@ class InferenceServer:
                 latency_ms=latency_ms,
                 batch_size=len(batch),
                 deployment=lane.name,
+                trace_id=(request.span.trace_id if request.span
+                          else None),
             )
             for metrics in (self.metrics, lane.metrics):
                 metrics.record(latency_ms=latency_ms,
                                queue_wait_ms=queue_wait_ms,
                                service_ms=service_ms,
                                batch_size=len(batch))
+            if request.span:
+                self._finish_request_trace(
+                    tracer, request, result,
+                    is_lead=request is lead,
+                    t_dispatch=t_dispatch, started=started,
+                    finished=finished, batch_size=len(batch))
             if request.key:
                 # Record BEFORE resolving: a duplicate racing in after
                 # the future resolves must find the ledger entry.
@@ -749,3 +845,43 @@ class InferenceServer:
             if not request.future.done():
                 request.future.set_result(result)
             self._request_done()
+
+    @staticmethod
+    def _finish_request_trace(tracer, request: _Request,
+                              result: InferenceResult, is_lead: bool,
+                              t_dispatch: float, started: float,
+                              finished: float, batch_size: int) -> None:
+        """Emit one request's *contiguous* stage spans retroactively.
+
+        The boundaries are the timestamps the serve path already
+        measures — enqueue, queue admission, batch pickup, execute
+        start/end, resolution — so admission + batch + dispatch +
+        execute + reply sums to the root span's duration *exactly* (the
+        ±5 % acceptance bound holds by construction, the slack only
+        covers the caller's own clock).
+        """
+        root = request.span
+        t_admitted = (request.t_admitted
+                      if request.t_admitted is not None
+                      else request.enqueued_at)
+        t_done = time.perf_counter()
+        tracer.span("admission", parent=root,
+                    started_at=request.enqueued_at).finish(at=t_admitted)
+        tracer.span("batch", parent=root,
+                    started_at=t_admitted).finish(at=t_dispatch)
+        tracer.span("dispatch", parent=root,
+                    started_at=t_dispatch).finish(at=started)
+        if not is_lead:
+            # The lead request owns the live batch-level execute span
+            # (with the fabric subtree); siblings get their own stage
+            # marker so every traced tree stays complete on its own.
+            tracer.span("execute", parent=root,
+                        attrs={"batch_size": batch_size, "shared": True},
+                        started_at=started).finish(at=finished)
+        tracer.span("reply", parent=root,
+                    started_at=finished).finish(at=t_done)
+        root.set(prediction=result.prediction, cycles=result.cycles,
+                 energy_pj=result.energy_pj, batch_size=batch_size,
+                 queue_wait_ms=result.queue_wait_ms,
+                 service_ms=result.service_ms)
+        root.finish(at=t_done)

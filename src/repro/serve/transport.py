@@ -93,7 +93,7 @@ _ERROR_TYPES = {
 #: Read-only (or naturally idempotent) control ops a disconnected client
 #: may re-send without a key.
 _IDEMPOTENT_OPS = frozenset({"ping", "metrics", "deployments",
-                             "rollout"})
+                             "rollout", "telemetry", "traces"})
 
 
 class _ConnectionLost(ServeError):
@@ -169,6 +169,19 @@ async def _handle_connection(server: InferenceServer,
                 await respond({"id": request_id,
                                "deployments": server.deployments()})
                 return
+            if message.get("op") == "telemetry":
+                from repro.telemetry import get_registry
+                await respond({"id": request_id,
+                               "telemetry": get_registry().to_dict()})
+                return
+            if message.get("op") == "traces":
+                from repro.telemetry import get_tracer
+                recorder = get_tracer().recorder
+                limit = int(message.get("limit", 16))
+                await respond({"id": request_id,
+                               "traces": recorder.traces(limit=limit),
+                               "events": recorder.events(limit=64)})
+                return
             if message.get("op") == "rollout":
                 outcome = await server.rollout(
                     str(message.get("alias")), str(message.get("to")),
@@ -190,7 +203,8 @@ async def _handle_connection(server: InferenceServer,
                             else None),
                 priority=int(message.get("priority", 0)),
                 deployment=message.get("deployment"),
-                key=(str(key) if key is not None else None))
+                key=(str(key) if key is not None else None),
+                trace=message.get("trace"))
             payload = result.to_dict()
             payload["id"] = request_id
             payload.pop("logits", None)
@@ -515,7 +529,14 @@ class TcpClient:
         omitted): it is what makes a reconnect re-send safe — the
         server's ledger answers a key it already completed instead of
         executing it again.
+
+        With client-side tracing enabled (``repro.telemetry.configure``)
+        every ``infer`` opens a ``client_infer`` root span and sends its
+        context in the request's ``trace`` field, so the server's whole
+        span tree hangs under the client's — one connected trace across
+        the wire, on either framing.
         """
+        from repro.telemetry import get_tracer
         payload: dict = {"key": key if key is not None
                          else next_idempotency_key()}
         if timeout_ms is not None:
@@ -524,8 +545,20 @@ class TcpClient:
             payload["priority"] = int(priority)
         if deployment is not None:
             payload["deployment"] = deployment
-        return await self._request(
-            payload, {"image": np.asarray(image, dtype=np.float64)})
+        span = get_tracer().span(
+            "client_infer",
+            attrs={"target": f"{self.host}:{self.port}"})
+        if span:
+            payload["trace"] = span.context()
+        try:
+            reply = await self._request(
+                payload, {"image": np.asarray(image, dtype=np.float64)})
+        except Exception:
+            span.finish(ok=False)
+            raise
+        span.set(framing="binary" if self.binary else "json")
+        span.finish()
+        return reply
 
     async def rollout(self, alias: str, to: str,
                       drain: bool = True) -> dict:
@@ -548,6 +581,16 @@ class TcpClient:
     async def deployments(self) -> list[dict]:
         """The server's registry listing (name, backend, fingerprint)."""
         return (await self._request({"op": "deployments"}))["deployments"]
+
+    async def telemetry(self) -> dict:
+        """The server's unified metrics registry, as plain dicts."""
+        return (await self._request({"op": "telemetry"}))["telemetry"]
+
+    async def traces(self, limit: int = 16) -> dict:
+        """Recent traces (grouped spans + rollups) and tracer events
+        from the server's flight recorder."""
+        reply = await self._request({"op": "traces", "limit": int(limit)})
+        return {"traces": reply["traces"], "events": reply["events"]}
 
     async def ping(self) -> bool:
         return bool((await self._request({"op": "ping"})).get("ok"))

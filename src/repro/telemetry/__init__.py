@@ -1,0 +1,59 @@
+"""One telemetry plane for the whole stack.
+
+``repro.telemetry`` is the process-wide instrumentation layer every
+subsystem feeds:
+
+* :mod:`repro.telemetry.trace` — request tracing: a :class:`Span` tree
+  per request with context propagation across threads, processes and
+  TCP hops (the ``trace`` field both frame protocols carry), plus a
+  bounded :class:`FlightRecorder` of recent traces/events.
+* :mod:`repro.telemetry.metrics` — a unified registry of typed
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments
+  with labels, exported as Prometheus text exposition or JSON.
+* :mod:`repro.telemetry.exposition` — the ``repro serve
+  --metrics-port`` HTTP scrape endpoint (``/metrics``,
+  ``/metrics.json``, ``/traces``, ``/healthz``).
+* :mod:`repro.telemetry.top` — the ``repro top`` live terminal view.
+
+Telemetry is **off by default** and costs nothing when off: the tracer
+hands out a shared null span (no per-request allocation) and the
+metric instruments are allocated once per label set, never per
+request.  ``configure(tracing=True)`` (or ``repro serve
+--metrics-port``) switches the plane on.
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.telemetry.trace import (
+    NULL_SPAN,
+    FlightRecorder,
+    Span,
+    Tracer,
+    configure,
+    get_tracer,
+    reset_telemetry,
+    telemetry_summary,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "NULL_SPAN",
+    "FlightRecorder",
+    "Span",
+    "Tracer",
+    "configure",
+    "get_tracer",
+    "reset_telemetry",
+    "telemetry_summary",
+    "tracing_enabled",
+]

@@ -1,0 +1,115 @@
+"""HTTP scrape endpoint: Prometheus text, JSON, and recent traces.
+
+``MetricsServer`` is the pull side of the telemetry plane — a tiny
+stdlib ``ThreadingHTTPServer`` running on its own daemon thread so the
+asyncio serve loop never blocks on a scraper:
+
+* ``GET /metrics``      — Prometheus text exposition (0.0.4)
+* ``GET /metrics.json`` — the registry as JSON, plus the optional
+  server snapshot (``snapshot_fn``) under ``"server"``
+* ``GET /traces``       — recent traces from the flight recorder
+  (``?limit=N``, newest first)
+* ``GET /healthz``      — liveness probe
+
+Wired in by ``repro serve --metrics-port N`` (port 0 picks a free
+port; the bound port is on ``server.port``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.trace import get_tracer
+
+__all__ = ["MetricsServer", "PROMETHEUS_CONTENT_TYPE"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-telemetry/1"
+
+    def _send(self, body: str, content_type: str, status: int = 200) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parsed = urlparse(self.path)
+        owner: "MetricsServer" = self.server.owner  # type: ignore[attr-defined]
+        try:
+            if parsed.path == "/metrics":
+                self._send(owner.registry.to_prometheus(),
+                           PROMETHEUS_CONTENT_TYPE)
+            elif parsed.path == "/metrics.json":
+                payload = {"metrics": owner.registry.to_dict()}
+                if owner.snapshot_fn is not None:
+                    payload["server"] = owner.snapshot_fn()
+                self._send(json.dumps(payload), "application/json")
+            elif parsed.path == "/traces":
+                query = parse_qs(parsed.query)
+                limit = int(query.get("limit", ["16"])[0])
+                payload = {
+                    "traces": owner.tracer.recorder.traces(limit=limit),
+                    "events": owner.tracer.recorder.events(limit=64),
+                }
+                self._send(json.dumps(payload), "application/json")
+            elif parsed.path == "/healthz":
+                self._send("ok\n", "text/plain")
+            else:
+                self._send("not found\n", "text/plain", status=404)
+        except Exception as exc:  # scrape must answer, not hang
+            self._send(f"error: {exc}\n", "text/plain", status=500)
+
+    def log_message(self, format: str, *args) -> None:
+        pass  # scrapes every few seconds would spam the serve log
+
+
+class MetricsServer:
+    """Threaded HTTP exposition of the registry + flight recorder."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 registry=None, tracer=None, snapshot_fn=None) -> None:
+        self.registry = registry or get_registry()
+        self.tracer = tracer or get_tracer()
+        self.snapshot_fn = snapshot_fn
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.owner = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,322 @@
+"""Unified metrics registry: typed instruments with labels.
+
+Every subsystem that used to keep its own ad-hoc counters
+(``ServerMetrics``, ``GroupMetrics``, chaos summaries, codec byte
+counts, the warm-cache hit/miss stats) now *also* feeds one process-
+wide :class:`MetricsRegistry`, without changing any existing
+``snapshot()`` / ``to_dict()`` shape.  The registry speaks two
+formats: Prometheus text exposition (``to_prometheus()``, served by
+``repro serve --metrics-port``) and plain JSON (``to_dict()``, served
+over the TCP ``op: "telemetry"`` surface for ``repro top``).
+
+Three instrument types ship, mirroring the Prometheus data model:
+
+* :class:`Counter` — monotonically increasing float (``inc``).
+* :class:`Gauge` — settable float (``set`` / ``inc``); gauges that
+  mirror external state (queue depth, cache stats) are refreshed at
+  scrape time by samplers registered with ``register_sampler``.
+* :class:`Histogram` — fixed cumulative buckets plus sum/count, the
+  shape Prometheus quantile queries expect.
+
+Instruments are allocated **once per label set** via ``labels()`` and
+cached; the hot path is a float add under no lock (the GIL makes the
+single-value update atomic enough for monitoring).  Nothing here is
+ever allocated per request — the overhead guard in
+``tests/test_telemetry.py`` pins that.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+]
+
+#: Cumulative bucket upper bounds (milliseconds) for latency histograms.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0,
+)
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_value(v: float) -> str:
+    if v == float("inf"):
+        return "+Inf"
+    if float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+class _Child:
+    """One concrete time series: an instrument bound to label values."""
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels: tuple) -> None:
+        self._labels = labels
+
+    def label_suffix(self, extra: tuple = ()) -> str:
+        pairs = tuple(self._labels) + tuple(extra)
+        if not pairs:
+            return ""
+        inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+        return "{" + inner + "}"
+
+
+class _CounterChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self, labels: tuple) -> None:
+        super().__init__(labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class _GaugeChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self, labels: tuple) -> None:
+        super().__init__(labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class _HistogramChild(_Child):
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, labels: tuple, buckets: tuple) -> None:
+        super().__init__(labels)
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+_CHILD_TYPES = {"counter": _CounterChild, "gauge": _GaugeChild}
+
+
+class _Family:
+    """A named metric family: ``labels(**kw)`` hands out cached children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: tuple = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: dict[tuple, _Child] = {}
+        self._lock = threading.Lock()
+        if not self.labelnames:
+            self._default = self._make_child(())
+            self._children[()] = self._default
+
+    def _make_child(self, labels: tuple) -> _Child:
+        return _CHILD_TYPES[self.kind](labels)
+
+    def labels(self, **labelvalues):
+        key = tuple((k, str(labelvalues[k])) for k in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child(key)
+                    self._children[key] = child
+        return child
+
+    def children(self) -> list[_Child]:
+        return list(self._children.values())
+
+
+class Counter(_Family):
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    @property
+    def value(self) -> float:
+        return sum(c.value for c in self.children())
+
+
+class Gauge(_Family):
+    kind = "gauge"
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    @property
+    def value(self) -> float:
+        return sum(c.value for c in self.children())
+
+
+class Histogram(_Family):
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, labelnames: tuple = (),
+                 buckets: tuple = DEFAULT_LATENCY_BUCKETS_MS) -> None:
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        super().__init__(name, help, labelnames)
+
+    def _make_child(self, labels: tuple) -> _HistogramChild:
+        return _HistogramChild(labels, self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+
+class MetricsRegistry:
+    """Process-wide home for metric families plus scrape-time samplers.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create by name:
+    two subsystems asking for the same family share it (label sets keep
+    their series apart), and re-registration with a different type is a
+    programming error surfaced immediately.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._samplers: list = []
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str, labelnames: tuple,
+                       **kwargs) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help, tuple(labelnames), **kwargs)
+                self._families[name] = family
+            elif not isinstance(family, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{family.kind}, not {cls.kind}")
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: tuple = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: tuple = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "", labelnames: tuple = (),
+                  buckets: tuple = DEFAULT_LATENCY_BUCKETS_MS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=buckets)
+
+    def register_sampler(self, fn) -> None:
+        """Register ``fn()`` to run before every collection (refreshes
+        gauges that mirror external state, e.g. cache stats)."""
+        with self._lock:
+            if fn not in self._samplers:
+                self._samplers.append(fn)
+
+    def _sample(self) -> None:
+        for fn in list(self._samplers):
+            try:
+                fn()
+            except Exception:  # a broken sampler must not kill a scrape
+                pass
+
+    def families(self) -> list[_Family]:
+        with self._lock:
+            return list(self._families.values())
+
+    @property
+    def num_series(self) -> int:
+        """Total concrete time series (instrument allocations) held."""
+        return sum(len(f.children()) for f in self.families())
+
+    def to_prometheus(self) -> str:
+        """Render the Prometheus text exposition format (0.0.4)."""
+        self._sample()
+        lines: list[str] = []
+        for family in sorted(self.families(), key=lambda f: f.name):
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for child in family.children():
+                if isinstance(child, _HistogramChild):
+                    cumulative = 0
+                    for bound, n in zip(
+                            tuple(child.buckets) + (float("inf"),),
+                            child.counts):
+                        cumulative += n
+                        suffix = child.label_suffix(
+                            (("le", _format_value(bound)),))
+                        lines.append(
+                            f"{family.name}_bucket{suffix} {cumulative}")
+                    base = child.label_suffix()
+                    lines.append(
+                        f"{family.name}_sum{base} "
+                        f"{_format_value(child.sum)}")
+                    lines.append(f"{family.name}_count{base} {child.count}")
+                else:
+                    suffix = child.label_suffix()
+                    lines.append(
+                        f"{family.name}{suffix} "
+                        f"{_format_value(child.value)}")
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> dict:
+        """JSON view: family -> list of ``{labels, value|histogram}``."""
+        self._sample()
+        out: dict = {}
+        for family in self.families():
+            series = []
+            for child in family.children():
+                entry: dict = {"labels": dict(child._labels)}
+                if isinstance(child, _HistogramChild):
+                    entry["sum"] = child.sum
+                    entry["count"] = child.count
+                    entry["buckets"] = {
+                        _format_value(b): n for b, n in zip(
+                            tuple(child.buckets) + (float("inf"),),
+                            child.counts)}
+                else:
+                    entry["value"] = child.value
+                series.append(entry)
+            out[family.name] = {
+                "type": family.kind, "help": family.help, "series": series}
+        return out
+
+    def reset(self) -> None:
+        """Drop every family and sampler (test isolation)."""
+        with self._lock:
+            self._families.clear()
+            self._samplers.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry every subsystem feeds."""
+    return _REGISTRY
