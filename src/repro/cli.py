@@ -9,6 +9,7 @@ Usage::
     python -m repro dataflow          # memory-traffic ablation
     python -m repro figures           # Fig. 1 / Fig. 2 diagrams
     python -m repro sweep             # sharded accuracy sweep (fabric)
+    python -m repro calibrate         # measure sparsity crossovers
     python -m repro serve             # async micro-batching server (TCP)
     python -m repro loadgen           # drive a server, report latency SLOs
     python -m repro worker            # TCP engine worker (join a fabric)
@@ -32,7 +33,19 @@ run to ``repro worker --join`` hosts, which enter as lanes *mid-run*;
 ``--stream out.jsonl`` emits one JSON line per completed shard
 (deployment, image range, cycles, running top-1) for live dashboards.
 Results are bit-identical for any lane mix, ``--shard-size`` or lane
-churn and are persisted in the artifact store.
+churn and are persisted in the artifact store.  ``--saturate`` sizes
+shards from measured per-image/per-batch/dispatch costs instead of a
+fixed ``--shard-size``, growing them until lanes spend their time
+computing rather than dispatching.
+
+``calibrate`` measures a deployment's sparse/dense crossover densities
+(per-layer dense fallback, popcount gather, COO wire encoding, backend
+routing point, fabric dispatch cost) from probe batches and persists the
+:class:`~repro.core.engine.calibrate.CalibrationTable` in the artifact
+store keyed by the model's content key.  Engines constructed afterwards
+— including ``--backend auto``, which routes each batch to ``sparse`` or
+``vectorized`` by observed density — pick the table up automatically;
+``--force`` re-measures an existing table.
 
 ``worker`` turns this host into a TCP engine worker, two ways:
 ``--listen host:port`` accepts drivers (sweeps or serving pools on
@@ -144,6 +157,32 @@ def _print_sweep(runner: ExperimentRunner, steps: tuple) -> None:
     else:
         print(f"\nall {summary.num_tasks} sweep cells served from the "
               "artifact store")
+
+
+def _run_calibrate(runner: ExperimentRunner, args) -> None:
+    spec = (args.models or [f"lenet:{_parse_steps(args.steps)[0]}"])[0]
+    name, _, table, cached = runner.calibrate_model(
+        spec, force=args.force, measure_dispatch=True)
+    print(f"calibration for {name} "
+          f"(content key {table.content_key[:12]})")
+    for label in sorted(table.hook_crossovers):
+        print(f"  {label:<24} dense fallback at "
+              f"{table.hook_crossovers[label]:.3f} active")
+    print(f"  {'popcount gather':<24} dense pass above "
+          f"{table.popcount_gather:.3f} nonzero")
+    print(f"  {'codec COO':<24} raw buffers above "
+          f"{table.coo_ratio:.3f} of raw bytes")
+    print(f"  {'backend routing':<24} auto picks sparse at <= "
+          f"{table.backend_crossover:.3f} input density")
+    if table.dispatch_cost_s is not None:
+        print(f"  {'fabric dispatch':<24} "
+              f"{table.dispatch_cost_s * 1e3:.3f} ms/unit")
+    if cached:
+        print("calibration table reused from the artifact store "
+              "(cache hit); --force re-measures")
+    else:
+        print("calibration table measured and persisted "
+              f"(artifact key calibration_{table.content_key[:12]}...)")
 
 
 def _serve_images(runner, count: int) -> np.ndarray:
@@ -505,8 +544,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "encoding", "dataflow",
-                 "figures", "sweep", "serve", "loadgen", "worker",
-                 "deployments", "rollout", "top", "all"],
+                 "figures", "sweep", "calibrate", "serve", "loadgen",
+                 "worker", "deployments", "rollout", "top", "all"],
         help="which experiment to run")
     parser.add_argument("--no-vgg", action="store_true",
                         help="skip the VGG-11 row of table3")
@@ -562,6 +601,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shard-size", type=_positive_int, default=64,
                         metavar="M",
                         help="images per sweep work unit (default: 64)")
+    parser.add_argument("--saturate", action="store_true",
+                        help="sweep: size shards from measured "
+                             "per-image, per-batch and calibrated "
+                             "dispatch costs, growing them until lanes "
+                             "saturate (overrides --shard-size)")
+    parser.add_argument("--force", action="store_true",
+                        help="calibrate: re-measure even when a table "
+                             "for this deployment already exists")
     parser.add_argument("--steps", default="3,4", metavar="T,T,...",
                         help="spike-train lengths for the sweep command "
                              "(default: 3,4; serve/loadgen deploy the "
@@ -657,10 +704,12 @@ def main(argv: list[str] | None = None) -> int:
 
     # --backend drives the trace-level sims; accuracy scoring stays on
     # the vectorized engine (full test sets are intractable on the
-    # reference model) — except for the sweep command itself, where the
-    # flag explicitly names the engine the sweep runs.
+    # reference model) — except for the fabric commands (sweep, serve,
+    # loadgen), where the flag explicitly names the lane engine: every
+    # backend is bit-identical, so `--backend sparse` or `--backend
+    # auto` only changes speed, never a score or a served prediction.
     score_backend = "vectorized"
-    if args.experiment == "sweep" and args.backend:
+    if args.backend and args.experiment in ("sweep", "serve", "loadgen"):
         score_backend = args.backend
     stream_fh = None
     sweep_stream = None
@@ -678,6 +727,7 @@ def main(argv: list[str] | None = None) -> int:
         score_backend=score_backend,
         sweep_workers=args.workers,
         sweep_shard_size=args.shard_size,
+        sweep_saturate=args.saturate,
         sweep_stream=sweep_stream,
         sweep_accept=args.accept,
         fabric_token=args.token,
@@ -693,6 +743,7 @@ def main(argv: list[str] | None = None) -> int:
         "dataflow": lambda: _print_dataflow(runner),
         "figures": lambda: _print_figures(runner),
         "sweep": lambda: _print_sweep(runner, _parse_steps(args.steps)),
+        "calibrate": lambda: _run_calibrate(runner, args),
         "serve": lambda: _run_serve(runner, args),
         "loadgen": lambda: _run_loadgen(runner, args),
         "worker": lambda: _run_worker(args),
@@ -703,8 +754,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.experiment == "all":
             for name, fn in dispatch.items():
-                if name in ("sweep", "serve", "loadgen", "worker",
-                            "deployments", "rollout", "top"):
+                if name in ("sweep", "calibrate", "serve", "loadgen",
+                            "worker", "deployments", "rollout", "top"):
                     continue  # sweep covered by table1; deployments
                     # re-trains serving models; the rest are daemons
                 print(f"\n===== {name} =====")

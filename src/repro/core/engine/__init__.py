@@ -8,12 +8,19 @@ Importing this package registers the built-in backends:
   batched numpy tensor ops with identical integer semantics and traces;
 * ``sparse`` — :class:`~repro.core.engine.sparse.SparseEngine`,
   the vectorized semantics restricted to active spike planes: all-zero
-  images/patches/taps are skipped, bits and traces unchanged.
+  images/patches/taps are skipped, bits and traces unchanged;
+* ``auto`` — :class:`~repro.core.engine.auto.AutoEngine`, which routes
+  each batch to ``sparse`` or ``vectorized`` by its observed density
+  using the deployment's calibrated crossover.
 
 Select one with ``Accelerator(config, backend="vectorized")`` or
-``create_engine("vectorized", compiled)``.
+``create_engine("vectorized", compiled)``.  ``repro calibrate`` (or
+:func:`~repro.core.engine.calibrate.calibrate_deployment`) measures the
+sparse/dense crossovers per deployment and persists them; engines pick
+installed tables up automatically at construction.
 """
 
+from repro.core.engine.auto import AutoEngine
 from repro.core.engine.base import (
     ExecutionEngine,
     available_backends,
@@ -28,12 +35,25 @@ from repro.core.engine.cache import (
     warm_compile,
     warm_engine,
 )
+from repro.core.engine.calibrate import (
+    CalibrationTable,
+    EngineThresholds,
+    calibrate_deployment,
+    calibration_store_key,
+    clear_calibration_tables,
+    install_table,
+    lookup_table,
+    thresholds_for,
+)
 from repro.core.engine.reference import ReferenceEngine
 from repro.core.engine.sparse import SparseEngine
 from repro.core.engine.trace import ExecutionTrace, LayerTrace, TraceMerge
 from repro.core.engine.vectorized import VectorizedEngine
 
 __all__ = [
+    "AutoEngine",
+    "CalibrationTable",
+    "EngineThresholds",
     "ExecutionEngine",
     "ExecutionTrace",
     "LayerTrace",
@@ -42,12 +62,18 @@ __all__ = [
     "SparseEngine",
     "VectorizedEngine",
     "available_backends",
+    "calibrate_deployment",
+    "calibration_store_key",
+    "clear_calibration_tables",
     "clear_engine_cache",
     "create_engine",
     "engine_cache_stats",
+    "install_table",
+    "lookup_table",
     "network_fingerprint",
     "register_engine",
     "resolve_backend",
+    "thresholds_for",
     "warm_compile",
     "warm_engine",
 ]

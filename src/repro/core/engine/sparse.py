@@ -30,21 +30,30 @@ claims against the reference engine.
 
 When a layer's activations are actually dense the gather bookkeeping
 is pure overhead, so each hook falls back to the parent's dense kernel
-above :data:`DENSE_FALLBACK_DENSITY` active rows/columns.
+above a density threshold.  The thresholds are *calibrated*: when a
+:class:`~repro.core.engine.calibrate.CalibrationTable` is installed for
+this deployment, each layer gets its own measured crossover (and the
+popcount gather its own); otherwise the historical constants apply
+(:data:`DENSE_FALLBACK_DENSITY`, popcount gather at 0.5).  Thresholds
+only choose *which* exact kernel runs, so calibration can never change
+an output bit.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.calibration import DEFAULT_LATENCY
 from repro.core.engine.base import register_engine
+from repro.core.engine.calibrate import EngineThresholds, thresholds_for
 from repro.core.engine.vectorized import VectorizedEngine, _popcount
 from repro.nn import functional as F
 
 __all__ = ["SparseEngine", "DENSE_FALLBACK_DENSITY"]
 
-#: Above this fraction of active rows/columns, gather/scatter loses to
-#: the dense GEMM and the hooks defer to the parent implementation.
+#: The uncalibrated default: above this fraction of active rows/columns,
+#: gather/scatter loses to the dense GEMM and the hooks defer to the
+#: parent implementation.  A calibration table overrides it per layer.
 DENSE_FALLBACK_DENSITY = 0.85
 
 
@@ -54,17 +63,37 @@ class SparseEngine(VectorizedEngine):
 
     name = "sparse"
 
+    def __init__(self, compiled, calibration=DEFAULT_LATENCY) -> None:
+        super().__init__(compiled, calibration)
+        self.apply_thresholds(thresholds_for(compiled, calibration))
+
+    def apply_thresholds(self, thresholds: EngineThresholds) -> None:
+        """Adopt (re-)calibrated crossovers; outputs are unaffected."""
+        self.thresholds = thresholds
+        self._popcount_gather = thresholds.popcount_gather
+        self._fallback_default = thresholds.dense_fallback
+        self._fallback_by_spec = {
+            id(program.spec): thresholds.for_layer(program.name,
+                                                   program.kind)
+            for program in self.compiled.programs
+            if program.kind in ("conv", "linear")
+        }
+
+    def _fallback_for(self, spec) -> float:
+        return self._fallback_by_spec.get(id(spec),
+                                          self._fallback_default)
+
     # -- compute hooks -------------------------------------------------
     def _conv_acc(self, spec, x: np.ndarray) -> np.ndarray:
         n = x.shape[0]
         c_out, h_out, w_out = spec.out_shape
+        threshold = self._fallback_for(spec)
         live = x.reshape(n, -1).any(axis=1)
         acc = np.zeros((n, c_out, h_out, w_out), dtype=np.int64)
         if not live.any():
             return acc
         if live.all():
-            if (np.count_nonzero(x)
-                    > x.size * DENSE_FALLBACK_DENSITY):
+            if np.count_nonzero(x) > x.size * threshold:
                 return super()._conv_acc(spec, x)
             xs = x  # all live: skip the gather copy
         else:
@@ -75,7 +104,7 @@ class SparseEngine(VectorizedEngine):
         flat = cols.reshape(m * p, k)
         active = flat.any(axis=1)
         flat_k = spec.weights.reshape(c_out, -1).astype(np.float64)
-        if active.mean() > DENSE_FALLBACK_DENSITY:
+        if active.mean() > threshold:
             prod = np.rint(flat @ flat_k.T).astype(np.int64)
         else:
             prod = np.zeros((m * p, c_out), dtype=np.int64)
@@ -106,7 +135,7 @@ class SparseEngine(VectorizedEngine):
             return np.zeros((n, spec.out_features), dtype=np.int64)
         xs = x if live.all() else x[live]
         taps = xs.any(axis=0)
-        if taps.mean() > DENSE_FALLBACK_DENSITY:
+        if taps.mean() > self._fallback_for(spec):
             out = super()._linear_acc(spec, xs)
         else:
             out = np.rint(
@@ -126,8 +155,8 @@ class SparseEngine(VectorizedEngine):
         flat = x.reshape(n, -1)
         # The gather (nonzero + fancy indexing) costs about one dense
         # pass; with T passes saved on the zeros it wins only while
-        # most entries are zero.
-        if np.count_nonzero(flat) * 2 > flat.size:
+        # most entries are zero.  The crossover is calibrated.
+        if np.count_nonzero(flat) > flat.size * self._popcount_gather:
             return super()._popcount_sum(x, t, weights, axis)
         idx_n, idx_f = np.nonzero(flat)
         if idx_n.size == 0:

@@ -144,6 +144,7 @@ class ExperimentRunner:
         score_backend: str = "vectorized",
         sweep_workers: int | list = 1,
         sweep_shard_size: int = 64,
+        sweep_saturate: bool = False,
         sweep_stream=None,
         sweep_accept: tuple[str, int] | None = None,
         fabric_token: str | None = None,
@@ -154,6 +155,7 @@ class ExperimentRunner:
         self.score_backend = score_backend
         self.sweep_workers = sweep_workers
         self.sweep_shard_size = sweep_shard_size
+        self.sweep_saturate = sweep_saturate
         self.sweep_stream = sweep_stream
         self.sweep_accept = sweep_accept
         self.fabric_token = fabric_token
@@ -174,10 +176,33 @@ class ExperimentRunner:
         """A driver wired to this runner's store and worker settings."""
         return SweepDriver(workers=self.sweep_workers,
                            shard_size=self.sweep_shard_size,
+                           saturate=self.sweep_saturate,
                            store=self.store,
                            stream=self.sweep_stream,
                            accept=self.sweep_accept,
                            token=self.fabric_token)
+
+    def calibrate_model(self, spec: str = "lenet:3", *,
+                        force: bool = False,
+                        measure_dispatch: bool = False, **kwargs):
+        """Measure (or reload) a model's sparsity calibration table.
+
+        Resolves ``spec`` like every other deployment entry point, then
+        runs :func:`~repro.core.engine.calibrate.calibrate_deployment`
+        against this runner's artifact store under the exact
+        ``AcceleratorConfig.for_network`` config the sweeps and servers
+        deploy — so the persisted table's ``content_key`` is the one
+        their warm engines look up.  Returns ``(canonical name, snn,
+        table, cached)``.
+        """
+        from repro.core.engine.calibrate import calibrate_deployment
+
+        name, snn, _ = self.resolve_model(spec)
+        config = AcceleratorConfig.for_network(snn.network)
+        table, cached = calibrate_deployment(
+            snn.network, config, store=self.store, force=force,
+            measure_dispatch=measure_dispatch, **kwargs)
+        return name, snn, table, cached
 
     def _score_entries(
         self, entries: list[tuple[str, SNNModel, Dataset]]

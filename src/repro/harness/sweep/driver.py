@@ -40,6 +40,7 @@ requesting another.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass
@@ -47,6 +48,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.engine import warm_engine
+from repro.core.engine.cache import content_key
+from repro.core.engine.calibrate import (
+    DEFAULT_DISPATCH_COST_S,
+    lookup_table,
+)
 from repro.errors import ConfigurationError
 from repro.harness.artifacts import ArtifactStore
 from repro.harness.sweep.work import (
@@ -73,6 +79,11 @@ __all__ = ["SweepDriver", "SweepProgress", "SweepSummary"]
 #: granularity that a straggling shard cannot tail-block the pool, few
 #: enough that per-unit overhead stays negligible.
 _ADAPTIVE_UNITS_PER_WORKER = 8
+
+#: Saturation-aware sizing grows shards until per-unit overhead (batch
+#: setup + fabric dispatch) drops below this fraction of the unit's
+#: compute time — the lane spends >= 95 % of its wall clock computing.
+_SATURATE_OVERHEAD_FRACTION = 0.05
 
 
 @dataclass(frozen=True)
@@ -103,8 +114,10 @@ class SweepSummary:
     cached_tasks: int
     wall_s: float
     adaptive: bool = False
-    #: Per-task shard sizes chosen by the adaptive probe (key -> images
-    #: per unit); ``None`` for fixed-size runs.
+    #: True when shard sizes came from the saturation-aware sizer.
+    saturate: bool = False
+    #: Per-task shard sizes chosen by the adaptive/saturating probe
+    #: (key -> images per unit); ``None`` for fixed-size runs.
     task_shard_sizes: dict | None = None
     #: The lane specs the fabric ran on (("thread",), ("process", ...)).
     executors: tuple = ()
@@ -151,8 +164,20 @@ class SweepDriver:
         lists (a VGG cell next to LeNet cells) then finish together
         instead of the expensive task tail-blocking the pool.  Results
         remain bit-identical — shard boundaries never affect the merge.
+    saturate:
+        Saturation-aware shard sizing (mutually exclusive with
+        ``adaptive``): probe each task's per-image *and* per-batch cost
+        inline, add the deployment's calibrated fabric dispatch cost
+        (from its :class:`~repro.core.engine.calibrate.CalibrationTable`
+        when one exists), and grow shards until per-unit overhead falls
+        below 5 % of unit compute — lanes then spend their wall clock
+        computing, not dispatching.  Matters most for cheap-per-image
+        work (sparse/event workloads) where a fixed shard size leaves
+        lanes dominated by dispatch.  Results remain bit-identical —
+        shard boundaries never affect the merge.
     probe_images:
-        Images per adaptive cost probe (clamped to the task size).
+        Images per adaptive/saturating cost probe (clamped to the task
+        size).
     steal:
         Let idle lanes steal queued units from busy peers (default).
         Turning it off pins units to their initially assigned lane —
@@ -185,6 +210,7 @@ class SweepDriver:
         store: ArtifactStore | None = None,
         progress=None,
         adaptive: bool = False,
+        saturate: bool = False,
         probe_images: int = 4,
         steal: bool = True,
         heartbeat_s: float = 2.0,
@@ -195,10 +221,15 @@ class SweepDriver:
         if probe_images < 1:
             raise ConfigurationError(
                 f"probe_images must be >= 1, got {probe_images}")
+        if adaptive and saturate:
+            raise ConfigurationError(
+                "adaptive and saturate shard sizing are mutually "
+                "exclusive — pick one")
         self.worker_specs = normalize_worker_specs(workers)
         self.workers = workers
         self.shard_size = shard_size
         self.adaptive = adaptive
+        self.saturate = saturate
         self.probe_images = probe_images
         self.steal = steal
         self.heartbeat_s = heartbeat_s
@@ -255,6 +286,10 @@ class SweepDriver:
                 sizes = self._adaptive_shard_sizes(pending)
                 task_shard_sizes = {task.key: size for task, size
                                     in zip(pending, sizes)}
+            elif self.saturate:
+                sizes = self._saturating_shard_sizes(pending)
+                task_shard_sizes = {task.key: size for task, size
+                                    in zip(pending, sizes)}
             units = shard_tasks(pending, sizes)
             results = self._run_fabric(pending, units, fabric, group)
             for task, outcome in zip(pending,
@@ -272,6 +307,7 @@ class SweepDriver:
             cached_tasks=len(tasks) - len(pending),
             wall_s=time.perf_counter() - started,
             adaptive=self.adaptive,
+            saturate=self.saturate,
             task_shard_sizes=task_shard_sizes,
             executors=tuple(self.worker_specs),
             worker_crashes=fabric["crashes"],
@@ -316,6 +352,70 @@ class SweepDriver:
             sizes.append(max(1, min(size, task.num_images,
                                     4 * self.shard_size)))
         return sizes
+
+    def _saturating_shard_sizes(self, tasks) -> list[int]:
+        """Grow shards until per-unit overhead stops mattering.
+
+        Every work unit pays a fixed tax — the engine's per-batch setup
+        plus the fabric's dispatch cost (submit, transfer, result
+        shipping).  The adaptive sizer ignores that tax; on cheap
+        sparse/event workloads it dominates, and lanes spend their time
+        dispatching instead of computing.  This sizer measures each
+        task's per-image and per-batch cost inline (batch-of-1 vs
+        batch-of-K on the warm engine, best of three so a stray
+        scheduler hiccup cannot skew the split; the K probe images are
+        strided across the whole stream, since event workloads bunch
+        silent and live frames and the head alone misleads), takes the
+        dispatch cost from the
+        deployment's calibration table when ``repro calibrate`` has
+        measured one (:data:`DEFAULT_DISPATCH_COST_S` otherwise), and
+        picks the smallest shard where overhead is under
+        :data:`_SATURATE_OVERHEAD_FRACTION` of unit compute — capped so
+        every lane still gets at least two units to balance across.
+        Only scheduling changes; the merge is bit-identical regardless.
+        """
+        lanes = max(len(self.worker_specs), 1)
+        sizes = []
+        for task in tasks:
+            engine = warm_engine(task.network, task.config, task.backend,
+                                 task.calibration)
+            k = min(max(self.probe_images * 4, 16), task.num_images)
+            stride = max(task.num_images // k, 1)
+            sample = task.images[::stride][:k]
+            t1 = min(self._timed(engine, sample[:1])
+                     for _ in range(5))
+            per_image = max(t1, 1e-9)
+            per_batch = 0.0
+            if k > 1:
+                tk = min(self._timed(engine, sample)
+                         for _ in range(5))
+                # The marginal estimate subtracts two noisy timings, so
+                # pin it to its physical bounds: one image can never
+                # cost more than a whole batch-of-1 run (t1, which also
+                # pays the batch setup) nor less than half the naive
+                # per-image average — a scheduler spike in tk or t1
+                # otherwise poisons the split and the shard size with it.
+                per_image = (tk - t1) / (k - 1)
+                per_image = max(min(per_image, t1), tk / (2 * k), 1e-9)
+                per_batch = max(t1 - per_image, 0.0)
+            table = lookup_table(content_key(
+                task.network, task.config, task.calibration))
+            dispatch = DEFAULT_DISPATCH_COST_S
+            if table is not None and table.dispatch_cost_s:
+                dispatch = table.dispatch_cost_s
+            overhead = per_batch + dispatch
+            amortized = math.ceil(
+                overhead / (_SATURATE_OVERHEAD_FRACTION * per_image))
+            balance_cap = math.ceil(task.num_images / (lanes * 2))
+            sizes.append(max(1, min(amortized, balance_cap,
+                                    task.num_images)))
+        return sizes
+
+    @staticmethod
+    def _timed(engine, images) -> float:
+        start = time.perf_counter()
+        engine.run_batch(images)
+        return time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # Execution: hand the units to the worker fabric

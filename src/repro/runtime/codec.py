@@ -61,6 +61,7 @@ import base64
 import hashlib
 import hmac
 import json
+import os
 import pickle
 import struct
 
@@ -69,6 +70,7 @@ import numpy as np
 from repro.errors import CodecError
 
 __all__ = [
+    "DEFAULT_COO_RATIO",
     "FRAME_MAGIC",
     "FRAME_PREFIX_LEN",
     "attach_token",
@@ -82,8 +84,10 @@ __all__ = [
     "encode_frame",
     "encode_line",
     "fabric_auth",
+    "get_coo_ratio",
     "parse_frame_prefix",
     "read_frame",
+    "set_coo_ratio",
 ]
 
 
@@ -188,22 +192,55 @@ _WIRE_DTYPES = frozenset({
 #: slack for the longer descriptor).
 _SPARSE_MIN_ELEMENTS = 256
 
+#: An array ships as COO when its COO bytes come in under this fraction
+#: of the raw buffer (slack covers the longer descriptor).  Resolution
+#: order: ``coo_ratio=`` keyword on :func:`encode_frame`, then the
+#: ``REPRO_COO_RATIO`` environment pin, then the calibrated value wired
+#: in by :func:`~repro.core.engine.calibrate.install_table` via
+#: :func:`set_coo_ratio`, then this default.
+DEFAULT_COO_RATIO = 0.9
+_COO_RATIO_PINNED = "REPRO_COO_RATIO" in os.environ
+_COO_RATIO = float(os.environ.get("REPRO_COO_RATIO", DEFAULT_COO_RATIO))
 
-def _sparse_wins(array: np.ndarray, nnz: int) -> bool:
+
+def get_coo_ratio() -> float:
+    """The COO-vs-raw byte ratio currently in effect."""
+    return _COO_RATIO
+
+
+def set_coo_ratio(ratio: float, force: bool = False) -> None:
+    """Adopt a (calibrated) COO byte-ratio threshold, process-wide.
+
+    A ``REPRO_COO_RATIO`` environment pin outranks calibration and makes
+    this a no-op unless ``force`` is set.  Encoding choice only affects
+    wire bytes — either representation rebuilds the array
+    byte-for-byte.
+    """
+    global _COO_RATIO
+    if _COO_RATIO_PINNED and not force:
+        return
+    _COO_RATIO = float(ratio)
+
+
+def _sparse_wins(array: np.ndarray, nnz: int,
+                 ratio: float | None = None) -> bool:
     """Whether COO encoding beats the raw buffer for this array."""
     if array.size < _SPARSE_MIN_ELEMENTS or array.size >= 1 << 32:
         return False
     coo_bytes = nnz * (4 + array.itemsize)
-    return coo_bytes < array.nbytes * 0.9
+    return coo_bytes < array.nbytes * (
+        _COO_RATIO if ratio is None else ratio)
 
 
 def encode_frame(payload: dict,
-                 arrays: dict[str, np.ndarray] | None = None) -> bytes:
+                 arrays: dict[str, np.ndarray] | None = None,
+                 *, coo_ratio: float | None = None) -> bytes:
     """One binary frame: JSON header + raw array buffers.
 
     ``arrays`` ride outside the JSON as contiguous buffers (or lossless
     COO index/value pairs when mostly zero); ``payload`` must be
-    JSON-serializable.  The inverse is :func:`decode_frame`.
+    JSON-serializable.  ``coo_ratio`` overrides the COO-vs-raw
+    threshold for this frame only.  The inverse is :func:`decode_frame`.
     """
     descriptors: dict[str, dict] = {}
     buffers: list[bytes | memoryview] = []
@@ -226,7 +263,7 @@ def encode_frame(payload: dict,
         descriptor = {"dtype": dtype, "shape": list(array.shape)}
         flat = array.reshape(-1)
         nnz = int(np.count_nonzero(flat)) if array.size else 0
-        if _sparse_wins(array, nnz):
+        if _sparse_wins(array, nnz, coo_ratio):
             indices = np.flatnonzero(flat).astype(np.uint32)
             values = np.ascontiguousarray(flat[indices])
             descriptor["enc"] = "coo"

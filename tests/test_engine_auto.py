@@ -1,0 +1,127 @@
+"""The ``auto`` backend: density routing that can never change a bit.
+
+Pinned here:
+
+* ``auto`` is a first-class registry entry and routes exactly at the
+  calibrated crossover — sparse at/below, vectorized above;
+* every routing decision lands on the telemetry counter
+  ``engine_auto_routed_total{backend=...}``;
+* the fabric contract extends to ``auto`` as a lane attribute: a
+  mixed-density work stream through a thread+process+remote lane mix
+  merges bit-identically to a serial ``vectorized`` run.
+"""
+
+import numpy as np
+
+from repro.core import AcceleratorConfig
+from repro.core.calibration import DEFAULT_LATENCY
+from repro.core.engine import (
+    AutoEngine,
+    CalibrationTable,
+    available_backends,
+    clear_calibration_tables,
+    create_engine,
+    install_table,
+    warm_compile,
+)
+from repro.core.engine.cache import content_key
+from repro.core.engine.calibrate import probe_batch
+from repro.models import performance_network
+from repro.runtime import Deployment, WorkItem, WorkerGroup, WorkerServer
+from repro.runtime import create_workers
+from repro.telemetry import get_registry
+
+import pytest
+
+
+def tiny_network(rng, num_steps=3):
+    return performance_network(
+        [("conv", 4, 3, 1, 1), ("pool", 2), ("flatten",), ("linear", 5)],
+        input_shape=(1, 8, 8), num_steps=num_steps,
+        seed=int(rng.integers(1 << 16)))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_tables():
+    clear_calibration_tables()
+    yield
+    clear_calibration_tables()
+
+
+def _routed_total(backend: str) -> float:
+    return get_registry().counter(
+        "engine_auto_routed_total",
+        labelnames=("backend",)).labels(backend=backend).value
+
+
+def test_auto_is_registered():
+    assert "auto" in available_backends()
+
+
+def test_routes_at_the_calibrated_crossover(rng):
+    net = tiny_network(rng)
+    config = AcceleratorConfig.for_network(net)
+    install_table(CalibrationTable(
+        content_key=content_key(net, config, DEFAULT_LATENCY),
+        backend_crossover=0.5))
+    engine = create_engine("auto", warm_compile(net, config))
+    assert isinstance(engine, AutoEngine)
+    assert engine.route_density == 0.5
+    shape = tuple(net.input_shape)
+    quiet = probe_batch(shape, 0.05, 4, rng)
+    loud = probe_batch(shape, 0.9, 4, rng)
+    assert engine.select_backend(quiet) == "sparse"
+    assert engine.select_backend(loud) == "vectorized"
+
+    sparse_before = _routed_total("sparse")
+    vec_before = _routed_total("vectorized")
+    engine.run_batch(quiet)
+    engine.run_batch(quiet)
+    engine.run_batch(loud)
+    assert engine.last_backend == "vectorized"
+    assert _routed_total("sparse") == sparse_before + 2
+    assert _routed_total("vectorized") == vec_before + 1
+
+
+def test_mixed_density_stream_merges_bit_identically(rng):
+    """The satellite contract: auto on a thread+process+remote mix ==
+    serial vectorized, logits and merged traces alike."""
+    net = tiny_network(rng)
+    config = AcceleratorConfig.for_network(net)
+    shape = tuple(net.input_shape)
+    # A mixed-density stream: silent, quiet event frames, and dense
+    # batches interleaved, so auto routes both ways mid-run.
+    batches = [probe_batch(shape, d, 3, rng, silent_frac=s)
+               for d, s in ((0.02, 0.5), (0.9, 0.0), (0.05, 1.0),
+                            (0.5, 0.0), (0.1, 0.2), (0.8, 0.0))]
+    items = [WorkItem(item_id=i, deployment=0, images=images)
+             for i, images in enumerate(batches)]
+
+    def run(backend, workers):
+        deployment = Deployment(network=net, config=config,
+                                backend=backend)
+        with WorkerGroup(workers, deployments=[deployment]) as group:
+            return group.run(items)
+
+    baseline = run("vectorized", create_workers(["thread"]))
+    server = WorkerServer().start()
+    try:
+        mixed = run("auto", create_workers(
+            ["thread", "process", f"127.0.0.1:{server.port}"]))
+    finally:
+        server.close()
+    for base, other in zip(baseline, mixed):
+        np.testing.assert_array_equal(base.logits, other.logits)
+        assert base.merged_trace() == other.merged_trace()
+
+
+def test_auto_empty_and_check_batch(rng):
+    net = tiny_network(rng)
+    engine = create_engine(
+        "auto", warm_compile(net, AcceleratorConfig.for_network(net)))
+    silent = np.zeros((2,) + tuple(net.input_shape))
+    logits, traces = engine.run_batch(silent)
+    assert engine.last_backend == "sparse"
+    ref_logits, _ = engine._dense.run_batch(silent)
+    np.testing.assert_array_equal(logits, ref_logits)
+    assert len(traces) == 2
