@@ -6,18 +6,32 @@ naive sliding-window engine that re-reads the receptive field per output
 pixel.  The timed kernel is one functional convolution-unit pass.
 """
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.core import AcceleratorConfig, ConvUnit
 from repro.encoding import radix
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_artifact
+
+RESULTS_PATH = (Path(__file__).resolve().parent.parent
+                / "artifacts" / "bench_dataflow_ablation.json")
 
 
 def test_dataflow_ablation_report(runner, benchmark):
     result = runner.run_dataflow_ablation()
     print_table(result["table"])
     summary = result["summary"]
+    write_artifact(RESULTS_PATH, {
+        "rowwise_activation_read_bits":
+            summary.rowwise.activation_read_bits,
+        "naive_activation_read_bits": summary.naive.activation_read_bits,
+        "activation_read_reduction": summary.activation_read_reduction,
+        "rowwise_kernel_read_values": summary.rowwise.kernel_read_values,
+        "naive_kernel_read_values": summary.naive.kernel_read_values,
+        "kernel_read_reduction": summary.kernel_read_reduction,
+    })
     assert summary.activation_read_reduction > 5.0, \
         "row reuse must cut activation reads by the kernel-size factor"
     assert summary.kernel_read_reduction > 1.5

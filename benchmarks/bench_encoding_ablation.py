@@ -8,17 +8,32 @@ step ratio and efficiency gain.  The timed kernel is radix encode+decode
 throughput over a full activation tensor.
 """
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.encoding import radix
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_artifact
+
+RESULTS_PATH = (Path(__file__).resolve().parent.parent
+                / "artifacts" / "bench_encoding_ablation.json")
 
 
 def test_encoding_ablation_report(runner, benchmark):
     result = runner.run_encoding_ablation()
     print_table(result["table"])
     comparison = result["comparison"]
+    write_artifact(RESULTS_PATH, {
+        "target_accuracy": comparison.target_accuracy,
+        "radix_steps": comparison.radix_steps,
+        "rate_steps": comparison.rate_steps,
+        "efficiency_gain": comparison.efficiency_gain,
+        "curves": {
+            curve.encoding: {"num_steps": list(curve.num_steps),
+                             "accuracies": list(curve.accuracies)}
+            for curve in (result["radix"], result["rate"])},
+    })
     print(f"target accuracy : {comparison.target_accuracy * 100:.2f}%")
     print(f"radix needs T = {comparison.radix_steps}")
     print(f"rate  needs T = {comparison.rate_steps}")

@@ -24,10 +24,15 @@ from repro.core import (
     compile_network,
     trace_energy,
 )
+from pathlib import Path
+
 from repro.core.config import MemoryConfig
 from repro.harness import Table
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_artifact
+
+RESULTS_PATH = (Path(__file__).resolve().parent.parent
+                / "artifacts" / "bench_energy_ablation.json")
 
 NUM_IMAGES = 3  # reference engine: seconds/image; enough for an average
 
@@ -68,6 +73,21 @@ def test_energy_ablation_report(runner, benchmark):
     constants = EnergyConstants()
     dsp_ratio = constants.multiplier_op_pj / constants.adder_op_pj
     print(f"adder vs DSP-multiply energy per op: {dsp_ratio:.1f}x")
+
+    write_artifact(RESULTS_PATH, {
+        "num_images": NUM_IMAGES,
+        "adder_vs_dsp_ratio": dsp_ratio,
+        "breakdown_uj_per_image": {
+            label: {"compute": e.compute_pj * 1e-6 / n,
+                    "onchip_memory": e.onchip_memory_pj * 1e-6 / n,
+                    "dram": e.dram_pj * 1e-6 / n,
+                    "accumulator": e.accumulator_pj * 1e-6 / n,
+                    "total": e.total_uj / n,
+                    "dominant": e.dominant()}
+            for label, e, n in (
+                ("onchip", e_onchip, merge_onchip.num_images),
+                ("streamed", e_stream, merge_stream.num_images))},
+    })
 
     assert merge_onchip.num_images == NUM_IMAGES
     assert e_onchip.dram_pj == 0.0

@@ -20,13 +20,17 @@ per-step simulation; the printed wall time records that on every run.
 """
 
 import time
+from pathlib import Path
 
 from repro.baselines import estimate_event_driven
 from repro.core import AcceleratorConfig, Controller, LatencyModel, \
     compile_network
 from repro.harness import Table
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_artifact
+
+RESULTS_PATH = (Path(__file__).resolve().parent.parent
+                / "artifacts" / "bench_event_driven.json")
 
 NUM_IMAGES = 3
 
@@ -81,6 +85,20 @@ def test_event_driven_report(runner, benchmark):
           f"images x T={snn.num_steps} in {spike_sim_s * 1e3:.0f} ms "
           "(fused per-layer step currents; the Python loop only "
           "shift-integrates)")
+
+    write_artifact(RESULTS_PATH, {
+        "num_images": NUM_IMAGES,
+        "spike_sim_s": spike_sim_s,
+        "events_per_layer": events_per_layer,
+        "event_driven_radix": {"events": event_est.total_events,
+                               "updates": event_est.total_updates,
+                               "latency_us": event_est.latency_us},
+        "event_driven_rate_t16": {"events": rate_est.total_events,
+                                  "updates": rate_est.total_updates,
+                                  "latency_us": rate_est.latency_us},
+        "this_work_latency_us": ours_us,
+        "this_work_measured_us": measured_us,
+    })
 
     # The structural claims: in its actual operating mode (rate coding at
     # the T the encoding ablation found necessary) the event-driven engine

@@ -8,10 +8,15 @@ single point of catastrophic failure.  The timed kernel is one
 fault-injection + evaluation round.
 """
 
+from pathlib import Path
+
 from repro.analysis import sensitivity_curve
 from repro.harness import Table
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_artifact
+
+RESULTS_PATH = (Path(__file__).resolve().parent.parent
+                / "artifacts" / "bench_fault_injection.json")
 
 
 def test_fault_injection_report(runner, benchmark):
@@ -29,6 +34,12 @@ def test_fault_injection_report(runner, benchmark):
         table.add_row(f"{point.flip_fraction:.3f}",
                       f"{point.num_flips:,}", point.accuracy * 100)
     print_table(table)
+    write_artifact(RESULTS_PATH, {
+        "baseline_accuracy": baseline_acc,
+        "curve": [{"flip_fraction": point.flip_fraction,
+                   "num_flips": point.num_flips,
+                   "accuracy": point.accuracy} for point in curve],
+    })
 
     accs = [p.accuracy for p in curve]
     assert accs[0] > 0.9, "baseline must be intact"

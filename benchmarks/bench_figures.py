@@ -7,10 +7,17 @@ full inference (the timed kernel), confirming it matches the SNN
 reference.
 """
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.core import Accelerator, AcceleratorConfig
 from repro.harness import render_conv_unit, render_overview
+
+from benchmarks.conftest import write_artifact
+
+RESULTS_PATH = (Path(__file__).resolve().parent.parent
+                / "artifacts" / "bench_figures.json")
 
 
 def test_figures_report(runner, benchmark):
@@ -37,3 +44,9 @@ def test_figures_report(runner, benchmark):
     print(f"\nfunctional model: {cycles:,} cycles "
           f"({cycles / config.clock_mhz:.0f} us at "
           f"{config.clock_mhz:.0f} MHz), bit-exact to the SNN reference")
+    write_artifact(RESULTS_PATH, {
+        "cycles": cycles,
+        "clock_mhz": config.clock_mhz,
+        "latency_us": cycles / config.clock_mhz,
+        "bit_exact": True,
+    })

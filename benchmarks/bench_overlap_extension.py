@@ -8,12 +8,17 @@ layer sequence.  (These are what-if estimates on top of the calibrated
 model — clearly separated from the reproduction numbers.)
 """
 
+from pathlib import Path
+
 from repro.core import AcceleratorConfig
 from repro.core.pipeline import pipelined_throughput, prefetch_latency
 from repro.harness import Table
 from repro.models import vgg11_performance_network
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_artifact
+
+RESULTS_PATH = (Path(__file__).resolve().parent.parent
+                / "artifacts" / "bench_overlap_extension.json")
 
 
 def test_overlap_extension_report(runner, benchmark):
@@ -41,6 +46,15 @@ def test_overlap_extension_report(runner, benchmark):
                   pipeline.optimized_cycles * to_ms,
                   1000.0 / (pipeline.optimized_cycles * to_ms))
     print_table(table)
+    write_artifact(RESULTS_PATH, {
+        "clock_mhz": config.clock_mhz,
+        "baseline_cycles": prefetch.baseline_cycles,
+        "prefetch_cycles": prefetch.optimized_cycles,
+        "pipelined_cycles": pipeline.optimized_cycles,
+        "baseline_fps": 1000.0 / (prefetch.baseline_cycles * to_ms),
+        "prefetch_fps": 1000.0 / (prefetch.optimized_cycles * to_ms),
+        "pipelined_fps": 1000.0 / (pipeline.optimized_cycles * to_ms),
+    })
 
     assert prefetch.optimized_cycles < prefetch.baseline_cycles
     assert pipeline.optimized_cycles < prefetch.optimized_cycles

@@ -6,14 +6,20 @@ latency grows linearly.  The timed kernel is the quantized integer
 inference that produces the accuracy column.
 """
 
+from pathlib import Path
+
 import numpy as np
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_artifact
+
+RESULTS_PATH = (Path(__file__).resolve().parent.parent
+                / "artifacts" / "bench_table1.json")
 
 
 def test_table1_report(runner, benchmark):
     result = runner.run_table1()
     print_table(result["table"])
+    write_artifact(RESULTS_PATH, {"rows": result["rows"]})
 
     rows = result["rows"]
     accs = [r["accuracy_pct"] for r in rows]

@@ -6,6 +6,8 @@ duplicated) while LUT/FF grow ~linearly and power only slightly.  The
 timed kernel is the full analytic estimation stack across the sweep.
 """
 
+from pathlib import Path
+
 from repro.core import (
     AcceleratorConfig,
     LatencyModel,
@@ -13,12 +15,16 @@ from repro.core import (
     ResourceModel,
 )
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_artifact
+
+RESULTS_PATH = (Path(__file__).resolve().parent.parent
+                / "artifacts" / "bench_table2.json")
 
 
 def test_table2_report(runner, benchmark):
     result = runner.run_table2()
     print_table(result["table"])
+    write_artifact(RESULTS_PATH, {"rows": result["rows"]})
 
     rows = {r["units"]: r for r in result["rows"]}
     # Sub-linear latency scaling (doubling units never halves latency):

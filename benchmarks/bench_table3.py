@@ -10,16 +10,22 @@ second.  The timed kernel is the compile-and-estimate path for the
 28.5M-parameter VGG-11.
 """
 
+from pathlib import Path
+
 from repro.core import Accelerator, AcceleratorConfig
 from repro.models import vgg11_performance_network
 from repro.snn import SNNModel
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_artifact
+
+RESULTS_PATH = (Path(__file__).resolve().parent.parent
+                / "artifacts" / "bench_table3.json")
 
 
 def test_table3_report(runner, benchmark):
     result = runner.run_table3(include_vgg=True)
     print_table(result["table"])
+    write_artifact(RESULTS_PATH, {"rows": result["rows"]})
 
     rows = {r["label"]: r for r in result["rows"]}
     ju = rows["Ju et al. [12]"]

@@ -35,6 +35,16 @@ def host_stamp() -> dict:
     return {"cpu_count": os.cpu_count(), "fast_mode": FAST_MODE}
 
 
+def _json_safe(value):
+    """json.dumps ``default`` hook: numpy scalars/arrays to native types
+    (paper-table rows carry np.float64 cells straight from the models)."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}")
+
+
 def write_artifact(path: Path, results: dict) -> None:
     """Write a ``bench_*.json`` artifact with the uniform host stamp
     plus the run's telemetry rollup (span totals, per-stage time)."""
@@ -44,7 +54,8 @@ def write_artifact(path: Path, results: dict) -> None:
     payload.update(host_stamp())
     payload["telemetry"] = telemetry_summary()
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    path.write_text(json.dumps(payload, indent=2, default=_json_safe)
+                    + "\n")
     print(f"wrote {path}")
 
 

@@ -185,11 +185,17 @@ def _run_calibrate(runner: ExperimentRunner, args) -> None:
               f"(artifact key calibration_{table.content_key[:12]}...)")
 
 
-def _serve_images(runner, count: int) -> np.ndarray:
-    """``count`` request images: the MNIST test set, tiled as needed."""
+def _serve_images(runner, count: int, unique: int = None) -> np.ndarray:
+    """``count`` request images: the MNIST test set, tiled as needed.
+
+    ``unique`` caps the distinct images, so ``--unique 6 --requests 48``
+    offers a duplicate-heavy trace (8 byte-identical submissions per
+    image) that exercises the content-addressed result cache.
+    """
     _, test = runner.mnist()
-    reps = -(-count // len(test))
-    return np.tile(test.images, (reps, 1, 1, 1))[:count]
+    pool = test.images if unique is None else test.images[:unique]
+    reps = -(-count // len(pool))
+    return np.tile(pool, (reps, 1, 1, 1))[:count]
 
 
 def _serve_kwargs(args) -> dict:
@@ -203,6 +209,7 @@ def _serve_kwargs(args) -> dict:
         "token": args.token,
         "replicas": args.replicas,
         "quorum": args.quorum,
+        "result_cache": args.result_cache,
     }
     if isinstance(args.workers, list):
         # An explicit lane mix extends serving onto the fabric too:
@@ -340,7 +347,7 @@ def _run_loadgen_inprocess(runner: ExperimentRunner, args) -> None:
     t = _parse_steps(args.steps)[0]
     server, snn, _ = runner.build_server(num_steps=t,
                                          **_serve_kwargs(args))
-    images = _serve_images(runner, args.requests)
+    images = _serve_images(runner, args.requests, unique=args.unique)
 
     async def main():
         async with server:
@@ -369,6 +376,11 @@ def _run_loadgen_inprocess(runner: ExperimentRunner, args) -> None:
     print(_render_serve_report(snapshot.to_dict(), report).render())
     print(f"\nall {report.num_requests} served predictions match "
           "direct Accelerator.run_logits output")
+    if args.result_cache and snapshot.completed:
+        print(f"result cache: {snapshot.cached} of "
+              f"{snapshot.completed} requests answered from cache "
+              f"({100.0 * snapshot.cached / snapshot.completed:.0f}% "
+              "hit rate)")
     payload = runner.save_serve_metrics(
         f"loadgen_{args.policy}", snapshot,
         extra={"load": report.to_dict(), "num_steps": t})
@@ -379,7 +391,7 @@ def _run_loadgen_inprocess(runner: ExperimentRunner, args) -> None:
 
 def _run_loadgen_tcp(runner: ExperimentRunner, args) -> None:
     """Offer load over TCP to an already-running ``repro serve``."""
-    images = _serve_images(runner, args.requests)
+    images = _serve_images(runner, args.requests, unique=args.unique)
 
     async def main():
         async with TcpClient(args.host, args.port) as client:
@@ -477,6 +489,7 @@ def _run_worker(args) -> None:
 
     from repro.runtime import WorkerServer, join_fabric
 
+    window = args.window if args.window is not None else 8
     if args.join is not None:
         host, port = args.join
         print(f"joining fabric at {host}:{port} "
@@ -491,7 +504,7 @@ def _run_worker(args) -> None:
         daemon = threading.Thread(
             target=lambda: stats_box.append(join_fabric(
                 host, port, token=args.token, retry_s=args.retry_s,
-                frames=args.frames, stop_event=stop)),
+                frames=args.frames, stop_event=stop, window=window)),
             name="repro-join", daemon=True)
         daemon.start()
         try:
@@ -511,7 +524,7 @@ def _run_worker(args) -> None:
 
     host, port = args.listen
     server = WorkerServer(host, port, token=args.token,
-                          frames=args.frames).start()
+                          frames=args.frames, window=window).start()
     print(f"engine worker listening on {server.host}:{server.port} "
           f"({'token-authenticated' if args.token else 'no token'}; "
           "trusted networks only); Ctrl-C to stop")
@@ -606,6 +619,14 @@ def main(argv: list[str] | None = None) -> int:
                              "per-image, per-batch and calibrated "
                              "dispatch costs, growing them until lanes "
                              "saturate (overrides --shard-size)")
+    parser.add_argument("--window", type=_positive_int, default=None,
+                        metavar="W",
+                        help="sweep: in-flight dispatch chunks per "
+                             "pipelined lane (default: credit-based "
+                             "from calibrated dispatch cost vs. "
+                             "measured service time; 1 forces "
+                             "stop-and-wait); worker: cap advertised "
+                             "to dispatchers (default: 8)")
     parser.add_argument("--force", action="store_true",
                         help="calibrate: re-measure even when a table "
                              "for this deployment already exists")
@@ -653,6 +674,13 @@ def main(argv: list[str] | None = None) -> int:
                          help="serve --replicas: how many replicas must "
                               "answer; tolerates N-Q replica failures "
                               "(default: all N)")
+    serving.add_argument("--result-cache", dest="result_cache",
+                         type=int, default=128, metavar="N",
+                         help="serve/loadgen: content-addressed result "
+                              "cache capacity — byte-identical images "
+                              "answer from an LRU at admission instead "
+                              "of executing again (default: 128; 0 "
+                              "disables)")
     serving.add_argument("--alias", default=None, metavar="NAME",
                          help="rollout: the serving alias to flip")
     serving.add_argument("--to", dest="to", default=None, metavar="NAME",
@@ -665,6 +693,13 @@ def main(argv: list[str] | None = None) -> int:
     serving.add_argument("--requests", type=_positive_int, default=256,
                          metavar="N",
                          help="loadgen: requests to offer (default: 256)")
+    serving.add_argument("--unique", type=_positive_int, default=None,
+                         metavar="N",
+                         help="loadgen: cap distinct request images — "
+                              "the trace tiles N images across "
+                              "--requests submissions, so duplicates "
+                              "exercise the result cache (default: all "
+                              "distinct)")
     serving.add_argument("--rate", type=float, default=500.0,
                          metavar="RPS",
                          help="loadgen: offered load in requests/s "
@@ -730,6 +765,7 @@ def main(argv: list[str] | None = None) -> int:
         sweep_saturate=args.saturate,
         sweep_stream=sweep_stream,
         sweep_accept=args.accept,
+        sweep_window=args.window,
         fabric_token=args.token,
     )
     if args.accept is not None and args.experiment == "sweep":

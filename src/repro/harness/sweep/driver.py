@@ -217,6 +217,7 @@ class SweepDriver:
         stream=None,
         accept: tuple[str, int] | None = None,
         token: str | None = None,
+        window: int | None = None,
     ) -> None:
         if probe_images < 1:
             raise ConfigurationError(
@@ -238,6 +239,12 @@ class SweepDriver:
         self.stream = stream
         self.accept = accept
         self.token = token
+        if window is not None and window < 1:
+            raise ConfigurationError(
+                f"window must be >= 1, got {window}")
+        #: In-flight chunk window per pipelined lane (None = derived per
+        #: lane from calibrated dispatch cost vs. measured service time).
+        self.window = window
         self.listener: GroupListener | None = None  # live during a run
         self.last_summary: SweepSummary | None = None
 
@@ -412,6 +419,24 @@ class SweepDriver:
         return sizes
 
     @staticmethod
+    def _calibrated_dispatch_cost(tasks) -> float | None:
+        """The measured per-chunk dispatch cost to credit windows with.
+
+        The sweep's lanes serve every task, so the *largest* calibrated
+        cost across the work list is the one worth hiding — a bigger
+        cost credits a deeper window, which degrades to harmless extra
+        overlap for the cheaper tasks.  None (no task calibrated with
+        ``measure_dispatch``) lets the group fall back to its default.
+        """
+        costs = []
+        for task in tasks:
+            table = lookup_table(content_key(
+                task.network, task.config, task.calibration))
+            if table is not None and table.dispatch_cost_s:
+                costs.append(float(table.dispatch_cost_s))
+        return max(costs) if costs else None
+
+    @staticmethod
     def _timed(engine, images) -> float:
         start = time.perf_counter()
         engine.run_batch(images)
@@ -456,7 +481,8 @@ class SweepDriver:
             group = WorkerGroup(
                 create_workers(self.worker_specs, token=self.token),
                 deployments=deployments, steal=self.steal,
-                heartbeat_s=self.heartbeat_s)
+                heartbeat_s=self.heartbeat_s, window=self.window,
+                dispatch_cost_s=self._calibrated_dispatch_cost(tasks))
             indices = task_indices
         else:
             if not group.started:

@@ -42,6 +42,7 @@ serving pool (``asyncio.wrap_future``) consume directly.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -71,6 +72,41 @@ def _fabric_executed(kind: str, lane: str, completed: int) -> None:
         ).labels(lane=lane, kind=kind).inc(completed)
 
 
+def _fabric_inflight(lane: str, depth: int) -> None:
+    """Per-lane in-flight-depth gauge: how many dispatch chunks the lane
+    currently has on the wire / in its child."""
+    get_registry().gauge(
+        "repro_fabric_inflight_chunks",
+        "Dispatch chunks currently in flight, by lane",
+        labelnames=("lane",),
+    ).labels(lane=lane).set(depth)
+
+
+_WINDOW_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+
+
+def _fabric_window_occupancy(lane: str, depth: int) -> None:
+    """Window-occupancy histogram, observed at each chunk send: the
+    in-flight depth the chunk joined (1 = stop-and-wait behavior)."""
+    get_registry().histogram(
+        "repro_fabric_window_occupancy",
+        "In-flight window depth observed at each chunk send, by lane",
+        labelnames=("lane",),
+        buckets=_WINDOW_BUCKETS,
+    ).labels(lane=lane).observe(float(depth))
+
+
+#: Fallback per-chunk dispatch overhead for the credit derivation when
+#: no calibrated figure was supplied — mirrors
+#: ``repro.core.engine.calibrate.DEFAULT_DISPATCH_COST_S`` (importing it
+#: here would cycle: calibrate measures dispatch cost *through* a
+#: process group).
+_DEFAULT_DISPATCH_COST_S = 2e-3
+
+#: Hard ceiling on any lane's in-flight window, credit-derived or not.
+_MAX_WINDOW = 8
+
+
 @dataclass
 class GroupMetrics:
     """Scheduling counters, updated live under the group lock."""
@@ -86,6 +122,8 @@ class GroupMetrics:
     lanes_removed: int = 0                         # lanes drained out live
     readmitted: int = 0                            # evictions undone
     batched: int = 0                               # items shipped in chunks
+    pipelined: int = 0                             # items sent with >=1
+                                                   # chunk already in flight
     last_heartbeat: dict = field(default_factory=dict)  # name -> monotonic
 
     def to_dict(self) -> dict:
@@ -105,6 +143,7 @@ class GroupMetrics:
             "lanes_removed": self.lanes_removed,
             "readmitted": self.readmitted,
             "batched": self.batched,
+            "pipelined": self.pipelined,
             "heartbeat_age_s": {
                 name: round(max(0.0, now - seen), 3)
                 for name, seen in self.last_heartbeat.items()},
@@ -158,6 +197,22 @@ class WorkerGroup:
         round-trip per chunk).  ``1`` restores strict item-at-a-time
         dispatch.  Stolen items always execute alone — batching never
         changes which lane runs what, so results stay bit-identical.
+    window:
+        In-flight chunk window per lane.  ``None`` (default) derives a
+        credit per lane from the calibrated dispatch cost vs. that
+        lane's measured service time — enough chunks in flight to hide
+        dispatch/wire overhead behind compute, no more.  An explicit
+        integer overrides the credit (``1`` = stop-and-wait).  Either
+        way the window clamps at the executor's ``pipeline_depth``
+        (inline thread lanes never pipeline) and at 8.  Windowed-but-
+        unsent items stay on the lane's queue, so peers steal them
+        exactly as before; an eviction requeues the *entire* in-flight
+        window exactly-once through the result ledger.
+    dispatch_cost_s:
+        Calibrated per-chunk dispatch overhead (encode + transfer) used
+        by the credit derivation; ``None`` falls back to the historical
+        constant.  Pass ``CalibrationTable.dispatch_cost_s`` when a
+        measured figure exists.
     chaos:
         Optional :class:`~repro.runtime.chaos.ChaosPolicy` consulted at
         the group's injection sites (dispatch kills, heartbeat
@@ -184,6 +239,8 @@ class WorkerGroup:
         readmit: bool = True,
         probation_s: float | None = None,
         max_batch_items: int = 8,
+        window: int | None = None,
+        dispatch_cost_s: float | None = None,
         chaos: ChaosPolicy | None = None,
         ledger: ResultLedger | None = None,
     ) -> None:
@@ -211,6 +268,15 @@ class WorkerGroup:
             raise ConfigurationError(
                 f"max_batch_items must be >= 1, got {max_batch_items}")
         self.max_batch_items = max_batch_items
+        if window is not None and window < 1:
+            raise ConfigurationError(
+                f"window must be >= 1, got {window}")
+        self.window = window
+        self.dispatch_cost_s = dispatch_cost_s
+        # Per-lane EWMA of chunk service time (lane-side compute
+        # seconds), feeding the credit derivation.  Keyed by lane index;
+        # guarded by the group lock.
+        self._service_ewma: dict[int, float] = {}
         self.chaos = chaos
         self.ledger = ledger if ledger is not None else ResultLedger()
         for worker in self.workers:
@@ -585,8 +651,119 @@ class WorkerGroup:
         self.metrics.stolen += 1
         return self._queues[donor].pop()  # steal from the tail
 
+    def _build_batch_locked(self, index: int, pending: _Pending):
+        """Grow a dispatch chunk behind ``pending``; lock must be held.
+
+        Chunking drains more of the OWN queue behind the first item (a
+        stolen item arrives alone — its donor's queue is not ours to
+        drain).  With stealing on and live peers around, take at most
+        half the backlog: a chunk must amortize framing, not vacuum up
+        the queue idle peers would have stolen from.  Exactly-once: an
+        already-answered item (resolved by a peer while this copy sat
+        queued) or a key the ledger has completed never reaches the
+        lane — those come back in ``ledgered`` for the caller to
+        resolve outside the lock.
+        """
+        candidates = [pending]
+        queue = self._queues[index]
+        budget = self.max_batch_items - 1
+        if self.steal and any(
+                i != index and i not in self._dead
+                for i in range(len(self.workers))):
+            budget = min(budget, (len(queue) + 1) // 2)
+        while queue and budget > 0:
+            candidates.append(queue.popleft())
+            budget -= 1
+        batch: list[_Pending] = []
+        ledgered: list[tuple[_Pending, WorkResult]] = []
+        for candidate in candidates:
+            if candidate.future.done():
+                continue
+            recorded = self.ledger.get(candidate.item.key)
+            if recorded is not None:
+                self.metrics.deduped += 1
+                ledgered.append((candidate, recorded))
+            else:
+                batch.append(candidate)
+        return batch, ledgered
+
+    def _settle_chunk(self, index: int, worker: Worker,
+                      batch: list[_Pending], outcomes: list) -> None:
+        """Book a completed chunk: metrics, spans, ledger, futures."""
+        completed = sum(1 for outcome in outcomes
+                        if isinstance(outcome, WorkResult))
+        with self._cond:
+            self.metrics.executed[worker.name] += completed
+            if len(batch) > 1:
+                self.metrics.batched += len(batch)
+            self.metrics.last_heartbeat[worker.name] = time.monotonic()
+            # Feed the credit derivation: EWMA of lane-side compute
+            # seconds per chunk (wire/dispatch overhead excluded — the
+            # window exists to hide exactly that behind this).
+            service = sum(float(outcome.elapsed_s) for outcome in outcomes
+                          if isinstance(outcome, WorkResult))
+            if service > 0:
+                prior = self._service_ewma.get(index)
+                self._service_ewma[index] = (
+                    service if prior is None
+                    else 0.5 * prior + 0.5 * service)
+        # Lane-side spans (lane_execute, remote exchange) come home on
+        # the results; merge them so the submitter's flight recorder
+        # holds the whole tree.  No-ops unless this process has tracing
+        # on.
+        tracer = _get_tracer()
+        if tracer.enabled:
+            for outcome in outcomes:
+                if isinstance(outcome, WorkResult):
+                    tracer.record_foreign(outcome.spans)
+        _fabric_executed(worker.kind, worker.name, completed)
+        for pending, outcome in zip(batch, outcomes):
+            if isinstance(outcome, WorkResult):
+                self.ledger.record(pending.item.key, outcome)
+            if pending.future.done():
+                continue
+            if isinstance(outcome, WorkResult):
+                pending.future.set_result(outcome)
+            elif isinstance(outcome, Exception):
+                pending.future.set_exception(outcome)
+            else:
+                pending.future.set_exception(WorkerCrashError(
+                    f"worker {worker.name!r} returned no "
+                    f"result for item {pending.item.item_id}"))
+
+    def _lane_window_locked(self, index: int, worker: Worker) -> int:
+        """The lane's in-flight chunk credit; lock must be held.
+
+        Explicit ``window`` wins; otherwise the credit covers the
+        calibrated dispatch cost with chunks of measured service time —
+        ``1 + ceil(dispatch / service)`` — so a lane whose compute
+        dwarfs its dispatch overhead stays effectively stop-and-wait
+        while a wire-bound lane keeps enough chunks in flight to never
+        idle.  Always clamped to the executor's ``pipeline_depth`` and
+        the group-wide ceiling; an uncalibrated lane (no chunk served
+        yet) starts stop-and-wait.
+        """
+        depth = max(1, int(getattr(worker, "pipeline_depth", 1)))
+        cap = min(depth, _MAX_WINDOW)
+        if self.window is not None:
+            return max(1, min(self.window, cap))
+        service = self._service_ewma.get(index)
+        if not service:
+            return 1
+        dispatch = (self.dispatch_cost_s if self.dispatch_cost_s
+                    else _DEFAULT_DISPATCH_COST_S)
+        credit = 1 + math.ceil(dispatch / max(service, 1e-9))
+        return max(1, min(credit, cap))
+
     def _dispatch(self, index: int) -> None:
         worker = self.workers[index]
+        if getattr(worker, "pipeline_depth", 1) > 1:
+            self._dispatch_windowed(index, worker)
+        else:
+            self._dispatch_serial(index, worker)
+
+    def _dispatch_serial(self, index: int, worker: Worker) -> None:
+        """Stop-and-wait dispatch: one chunk in flight, blocking."""
         while True:
             with self._cond:
                 pending = None
@@ -601,36 +778,8 @@ class WorkerGroup:
                 batch = None
                 ledgered: list[tuple[_Pending, WorkResult]] = []
                 if pending is not None:
-                    # Chunking: drain more of the OWN queue behind the
-                    # first item (a stolen item arrives alone — its
-                    # donor's queue is not ours to drain).  With
-                    # stealing on and live peers around, take at most
-                    # half the backlog: a chunk must amortize framing,
-                    # not vacuum up the queue idle peers would have
-                    # stolen from.
-                    candidates = [pending]
-                    queue = self._queues[index]
-                    budget = self.max_batch_items - 1
-                    if self.steal and any(
-                            i != index and i not in self._dead
-                            for i in range(len(self.workers))):
-                        budget = min(budget, (len(queue) + 1) // 2)
-                    while queue and budget > 0:
-                        candidates.append(queue.popleft())
-                        budget -= 1
-                    # Exactly-once: an already-answered item (resolved
-                    # by a peer while this copy sat queued) or a key the
-                    # ledger has completed never reaches the lane.
-                    batch = []
-                    for candidate in candidates:
-                        if candidate.future.done():
-                            continue
-                        recorded = self.ledger.get(candidate.item.key)
-                        if recorded is not None:
-                            self.metrics.deduped += 1
-                            ledgered.append((candidate, recorded))
-                        else:
-                            batch.append(candidate)
+                    batch, ledgered = self._build_batch_locked(index,
+                                                               pending)
                     self._busy[index] = batch if batch else None
             for stale, recorded in ledgered:
                 if not stale.future.done():
@@ -678,38 +827,166 @@ class WorkerGroup:
                     if not pending.future.done():
                         pending.future.set_exception(error)
             else:
-                completed = sum(1 for outcome in outcomes
-                                if isinstance(outcome, WorkResult))
                 with self._cond:
                     self._busy[index] = None
-                    self.metrics.executed[worker.name] += completed
-                    if len(batch) > 1:
-                        self.metrics.batched += len(batch)
-                    self.metrics.last_heartbeat[worker.name] = \
-                        time.monotonic()
-                # Lane-side spans (lane_execute, remote exchange) come
-                # home on the results; merge them so the submitter's
-                # flight recorder holds the whole tree.  No-ops unless
-                # this process has tracing on.
-                tracer = _get_tracer()
-                if tracer.enabled:
-                    for outcome in outcomes:
-                        if isinstance(outcome, WorkResult):
-                            tracer.record_foreign(outcome.spans)
-                _fabric_executed(worker.kind, worker.name, completed)
-                for pending, outcome in zip(batch, outcomes):
-                    if isinstance(outcome, WorkResult):
-                        self.ledger.record(pending.item.key, outcome)
-                    if pending.future.done():
-                        continue
-                    if isinstance(outcome, WorkResult):
-                        pending.future.set_result(outcome)
-                    elif isinstance(outcome, Exception):
-                        pending.future.set_exception(outcome)
-                    else:
-                        pending.future.set_exception(WorkerCrashError(
-                            f"worker {worker.name!r} returned no "
-                            f"result for item {pending.item.item_id}"))
+                self._settle_chunk(index, worker, batch, outcomes)
+
+    def _dispatch_windowed(self, index: int, worker: Worker) -> None:
+        """Pipelined dispatch: keep up to W chunks in flight.
+
+        ``send_chunk`` puts chunk N+1 on the wire (or in the child's
+        submission queue) while chunk N computes; ``collect_chunk``
+        reaps strictly in send order.  The window only holds chunks
+        that have actually been *sent* — queued items stay on the
+        lane's deque until the moment of send, so peers steal them
+        exactly as in stop-and-wait.  ``self._busy[index]`` always
+        mirrors the full in-flight window (flattened), and an eviction
+        hands the whole window to the requeue machinery in one piece.
+        """
+        window: deque[list[_Pending]] = deque()
+
+        def _sync_busy_locked() -> None:
+            flat = [pending for chunk in window for pending in chunk]
+            self._busy[index] = flat or None
+            _fabric_inflight(worker.name, len(window))
+
+        while True:
+            batch = None
+            ledgered: list[tuple[_Pending, WorkResult]] = []
+            parked = False
+            removed = False
+            with self._cond:
+                while True:
+                    if self._stopping or index in self._dead:
+                        parked = True
+                        removed = index in self._removed
+                        break
+                    if len(window) < self._lane_window_locked(index,
+                                                              worker):
+                        pending = self._next_pending(index)
+                        if pending is not None:
+                            batch, ledgered = self._build_batch_locked(
+                                index, pending)
+                            for item in batch:
+                                item.attempts += 1
+                                if item.attempts > 1:
+                                    self.metrics.retries += 1
+                            break
+                    if window:
+                        break  # window full or queue empty: collect
+                    self._cond.wait(timeout=0.1)
+            for stale, recorded in ledgered:
+                if not stale.future.done():
+                    stale.future.set_result(recorded)
+            if parked:
+                self._drain_window(index, worker, window, removed)
+                return
+            if batch is not None and not batch:
+                continue  # the whole pull was answered from the ledger
+            if batch:
+                if (self.chaos is not None and self._others_alive(index)
+                        and self.chaos.dispatch_fate(worker.name)
+                        == "kill"):
+                    # Hard-kill with a window open: the send (or a later
+                    # collect) fails with the lane's real crash
+                    # signature and the WHOLE window requeues.
+                    worker.kill()
+                try:
+                    worker.send_chunk(
+                        [pending.item for pending in batch])
+                except WorkerCrashError as error:
+                    in_flight = [pending for chunk in window
+                                 for pending in chunk]
+                    in_flight.extend(batch)
+                    self._evict(index, error, in_flight=in_flight)
+                    return
+                except Exception as error:  # noqa: BLE001 — task-level
+                    # encode failure on a healthy lane: fail the chunk,
+                    # keep the lane (and its window) going.
+                    for pending in batch:
+                        if not pending.future.done():
+                            pending.future.set_exception(error)
+                    continue
+                window.append(batch)
+                with self._cond:
+                    if len(window) > 1:
+                        self.metrics.pipelined += len(batch)
+                    _sync_busy_locked()
+                _fabric_window_occupancy(worker.name, len(window))
+                continue  # try to fill the window before collecting
+            chunk = window[0]
+            try:
+                outcomes = worker.collect_chunk()
+                if (not isinstance(outcomes, list)
+                        or len(outcomes) != len(chunk)):
+                    raise WorkerCrashError(
+                        f"worker {worker.name!r} answered "
+                        "a misaligned chunk")
+            except WorkerCrashError as error:
+                in_flight = [pending for c in window for pending in c]
+                self._evict(index, error, in_flight=in_flight)
+                return
+            except Exception as error:  # noqa: BLE001 — whole-chunk
+                # task failure (typed refusal on a live connection):
+                # the reply was consumed in order, the lane and the
+                # rest of the window stay healthy.
+                window.popleft()
+                with self._cond:
+                    _sync_busy_locked()
+                for pending in chunk:
+                    if not pending.future.done():
+                        pending.future.set_exception(error)
+                continue
+            window.popleft()
+            with self._cond:
+                _sync_busy_locked()
+            self._settle_chunk(index, worker, chunk, outcomes)
+
+    def _drain_window(self, index: int, worker: Worker,
+                      window: deque, removed: bool) -> None:
+        """Park a windowed dispatcher: reap what is already in flight.
+
+        Graceful exits (stop, ``remove_lane``) let in-flight chunks
+        finish and resolve normally — matching the serial dispatcher,
+        which only parks between chunks.  A crash mid-drain hands the
+        rest of the window to eviction (or fails it outright when the
+        group is stopping — there is nowhere left to requeue).
+        """
+        while window:
+            chunk = window[0]
+            try:
+                outcomes = worker.collect_chunk()
+                if (not isinstance(outcomes, list)
+                        or len(outcomes) != len(chunk)):
+                    raise WorkerCrashError(
+                        f"worker {worker.name!r} answered "
+                        "a misaligned chunk")
+            except Exception as error:  # noqa: BLE001 — the window is
+                # lost with the lane; route every chunk to requeue.
+                in_flight = [pending for c in window for pending in c]
+                window.clear()
+                with self._cond:
+                    self._busy[index] = None
+                    _fabric_inflight(worker.name, 0)
+                if self._stopping:
+                    for pending in in_flight:
+                        if not pending.future.done():
+                            pending.future.set_exception(WorkerCrashError(
+                                "worker group stopped before the "
+                                "item was executed"))
+                else:
+                    crash = (error if isinstance(error, WorkerCrashError)
+                             else WorkerCrashError(str(error)))
+                    self._evict(index, crash, in_flight=in_flight)
+                break
+            window.popleft()
+            with self._cond:
+                flat = [pending for c in window for pending in c]
+                self._busy[index] = flat or None
+                _fabric_inflight(worker.name, len(window))
+            self._settle_chunk(index, worker, chunk, outcomes)
+        if removed:
+            worker.close()
 
     # ------------------------------------------------------------------
     # Crash handling + heartbeats

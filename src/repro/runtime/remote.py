@@ -62,7 +62,8 @@ import random
 import socket
 import threading
 import time
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -85,7 +86,8 @@ from repro.runtime.codec import (
     encode_line,
     read_frame,
 )
-from repro.runtime.work import Deployment, WorkItem, WorkResult, execute_item
+from repro.runtime.work import (Deployment, WorkItem, WorkResult,
+                                chunk_timeout_s, execute_item)
 from repro.runtime.workers import Worker
 
 __all__ = ["GroupListener", "JoinStats", "RemoteWorker", "WorkerServer",
@@ -154,12 +156,16 @@ def _execute_one(deployments: list[Deployment], item_id, deployment,
 def _handle_request(deployments: list[Deployment], message: dict,
                     token: str | None = None,
                     state: dict | None = None,
-                    frames: str = "binary") -> tuple[dict, dict]:
+                    frames: str = "binary",
+                    window: int = 8) -> tuple[dict, dict]:
     """One decoded request -> ``(reply payload, reply arrays)``.
 
     ``state`` is the connection's mutable framing state (a ``hello``
     that lands on binary flips it); ``frames="json"`` pins the
     connection to JSON lines however eagerly the client offers.
+    ``window`` is the in-flight chunk cap the hello reply advertises —
+    how many pipelined chunks a driver may keep on the wire toward this
+    host (``repro worker --window``; 1 forces stop-and-wait).
     """
     if not check_token(message, token):
         # Reject *before* touching any pickled blob the payload carries.
@@ -173,7 +179,8 @@ def _handle_request(deployments: list[Deployment], message: dict,
                   else "json")
         if chosen == "binary" and state is not None:
             state["binary"] = True
-        return {"ok": True, "frames": chosen, "pid": os.getpid()}, {}
+        return {"ok": True, "frames": chosen, "pid": os.getpid(),
+                "window": max(1, int(window))}, {}
     if op == "ping":
         return {"ok": True, "pid": os.getpid(),
                 "deployments": len(deployments)}, {}
@@ -227,7 +234,8 @@ def _serve_requests(conn: socket.socket, reader,
                     token: str | None = None,
                     frames: str = "binary",
                     binary: bool = False,
-                    chaos=None, lane: str = "conn") -> None:
+                    chaos=None, lane: str = "conn",
+                    window: int = 8) -> None:
     """Answer requests on one connection until the peer goes away.
 
     Every request must answer: an unpicklable blob, a version-skewed or
@@ -275,7 +283,8 @@ def _serve_requests(conn: socket.socket, reader,
         was_binary = state["binary"]
         try:
             reply, out_arrays = _handle_request(
-                deployments, message, token, state=state, frames=frames)
+                deployments, message, token, state=state, frames=frames,
+                window=window)
         except Exception as error:  # noqa: BLE001 — see docstring
             reply, out_arrays = _error_reply(error), {}
         # A hello that negotiated binary still answers on the framing it
@@ -310,14 +319,21 @@ class WorkerServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  token: str | None = None,
                  frames: str = "binary",
-                 chaos=None) -> None:
+                 chaos=None,
+                 window: int = 8) -> None:
         if frames not in ("binary", "json"):
             raise ValueError(f"frames must be 'binary' or 'json', "
                              f"got {frames!r}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
         self.host = host
         self.port = port
         self.token = token
         self.frames = frames
+        #: In-flight chunk cap advertised in the hello reply: how many
+        #: pipelined chunks a driver may keep on the wire toward this
+        #: host (``repro worker --window``; 1 forces stop-and-wait).
+        self.window = window
         #: Optional ChaosPolicy: injected server_conn hangups per reply.
         self.chaos = chaos
         self._sock: socket.socket | None = None
@@ -374,7 +390,8 @@ class WorkerServer:
             with conn, conn.makefile("rb") as reader:
                 _serve_requests(conn, reader, token=self.token,
                                 frames=self.frames, chaos=self.chaos,
-                                lane=f"{self.host}:{self.port}")
+                                lane=f"{self.host}:{self.port}",
+                                window=self.window)
         except (ConnectionError, OSError):
             pass  # peer vanished; nothing to answer
         finally:
@@ -453,6 +470,7 @@ def join_fabric(
     connect_timeout_s: float = 5.0,
     frames: str = "binary",
     max_retry_s: float = 30.0,
+    window: int = 8,
 ) -> JoinStats:
     """Connect out to a live group's :class:`GroupListener` and serve.
 
@@ -504,7 +522,8 @@ def join_fabric(
             sock.settimeout(connect_timeout_s)
             sock.sendall(encode_line(attach_token(
                 {"op": "join", "name": worker_name,
-                 "frames": ["binary"] if frames == "binary" else []},
+                 "frames": ["binary"] if frames == "binary" else [],
+                 "window": max(1, int(window))},
                 token)))
             reader = sock.makefile("rb")
             line = reader.readline()
@@ -519,7 +538,8 @@ def join_fabric(
             # The handshake doubles as the framing negotiation: an old
             # group's reply has no "frames" field -> JSON lines.
             _serve_requests(sock, reader,
-                            binary=reply.get("frames") == "binary")
+                            binary=reply.get("frames") == "binary",
+                            window=window)
             # Clean EOF: the group hung up (run finished or driver
             # stopped) — counted the same as a mid-serve drop.
             stats.disconnects += 1
@@ -633,6 +653,15 @@ class GroupListener:
         _configure_socket(conn)
         worker = RemoteWorker.from_socket(conn, reader, name=name,
                                           binary=chosen == "binary")
+        # The joiner's hello caps the in-flight window toward it; an
+        # old joiner advertises nothing and keeps the client-side cap.
+        advertised = hello.get("window")
+        if advertised is not None:
+            try:
+                worker.pipeline_depth = max(
+                    1, min(_MAX_REMOTE_WINDOW, int(advertised)))
+            except (TypeError, ValueError):
+                pass
         try:
             lane_name = self.group.add_lane(worker)
         except Exception:
@@ -660,8 +689,31 @@ class GroupListener:
 # ----------------------------------------------------------------------
 # Client side — the lane a WorkerGroup schedules onto
 # ----------------------------------------------------------------------
+#: Most chunks a remote lane keeps on the wire at once.  The server
+#: answers strictly in order per connection, so this is purely a
+#: client-side credit cap; the hello negotiation can lower it per lane.
+_MAX_REMOTE_WINDOW = 8
+
+
+@dataclass
+class _RemoteFlight:
+    """One chunk on the wire awaiting its (in-order) reply."""
+
+    items: list
+    spans: dict = field(default_factory=dict)
+    deadline: float | None = None
+
+
 class RemoteWorker(Worker):
-    """One fabric lane backed by a :class:`WorkerServer` connection."""
+    """One fabric lane backed by a :class:`WorkerServer` connection.
+
+    The protocol answers requests strictly in send order on a
+    connection, so the lane pipelines: :meth:`send_chunk` puts a chunk
+    on the wire without waiting and :meth:`collect_chunk` reads the
+    oldest outstanding reply — chunk N+1 is encoded and in flight while
+    the server computes chunk N.  ``pipeline_depth`` starts at the
+    client cap and is lowered to whatever the server's hello advertises.
+    """
 
     kind = "remote"
 
@@ -682,11 +734,18 @@ class RemoteWorker(Worker):
         self.frames = frames
         #: Whether THIS connection negotiated binary frames.
         self.binary = False
+        self.pipeline_depth = _MAX_REMOTE_WINDOW
         self._sock: socket.socket | None = None
         self._reader = None
+        self._outstanding: deque[_RemoteFlight] = deque()
         # Serializes the request/response exchange: the group's monitor
-        # may ping while the dispatcher thread owns the socket.
+        # may ping while the dispatcher thread owns the socket.  The
+        # condition lets a whole-exchange request (deploy, negotiate)
+        # wait for the in-flight window to drain — injecting one
+        # between a pipelined send and its collect would desequence the
+        # strictly-ordered replies.
         self._io_lock = threading.Lock()
+        self._io_cond = threading.Condition(self._io_lock)
 
     @classmethod
     def from_socket(cls, sock: socket.socket, reader, name: str,
@@ -728,6 +787,9 @@ class RemoteWorker(Worker):
             raise WorkerCrashError(
                 f"cannot reach worker {self.host}:{self.port}: "
                 f"{error}") from error
+        # A fresh connection re-negotiates the window from the cap (the
+        # previous server's advertisement died with the old socket).
+        self.pipeline_depth = _MAX_REMOTE_WINDOW
         if self.frames == "binary":
             self._negotiate()
 
@@ -749,11 +811,25 @@ class RemoteWorker(Worker):
                 self.binary = False
                 return
             self.binary = reply.get("frames") == "binary"
+            advertised = reply.get("window")
+            if advertised is not None:
+                # The server caps how many chunks may be in flight
+                # toward it (``repro worker --window``); an old server
+                # advertises nothing and keeps the client cap.
+                self.pipeline_depth = max(1, min(
+                    self.pipeline_depth, int(advertised)))
 
     def _request(self, payload: dict,
                  timeout_s: float | None = None,
                  arrays: dict | None = None) -> dict:
-        with self._io_lock:
+        with self._io_cond:
+            # Replies are strictly ordered per connection: a full
+            # exchange must wait until every pipelined chunk has been
+            # collected, else its read would consume a chunk reply.
+            # The timed wait doubles as a poll for close() clearing the
+            # window without holding the lock.
+            while self._outstanding:
+                self._io_cond.wait(timeout=0.1)
             return self._request_locked(payload, timeout_s, arrays)
 
     def _request_locked(self, payload: dict,
@@ -875,8 +951,9 @@ class RemoteWorker(Worker):
 
         Returns one :class:`WorkResult` or :class:`Exception` per item
         (aligned); the chunk shares a single wire exchange, so framing
-        and negotiation overhead is paid once.  The exchange's timeout
-        is the sum of the items' budgets (unbounded if any is).
+        and negotiation overhead is paid once.  The exchange deadline
+        is the chunk's tightest surviving item budget
+        (:func:`~repro.runtime.work.chunk_timeout_s`).
         """
         if len(items) == 1:
             try:
@@ -885,14 +962,19 @@ class RemoteWorker(Worker):
                 raise
             except Exception as error:  # noqa: BLE001 — task failure
                 return [error]
-        timeouts = [item.timeout_s for item in items]
-        timeout_s = (None if any(t is None for t in timeouts)
-                     else float(sum(timeouts)))
-        # One wire round-trip serves the whole chunk, but each traced
-        # item still gets its own exchange span (all covering the same
-        # shared window, like the serve layer's shared execute spans) so
-        # every request's tree keeps the request -> ... -> exchange ->
-        # lane_execute shape regardless of how dispatch chunked it.
+        self.send_chunk(items)
+        return self.collect_chunk()
+
+    def _chunk_payload(self, items: list[WorkItem]):
+        """Build an ``execute_many`` payload: wire entries, array map
+        and one exchange span per traced item.
+
+        One wire round-trip serves the whole chunk, but each traced
+        item still gets its own exchange span (all covering the same
+        shared window, like the serve layer's shared execute spans) so
+        every request's tree keeps the request -> ... -> exchange ->
+        lane_execute shape regardless of how dispatch chunked it.
+        """
         exchange_spans: dict = {}
         wire_items = []
         for item in items:
@@ -904,12 +986,117 @@ class RemoteWorker(Worker):
                 exchange_spans[item.item_id] = span
                 entry["trace"] = span.context()
             wire_items.append(entry)
-        reply = self._request({
-            "op": "execute_many",
-            "items": wire_items,
-        }, timeout_s=timeout_s,
-            arrays={f"images:{position}": item.images
-                    for position, item in enumerate(items)})
+        payload = {"op": "execute_many", "items": wire_items}
+        arrays = {f"images:{position}": item.images
+                  for position, item in enumerate(items)}
+        return payload, arrays, exchange_spans
+
+    def send_chunk(self, items: list[WorkItem]) -> None:
+        """Encode a chunk and put it on the wire without waiting.
+
+        The server answers strictly in order, so replies collect FIFO;
+        the caller keeps at most :attr:`pipeline_depth` chunks
+        outstanding.  The chunk's deadline starts *now* — queue wait
+        behind earlier windowed chunks counts against it.
+        """
+        payload, arrays, spans = self._chunk_payload(items)
+        timeout_s = chunk_timeout_s(items)
+        deadline = (None if timeout_s is None
+                    else time.monotonic() + timeout_s)
+        with self._io_lock:
+            if self._sock is None:
+                raise WorkerCrashError(
+                    f"worker {self.name!r} is not connected")
+            if len(self._outstanding) >= self.pipeline_depth:
+                raise ValueError(
+                    f"worker {self.name!r} already has "
+                    f"{len(self._outstanding)} chunk(s) in flight "
+                    f"(pipeline_depth={self.pipeline_depth})")
+            if (self.chaos is not None
+                    and self.chaos.exchange_fate(self.name) == "sever"):
+                # Injected partition: drop the socket mid-protocol so
+                # the group sees the real dead-lane signature — with a
+                # window open, every outstanding chunk dies with it.
+                self.close()
+                raise WorkerCrashError(
+                    f"worker {self.name!r} connection severed (chaos)")
+            try:
+                self._sock.settimeout(timeout_s)
+                if self.binary:
+                    self._sock.sendall(encode_frame(
+                        attach_token(payload, self.token), arrays))
+                else:
+                    self._sock.sendall(encode_line(_inline_arrays(
+                        attach_token(payload, self.token), arrays)))
+            except (OSError, ValueError, CodecError) as error:
+                self.close()
+                raise WorkerCrashError(
+                    f"worker {self.name!r} connection failed: "
+                    f"{error}") from error
+            self._outstanding.append(_RemoteFlight(
+                list(items), spans, deadline))
+
+    def collect_chunk(self) -> list:
+        """Read the oldest outstanding chunk's reply and decode it."""
+        with self._io_cond:
+            if not self._outstanding:
+                # The group believes a chunk is in flight; an empty
+                # window here means close() tore the connection down
+                # underneath it (monitor-driven eviction) — crash
+                # semantics, so the caller requeues instead of failing.
+                raise WorkerCrashError(
+                    f"worker {self.name!r} has no chunk in flight "
+                    "(connection was closed)")
+            flight = self._outstanding[0]
+            if self._sock is None:
+                raise WorkerCrashError(
+                    f"worker {self.name!r} is not connected")
+            timeout_s = None
+            if flight.deadline is not None:
+                timeout_s = flight.deadline - time.monotonic()
+                if timeout_s <= 0:
+                    self.close()
+                    raise WorkerCrashError(
+                        f"worker {self.name!r} exceeded its chunk "
+                        "deadline before replying")
+            try:
+                self._sock.settimeout(timeout_s)
+                if self.binary:
+                    decoded = read_frame(self._reader)
+                else:
+                    decoded = self._reader.readline()
+            except (OSError, ValueError, CodecError) as error:
+                self.close()
+                raise WorkerCrashError(
+                    f"worker {self.name!r} connection failed: "
+                    f"{error}") from error
+            if not decoded:
+                self.close()
+                raise WorkerCrashError(
+                    f"worker {self.name!r} closed the connection")
+            self._outstanding.popleft()
+            self._io_cond.notify_all()
+        if self.binary:
+            reply, reply_arrays = decoded
+            reply = dict(reply)
+            reply.update(reply_arrays)
+        else:
+            reply = json.loads(decoded)
+        if not reply.get("ok"):
+            # A whole-chunk refusal (auth, malformed frame) on a live
+            # connection: a task-level failure — the reply was consumed
+            # in order, the lane stays healthy.
+            error = reply.get("error") or {}
+            cls = _REMOTE_ERROR_TYPES.get(error.get("type"),
+                                          RemoteExecutionError)
+            raise cls(
+                f"{error.get('type', 'Error')}: "
+                f"{error.get('message', 'remote worker failure')}")
+        return self._decode_chunk(reply, flight)
+
+    def _decode_chunk(self, reply: dict, flight: _RemoteFlight) -> list:
+        """An ``execute_many`` reply -> aligned outcomes for a flight."""
+        items = flight.items
         entries = reply.get("results")
         if not isinstance(entries, list) or len(entries) != len(items):
             raise WorkerCrashError(
@@ -928,11 +1115,11 @@ class RemoteWorker(Worker):
                 outcomes.append(cls(
                     f"{error.get('type', 'Error')}: "
                     f"{error.get('message', 'remote worker failure')}"))
-        if exchange_spans:
+        if flight.spans:
             framing = "binary" if self.binary else "json"
             shared = len(items) > 1
             for position, item in enumerate(items):
-                span = exchange_spans.get(item.item_id)
+                span = flight.spans.get(item.item_id)
                 if span is None:
                     continue
                 outcome = outcomes[position]
@@ -953,6 +1140,11 @@ class RemoteWorker(Worker):
         if not self._io_lock.acquire(blocking=False):
             return True
         try:
+            if self._outstanding:
+                # A lane with a window open is alive by definition;
+                # injecting a ping between a pipelined send and its
+                # collect would desequence the in-order replies.
+                return True
             self._request_locked({"op": "ping"}, timeout_s=timeout_s)
             return True
         except (WorkerCrashError, RemoteExecutionError, FabricAuthError):
@@ -962,6 +1154,7 @@ class RemoteWorker(Worker):
 
     def close(self) -> None:
         self.binary = False   # a re-dial renegotiates from scratch
+        self._outstanding.clear()  # the window died with the connection
         if self._reader is not None:
             try:
                 self._reader.close()

@@ -11,12 +11,16 @@ same way.
 
 Design constraints that keep this simple and safe:
 
-* One batch in flight per worker (the worker's ``_exec_lock``), so the
-  arena can be reused wholesale between batches — no free lists.
+* One batch in flight per **arena** — no free lists.  A stop-and-wait
+  worker has one arena (its ``_exec_lock`` holds the invariant); a
+  pipelined worker double-buffers with one arena per in-flight chunk,
+  alternating slots so each arena is still reused wholesale only after
+  its chunk was collected.
 * The segment only grows (capacity doubles; a new segment replaces the
   old under a fresh name), so descriptors never dangle: the child
-  attaches segments by name on demand and drops stale attachments when
-  the name changes.
+  attaches segments by name on demand and keeps a small bounded cache
+  of mappings (large enough for every live arena slot plus a growth
+  epoch), dropping the oldest beyond that.
 * Everything degrades: if shared memory is unavailable (locked-down
   ``/dev/shm``, exotic platforms) or ``REPRO_NO_SHM=1`` is set, callers
   fall back to the pickle path — same results, fabric contract intact.
@@ -170,20 +174,28 @@ class ShmArena:
 
 
 # ----------------------------------------------------------------------
-# Child side: attach segments by name, cache the mapping
+# Child side: attach segments by name, cache the mappings
 # ----------------------------------------------------------------------
 _ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+#: How many distinct segments a child keeps mapped.  A double-buffered
+#: worker alternates between two live arenas (one per in-flight chunk),
+#: so the cache must hold both; the small headroom above that absorbs a
+#: growth epoch where an old and its replacement segment briefly
+#: coexist.  Anything older has been replaced by the parent — dropping
+#: the oldest attachment keeps a long-lived child from accumulating
+#: dead segments.
+_MAX_ATTACHED = 4
 
 
 def _attach(segment: str) -> shared_memory.SharedMemory:
     shm = _ATTACHED.get(segment)
     if shm is not None:
         return shm
-    # The parent replaced the arena (growth): old names are dead; drop
-    # their mappings so a long-lived child doesn't accumulate segments.
-    for name, stale in list(_ATTACHED.items()):
+    while len(_ATTACHED) >= _MAX_ATTACHED:
+        name = next(iter(_ATTACHED))
         try:
-            stale.close()
+            _ATTACHED[name].close()
         except (OSError, BufferError):
             pass
         del _ATTACHED[name]

@@ -38,7 +38,23 @@ from repro.core.engine.trace import TraceMerge
 from repro.errors import DeploymentError
 
 __all__ = ["Deployment", "ResultLedger", "WorkItem", "WorkResult",
-           "execute_item", "next_idempotency_key"]
+           "chunk_timeout_s", "execute_item", "next_idempotency_key"]
+
+
+def chunk_timeout_s(items) -> float | None:
+    """The execution budget for a chunk shipped as one exchange.
+
+    A chunk answers in a single reply, so the item with the *tightest*
+    budget bounds when the whole reply must land — the old aggregation
+    (sum the budgets; unbounded if any is) both inflated the deadline
+    linearly with chunk size and let one unbounded item disable every
+    sibling's protection, which turns into unbounded stalls once
+    windowed dispatch keeps several chunks in flight.  ``None`` only
+    when *no* item carries a budget.
+    """
+    budgets = [item.timeout_s for item in items
+               if item.timeout_s is not None]
+    return float(min(budgets)) if budgets else None
 
 _KEY_COUNTER = itertools.count()
 

@@ -33,6 +33,8 @@ import abc
 import os
 import signal
 import threading
+import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -45,7 +47,8 @@ import numpy as np
 
 from repro.errors import ConfigurationError, WorkerCrashError
 from repro.runtime.shm import ShmArena, ShmView, attach_view, shm_available
-from repro.runtime.work import Deployment, WorkItem, WorkResult, execute_item
+from repro.runtime.work import (Deployment, WorkItem, WorkResult,
+                                chunk_timeout_s, execute_item)
 
 __all__ = [
     "ProcessWorker",
@@ -72,6 +75,14 @@ class Worker(abc.ABC):
     #: group injects; executors that model connection faults consult it
     #: per exchange.  ``None`` = no chaos.
     chaos = None
+
+    #: Largest in-flight chunk window this executor supports.  ``1``
+    #: means stop-and-wait (the dispatcher waits for each chunk before
+    #: shipping the next); executors that implement the split
+    #: :meth:`send_chunk` / :meth:`collect_chunk` path raise it so the
+    #: group can pipeline encode + transfer of chunk N+1 behind the
+    #: compute of chunk N.
+    pipeline_depth: int = 1
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -111,6 +122,24 @@ class Worker(abc.ABC):
             except Exception as error:  # noqa: BLE001 — task failure
                 outcomes.append(error)
         return outcomes
+
+    def send_chunk(self, items: list[WorkItem]) -> None:
+        """Ship a chunk without waiting for its outcome (windowed
+        dispatch).  Chunks collect strictly in send order; the caller
+        must keep at most :attr:`pipeline_depth` chunks outstanding.
+        Only meaningful on executors with ``pipeline_depth > 1``.
+        """
+        raise NotImplementedError(
+            f"worker kind {self.kind!r} does not pipeline")
+
+    def collect_chunk(self) -> list:
+        """Block for the *oldest* outstanding chunk; returns one
+        :class:`WorkResult` or :class:`Exception` per item, aligned
+        with the chunk :meth:`send_chunk` shipped.  A lane death raises
+        :class:`WorkerCrashError` (every outstanding chunk is lost with
+        the lane — the group requeues the whole window)."""
+        raise NotImplementedError(
+            f"worker kind {self.kind!r} does not pipeline")
 
     def ping(self, timeout_s: float = 5.0) -> bool:
         """Liveness probe; ``False``/``WorkerCrashError`` marks the lane
@@ -232,23 +261,45 @@ def _child_execute_batch(wire_items: list[_WireItem]) -> list:
     return outcomes
 
 
+@dataclass
+class _ProcessFlight:
+    """One chunk in flight to the child: its pool future plus what is
+    needed to collect it (alignment, arena slot, deadline)."""
+
+    future: object
+    items: list
+    slot: int
+    deadline: float | None
+
+
 class ProcessWorker(Worker):
-    """One dedicated child process holding warm engines."""
+    """One dedicated child process holding warm engines.
+
+    Pipelines up to two chunks (``pipeline_depth = 2``): the shm arena
+    is double-buffered, one slot per in-flight chunk, so the parent
+    packs chunk N+1 into the idle slot while the child computes chunk N
+    out of the other.  A slot is only reused after its chunk was
+    collected (the window bound enforces this), which preserves the
+    wholesale-reuse invariant from :mod:`repro.runtime.shm` per slot.
+    """
 
     kind = "process"
+    pipeline_depth = 2
 
     def __init__(self, name: str = "process") -> None:
         super().__init__(name)
         self._pool: ProcessPoolExecutor | None = None
         self.pid: int | None = None
-        self._arena: ShmArena | None = None
-        # Held while a batch runs in the child.  The group's monitor
-        # pings "idle" lanes, but a batch may start between its idle
-        # check and the ping; a ping queued behind a long batch on this
-        # single-child pool would time out and falsely evict a healthy
-        # lane, so ping only probes when it can take this lock.
-        # One batch in flight at a time is also what makes arena reuse
-        # safe (repro.runtime.shm).
+        # Double-buffered arenas: chunk k packs into slot k % 2.
+        self._arenas: list[ShmArena | None] = [None, None]
+        self._slot = 0
+        self._outstanding: deque[_ProcessFlight] = deque()
+        # Serializes submissions (pack + pool.submit) against the
+        # monitor's ping.  The group's monitor pings "idle" lanes, but
+        # a chunk may start between its idle check and the ping; a ping
+        # queued behind outstanding chunks on this single-child pool
+        # would time out and falsely evict a healthy lane, so ping only
+        # probes when it can take this lock AND no chunk is in flight.
         self._exec_lock = threading.Lock()
 
     def start(self) -> None:
@@ -285,16 +336,17 @@ class ProcessWorker(Worker):
     def deploy(self, deployments: list[Deployment]) -> None:
         self.pid = self._submit(_child_deploy, list(deployments))
 
-    def _pack(self, items: list[WorkItem]) -> list[_WireItem]:
+    def _pack(self, items: list[WorkItem],
+              slot: int = 0) -> list[_WireItem]:
         """Wire items for a chunk: shm-backed when available.
 
-        All image buffers are placed in one arena write; each item gets
-        an aligned slice of a shared reply region sized for
-        ``_REPLY_CLASSES_CAP`` classes.  Any shm hiccup (exhausted
-        ``/dev/shm``, races with teardown) falls back to pickling —
-        slower, never wrong.  Caller-side ``meta`` is stripped here: it
-        is documented as never crossing the boundary (and may be
-        unpicklable).
+        All image buffers are placed in one write into the ``slot``
+        arena; each item gets an aligned slice of a shared reply region
+        sized for ``_REPLY_CLASSES_CAP`` classes.  Any shm hiccup
+        (exhausted ``/dev/shm``, races with teardown) falls back to
+        pickling — slower, never wrong.  Caller-side ``meta`` is
+        stripped here: it is documented as never crossing the boundary
+        (and may be unpicklable).
         """
         wires = [_WireItem(item_id=item.item_id,
                            deployment=item.deployment,
@@ -302,13 +354,14 @@ class ProcessWorker(Worker):
                            trace=item.trace)
                  for item in items]
         if shm_available():
-            if self._arena is None:
-                self._arena = ShmArena()
+            if self._arenas[slot] is None:
+                self._arenas[slot] = ShmArena()
+            arena = self._arenas[slot]
             caps = [max(4096, -(-item.num_images
                                 * _REPLY_CLASSES_CAP * 8 // 64) * 64)
                     for item in items]
             try:
-                views, reply = self._arena.place(
+                views, reply = arena.place(
                     [item.images for item in items],
                     reply_nbytes=sum(caps))
             except (OSError, ValueError):
@@ -325,15 +378,15 @@ class ProcessWorker(Worker):
             wire.images = np.ascontiguousarray(item.images)
         return wires
 
-    def _unpack(self, outcome):
+    def _unpack(self, outcome, slot: int = 0):
         """One child outcome -> WorkResult or Exception (parent side)."""
         if isinstance(outcome, Exception):
             return outcome
         logits_view, result = outcome
         if logits_view is not None:
-            # Copy out before the lock is released: the arena region is
-            # recycled by the next batch.
-            result.logits = np.array(self._arena.read(logits_view),
+            # Copy out before the slot is reused: the arena region is
+            # recycled by the next chunk packed into this slot.
+            result.logits = np.array(self._arenas[slot].read(logits_view),
                                      copy=True)
         result.worker = self.name
         # The child executed without knowing its lane name; stamp it on
@@ -352,25 +405,82 @@ class ProcessWorker(Worker):
         return outcome
 
     def execute_many(self, items: list[WorkItem]) -> list:
-        timeouts = [item.timeout_s for item in items]
-        timeout_s = (None if any(t is None for t in timeouts)
-                     else float(sum(timeouts)))
+        self.send_chunk(items)
+        return self.collect_chunk()
+
+    def send_chunk(self, items: list[WorkItem]) -> None:
+        """Pack a chunk into the idle arena slot and submit it to the
+        child without waiting; the single-child pool executes chunks
+        strictly in submission order, so collection is FIFO."""
         with self._exec_lock:
-            wires = self._pack(items)
-            outcomes = self._submit(_child_execute_batch, wires,
-                                    timeout_s=timeout_s)
-            if (not isinstance(outcomes, list)
-                    or len(outcomes) != len(items)):
+            if self._pool is None:
                 raise WorkerCrashError(
-                    f"worker {self.name!r} answered a malformed chunk")
-            return [self._unpack(outcome) for outcome in outcomes]
+                    f"worker {self.name!r} is not started")
+            if len(self._outstanding) >= self.pipeline_depth:
+                raise ValueError(
+                    f"worker {self.name!r} already has "
+                    f"{len(self._outstanding)} chunk(s) in flight "
+                    f"(pipeline_depth={self.pipeline_depth})")
+            slot = self._slot
+            self._slot = (self._slot + 1) % len(self._arenas)
+            wires = self._pack(items, slot)
+            timeout_s = chunk_timeout_s(items)
+            deadline = (None if timeout_s is None
+                        else time.monotonic() + timeout_s)
+            try:
+                future = self._pool.submit(_child_execute_batch, wires)
+            except (BrokenProcessPool, RuntimeError) as error:
+                raise WorkerCrashError(
+                    f"worker {self.name!r} (pid {self.pid}) died: "
+                    f"{error}") from error
+            self._outstanding.append(_ProcessFlight(
+                future, list(items), slot, deadline))
+
+    def collect_chunk(self) -> list:
+        """Block for the oldest outstanding chunk and unpack it."""
+        if not self._outstanding:
+            # The group believes a chunk is in flight; an empty window
+            # here means close() tore the pool down underneath it
+            # (monitor-driven eviction) — crash semantics, so the
+            # caller requeues instead of failing the items.
+            raise WorkerCrashError(
+                f"worker {self.name!r} has no chunk in flight "
+                "(worker was closed)")
+        flight = self._outstanding[0]
+        timeout_s = None
+        if flight.deadline is not None:
+            timeout_s = max(0.0, flight.deadline - time.monotonic())
+        try:
+            outcomes = flight.future.result(timeout=timeout_s)
+        except BrokenProcessPool as error:
+            raise WorkerCrashError(
+                f"worker {self.name!r} (pid {self.pid}) died: "
+                f"{error}") from error
+        except FutureTimeout as error:
+            # A blown budget is indistinguishable from a hung child;
+            # treat the lane as dead so the group can requeue elsewhere.
+            self.close()
+            raise WorkerCrashError(
+                f"worker {self.name!r} (pid {self.pid}) exceeded its "
+                f"chunk deadline") from error
+        with self._exec_lock:
+            self._outstanding.popleft()
+        if (not isinstance(outcomes, list)
+                or len(outcomes) != len(flight.items)):
+            raise WorkerCrashError(
+                f"worker {self.name!r} answered a malformed chunk")
+        return [self._unpack(outcome, flight.slot)
+                for outcome in outcomes]
 
     def ping(self, timeout_s: float = 5.0) -> bool:
-        # A lane mid-batch is alive by definition; never queue a probe
-        # behind a running shard (see _exec_lock above).
+        # A lane mid-chunk is alive by definition; never queue a probe
+        # behind outstanding work on the single-child pool (it would
+        # falsely time out behind a long chunk).
         if not self._exec_lock.acquire(blocking=False):
             return True
         try:
+            if self._outstanding:
+                return True
             self._submit(os.getpid, timeout_s=timeout_s)
             return True
         except WorkerCrashError:
@@ -395,9 +505,12 @@ class ProcessWorker(Worker):
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
-        if self._arena is not None:
-            self._arena.close()
-            self._arena = None
+        self._outstanding.clear()
+        for slot, arena in enumerate(self._arenas):
+            if arena is not None:
+                arena.close()
+                self._arenas[slot] = None
+        self._slot = 0
 
 
 # ----------------------------------------------------------------------

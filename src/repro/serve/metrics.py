@@ -97,6 +97,7 @@ class MetricsSnapshot:
     timed_out: int = 0        # requests expired before dispatch
     worker_crashes: int = 0   # engine lanes evicted by the runtime fabric
     deduped: int = 0          # requests answered from the result ledger
+    cached: int = 0           # requests answered from the result cache
     replica_divergences: int = 0  # replicated answers that disagreed
     #: Per-deployment snapshots (``{name: snapshot dict}``) on a
     #: multi-model server's aggregate snapshot; ``None`` on the
@@ -115,6 +116,7 @@ class MetricsSnapshot:
             "timed_out": self.timed_out,
             "worker_crashes": self.worker_crashes,
             "deduped": self.deduped,
+            "cached": self.cached,
             "replica_divergences": self.replica_divergences,
             "queue_depth": self.queue_depth,
             "elapsed_s": self.elapsed_s,
@@ -154,6 +156,7 @@ class ServerMetrics:
         self.rejected = 0
         self.timed_out = 0
         self.deduped = 0
+        self.cached = 0
         self.replica_divergences = 0
         self._latency_ms: deque = deque(maxlen=window)
         self._queue_wait_ms: deque = deque(maxlen=window)
@@ -194,6 +197,13 @@ class ServerMetrics:
         if self._prom is not None:
             self._prom["deduped"].inc()
 
+    def record_cached(self) -> None:
+        """A submission answered from the content-addressed result
+        cache (the cache feeds the registry's global
+        ``repro_result_cache_*`` counters itself — no per-deployment
+        instrument here, so nothing double-counts)."""
+        self.cached += 1
+
     def record_divergence(self) -> None:
         """A replicated request's answers disagreed (runtime assert)."""
         self.replica_divergences += 1
@@ -205,6 +215,7 @@ class ServerMetrics:
         self.rejected = 0
         self.timed_out = 0
         self.deduped = 0
+        self.cached = 0
         self.replica_divergences = 0
         self._latency_ms.clear()
         self._queue_wait_ms.clear()
@@ -228,6 +239,7 @@ class ServerMetrics:
             timed_out=self.timed_out,
             worker_crashes=worker_crashes,
             deduped=self.deduped,
+            cached=self.cached,
             replica_divergences=self.replica_divergences,
             queue_depth=queue_depth,
             elapsed_s=elapsed,

@@ -52,6 +52,7 @@ from repro.errors import (
 from repro.runtime import DeploymentRegistry, RegisteredDeployment
 from repro.runtime.work import ResultLedger
 from repro.serve.batcher import Batcher, BatchPolicy, create_policy
+from repro.serve.cache import ResultCache, batch_digest
 from repro.serve.metrics import MetricsSnapshot, ServerMetrics
 from repro.serve.pool import EnginePool
 from repro.telemetry import get_registry, get_tracer
@@ -126,6 +127,10 @@ class _Request:
     #: Client idempotency key (exactly-once): a completed key answers
     #: re-submissions from the server's result ledger.
     key: str | None = None
+    #: Content digest of the admitted image (None when the result cache
+    #: is disabled) — carried so ``_execute`` fills the cache without
+    #: re-hashing what admission already digested.
+    digest: str | None = None
     #: The request's root span (a real Span only when tracing is on —
     #: the disabled path never touches these fields).
     span: object = None
@@ -199,6 +204,12 @@ class InferenceServer:
         (e.g. ``["thread", "host:7601"]`` to add a remote TCP engine
         worker, authenticated with ``token`` if the host requires one);
         see :class:`~repro.serve.pool.EnginePool`.
+    result_cache:
+        Capacity (entries) of the content-addressed result cache: a
+        byte-identical image on a content-identical deployment answers
+        from a bounded LRU at admission — before batching — instead of
+        executing again (``0`` disables; see
+        :class:`~repro.serve.cache.ResultCache`).
     """
 
     def __init__(
@@ -219,6 +230,7 @@ class InferenceServer:
         replicas: int = 1,
         quorum: int | None = None,
         chaos=None,
+        result_cache: int = 128,
     ) -> None:
         if isinstance(network, DeploymentRegistry):
             self.registry = network
@@ -259,6 +271,10 @@ class InferenceServer:
         # instead of re-executing).
         self._request_ledger = ResultLedger()
         self._inflight_keys: dict[str, asyncio.Future] = {}
+        # Content-addressed exactly-once-by-value: byte-identical images
+        # on a content-identical deployment answer from this LRU without
+        # queueing, batching or executing (0 disables).
+        self.result_cache = ResultCache(result_cache)
         self._lanes: dict[str, _DeploymentLane] = {}
         self._dispatch_slots: asyncio.Semaphore | None = None
         self._dispatch_tasks: set[asyncio.Task] = set()
@@ -456,12 +472,27 @@ class InferenceServer:
                 # cancel the original submission's execution.
                 return await asyncio.shield(inflight)
         image = self._check_image(lane, image)
+        digest = None
+        if self.result_cache.enabled:
+            # Content-addressed admission: a byte-identical image on a
+            # content-identical deployment replays the cached answer —
+            # no queue, no batch, no engine.  The replayed result keeps
+            # the deterministic fields (prediction, logits, trace,
+            # cycles, energy) verbatim and re-stamps the serving
+            # accounting with this request's own (near-zero) timings.
+            digest = batch_digest(image)
+            cached = self.result_cache.get(
+                lane.entry.deployment.fingerprint, digest)
+            if cached is not None:
+                return self._replay_cached(lane, cached, key=key,
+                                           trace=trace)
         loop = asyncio.get_running_loop()
         request = _Request(request_id=self._next_id, image=image,
                            future=loop.create_future(),
                            priority=int(priority),
                            timeout_ms=timeout_ms,
-                           key=key or None)
+                           key=key or None,
+                           digest=digest)
         if timeout_ms is not None:
             request.deadline = request.enqueued_at + timeout_ms / 1e3
         tracer = get_tracer()
@@ -507,6 +538,54 @@ class InferenceServer:
             if not request.key and not request.future.done():
                 request.future.cancel()
             raise
+
+    def _replay_cached(self, lane: _DeploymentLane,
+                       cached: InferenceResult,
+                       key: str | None,
+                       trace: dict | None) -> InferenceResult:
+        """Answer a submission from the result cache.
+
+        The deterministic fields (prediction, logits, trace, cycles,
+        energy, model latency) replay verbatim — the fabric contract
+        says they could not have come out differently — while the
+        serving accounting is this request's own: zero queue wait, zero
+        service, a fresh request id.  A keyed hit is also recorded in
+        the idempotency ledger so later retries of the key dedup
+        through either door.
+        """
+        request_id = self._next_id
+        self._next_id += 1
+        trace_id = None
+        tracer = get_tracer()
+        if tracer.enabled:
+            span = tracer.span(
+                "request", context=trace,
+                attrs={"deployment": lane.name,
+                       "request_id": request_id, "cached": True})
+            trace_id = span.trace_id
+            span.finish()
+        result = InferenceResult(
+            request_id=request_id,
+            prediction=cached.prediction,
+            logits=cached.logits,
+            trace=cached.trace,
+            cycles=cached.cycles,
+            energy_pj=cached.energy_pj,
+            model_latency_us=cached.model_latency_us,
+            queue_wait_ms=0.0,
+            service_ms=0.0,
+            latency_ms=0.0,
+            batch_size=1,
+            deployment=lane.name,
+            trace_id=trace_id,
+        )
+        for metrics in (self.metrics, lane.metrics):
+            metrics.record_cached()
+            metrics.record(latency_ms=0.0, queue_wait_ms=0.0,
+                           service_ms=0.0, batch_size=1)
+        if key:
+            self._request_ledger.record(key, result)
+        return result
 
     async def submit_many(self, images: np.ndarray,
                           wait: bool = True,
@@ -657,6 +736,7 @@ class InferenceServer:
             fabric = self.pool.group_metrics()
             fabric["ledger"] = self.pool.ledger_metrics()
             fabric["request_ledger"] = self._request_ledger.to_dict()
+            fabric["result_cache"] = self.result_cache.to_dict()
         return self.metrics.snapshot(
             queue_depth=depth, worker_crashes=self.pool.worker_crashes,
             per_deployment=per_deployment, fabric=fabric)
@@ -837,6 +917,10 @@ class InferenceServer:
                     is_lead=request is lead,
                     t_dispatch=t_dispatch, started=started,
                     finished=finished, batch_size=len(batch))
+            if request.digest is not None:
+                self.result_cache.put(
+                    lane.entry.deployment.fingerprint, request.digest,
+                    result)
             if request.key:
                 # Record BEFORE resolving: a duplicate racing in after
                 # the future resolves must find the ledger entry.

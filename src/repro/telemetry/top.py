@@ -27,6 +27,31 @@ def _fmt(value, width: int = 8, digits: int = 1) -> str:
     return f"{value!s:>{width}}"
 
 
+def _lane_values(telemetry: dict | None, family: str) -> dict:
+    """``{lane: value}`` from a lane-labelled gauge/counter family."""
+    if not telemetry:
+        return {}
+    out = {}
+    for entry in (telemetry.get(family) or {}).get("series", []):
+        lane = entry.get("labels", {}).get("lane")
+        if lane is not None and "value" in entry:
+            out[lane] = entry["value"]
+    return out
+
+
+def _lane_means(telemetry: dict | None, family: str) -> dict:
+    """``{lane: sum/count}`` from a lane-labelled histogram family."""
+    if not telemetry:
+        return {}
+    out = {}
+    for entry in (telemetry.get(family) or {}).get("series", []):
+        lane = entry.get("labels", {}).get("lane")
+        count = entry.get("count", 0)
+        if lane is not None and count:
+            out[lane] = entry.get("sum", 0.0) / count
+    return out
+
+
 def _deployment_rows(snapshot: dict) -> list[tuple]:
     """(name, stats-dict) rows: per-deployment blocks when present,
     else the aggregate snapshot as one ``all`` row."""
@@ -47,7 +72,8 @@ def render_top(snapshot: dict, telemetry: dict | None = None,
                  f"completed {snapshot.get('completed', 0)}  "
                  f"rejected {snapshot.get('rejected', 0)}  "
                  f"timed_out {snapshot.get('timed_out', 0)}  "
-                 f"deduped {snapshot.get('deduped', 0)}")
+                 f"deduped {snapshot.get('deduped', 0)}  "
+                 f"cached {snapshot.get('cached', 0)}")
     lines.append("")
     header = (f"{'deployment':<14}{'rps':>8}{'queue':>7}{'batch':>7}"
               f"{'p50 ms':>9}{'p99 ms':>9}{'wait p99':>10}{'done':>8}")
@@ -69,25 +95,44 @@ def render_top(snapshot: dict, telemetry: dict | None = None,
     fabric = snapshot.get("fabric") or {}
     executed = fabric.get("executed") or {}
     if executed:
+        # Per-lane pipelining state lives in the unified registry: the
+        # in-flight gauge is the *current* window depth, the occupancy
+        # histogram's sum/count gives the mean depth at each send.
+        inflight = _lane_values(telemetry, "repro_fabric_inflight_chunks")
+        occupancy = _lane_means(telemetry,
+                                "repro_fabric_window_occupancy")
         lines.append("")
-        lane_header = (f"{'lane':<22}{'executed':>10}"
-                       f"{'heartbeat age s':>17}")
+        lane_header = (f"{'lane':<22}{'executed':>10}{'inflight':>10}"
+                       f"{'win avg':>9}{'heartbeat age s':>17}")
         lines.append(lane_header)
         lines.append("-" * len(lane_header))
         ages = fabric.get("heartbeat_age_s") or {}
         for lane in sorted(executed):
             age = ages.get(lane)
+            depth = inflight.get(lane)
+            mean = occupancy.get(lane)
             lines.append(
                 f"{lane:<22}{executed[lane]:>10}"
+                f"{'-' if depth is None else int(depth):>10}"
+                f"{'-' if mean is None else format(mean, '.2f'):>9}"
                 f"{age if age is None else format(age, '.1f'):>17}")
         lines.append(
             f"fabric: batched={fabric.get('batched', 0)} "
+            f"pipelined={fabric.get('pipelined', 0)} "
             f"stolen={fabric.get('stolen', 0)} "
             f"retries={fabric.get('retries', 0)} "
             f"requeued={fabric.get('requeued', 0)} "
             f"crashes={fabric.get('worker_crashes', 0)} "
             f"poisoned={fabric.get('poisoned', 0)} "
             f"deduped={fabric.get('deduped', 0)}")
+    cache = fabric.get("result_cache")
+    if cache:
+        lines.append(
+            f"result cache: entries={cache.get('entries', 0)}"
+            f"/{cache.get('capacity', 0)} "
+            f"hits={cache.get('hits', 0)} "
+            f"misses={cache.get('misses', 0)} "
+            f"evictions={cache.get('evictions', 0)}")
 
     if telemetry:
         chaos = telemetry.get("repro_chaos_faults_total")

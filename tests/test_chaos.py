@@ -221,6 +221,82 @@ class TestGroupUnderChaos:
         np.testing.assert_array_equal(first.logits, second.logits)
         assert first.merged_trace() == second.merged_trace()
 
+    def test_windowed_process_kill_requeues_whole_window(self, rng):
+        """SIGKILL with W=2 chunks in flight: every windowed item —
+        sent and unsent — requeues exactly-once and the merged answers
+        stay bit-identical to a serial run."""
+        deployment = tiny_deployment(rng)
+        items = make_items(rng, deployment, count=8, images_each=2)
+        baseline = serial_baseline(deployment, items)
+
+        # Third dispatch draw kills: chunks 1 and 2 are pipelined
+        # (window full) before the fault lands, so eviction must hand
+        # a MULTI-chunk window to the requeue machinery.
+        chaos = ChaosPolicy(kill={"doomed": 3})
+        workers = [ProcessWorker(name="doomed"),
+                   ThreadWorker(name="healthy")]
+        with WorkerGroup(workers, deployments=[deployment],
+                         chaos=chaos, heartbeat_s=30.0,
+                         window=2, max_batch_items=2,
+                         steal=False) as group:
+            results = group.run(items, assignment=[0] * len(items))
+            assert group.metrics.worker_crashes >= 1
+            assert group.alive_workers() == ["healthy"]
+            # The window genuinely pipelined before the kill: at least
+            # one chunk was sent while another was still in flight.
+            assert group.metrics.pipelined >= 2
+            assert group.metrics.requeued >= 2
+        assert len(results) == len(items)
+        assert_bit_identical(baseline, results)
+        assert any(e.action == "kill" for e in chaos.events)
+
+    def test_windowed_remote_sever_requeues_whole_window(self, rng):
+        """Severing the socket with W=3 in flight loses every
+        outstanding chunk at once; all of them finish elsewhere with
+        bit-identical merges and zero duplicate answers."""
+        deployment = tiny_deployment(rng)
+        items = make_items(rng, deployment, count=8, images_each=2)
+        baseline = serial_baseline(deployment, items)
+
+        server = WorkerServer().start()
+        try:
+            # The hello and the deployment push consume exchange draws
+            # 1 and 2, so draw 5 is the THIRD chunk send — two chunks
+            # already in flight when the wire goes away.
+            chaos = ChaosPolicy(sever={"cut": 5})
+            workers = [RemoteWorker("127.0.0.1", server.port,
+                                    name="cut"),
+                       ThreadWorker(name="local")]
+            with WorkerGroup(workers, deployments=[deployment],
+                             chaos=chaos, heartbeat_s=30.0,
+                             window=3, max_batch_items=2,
+                             steal=False) as group:
+                results = group.run(items,
+                                    assignment=[0] * len(items))
+                assert group.metrics.worker_crashes >= 1
+                assert group.metrics.pipelined >= 2
+            assert len(results) == len(items)
+            assert_bit_identical(baseline, results)
+            assert any(e.action == "sever" for e in chaos.events)
+        finally:
+            server.close()
+
+    def test_windowed_unsent_items_remain_stealable(self, rng):
+        """Items queued behind a full window were never claimed by the
+        windowed lane — an idle peer steals them like any backlog."""
+        deployment = tiny_deployment(rng)
+        items = make_items(rng, deployment, count=12, images_each=2)
+        baseline = serial_baseline(deployment, items)
+
+        workers = [ProcessWorker(name="piped"),
+                   ThreadWorker(name="idle")]
+        with WorkerGroup(workers, deployments=[deployment],
+                         heartbeat_s=30.0, window=2,
+                         max_batch_items=2) as group:
+            results = group.run(items, assignment=[0] * len(items))
+            assert group.metrics.stolen >= 1
+        assert_bit_identical(baseline, results)
+
     def test_never_totals_the_group(self, rng):
         """Kill-everything chaos still answers: the last lane is spared
         (chaos degrades the group, never destroys it)."""

@@ -405,3 +405,128 @@ class TestSweepOnFabric:
             SweepDriver(workers=0)
         with pytest.raises(ConfigurationError):
             SweepDriver(workers=["warp-drive"])
+
+
+class TestChunkTimeouts:
+    """The chunk deadline is the tightest surviving item budget."""
+
+    def test_min_of_bounded_budgets(self, rng):
+        from repro.runtime.work import chunk_timeout_s
+        deployment = tiny_deployment(rng)
+        shape = deployment.network.input_shape
+
+        def item(timeout):
+            return WorkItem(item_id=0, deployment=0,
+                            images=rng.random((1,) + shape),
+                            timeout_s=timeout)
+
+        assert chunk_timeout_s([item(None), item(None)]) is None
+        assert chunk_timeout_s([item(5.0), item(2.0), item(9.0)]) == 2.0
+        # One unbounded sibling must NOT disable the others' protection
+        # (the old sum-based aggregation returned None here).
+        assert chunk_timeout_s([item(None), item(3.0)]) == 3.0
+        # Nor may the deadline inflate with chunk size (the old code
+        # summed: 3 items x 2 s gave 6 s).
+        assert chunk_timeout_s([item(2.0)] * 3) == 2.0
+
+    def test_chunk_deadline_crashes_hung_process_lane(self, rng):
+        """A chunk overrunning the tightest item budget surfaces as a
+        lane crash (close + WorkerCrashError), not an eternal wait."""
+        deployment = tiny_deployment(rng)
+        worker = ProcessWorker(name="hung")
+        worker.start()
+        try:
+            worker.deploy([deployment])
+            items = [WorkItem(item_id=i, deployment=0,
+                              images=rng.random(
+                                  (1,) + deployment.network.input_shape),
+                              timeout_s=1e-9)
+                     for i in range(2)]
+            with pytest.raises(WorkerCrashError):
+                worker.execute_many(items)
+        finally:
+            worker.close()
+
+
+class TestWindowedDispatch:
+    """Pipelined lanes: send/collect split, credits, telemetry."""
+
+    def test_windowed_process_lane_bit_identical(self, rng):
+        deployment = tiny_deployment(rng)
+        items = make_items(rng, deployment, count=10, images_each=2)
+        serial, _ = run_group([ThreadWorker()], deployment,
+                              [WorkItem(item_id=i.item_id, deployment=0,
+                                        images=i.images)
+                               for i in items])
+        with WorkerGroup([ProcessWorker(name="piped")],
+                         deployments=[deployment], window=2,
+                         max_batch_items=2) as group:
+            results = group.run(items)
+            metrics = group.metrics
+        assert metrics.pipelined >= 2
+        assert sum(metrics.executed.values()) == len(items)
+        for base, other in zip(serial, results):
+            np.testing.assert_array_equal(base.logits, other.logits)
+            assert base.merged_trace() == other.merged_trace()
+
+    def test_windowed_remote_lane_bit_identical(self, rng):
+        deployment = tiny_deployment(rng)
+        items = make_items(rng, deployment, count=10, images_each=2)
+        serial, _ = run_group([ThreadWorker()], deployment,
+                              [WorkItem(item_id=i.item_id, deployment=0,
+                                        images=i.images)
+                               for i in items])
+        with WorkerServer() as server:
+            with WorkerGroup([RemoteWorker("127.0.0.1", server.port,
+                                           name="wire")],
+                             deployments=[deployment], window=4,
+                             max_batch_items=2) as group:
+                results = group.run(items)
+                metrics = group.metrics
+        assert metrics.pipelined >= 2
+        for base, other in zip(serial, results):
+            np.testing.assert_array_equal(base.logits, other.logits)
+            assert base.merged_trace() == other.merged_trace()
+
+    def test_window_negotiation_and_validation(self, rng):
+        from repro.runtime.remote import _MAX_REMOTE_WINDOW
+        with pytest.raises(Exception):
+            WorkerServer(window=0)
+        with pytest.raises(ConfigurationError):
+            WorkerGroup([ThreadWorker()], deployments=[], window=0)
+        with WorkerServer(window=2) as server:
+            worker = RemoteWorker("127.0.0.1", server.port)
+            worker.start()
+            try:
+                # The server's advertisement caps the client's window.
+                assert worker.pipeline_depth == 2
+                assert worker.pipeline_depth <= _MAX_REMOTE_WINDOW
+            finally:
+                worker.close()
+
+    def test_thread_lanes_stay_stop_and_wait(self, rng):
+        deployment = tiny_deployment(rng)
+        items = make_items(rng, deployment, count=6)
+        results, metrics = run_group([ThreadWorker()], deployment,
+                                     items, window=4)
+        assert metrics.pipelined == 0
+        assert sum(metrics.executed.values()) == len(items)
+
+    def test_inflight_telemetry_feeds_registry(self, rng):
+        from repro.telemetry import get_registry
+        get_registry().reset()
+        deployment = tiny_deployment(rng)
+        items = make_items(rng, deployment, count=8, images_each=2)
+        with WorkerGroup([ProcessWorker(name="gauged")],
+                         deployments=[deployment], window=2,
+                         max_batch_items=2) as group:
+            group.run(items)
+        telemetry = get_registry().to_dict()
+        gauge = telemetry["repro_fabric_inflight_chunks"]
+        lanes = {entry["labels"]["lane"] for entry in gauge["series"]}
+        assert "gauged" in lanes
+        occupancy = telemetry["repro_fabric_window_occupancy"]
+        [series] = [entry for entry in occupancy["series"]
+                    if entry["labels"]["lane"] == "gauged"]
+        assert series["count"] >= 2          # one observation per send
+        assert series["sum"] >= series["count"]  # depths are >= 1

@@ -869,3 +869,69 @@ class TestTcpFrameNegotiation:
                     await tcp.wait_closed()
 
         asyncio.run(main())
+
+
+class TestResultCache:
+    """Content-addressed result cache on the serving admission path."""
+
+    def _serve_seq(self, network, images, **server_kwargs):
+        """Submit images one at a time so later duplicates can hit the
+        cache filled by earlier completions."""
+
+        async def main():
+            async with InferenceServer(network, **server_kwargs) as server:
+                results = [await server.submit(image) for image in images]
+                return results, server.metrics.snapshot(), server.snapshot()
+
+        return asyncio.run(main())
+
+    def test_duplicate_submission_served_from_cache(self, rng):
+        from repro.telemetry import get_registry
+
+        get_registry().reset()
+        net = tiny_network(rng)
+        image = tiny_images(rng, net, 1)[0]
+        results, snapshot, full = self._serve_seq(
+            net, [image, image, image], max_wait_ms=0.0)
+        assert snapshot.cached == 2
+        assert snapshot.completed == 3
+        first, *hits = results
+        for hit in hits:
+            assert hit.prediction == first.prediction
+            np.testing.assert_array_equal(hit.logits, first.logits)
+            assert hit.trace == first.trace
+            assert hit.cycles == first.cycles
+            assert hit.latency_ms == 0.0  # replay never touches a lane
+        cache = full.fabric["result_cache"]
+        assert cache["hits"] == 2 and cache["misses"] == 1
+        families = get_registry().to_dict()
+        series = families["repro_result_cache_hits_total"]["series"]
+        assert series and series[0]["value"] >= 2
+
+    def test_distinct_images_never_cross_hit(self, rng):
+        net = tiny_network(rng)
+        images = tiny_images(rng, net, 6)
+        results, snapshot, _ = self._serve_seq(net, list(images),
+                                               max_wait_ms=0.0)
+        assert snapshot.cached == 0
+        expected = direct_run(net, images)[0].argmax(axis=1)
+        np.testing.assert_array_equal(
+            [r.prediction for r in results], expected)
+
+    def test_cache_disabled_by_zero_capacity(self, rng):
+        net = tiny_network(rng)
+        image = tiny_images(rng, net, 1)[0]
+        _, snapshot, full = self._serve_seq(
+            net, [image, image], max_wait_ms=0.0, result_cache=0)
+        assert snapshot.cached == 0
+        assert snapshot.completed == 2
+        assert full.fabric["result_cache"]["capacity"] == 0
+
+    def test_lru_eviction_is_bounded(self, rng):
+        net = tiny_network(rng)
+        images = tiny_images(rng, net, 4)
+        _, _, full = self._serve_seq(net, list(images), max_wait_ms=0.0,
+                                     result_cache=2)
+        cache = full.fabric["result_cache"]
+        assert cache["entries"] == 2
+        assert cache["evictions"] == 2
